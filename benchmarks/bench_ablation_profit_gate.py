@@ -1,0 +1,59 @@
+"""Ablation: the profitability gate on reference satisfaction.
+
+Without the gate, an array whose hot references are unpartitionable can
+still be transformed to please a tiny compatible sweep (art's shared
+weight table and its initialization loop) -- destroying the hot loops'
+locality.  This ablation measures the damage the gate prevents.
+"""
+
+from repro.core.pipeline import LayoutTransformer
+from repro.program.address_space import AddressSpace
+from repro.program.trace import generate_traces
+from repro.sim.run import RunSpec, run_simulation
+from repro.sim.system import SystemSimulator, build_streams
+
+APP = "art"
+
+
+def test_ablation_profit_gate(benchmark, runner, report):
+    def experiment():
+        config = runner.config(interleaving="cache_line")
+        mapping = runner.mapping(config)
+        program = runner.program(APP)
+        base = runner.metrics(APP, interleaving="cache_line")
+        gated = runner.metrics(APP, optimized=True,
+                               interleaving="cache_line")
+
+        # Ungated run: min_satisfaction = 0 lets the bad layout through.
+        transformer = LayoutTransformer(config, mapping,
+                                        min_satisfaction=0.0)
+        result = transformer.run(program)
+        space = AddressSpace(config)
+        bases = space.place_all(result.layouts)
+        traces = generate_traces(program, result.layouts, bases, 64)
+        vtraces = [t.vaddrs for t in traces]
+        gaps = [t.gaps for t in traces]
+        cores = mapping.core_order
+        streams = build_streams(config, cores, vtraces, vtraces, gaps)
+        sim = SystemSimulator(config, mapping)
+        ungated = sim.run(streams,
+                          transform_overhead=config.transform_overhead)
+        return base, gated, ungated, result
+
+    base, gated, ungated, result = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+    gated_red = 1 - gated.exec_time / base.exec_time
+    ungated_red = 1 - ungated.exec_time / base.exec_time
+    text = "\n".join([
+        f"Ablation: profitability gate ({APP})",
+        f"gated exec reduction:   {gated_red:7.1%}",
+        f"ungated exec reduction: {ungated_red:7.1%}",
+        f"ungated transforms WGT despite satisfaction "
+        f"{result.plans['WGT'].mapping_result.satisfaction:.1%}",
+    ])
+    report("ablation_profit_gate", text)
+
+    benchmark.extra_info["gated"] = gated_red
+    benchmark.extra_info["ungated"] = ungated_red
+    assert result.plans["WGT"].optimized  # the gate was off
+    assert gated_red > ungated_red  # the gate prevents the damage

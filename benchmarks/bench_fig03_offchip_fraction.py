@@ -1,0 +1,29 @@
+"""Figure 3: contribution of off-chip accesses to total data accesses.
+
+Paper: 8x8 mesh, private L2s, page interleaving; off-chip accesses are
+on average 22.4% of the total (dynamic) data accesses, with wide
+per-application spread.
+"""
+
+
+def test_fig03_offchip_fraction(benchmark, runner, report):
+    def experiment():
+        rows = {}
+        for app in runner.apps:
+            m = runner.metrics(app, interleaving="page")
+            rows[app] = m.offchip_fraction
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    average = sum(rows.values()) / len(rows)
+    lines = ["Figure 3: off-chip share of total data accesses "
+             "(page interleaving, private L2)",
+             f"{'benchmark':<12}{'off-chip fraction':>20}"]
+    for app, frac in rows.items():
+        lines.append(f"{app:<12}{frac:>19.1%}")
+    lines.append(f"{'average':<12}{average:>19.1%}   (paper: 22.4%)")
+    report("fig03_offchip_fraction", "\n".join(lines))
+
+    benchmark.extra_info["average_offchip_fraction"] = average
+    assert 0.10 < average < 0.35  # the paper's ballpark
+    assert all(f > 0 for f in rows.values())

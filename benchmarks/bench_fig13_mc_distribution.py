@@ -1,0 +1,50 @@
+"""Figure 13: spatial distribution of off-chip accesses to one MC.
+
+Paper: for ``apsi``, the fraction of MC1's off-chip requests issued by
+each of the 64 nodes -- spread over the whole chip originally, and
+highly skewed toward the controller's own cluster after optimization.
+"""
+
+import numpy as np
+
+from repro.analysis.distribution import (mc_access_map,
+                                         skew_toward_cluster)
+from repro.analysis.plots import heat_grid
+
+APP = "apsi"
+MC = 0  # "MC1" of Figure 8a: the first controller (NW corner)
+
+
+def _render(grid: np.ndarray) -> str:
+    table = "\n".join(
+        " ".join(f"{cell:5.1%}" for cell in row) for row in grid)
+    return table + "\n" + heat_grid(grid.tolist())
+
+
+def test_fig13_mc_distribution(benchmark, runner, report):
+    def experiment():
+        config = runner.config(interleaving="page")
+        mapping = runner.mapping(config)
+        base = runner.metrics(APP, interleaving="page")
+        opt = runner.metrics(APP, optimized=True, interleaving="page")
+        return (skew_toward_cluster(base, mapping, MC),
+                skew_toward_cluster(opt, mapping, MC),
+                mc_access_map(base, MC, 8, 8),
+                mc_access_map(opt, MC, 8, 8))
+
+    base_skew, opt_skew, base_grid, opt_grid = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+    text = "\n".join([
+        f"Figure 13: share of MC1's off-chip requests per node ({APP})",
+        f"own-cluster share: original {base_skew:.1%} -> optimized "
+        f"{opt_skew:.1%}",
+        "", "original:", _render(base_grid),
+        "", "optimized:", _render(opt_grid)])
+    report("fig13_mc_distribution", text)
+
+    benchmark.extra_info["base_skew"] = base_skew
+    benchmark.extra_info["opt_skew"] = opt_skew
+    # Original: requests come from everywhere (own cluster ~1/4 of
+    # them).  Optimized: highly skewed toward the nearby cores.
+    assert base_skew < 0.5
+    assert opt_skew > 0.8

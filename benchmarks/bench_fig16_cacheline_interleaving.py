@@ -1,0 +1,34 @@
+"""Figure 16: the layout transformation under cache-line interleaving.
+
+Paper averages: on-chip network latency -13.6%, off-chip network
+latency -66.4%, off-chip memory latency -45.8%, execution time -20.5%.
+This is the paper's default configuration for the remaining figures.
+"""
+
+from repro.analysis.tables import format_percent_table, improvement_summary
+
+COLUMNS = ["onchip_net", "offchip_net", "offchip_mem", "exec_time"]
+
+
+def test_fig16_cacheline_interleaving(benchmark, runner, report):
+    def experiment():
+        return {app: runner.pair(app, interleaving="cache_line")
+                for app in runner.apps}
+
+    comparisons = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    summary = improvement_summary(comparisons)
+    text = format_percent_table(
+        summary, COLUMNS,
+        title="Figure 16: reductions under cache-line interleaving\n"
+              "paper averages: onchip_net 13.6%, offchip_net 66.4%, "
+              "offchip_mem 45.8%, exec_time 20.5%")
+    report("fig16_cacheline_interleaving", text)
+
+    avg = summary["average"]
+    for key in COLUMNS:
+        benchmark.extra_info[key] = avg[key]
+    assert avg["offchip_net"] > 0.15
+    assert avg["offchip_mem"] > 0.2
+    assert avg["exec_time"] > 0.08
+    # the paper finds relative savings slightly higher than under page
+    # interleaving; we check the weaker, robust property: both positive.

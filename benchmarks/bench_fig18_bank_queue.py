@@ -1,0 +1,34 @@
+"""Figure 18: bank-queue utilization under mapping M1.
+
+Paper: fma3d and minighost exhibit far higher bank-queue occupancy than
+the other applications -- the reason they are the two that profit from
+M2's extra memory-level parallelism.
+"""
+
+from repro.workloads import HIGH_MLP
+
+
+def test_fig18_bank_queue(benchmark, runner, report):
+    def experiment():
+        rows = {}
+        for app in runner.apps:
+            m = runner.metrics(app, optimized=True,
+                               interleaving="cache_line")
+            rows[app] = m.bank_queue_occupancy()
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = ["Figure 18: mean bank-queue occupancy (M1, optimized runs)",
+             f"{'benchmark':<12}{'occupancy':>12}"]
+    for app, occ in sorted(rows.items(), key=lambda kv: -kv[1]):
+        tag = "  <- high-MLP" if app in HIGH_MLP else ""
+        lines.append(f"{app:<12}{occ:>12.2f}{tag}")
+    report("fig18_bank_queue", "\n".join(lines))
+
+    benchmark.extra_info.update(rows)
+    if "fma3d" in rows:
+        others = [occ for app, occ in rows.items()
+                  if app not in HIGH_MLP]
+        # fma3d's queues are the most loaded of the suite.
+        assert rows["fma3d"] == max(rows.values())
+        assert rows["fma3d"] > 2 * (sum(others) / len(others))

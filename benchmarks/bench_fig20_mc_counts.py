@@ -1,0 +1,36 @@
+"""Figure 20: more memory controllers (Figure 27's configurations).
+
+Paper: the approach's savings grow with the controller count (4 -> 8 ->
+16), because each cluster keeps memory-level parallelism even after its
+accesses are localized.
+"""
+
+from repro.analysis.tables import format_percent_table
+
+COUNTS = (4, 8, 16)
+
+
+def test_fig20_mc_counts(benchmark, runner, report):
+    def experiment():
+        rows = {}
+        for app in runner.apps:
+            rows[app] = {
+                str(n): runner.pair(app, interleaving="cache_line",
+                                    num_mcs=n).exec_time_reduction
+                for n in COUNTS}
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    averages = {str(n): sum(r[str(n)] for r in rows.values()) / len(rows)
+                for n in COUNTS}
+    rows["average"] = averages
+    text = format_percent_table(
+        rows, [str(n) for n in COUNTS],
+        title="Figure 20: execution-time reduction per MC count\n"
+              "(paper: savings grow with the number of controllers)")
+    report("fig20_mc_counts", text)
+
+    benchmark.extra_info.update(averages)
+    assert all(v > 0 for v in averages.values())
+    # more controllers keep at least the 4-MC savings
+    assert averages["16"] > averages["4"] - 0.05

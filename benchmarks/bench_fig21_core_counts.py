@@ -1,0 +1,39 @@
+"""Figure 21: smaller meshes (4x4, 4x8) versus the default 8x8.
+
+Paper: average execution-time improvements of 14% (4x4), 18% (4x8) and
+20.5% (8x8) -- gains grow with the mesh because distances (and thus the
+locality headroom) grow.
+"""
+
+from repro.analysis.tables import format_percent_table
+
+MESHES = ((4, 4), (4, 8), (8, 8))
+
+
+def test_fig21_core_counts(benchmark, runner, report):
+    def experiment():
+        rows = {}
+        for app in runner.apps:
+            rows[app] = {}
+            for mesh in MESHES:
+                label = f"{mesh[0]}x{mesh[1]}"
+                rows[app][label] = runner.pair(
+                    app, interleaving="cache_line",
+                    mesh=mesh).exec_time_reduction
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    labels = [f"{m[0]}x{m[1]}" for m in MESHES]
+    averages = {lab: sum(r[lab] for r in rows.values()) / len(rows)
+                for lab in labels}
+    rows["average"] = averages
+    text = format_percent_table(
+        rows, labels,
+        title="Figure 21: execution-time reduction per mesh size\n"
+              "(paper: 14% at 4x4, 18% at 4x8, 20.5% at 8x8)")
+    report("fig21_core_counts", text)
+
+    benchmark.extra_info.update(averages)
+    assert all(v > 0 for v in averages.values())
+    # the big mesh gains at least as much as the small one
+    assert averages["8x8"] > averages["4x4"] - 0.03

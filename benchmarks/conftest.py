@@ -1,0 +1,125 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation.  They share a session-scoped :class:`ExperimentRunner` that
+memoizes simulation runs, because many figures reuse the same baseline
+and optimized executions (Figures 3, 4, 13 and 14 all build on the
+page-interleaved private-L2 runs, for example).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- workload scale factor (default 1.0); use 0.5
+  for a quick smoke pass.
+* ``REPRO_BENCH_APPS`` -- comma-separated subset of applications.
+"""
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro import MachineConfig, mapping_m1, mapping_m2
+from repro.arch.clustering import balanced_mapping, grid_mapping
+from repro.sim.metrics import Comparison, RunMetrics
+from repro.sim.run import RunResult, RunSpec, run_simulation
+from repro.workloads import SUITE_ORDER, build_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_apps() -> Tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_APPS", "")
+    if raw.strip():
+        return tuple(name.strip() for name in raw.split(","))
+    return SUITE_ORDER
+
+
+class ExperimentRunner:
+    """Memoizing front-end over :func:`repro.sim.run.run_simulation`."""
+
+    def __init__(self):
+        self.scale = bench_scale()
+        self.apps = bench_apps()
+        self._programs: Dict[str, object] = {}
+        self._runs: Dict[tuple, RunResult] = {}
+
+    def program(self, app: str):
+        if app not in self._programs:
+            self._programs[app] = build_workload(app, self.scale)
+        return self._programs[app]
+
+    def config(self, *, interleaving: str = "cache_line",
+               shared: bool = False, placement: str = "P1",
+               num_mcs: int = 4, mesh: Tuple[int, int] = (8, 8),
+               threads_per_core: int = 1) -> MachineConfig:
+        return MachineConfig.scaled_default().with_(
+            interleaving=interleaving, shared_l2=shared,
+            mc_placement=placement, num_mcs=num_mcs,
+            mesh_width=mesh[0], mesh_height=mesh[1],
+            threads_per_core=threads_per_core)
+
+    def mapping(self, config: MachineConfig, name: str = "M1"):
+        mesh = config.mesh()
+        nodes = config.mc_nodes(mesh)
+        if name == "M2":
+            return mapping_m2(mesh, nodes)
+        if config.mc_placement != "P1":
+            # grid quadrants straddle non-corner controllers; use the
+            # balanced-Voronoi clustering instead (see Figure 19)
+            return balanced_mapping(mesh, nodes, name="M1")
+        if name == "M1" and config.num_mcs != 4:
+            return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
+        return mapping_m1(mesh, nodes)
+
+    def run(self, app: str, *, optimized: bool = False,
+            optimal: bool = False, page_policy: str = "auto",
+            mapping: str = "M1", localize_offchip: bool = True,
+            **config_kw) -> RunResult:
+        key = (app, optimized, optimal, page_policy, mapping,
+               localize_offchip, tuple(sorted(config_kw.items())))
+        if key not in self._runs:
+            config = self.config(**config_kw)
+            spec = RunSpec(program=self.program(app), config=config,
+                           mapping=self.mapping(config, mapping),
+                           optimized=optimized, optimal=optimal,
+                           page_policy=page_policy,
+                           localize_offchip=localize_offchip)
+            self._runs[key] = run_simulation(spec)
+        return self._runs[key]
+
+    def metrics(self, app: str, **kw) -> RunMetrics:
+        return self.run(app, **kw).metrics
+
+    def pair(self, app: str, **kw) -> Comparison:
+        base = self.metrics(app, optimized=False, **kw)
+        opt = self.metrics(app, optimized=True, **kw)
+        return Comparison(base, opt)
+
+    def optimal_pair(self, app: str, **kw) -> Comparison:
+        base = self.metrics(app, optimized=False, **kw)
+        opt = self.metrics(app, optimal=True, **kw)
+        return Comparison(base, opt)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a result table so it survives pytest's capture, and archive
+    it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _report

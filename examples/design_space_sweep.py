@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Design-space exploration with the sweep harness.
+
+Sweeps one application across interleaving granularities, L2-to-MC
+mappings and controller counts -- the axes of Figures 14/16/17/20 -- in
+a single cartesian grid, prints the CSV, and reports the best
+configuration.
+
+Run with:  python examples/design_space_sweep.py [app] [scale]
+"""
+
+import sys
+
+from repro import MachineConfig
+from repro.sim.sweep import Sweep, best_point, to_csv
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    program = build_workload(app, scale)
+    sweep = Sweep(program, MachineConfig.scaled_default())
+
+    points = sweep.run(interleaving=["cache_line", "page"],
+                       mapping=["M1", "M2"],
+                       num_mcs=[4, 8])
+    print(to_csv(points))
+
+    best = best_point(points)
+    print(f"best configuration for {app}: "
+          f"{dict(best.settings)} "
+          f"(execution time -{best.comparison.exec_time_reduction:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The full source-to-source pipeline, like the paper's Open64 tool.
+
+Reads a kernel in the mini-language (Figure 9(a)'s shape), checks the
+parallelization's legality, runs the layout pass, and prints the
+transformed C code -- the Figure 9(c) artifact, complete with the
+strip-mining/permutation arithmetic baked into per-array index
+functions.
+
+Run with:  python examples/source_to_source.py [kernel.krn]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import MachineConfig
+from repro.core.dependence import check_program
+from repro.core.pipeline import LayoutTransformer
+from repro.frontend import compile_kernel, emit_program
+
+DEFAULT_KERNEL = Path(__file__).parent / "kernels" / "jacobi.krn"
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_KERNEL
+    program = compile_kernel(path.read_text(), name=path.stem)
+
+    print(f"compiled {path.name}: {len(program.arrays)} arrays, "
+          f"{len(program.nests)} nest(s)")
+    for report in check_program(program):
+        verdict = "legal" if report.legal else "NOT PROVEN LEGAL"
+        print(f"  {report.nest_name}: parallelization {verdict}")
+        for conflict in report.conflicts:
+            print(f"    - {conflict}")
+
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    result = LayoutTransformer(config).run(program)
+    print(f"\npass: {result.pct_arrays_optimized:.0%} arrays optimized, "
+          f"{result.pct_refs_satisfied:.0%} references satisfied\n")
+    print(emit_program(program, result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+from setuptools import setup
+
+# Legacy shim: metadata lives in pyproject.toml; this exists so editable
+# installs work with older setuptools/pip stacks (no network, no wheel).
+# The console script is repeated here because pre-PEP-621 setuptools does
+# not read [project.scripts].
+setup(entry_points={
+    "console_scripts": ["repro-cli = repro.cli:main"],
+})

@@ -1,0 +1,51 @@
+"""repro: reproduction of "Optimizing Off-Chip Accesses in Multicores".
+
+A compiler-guided data-layout transformation for NoC-based manycores
+(Ding et al., PLDI 2015), together with every substrate the evaluation
+needs: an affine-program IR, a 2D-mesh NoC simulator with link
+contention, private/shared (SNUCA) cache hierarchies, banked DRAM with
+FR-FCFS-style controllers, and an OS page-allocation model.
+
+Quick start::
+
+    from repro import MachineConfig, run_pair
+    from repro.workloads import build_workload
+
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    program = build_workload("swim")
+    base, opt, comparison = run_pair(program, config)
+    print(f"execution-time reduction: "
+          f"{comparison.exec_time_reduction:.1%}")
+"""
+
+from repro.arch.clustering import (Cluster, L2ToMCMapping, grid_mapping,
+                                   mapping_m1, mapping_m2,
+                                   partial_grid_mapping)
+from repro.arch.config import (CACHE_LINE_INTERLEAVING, MachineConfig,
+                               PAGE_INTERLEAVING)
+from repro.arch.topology import Mesh
+from repro.core.pipeline import (ArrayPlan, LayoutTransformer,
+                                 TransformationResult, original_layouts)
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
+                              Program, identity_ref, shifted_ref)
+from repro.sim.metrics import Comparison, RunMetrics
+from repro.sim.multiprogram import WeightedSpeedupResult, run_multiprogram
+from repro.frontend.lower import compile_kernel
+from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
+                           run_simulation)
+from repro.sim.sweep import Sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineRef", "ArrayDecl", "ArrayPlan", "CACHE_LINE_INTERLEAVING",
+    "Cluster", "Comparison", "IndexedRef", "L2ToMCMapping",
+    "LayoutTransformer", "LoopNest", "MachineConfig", "Mesh",
+    "PAGE_INTERLEAVING", "Program", "RunMetrics", "RunResult", "RunSpec",
+    "Sweep", "TransformationResult", "WeightedSpeedupResult",
+    "compile_kernel", "grid_mapping",
+    "identity_ref", "mapping_m1", "mapping_m2", "original_layouts",
+    "partial_grid_mapping", "run_multiprogram", "run_optimal_pair",
+    "run_pair", "run_simulation", "shifted_ref",
+]

@@ -1,0 +1,15 @@
+"""Figure-oriented analyses: hop CDFs, MC traffic maps, summary tables."""
+
+from repro.analysis.cdf import merge_hop_cdfs, pooled_hop_cdf
+from repro.analysis.distribution import mc_access_map, skew_toward_cluster
+from repro.analysis.plots import (bar_chart, cdf_plot, grouped_bar_chart,
+                                  heat_grid)
+from repro.analysis.tables import (format_percent_table, geometric_mean,
+                                   improvement_summary)
+
+__all__ = [
+    "bar_chart", "cdf_plot", "format_percent_table", "geometric_mean",
+    "grouped_bar_chart", "heat_grid", "improvement_summary",
+    "mc_access_map", "merge_hop_cdfs", "pooled_hop_cdf",
+    "skew_toward_cluster",
+]

@@ -1,0 +1,51 @@
+"""Hop-count CDFs: the data behind Figure 15.
+
+Figure 15 pools all applications and plots, for on-chip and off-chip
+requests separately, the fraction of requests traversing ``x`` or fewer
+links in the original and optimized executions.  These helpers merge the
+per-run hop histograms collected in :class:`~repro.sim.metrics.RunMetrics`
+into such pooled CDFs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sim.metrics import RunMetrics
+
+
+def merge_hop_cdfs(counters: Iterable[Counter]) -> Dict[int, float]:
+    """Pool hop histograms and return ``{hops: P(request <= hops)}``."""
+    total_counter: Counter = Counter()
+    for counter in counters:
+        total_counter.update(counter)
+    total = sum(total_counter.values())
+    if total == 0:
+        return {}
+    cdf = {}
+    running = 0
+    for hops in range(max(total_counter) + 1):
+        running += total_counter.get(hops, 0)
+        cdf[hops] = running / total
+    return cdf
+
+
+def pooled_hop_cdf(runs: Sequence[RunMetrics], kind: str = "offchip"
+                   ) -> Dict[int, float]:
+    """CDF over all applications' requests of one kind."""
+    if kind == "offchip":
+        return merge_hop_cdfs(m.offchip_hops for m in runs)
+    if kind == "onchip":
+        return merge_hop_cdfs(m.onchip_hops for m in runs)
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def cdf_rows(cdf: Dict[int, float], max_hops: int) -> List[float]:
+    """Dense CDF values for hops 0..max_hops (plot-ready series)."""
+    rows = []
+    last = 0.0
+    for hops in range(max_hops + 1):
+        last = cdf.get(hops, last)
+        rows.append(last)
+    return rows

@@ -1,0 +1,68 @@
+"""Spatial distribution of off-chip requests (Figure 13).
+
+Figure 13 plots, over the 8x8 node grid, the fraction of all off-chip
+requests to one controller (MC1) that each node issued -- showing that
+the optimization skews a controller's traffic toward its nearby cores.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.clustering import L2ToMCMapping
+from repro.sim.metrics import RunMetrics
+
+
+def mc_access_map(metrics: RunMetrics, mc: int,
+                  mesh_width: int, mesh_height: int) -> np.ndarray:
+    """Per-node fraction of requests to controller ``mc``, as a 2D grid.
+
+    ``result[y, x]`` is the fraction of all off-chip requests destined to
+    ``mc`` that were issued by the node at ``(x, y)``.
+    """
+    if metrics.mc_node_requests is None:
+        raise ValueError("run collected no per-node MC request counts")
+    row = metrics.mc_node_requests[mc].astype(np.float64)
+    total = row.sum()
+    if total > 0:
+        row = row / total
+    return row.reshape(mesh_height, mesh_width)
+
+
+def skew_toward_cluster(metrics: RunMetrics, mapping: L2ToMCMapping,
+                        mc: int) -> float:
+    """Fraction of a controller's requests issued from its own cluster.
+
+    The summary statistic of Figure 13: near 1.0 after optimization,
+    near ``cores_per_cluster / cores`` before.
+    """
+    if metrics.mc_node_requests is None:
+        raise ValueError("run collected no per-node MC request counts")
+    cluster = next(ci for ci, c in enumerate(mapping.clusters)
+                   if mc in c.mc_indices)
+    cores = set(mapping.clusters[cluster].cores)
+    row = metrics.mc_node_requests[mc]
+    total = int(row.sum())
+    if total == 0:
+        return 0.0
+    local = int(sum(row[node] for node in cores))
+    return local / total
+
+
+def distance_weighted_hops(metrics: RunMetrics, mapping: L2ToMCMapping
+                           ) -> float:
+    """Mean request-weighted node-to-controller distance, all MCs."""
+    if metrics.mc_node_requests is None:
+        raise ValueError("run collected no per-node MC request counts")
+    mesh = mapping.mesh
+    total = 0
+    weighted = 0.0
+    for mc, node_counts in enumerate(metrics.mc_node_requests):
+        mc_node = mapping.mc_nodes[mc]
+        for node, count in enumerate(node_counts):
+            if count:
+                weighted += count * mesh.distance(node, mc_node)
+                total += count
+    return weighted / total if total else 0.0

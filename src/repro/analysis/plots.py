@@ -1,0 +1,110 @@
+"""Terminal plots: ASCII bar charts and CDF curves for the figures.
+
+The benchmark harness prints tables; these helpers render the same data
+the way the paper's figures do -- horizontal bars per application
+(Figures 4/14/16/22), grouped bars (Figure 17), and step curves for the
+hop CDFs (Figure 15) -- entirely in text, so results are inspectable in
+any terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def bar_chart(values: Mapping[str, float], title: str = "",
+              width: int = 40, unit: str = "%",
+              vmax: Optional[float] = None) -> str:
+    """Horizontal bars, one per labeled value.
+
+    Values may be negative (bars extend left of the axis).  ``vmax``
+    fixes the scale; by default the largest magnitude fills the width.
+    """
+    if not values:
+        return title
+    scale = vmax if vmax is not None else \
+        max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        frac = max(-1.0, min(1.0, value / scale))
+        n = int(round(abs(frac) * width))
+        bar = ("-" if value < 0 else "#") * n
+        shown = value * 100 if unit == "%" else value
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} "
+                     f"{shown:7.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Mapping[str, Mapping[str, float]],
+                      series: Sequence[str], title: str = "",
+                      width: int = 30) -> str:
+    """Grouped horizontal bars: one group per row, one bar per series."""
+    if not rows:
+        return title
+    scale = max((abs(v) for row in rows.values()
+                 for v in row.values()), default=1.0) or 1.0
+    label_width = max(len(k) for k in rows)
+    series_width = max(len(s) for s in series)
+    lines: List[str] = [title] if title else []
+    for label, row in rows.items():
+        for idx, key in enumerate(series):
+            value = row.get(key, 0.0)
+            n = int(round(min(1.0, abs(value) / scale) * width))
+            bar = ("-" if value < 0 else "#") * n
+            prefix = label if idx == 0 else ""
+            lines.append(f"{prefix:<{label_width}} {key:<{series_width}}"
+                         f" |{bar:<{width}} {value * 100:6.1f}%")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def cdf_plot(series: Mapping[str, Sequence[float]], title: str = "",
+             height: int = 10) -> str:
+    """Step curves for CDFs over hop counts 0..N (Figure 15).
+
+    Each series is a dense list of values in [0, 1]; distinct markers
+    per series, ``*`` where curves overlap.
+    """
+    if not series:
+        return title
+    markers = "ox+@%&"
+    length = max(len(v) for v in series.values())
+    grid = [[" "] * length for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for x, v in enumerate(values):
+            y = height - 1 - int(round(min(1.0, max(0.0, v))
+                                       * (height - 1)))
+            grid[y][x] = "*" if grid[y][x] not in (" ", marker) \
+                else marker
+    lines: List[str] = [title] if title else []
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        lines.append(f"{frac:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * length)
+    axis = [" "] * length
+    for x in range(0, length, 4):
+        for i, ch in enumerate(str(x)):
+            if x + i < length:
+                axis[x + i] = ch
+    lines.append("      " + "".join(axis) + "  (hops)")
+    legend = "  ".join(f"{m}={n}" for (n, _), m
+                       in zip(series.items(), markers))
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def heat_grid(grid: Sequence[Sequence[float]], title: str = "") -> str:
+    """Render a 2D fraction map (Figure 13) with density characters."""
+    ramp = " .:-=+*#%@"
+    flat = [v for row in grid for v in row]
+    top = max(flat) or 1.0
+    lines: List[str] = [title] if title else []
+    for row in grid:
+        cells = []
+        for v in row:
+            idx = int(round(min(1.0, v / top) * (len(ramp) - 1)))
+            cells.append(ramp[idx] * 2)
+        lines.append("".join(cells))
+    lines.append(f"(scale: blank=0, '@'={top:.1%} of requests)")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""One-shot experiment reports: suite results as a markdown document.
+
+``build_report`` runs (or reuses) baseline/optimized pairs for a set of
+applications under one configuration and renders a self-contained
+markdown report -- the per-application table, suite averages, ASCII bar
+charts, and the run's coverage statistics.  The CLI exposes it as
+``repro-cli report``; EXPERIMENTS.md for the full evaluation is produced
+by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.plots import bar_chart
+from repro.analysis.tables import format_percent_table, improvement_summary
+from repro.arch.clustering import L2ToMCMapping
+from repro.arch.config import MachineConfig
+from repro.core.pipeline import LayoutTransformer
+from repro.sim.metrics import Comparison
+from repro.sim.run import run_pair
+from repro.workloads import build_workload
+
+METRICS = ["onchip_net", "offchip_net", "offchip_mem", "exec_time"]
+LABELS = {
+    "onchip_net": "on-chip network latency reduction",
+    "offchip_net": "off-chip network latency reduction",
+    "offchip_mem": "off-chip memory latency reduction",
+    "exec_time": "execution-time reduction",
+}
+
+
+@dataclass
+class SuiteReport:
+    """Results of one suite evaluation, renderable as markdown."""
+
+    config: MachineConfig
+    comparisons: Dict[str, Comparison]
+    coverage: Dict[str, Dict[str, float]]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return improvement_summary(self.comparisons)
+
+    def to_markdown(self, title: str = "Suite report") -> str:
+        cfg = self.config
+        lines: List[str] = [f"# {title}", ""]
+        lines.append(
+            f"Configuration: {cfg.mesh_width}x{cfg.mesh_height} mesh, "
+            f"{cfg.num_mcs} MCs ({cfg.mc_placement}), "
+            f"{'shared' if cfg.shared_l2 else 'private'} L2, "
+            f"{cfg.interleaving} interleaving.")
+        lines.append("")
+        summary = self.summary()
+        lines.append("```")
+        lines.append(format_percent_table(summary, METRICS,
+                                          title="reductions"))
+        lines.append("```")
+        lines.append("")
+        lines.append("## Execution-time reductions")
+        lines.append("")
+        lines.append("```")
+        lines.append(bar_chart(
+            {app: c.exec_time_reduction
+             for app, c in self.comparisons.items()}))
+        lines.append("```")
+        lines.append("")
+        lines.append("## Pass coverage")
+        lines.append("")
+        lines.append("| application | arrays optimized | refs satisfied |")
+        lines.append("|---|---|---|")
+        for app, cov in self.coverage.items():
+            lines.append(f"| {app} | {cov['arrays']:.0%} | "
+                         f"{cov['refs']:.0%} |")
+        return "\n".join(lines) + "\n"
+
+
+def build_report(apps: Sequence[str], config: MachineConfig,
+                 mapping: Optional[L2ToMCMapping] = None,
+                 scale: float = 1.0) -> SuiteReport:
+    """Run the pairs and collect coverage for the given applications."""
+    comparisons: Dict[str, Comparison] = {}
+    coverage: Dict[str, Dict[str, float]] = {}
+    transformer = LayoutTransformer(config, mapping)
+    for app in apps:
+        program = build_workload(app, scale)
+        _, _, comparison = run_pair(program, config, mapping=mapping)
+        comparisons[app] = comparison
+        result = transformer.run(program)
+        coverage[app] = {"arrays": result.pct_arrays_optimized,
+                         "refs": result.pct_refs_satisfied}
+    return SuiteReport(config=config, comparisons=comparisons,
+                       coverage=coverage)

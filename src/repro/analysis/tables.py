@@ -1,0 +1,75 @@
+"""Result-table helpers shared by the benchmark harness.
+
+The benchmarks print the same rows the paper's figures chart: one row per
+application with the four latency/time reductions, plus suite averages.
+These helpers keep the formatting uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.sim.metrics import Comparison
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 on empty input)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def improvement_summary(rows: Mapping[str, Comparison]
+                        ) -> Dict[str, Dict[str, float]]:
+    """Per-application four-metric reductions plus the arithmetic mean
+    row the paper reports ("average improvements ... in that order")."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, comparison in rows.items():
+        out[name] = comparison.as_row()
+    if out:
+        keys = ["onchip_net", "offchip_net", "offchip_mem", "exec_time"]
+        out["average"] = {
+            k: sum(row[k] for name, row in out.items()
+                   if name != "average") / len(rows)
+            for k in keys}
+    return out
+
+
+def format_percent_table(rows: Mapping[str, Mapping[str, float]],
+                         columns: Sequence[str],
+                         title: str = "") -> str:
+    """Fixed-width text table with percentage cells."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max([len(n) for n in rows] + [len("benchmark")])
+    header = "benchmark".ljust(name_width) + "".join(
+        f"{c:>16}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = "".join(f"{row.get(c, 0.0):>15.1%} " for c in columns)
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_value_table(rows: Mapping[str, Mapping[str, float]],
+                       columns: Sequence[str], title: str = "",
+                       fmt: str = "{:>15.2f} ") -> str:
+    """Fixed-width text table with plain numeric cells."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max([len(n) for n in rows] + [len("benchmark")])
+    header = "benchmark".ljust(name_width) + "".join(
+        f"{c:>16}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = "".join(fmt.format(row.get(c, 0.0)) for c in columns)
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)

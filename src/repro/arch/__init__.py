@@ -1,0 +1,19 @@
+"""Architecture model: mesh topology, MC placement, L2-to-MC clustering."""
+
+from repro.arch.clustering import (Cluster, L2ToMCMapping,
+                                   balanced_mapping, grid_mapping,
+                                   grid_shape_for, mapping_m1, mapping_m2,
+                                   partial_grid_mapping)
+from repro.arch.config import (CACHE_LINE_INTERLEAVING, MachineConfig,
+                               PAGE_INTERLEAVING)
+from repro.arch.placement import (PLACEMENTS, corners, diagonal,
+                                  edge_midpoints, perimeter, place_mcs)
+from repro.arch.topology import Mesh
+
+__all__ = [
+    "CACHE_LINE_INTERLEAVING", "Cluster", "L2ToMCMapping", "MachineConfig",
+    "balanced_mapping",
+    "Mesh", "PAGE_INTERLEAVING", "PLACEMENTS", "corners", "diagonal",
+    "edge_midpoints", "grid_mapping", "grid_shape_for", "mapping_m1",
+    "mapping_m2", "partial_grid_mapping", "perimeter", "place_mcs",
+]

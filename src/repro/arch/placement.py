@@ -1,0 +1,94 @@
+"""Memory-controller placements on the mesh.
+
+The paper's default places 4 MCs at the mesh corners (Figure 8a, Table 1)
+and evaluates two alternates, P2 and P3 (Figure 26), as well as larger MC
+counts of 8 and 16 (Figure 27).  The original figures are diagrams; we
+encode the natural readings, which also match the placements studied by
+Abts et al. [19]:
+
+* ``P1`` -- four corners (the default of Figure 8a),
+* ``P2`` -- one MC at the midpoint of each mesh edge ("diamond"), which
+  lowers the average distance-to-controller, consistent with the paper's
+  finding that P2 is slightly best,
+* ``P3`` -- MCs spread along the main diagonal.
+
+For the MC-count sweep (Figure 27) we keep the corner style and add
+edge-midpoint controllers (8 MCs) and a perimeter spread (16 MCs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.topology import Mesh
+
+
+def corners(mesh: Mesh) -> List[int]:
+    """P1: the four mesh corners, ordered NW, NE, SW, SE (Figure 8a)."""
+    w, h = mesh.width, mesh.height
+    return [mesh.node_at(0, 0), mesh.node_at(w - 1, 0),
+            mesh.node_at(0, h - 1), mesh.node_at(w - 1, h - 1)]
+
+
+def edge_midpoints(mesh: Mesh) -> List[int]:
+    """P2: one MC at the midpoint of each edge (N, W, E, S)."""
+    w, h = mesh.width, mesh.height
+    return [mesh.node_at(w // 2, 0), mesh.node_at(0, h // 2),
+            mesh.node_at(w - 1, h // 2), mesh.node_at(w // 2, h - 1)]
+
+
+def diagonal(mesh: Mesh, count: int = 4) -> List[int]:
+    """P3: MCs spread evenly along the main diagonal."""
+    w, h = mesh.width, mesh.height
+    out = []
+    for i in range(count):
+        x = (i * (w - 1)) // max(1, count - 1) if count > 1 else w // 2
+        y = (i * (h - 1)) // max(1, count - 1) if count > 1 else h // 2
+        out.append(mesh.node_at(x, y))
+    return out
+
+
+def perimeter(mesh: Mesh, count: int) -> List[int]:
+    """``count`` MCs spread evenly around the mesh perimeter.
+
+    Used for the MC-count sweep (Figure 27): 8 MCs = corners plus edge
+    midpoints, 16 MCs = a denser perimeter spread.  Positions are chosen
+    by walking the perimeter clockwise from the NW corner and sampling at
+    equal arc lengths.
+    """
+    w, h = mesh.width, mesh.height
+    walk: List[int] = []
+    for x in range(w):                       # north edge, west to east
+        walk.append(mesh.node_at(x, 0))
+    for y in range(1, h):                    # east edge, going south
+        walk.append(mesh.node_at(w - 1, y))
+    for x in range(w - 2, -1, -1):           # south edge, east to west
+        walk.append(mesh.node_at(x, h - 1))
+    for y in range(h - 2, 0, -1):            # west edge, going north
+        walk.append(mesh.node_at(0, y))
+    if count > len(walk):
+        raise ValueError(
+            f"cannot place {count} MCs on a perimeter of {len(walk)} nodes")
+    picks = sorted({(i * len(walk)) // count for i in range(count)})
+    return [walk[p] for p in picks]
+
+
+PLACEMENTS = {
+    "P1": corners,
+    "P2": edge_midpoints,
+    "P3": diagonal,
+}
+
+
+def place_mcs(mesh: Mesh, placement: str = "P1", count: int = 4
+              ) -> List[int]:
+    """Resolve a placement name to MC node ids.
+
+    ``placement`` is one of P1/P2/P3 for 4 MCs; for other counts the
+    perimeter spread is used regardless of the name.
+    """
+    if count == 4 and placement in PLACEMENTS:
+        return PLACEMENTS[placement](mesh)
+    if placement == "P3":
+        return diagonal(mesh, count)
+    return perimeter(mesh, count)

@@ -1,0 +1,107 @@
+"""Two-dimensional mesh topology with dimension-ordered (XY) routing.
+
+The target architecture (Figure 1, Table 1) is a 2D mesh NoC: nodes are
+core tiles connected by point-to-point links through per-node switches.
+This module knows geometry only -- coordinates, Manhattan distances and XY
+routes as sequences of directed-link ids.  Timing and contention live in
+:mod:`repro.noc`.
+
+Node numbering is row-major: node ``y * width + x`` sits at ``(x, y)``
+with ``x`` growing east and ``y`` growing south, matching the core-ID
+annotations of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class Mesh:
+    """A ``width x height`` 2D mesh of nodes with directed links."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._link_ids: Dict[Tuple[int, int], int] = {}
+        for node in range(self.num_nodes):
+            for neighbor in self._neighbors(node):
+                self._link_ids[(node, neighbor)] = len(self._link_ids)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_ids)
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """``(x, y)`` position of a node id."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at position ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coords ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def _neighbors(self, node: int) -> List[int]:
+        x, y = self.coords(node)
+        out = []
+        if x + 1 < self.width:
+            out.append(self.node_at(x + 1, y))
+        if x > 0:
+            out.append(self.node_at(x - 1, y))
+        if y + 1 < self.height:
+            out.append(self.node_at(x, y + 1))
+        if y > 0:
+            out.append(self.node_at(x, y - 1))
+        return out
+
+    def link_id(self, src: int, dst: int) -> int:
+        """Id of the directed link between two adjacent nodes."""
+        try:
+            return self._link_ids[(src, dst)]
+        except KeyError:
+            raise ValueError(f"nodes {src} and {dst} are not adjacent")
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance (number of links an XY route traverses)."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY route as a list of directed-link ids (may be empty).
+
+        Dimension-ordered: travel along X first, then along Y -- the
+        deterministic, deadlock-free routing of Table 1.
+        """
+        links: List[int] = []
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        node = src
+        while x != dx:
+            x += 1 if dx > x else -1
+            nxt = self.node_at(x, y)
+            links.append(self.link_id(node, nxt))
+            node = nxt
+        while y != dy:
+            y += 1 if dy > y else -1
+            nxt = self.node_at(x, y)
+            links.append(self.link_id(node, nxt))
+            node = nxt
+        return links
+
+    def nearest(self, node: int, candidates: List[int]) -> int:
+        """The candidate node closest to ``node`` (ties: lowest id)."""
+        if not candidates:
+            raise ValueError("no candidate nodes")
+        return min(candidates, key=lambda c: (self.distance(node, c), c))
+
+    def __repr__(self) -> str:
+        return f"Mesh({self.width}x{self.height})"

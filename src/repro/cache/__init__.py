@@ -1,0 +1,6 @@
+"""Set-associative caches and the private-L2 directory."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.directory import Directory
+
+__all__ = ["Directory", "SetAssociativeCache"]

@@ -1,0 +1,98 @@
+"""Set-associative caches with true-LRU replacement.
+
+Plain, fast, dictionary-free: each set is a small list of line addresses
+in MRU-to-LRU order (associativities here are 2-16, so linear scans beat
+fancier structures in CPython).  Addresses are *line* addresses -- the
+caller divides by the line size once, in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SetAssociativeCache:
+    """A single cache: ``size`` bytes, ``line`` bytes per block,
+    ``ways``-way set associative, LRU replacement.
+
+    The set index is hashed (a multiplicative Fibonacci hash over the
+    line address) the way real last-level caches use wide XOR trees /
+    "complex addressing": power-of-two strided line sequences -- which
+    both the interleave-stride clustered layouts and the bank-stride
+    shared layouts produce -- spread across all sets instead of
+    thrashing a few.
+    """
+
+    __slots__ = ("num_sets", "ways", "line", "sets", "hits", "misses")
+
+    _HASH_MULT = 0x9E3779B1  # 2^32 / golden ratio
+
+    def __init__(self, size: int, line: int, ways: int):
+        if size < line * ways:
+            raise ValueError(
+                f"cache of {size} B cannot hold {ways} ways of {line} B")
+        if size % (line * ways):
+            raise ValueError("size must be a multiple of line * ways")
+        self.num_sets = size // (line * ways)
+        self.ways = ways
+        self.line = line
+        self.sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def set_index(self, line_addr: int) -> int:
+        """Hashed set index (see class docstring)."""
+        return ((line_addr * self._HASH_MULT) >> 13) % self.num_sets
+
+    def access(self, line_addr: int) -> bool:
+        """Look up a line; on hit, promote to MRU.  Does not allocate."""
+        way_list = self.sets[self.set_index(line_addr)]
+        if line_addr in way_list:
+            if way_list[0] != line_addr:
+                way_list.remove(line_addr)
+                way_list.insert(0, line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line_addr: int) -> Optional[int]:
+        """Insert a line as MRU; returns the evicted line address, if any.
+
+        Filling a line already present just promotes it.
+        """
+        way_list = self.sets[self.set_index(line_addr)]
+        if line_addr in way_list:
+            if way_list[0] != line_addr:
+                way_list.remove(line_addr)
+                way_list.insert(0, line_addr)
+            return None
+        way_list.insert(0, line_addr)
+        if len(way_list) > self.ways:
+            return way_list.pop()
+        return None
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence test without touching LRU state."""
+        return line_addr in self.sets[self.set_index(line_addr)]
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line; returns whether it was present."""
+        way_list = self.sets[self.set_index(line_addr)]
+        if line_addr in way_list:
+            way_list.remove(line_addr)
+            return True
+        return False
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

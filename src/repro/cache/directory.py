@@ -1,0 +1,53 @@
+"""The centralized L2 tag directory of the private-L2 protocol.
+
+With per-core private L2s (Figure 2a), an L2 miss consults a directory
+cached at the memory controller that owns the requested address.  The
+directory knows which private L2s hold each line; it either forwards the
+request to a sharer (an *on-chip* access: cache-to-cache transfer) or
+issues the off-chip request.  We track sharers exactly; coherence
+invalidation traffic for writes is not modeled (the evaluated kernels
+are read-dominated data-parallel loops, and both the baseline and the
+optimized runs omit it identically).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+
+class Directory:
+    """Exact sharer tracking: line address -> set of L2 node ids."""
+
+    def __init__(self) -> None:
+        self._sharers: Dict[int, Set[int]] = {}
+
+    def find_sharer(self, line_addr: int, requester: int) -> Optional[int]:
+        """Some node other than the requester holding the line, if any.
+
+        Returns the lowest node id (deterministic); the simulator then
+        charges the forward + cache-to-cache transfer over the NoC.
+        """
+        sharers = self._sharers.get(line_addr)
+        if not sharers:
+            return None
+        others = sharers - {requester}
+        if not others:
+            return None
+        return min(others)
+
+    def add_sharer(self, line_addr: int, node: int) -> None:
+        self._sharers.setdefault(line_addr, set()).add(node)
+
+    def remove_sharer(self, line_addr: int, node: int) -> None:
+        sharers = self._sharers.get(line_addr)
+        if sharers is not None:
+            sharers.discard(node)
+            if not sharers:
+                del self._sharers[line_addr]
+
+    def sharers_of(self, line_addr: int) -> Set[int]:
+        return set(self._sharers.get(line_addr, ()))
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._sharers)

@@ -1,0 +1,337 @@
+"""Command-line interface: the tool a downstream user actually drives.
+
+Subcommands::
+
+    repro-cli transform kernel.krn        # run the pass, print C output
+    repro-cli legality kernel.krn         # dependence / legality report
+    repro-cli run --app swim              # simulate one configuration
+    repro-cli compare --app swim          # baseline vs optimized
+    repro-cli suite                       # the 13-application table
+    repro-cli sweep --app swim --axis mapping=M1,M2   # CSV design sweep
+    repro-cli trace --app swim --output t.npz         # save traces
+    repro-cli report --output report.md   # markdown suite report
+    repro-cli list                        # available workload models
+
+All simulation-facing commands share the machine flags:
+``--interleaving {cache_line,page}``, ``--shared-l2``, ``--mapping
+{M1,M2}``, ``--placement {P1,P2,P3}``, ``--mcs N``, ``--mesh WxH``,
+``--scale F`` (workload scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import MachineConfig, mapping_m1, mapping_m2
+from repro.analysis.tables import format_percent_table, improvement_summary
+from repro.arch.clustering import balanced_mapping, grid_mapping
+from repro.core.dependence import check_program
+from repro.core.pipeline import LayoutTransformer
+from repro.frontend import compile_kernel, emit_program
+from repro.program.address_space import AddressSpace
+from repro.program.trace import generate_traces
+from repro.program.tracefile import save_traces
+from repro.sim.run import RunSpec, run_pair, run_simulation
+from repro.sim.sweep import Sweep, to_csv
+from repro.workloads import SUITE_ORDER, build_workload
+
+METRIC_COLUMNS = ["onchip_net", "offchip_net", "offchip_mem", "exec_time"]
+
+
+def _machine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interleaving", default="cache_line",
+                        choices=["cache_line", "page"])
+    parser.add_argument("--shared-l2", action="store_true")
+    parser.add_argument("--mapping", default="M1", choices=["M1", "M2"])
+    parser.add_argument("--placement", default="P1",
+                        choices=["P1", "P2", "P3"])
+    parser.add_argument("--mcs", type=int, default=4)
+    parser.add_argument("--mesh", default="8x8",
+                        help="mesh dimensions, e.g. 8x8")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor")
+
+
+def _config(args: argparse.Namespace) -> MachineConfig:
+    width, _, height = args.mesh.partition("x")
+    return MachineConfig.scaled_default().with_(
+        interleaving=args.interleaving, shared_l2=args.shared_l2,
+        mc_placement=args.placement, num_mcs=args.mcs,
+        mesh_width=int(width), mesh_height=int(height or width))
+
+
+def _mapping(config: MachineConfig, name: str):
+    mesh = config.mesh()
+    nodes = config.mc_nodes(mesh)
+    if name == "M2":
+        return mapping_m2(mesh, nodes)
+    if config.mc_placement != "P1":
+        return balanced_mapping(mesh, nodes, name="M1")
+    if config.num_mcs != 4:
+        return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
+    return mapping_m1(mesh, nodes)
+
+
+def _load_program(args: argparse.Namespace):
+    if getattr(args, "app", None):
+        return build_workload(args.app, args.scale)
+    with open(args.kernel) as handle:
+        source = handle.read()
+    return compile_kernel(source, name=args.kernel.rsplit("/", 1)[-1]
+                          .split(".")[0])
+
+
+def _print_metrics(metrics, out) -> None:
+    print(f"total accesses:     {metrics.total_accesses:>12,}", file=out)
+    print(f"off-chip fraction:  {metrics.offchip_fraction:>12.1%}",
+          file=out)
+    print(f"on-chip net latency:  "
+          f"{metrics.avg_onchip_net_latency:>10.1f} cycles", file=out)
+    print(f"off-chip net latency: "
+          f"{metrics.avg_offchip_net_latency:>10.1f} cycles", file=out)
+    print(f"off-chip mem latency: "
+          f"{metrics.avg_offchip_mem_latency:>10.1f} cycles", file=out)
+    print(f"DRAM row-hit rate:  {metrics.row_hit_rate:>12.1%}", file=out)
+    print(f"execution time:     {metrics.exec_time:>12,.0f} cycles",
+          file=out)
+
+
+# -- subcommands -------------------------------------------------------------
+
+def cmd_transform(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    config = _config(args)
+    transformer = LayoutTransformer(config, _mapping(config, args.mapping))
+    result = transformer.run(program)
+    print(f"arrays optimized: {result.pct_arrays_optimized:.0%}, "
+          f"references satisfied: {result.pct_refs_satisfied:.0%}",
+          file=out)
+    for name, plan in result.plans.items():
+        print(f"  {name}: {plan.reason}", file=out)
+    if args.emit in ("original", "both"):
+        print("", file=out)
+        print(emit_program(program), file=out)
+    if args.emit in ("transformed", "both"):
+        print("", file=out)
+        print(emit_program(program, result), file=out)
+    return 0
+
+
+def cmd_legality(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    status = 0
+    for report in check_program(program):
+        verdict = "legal" if report.legal else "NOT PROVEN LEGAL"
+        print(f"nest {report.nest_name} (parallel dim "
+              f"{report.parallel_dim}): {verdict}", file=out)
+        for conflict in report.conflicts:
+            print(f"    {conflict}", file=out)
+            status = 1
+    return status
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    config = _config(args)
+    spec = RunSpec(program=program, config=config,
+                   mapping=_mapping(config, args.mapping),
+                   optimized=args.optimized, optimal=args.optimal)
+    result = run_simulation(spec)
+    kind = "optimal" if args.optimal else (
+        "optimized" if args.optimized else "baseline")
+    print(f"{program.name} ({kind}):", file=out)
+    _print_metrics(result.metrics, out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    config = _config(args)
+    base, opt, comparison = run_pair(program, config,
+                                     mapping=_mapping(config,
+                                                      args.mapping))
+    print(f"{program.name}: baseline vs optimized", file=out)
+    labels = {
+        "onchip_net": "on-chip network latency",
+        "offchip_net": "off-chip network latency",
+        "offchip_mem": "off-chip memory latency",
+        "exec_time": "execution time",
+    }
+    for key, value in comparison.as_row().items():
+        bar = "#" * max(0, int(round(value * 40)))
+        print(f"  {labels[key]:<26} {value:>7.1%}  {bar}", file=out)
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    mapping = _mapping(config, args.mapping)
+    rows = {}
+    for app in SUITE_ORDER:
+        program = build_workload(app, args.scale)
+        _, _, comparison = run_pair(program, config, mapping=mapping)
+        rows[app] = comparison
+        print(f"  {app}: exec {comparison.exec_time_reduction:+.1%}",
+              file=out)
+    summary = improvement_summary(rows)
+    print(format_percent_table(summary, METRIC_COLUMNS,
+                               title="suite reductions"), file=out)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    sweep = Sweep(program, _config(args))
+    axes = {}
+    for spec in args.axis:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise SystemExit(f"bad axis {spec!r}; use name=v1,v2")
+        parsed = []
+        for v in values.split(","):
+            if v.lower() in ("true", "false"):
+                parsed.append(v.lower() == "true")
+            else:
+                try:
+                    parsed.append(int(v))
+                except ValueError:
+                    parsed.append(v)
+        axes[name] = parsed
+    points = sweep.run(**axes)
+    print(to_csv(points), end="", file=out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    config = _config(args)
+    mapping = _mapping(config, args.mapping)
+    if args.optimized:
+        transformer = LayoutTransformer(config, mapping)
+        layouts = transformer.run(program).layouts
+    else:
+        from repro.core.pipeline import original_layouts
+        layouts = original_layouts(program)
+    bases = AddressSpace(config).place_all(layouts)
+    threads = config.num_cores * config.threads_per_core
+    traces = generate_traces(program, layouts, bases, threads)
+    save_traces(args.output, traces,
+                metadata={"program": program.name,
+                          "optimized": args.optimized,
+                          "threads": threads})
+    total = sum(t.num_accesses for t in traces)
+    print(f"wrote {total:,} accesses over {threads} threads to "
+          f"{args.output}", file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    from repro.analysis.report import build_report
+    config = _config(args)
+    apps = args.apps.split(",") if args.apps else list(SUITE_ORDER)
+    report = build_report(apps, config,
+                          mapping=_mapping(config, args.mapping),
+                          scale=args.scale)
+    text = report.to_markdown(
+        title=f"Off-chip localization report ({config.interleaving})")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace, out) -> int:
+    for app in SUITE_ORDER:
+        program = build_workload(app, 0.2)
+        print(f"  {app:<11} arrays={len(program.arrays)} "
+              f"nests={len(program.nests)} "
+              f"mlp_demand={program.mlp_demand}", file=out)
+    return 0
+
+
+# -- driver ------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Off-chip access localization: compile, analyze, "
+                    "simulate.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("transform", help="run the layout pass on a "
+                                         "kernel file and emit C")
+    p.add_argument("kernel")
+    p.add_argument("--emit", default="transformed",
+                   choices=["original", "transformed", "both", "none"])
+    _machine_flags(p)
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("legality", help="dependence / legality report")
+    p.add_argument("kernel")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_legality)
+
+    for name, func in (("run", cmd_run), ("compare", cmd_compare)):
+        p = sub.add_parser(name)
+        target = p.add_mutually_exclusive_group(required=True)
+        target.add_argument("--app", choices=list(SUITE_ORDER))
+        target.add_argument("--kernel")
+        if name == "run":
+            p.add_argument("--optimized", action="store_true")
+            p.add_argument("--optimal", action="store_true")
+        _machine_flags(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("suite", help="run all 13 applications")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("sweep", help="cartesian configuration sweep "
+                                     "(CSV to stdout)")
+    target = p.add_mutually_exclusive_group(required=True)
+    target.add_argument("--app", choices=list(SUITE_ORDER))
+    target.add_argument("--kernel")
+    p.add_argument("--axis", action="append", default=[],
+                   help="axis spec name=v1,v2 (repeatable), e.g. "
+                        "mapping=M1,M2 num_mcs=4,8")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("trace", help="generate and save access traces")
+    target = p.add_mutually_exclusive_group(required=True)
+    target.add_argument("--app", choices=list(SUITE_ORDER))
+    target.add_argument("--kernel")
+    p.add_argument("--output", required=True, help="output .npz path")
+    p.add_argument("--optimized", action="store_true")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("report", help="markdown suite report")
+    p.add_argument("--apps", default="",
+                   help="comma-separated subset (default: all 13)")
+    p.add_argument("--output", default="", help="write to a file")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("list", help="list workload models")
+    p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args, out)
+    except BrokenPipeError:
+        # downstream consumer (head, less) closed the pipe: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The compiler pass: the paper's primary contribution (Sections 4-5)."""
+
+from repro.core.data_to_core import (DataToCoreResult, RefSystem,
+                                     data_to_core_mapping,
+                                     partition_vector,
+                                     submatrix_without_column)
+from repro.core.dependence import (DependenceResult, LegalityReport,
+                                   check_parallelization, check_program)
+from repro.core.layout import (ClusteredLayout, Layout, RowMajorLayout,
+                               SharedL2Layout, TransformedLayout)
+from repro.core.pipeline import (ArrayPlan, LayoutTransformer,
+                                 TransformationResult, original_layouts)
+
+__all__ = [
+    "ArrayPlan", "ClusteredLayout", "DataToCoreResult",
+    "DependenceResult", "LegalityReport", "Layout", "RefSystem",
+    "check_parallelization", "check_program",
+    "LayoutTransformer", "RowMajorLayout", "SharedL2Layout",
+    "TransformationResult", "TransformedLayout", "data_to_core_mapping",
+    "original_layouts", "partition_vector", "submatrix_without_column",
+]

@@ -1,0 +1,226 @@
+"""Determining the Data-to-Core mapping (Section 5.2, Algorithm 1 lines 1-29).
+
+The goal: a unimodular transformation ``U`` of an array's data space such
+that, after transformation, the elements touched by one thread form a
+contiguous slab of hyperplanes orthogonal to the data partition dimension.
+
+Derivation (single reference ``r = A i + o`` in a nest parallelized along
+iteration dimension ``u``):  two iterations on one iteration hyperplane
+(``i_1 - i_2`` in the span of the ``e_i, i != u``) must touch data on one
+transformed data hyperplane, i.e. ``g_v A (i_1 - i_2) = 0`` where ``g_v``
+is the partition row of ``U``.  Equivalently ``B^T g_v^T = 0`` with ``B``
+the access matrix minus its ``u``-th column.  We solve by exact integer
+elimination and complete ``g_v`` to unimodular.
+
+With multiple references, each distinct submatrix ``B_i`` gets a weight --
+the total dynamic occurrence count (trip-count products) of the references
+sharing it -- and the heaviest solvable system wins; references whose
+system the winner also satisfies are counted as *satisfied* (Table 2's
+third column).
+
+We always put the partition row first (``v = 0``), so the partition
+dimension is the slowest-varying dimension of the transformed space --
+the paper's footnote 3 choice, which minimizes padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import linalg
+
+# The data partition dimension: always the slowest-varying (footnote 3).
+PARTITION_DIM = 0
+
+
+@dataclass(frozen=True)
+class RefSystem:
+    """One reference occurrence, as the solver sees it.
+
+    ``access``/``offset`` come from the reference, ``u`` is the enclosing
+    nest's parallel dimension, ``lo`` the parallel loop's lower bound, and
+    ``weight`` the nest's dynamic trip count (Section 5.2's ``n_j``).
+    """
+
+    access: Tuple[Tuple[int, ...], ...]
+    offset: Tuple[int, ...]
+    u: int
+    lo: int
+    weight: int
+
+    def submatrix(self) -> linalg.Matrix:
+        return submatrix_without_column(self.access, self.u)
+
+    def alpha(self, g: Sequence[int]) -> int:
+        """``d a'_v / d i_u``: how fast the partition coordinate moves
+        with the parallel iterator, under partition row ``g``."""
+        column = [row[self.u] for row in self.access]
+        return sum(gi * ci for gi, ci in zip(g, column))
+
+    def anchor(self, g: Sequence[int]) -> int:
+        """``a'_v`` at the first parallel iteration (``i_u = lo``,
+        other iterators 0): where thread 0's data slab begins."""
+        base = sum(gi * oi for gi, oi in zip(g, self.offset))
+        return base + self.alpha(g) * self.lo
+
+
+def submatrix_without_column(access: Sequence[Sequence[int]], u: int
+                             ) -> linalg.Matrix:
+    """``B``: the access matrix with its ``u``-th column removed."""
+    rows = len(access)
+    cols = len(access[0]) if rows else 0
+    if not 0 <= u < cols:
+        raise ValueError(f"column {u} out of range for {rows}x{cols}")
+    return [[int(row[j]) for j in range(cols) if j != u] for row in access]
+
+
+def partition_vector(b: linalg.Matrix) -> Optional[linalg.Vector]:
+    """Solve ``B^T g^T = 0`` for a primitive nontrivial ``g``, or None.
+
+    A ``None`` result means every candidate hyperplane family mixes data
+    from different threads -- the array cannot be partitioned for this
+    reference and is left in its original layout (one source of the <100%
+    "arrays optimized" column of Table 2).
+    """
+    bt = linalg.transpose(b)
+    if not bt:  # depth-1 nest: B has no columns, any g works
+        n = len(b)
+        return [1] + [0] * (n - 1)
+    return linalg.solve_homogeneous(bt)
+
+
+def build_unimodular(g: linalg.Vector) -> linalg.Matrix:
+    """Complete ``g`` to a unimodular ``U`` with ``g`` as its first row;
+    Hermite-normal-form correction guards the invariant exactly as
+    Algorithm 1 lines 10-12 do.  The sign of ``g`` is preserved (the
+    caller orients it so thread slabs run in thread order)."""
+    divisor = linalg.vec_gcd(g)
+    if divisor == 0:
+        raise ValueError("cannot build a transform from the zero vector")
+    g = [int(x) // divisor for x in g]
+    u = linalg.complete_to_unimodular(g, row=PARTITION_DIM)
+    if not linalg.is_unimodular(u):  # pragma: no cover - construction
+        _, q = linalg.row_hermite_normal_form(u)
+        u = linalg.mat_mul(q, u)
+    return u
+
+
+@dataclass(frozen=True)
+class WeightedSystem:
+    """One distinct submatrix with its accumulated dynamic weight."""
+
+    submatrix: Tuple[Tuple[int, ...], ...]
+    weight: int
+    num_references: int
+
+
+@dataclass
+class DataToCoreResult:
+    """Outcome of the Data-to-Core mapping step for one array.
+
+    ``transform`` is ``None`` when no reference admitted a nontrivial
+    partition vector.  ``satisfied_weight / total_weight`` is the fraction
+    of dynamic references whose hyperplane constraint the chosen ``g``
+    satisfies (Table 2, third column).  ``partition_anchor`` is the
+    (untransformed-origin) value of the partition coordinate at thread
+    0's first iteration -- the customized layouts align their thread
+    slabs to it, so loop lower bounds (stencil halos) do not smear a
+    thread's data across two slots.
+    """
+
+    transform: Optional[linalg.Matrix]
+    partition_row: Optional[linalg.Vector]
+    systems: List[WeightedSystem] = field(default_factory=list)
+    satisfied_weight: int = 0
+    total_weight: int = 0
+    partition_anchor: int = 0
+
+    @property
+    def optimized(self) -> bool:
+        return self.transform is not None
+
+    @property
+    def satisfaction(self) -> float:
+        if self.total_weight == 0:
+            return 0.0
+        return self.satisfied_weight / self.total_weight
+
+
+def _satisfies(g: linalg.Vector, b: linalg.Matrix) -> bool:
+    """True when ``B^T g^T = 0``."""
+    if not b or not b[0]:
+        return True
+    bt = linalg.transpose(b)
+    return all(sum(row[j] * g[j] for j in range(len(g))) == 0 for row in bt)
+
+
+def data_to_core_mapping(references: Sequence[RefSystem]
+                         ) -> DataToCoreResult:
+    """Choose ``U`` for one array from all its references.
+
+    ``references`` holds one :class:`RefSystem` per textual reference.
+    References from different nests are deliberately treated identically
+    (Section 5.5): weights simply accumulate per distinct submatrix.
+
+    The chosen partition row is *oriented*: ``g`` is negated when the
+    heaviest satisfied reference's partition coordinate would decrease
+    with the parallel iterator, so thread slabs always run in thread
+    order, and its ``partition_anchor`` records where thread 0's slab
+    starts.
+    """
+    if not references:
+        return DataToCoreResult(None, None)
+
+    by_submatrix: Dict[Tuple[Tuple[int, ...], ...],
+                       List[RefSystem]] = {}
+    for ref in references:
+        key = tuple(tuple(row) for row in ref.submatrix())
+        by_submatrix.setdefault(key, []).append(ref)
+
+    systems = [WeightedSystem(key, sum(r.weight for r in refs), len(refs))
+               for key, refs in by_submatrix.items()]
+    systems.sort(key=lambda s: (-s.weight, s.submatrix))
+    total_weight = sum(s.weight for s in systems)
+
+    chosen_g: Optional[linalg.Vector] = None
+    winner: Optional[WeightedSystem] = None
+    for system in systems:  # heaviest solvable system wins
+        g = partition_vector([list(row) for row in system.submatrix])
+        if g is not None:
+            chosen_g = g
+            winner = system
+            break
+
+    if chosen_g is None:
+        return DataToCoreResult(None, None, systems=systems,
+                                total_weight=total_weight)
+
+    chosen_g = linalg.make_primitive(chosen_g)
+    # Orient g by the heaviest reference of the winning system, then
+    # anchor thread 0's slab at the weighted modal anchor -- for a
+    # stencil, the center reference's starting coordinate, so the +/-1
+    # halo taps split evenly across the slab boundaries.
+    winners = by_submatrix[winner.submatrix]
+    rep = max(winners, key=lambda r: r.weight)
+    if rep.alpha(chosen_g) < 0:
+        chosen_g = [-x for x in chosen_g]
+    votes: Dict[int, int] = {}
+    for r in winners:
+        votes[r.anchor(chosen_g)] = votes.get(r.anchor(chosen_g), 0) \
+            + r.weight
+    best = max(votes.values())
+    tied = sorted(a for a, v in votes.items() if v == best)
+    anchor = tied[len(tied) // 2]  # tie -> the central (stencil) tap
+
+    satisfied = sum(
+        s.weight for s in systems
+        if _satisfies(chosen_g, [list(row) for row in s.submatrix]))
+    u_matrix = build_unimodular(chosen_g)
+    return DataToCoreResult(
+        transform=u_matrix,
+        partition_row=list(chosen_g),
+        systems=systems,
+        satisfied_weight=satisfied,
+        total_weight=total_weight,
+        partition_anchor=anchor)

@@ -1,0 +1,74 @@
+"""Hyperplanes over iteration and data spaces (Section 5.1).
+
+A hyperplane in a k-dimensional polyhedron is the solution set of
+``h . p = c`` for a row vector ``h`` (the *hyperplane vector*) and constant
+``c`` (the *offset*).  The paper partitions the iteration space with the
+parallel hyperplanes orthogonal to the iteration partition dimension ``u``
+(``h_I = e_u``) and wants the transformed data space partitioned by
+hyperplanes orthogonal to the data partition dimension ``v``
+(``h_A = e_v``).  This module provides the small amount of geometry the
+pass and its tests need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The set of integer points ``p`` with ``vector . p == offset``."""
+
+    vector: Tuple[int, ...]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if all(x == 0 for x in self.vector):
+            raise ValueError("hyperplane vector must be nonzero")
+
+    @property
+    def dim(self) -> int:
+        return len(self.vector)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        if len(point) != self.dim:
+            raise ValueError("point dimension mismatch")
+        return sum(h * p for h, p in zip(self.vector, point)) == self.offset
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """``vector . p - offset`` for points of shape ``(dim, K)``."""
+        v = np.asarray(self.vector, dtype=np.int64)
+        return v @ np.asarray(points, dtype=np.int64) - self.offset
+
+    def parallel_at(self, offset: int) -> "Hyperplane":
+        """The parallel hyperplane with a different offset."""
+        return Hyperplane(self.vector, offset)
+
+
+def unit_hyperplane(dim: int, axis: int, offset: int = 0) -> Hyperplane:
+    """The axis-orthogonal hyperplane ``p[axis] == offset``.
+
+    These are the only hyperplanes the block distribution of Section 5.1
+    uses: ``h_I = e_u`` on the iteration space, ``h_A = e_v`` on the data
+    space.
+    """
+    if not 0 <= axis < dim:
+        raise ValueError(f"axis {axis} out of range for dim {dim}")
+    vector = tuple(1 if i == axis else 0 for i in range(dim))
+    return Hyperplane(vector, offset)
+
+
+def same_hyperplane_family(points: np.ndarray, vector: Sequence[int]
+                           ) -> np.ndarray:
+    """Group labels: which hyperplane of the family each point lies on.
+
+    For points of shape ``(dim, K)`` returns the length-K array of
+    ``vector . p`` values; two points share a hyperplane of the family iff
+    their labels are equal.  Used by tests to check that iterations on one
+    iteration hyperplane touch data on one data hyperplane (Eq. 1-2).
+    """
+    v = np.asarray(vector, dtype=np.int64)
+    return v @ np.asarray(points, dtype=np.int64)

@@ -1,0 +1,392 @@
+"""Memory layouts: mapping data coordinates to virtual-address offsets.
+
+A *layout* realizes an array's placement in the linear virtual address
+space.  The compiler pass produces layouts; trace generation evaluates
+them in bulk.  Every layout maps an ``(n, K)`` block of integer data
+coordinates to ``K`` element offsets inside the array's (possibly padded)
+footprint, and is injective over the array's index domain -- layout
+transformation is "a kind of renaming" (Section 1) and must never alias
+two elements.
+
+Implemented layouts:
+
+* :class:`RowMajorLayout` -- the original, canonical C layout.
+* :class:`TransformedLayout` -- a unimodular relabeling ``a' = U a``
+  followed by row-major placement over the transformed bounding box (the
+  output of the Data-to-Core step alone, before customization).
+* :class:`ClusteredLayout` -- the private-L2 customization of Section
+  5.3: strip-mining and permutation arrange the address stream so that
+  every run of ``k * p`` consecutive elements belongs to one cluster and
+  lands, under the hardware's ``(addr / p) % N'`` interleaving, on that
+  cluster's ``k`` controllers in round-robin.
+* :class:`SharedL2Layout` -- the shared-L2 (SNUCA) customization: first
+  localize on-chip (home bank of each element = the core that computes on
+  it), then shift each thread's *slot* by the delta-skip of Section 5.3
+  so the element's MC is the desired one or adjacent to it.
+
+Offsets are *element* offsets; multiply by ``element_size`` for bytes.
+Padding shows up as holes: ``size_elements`` can exceed
+``array.num_elements`` (the paper pads to align bases and strip-mined
+dimensions; the measured cost of padding and index arithmetic is charged
+separately as the transformation overhead).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import linalg
+from repro.program.ir import ArrayDecl
+
+
+def transformed_bounds(u: linalg.Matrix, dims: Sequence[int]
+                       ) -> Tuple[List[int], List[int]]:
+    """Bounding box of ``U @ [0, d) x ...``: returns (mins, extents).
+
+    Exact: a linear image of a box attains per-coordinate extrema at box
+    vertices, so evaluating the 2^n corners suffices.
+    """
+    n = len(dims)
+    mins = [0] * n
+    maxs = [0] * n
+    first = True
+    for corner in itertools.product(*[(0, d - 1) for d in dims]):
+        image = linalg.mat_vec(u, list(corner))
+        for i, x in enumerate(image):
+            if first:
+                mins[i] = maxs[i] = x
+            else:
+                mins[i] = min(mins[i], x)
+                maxs[i] = max(maxs[i], x)
+        first = False
+    extents = [maxs[i] - mins[i] + 1 for i in range(n)]
+    return mins, extents
+
+
+def _row_major_strides(extents: Sequence[int]) -> np.ndarray:
+    strides = np.ones(len(extents), dtype=np.int64)
+    for i in range(len(extents) - 2, -1, -1):
+        strides[i] = strides[i + 1] * extents[i + 1]
+    return strides
+
+
+class Layout:
+    """Base class: an injective map from data coordinates to offsets."""
+
+    def __init__(self, array: ArrayDecl):
+        self.array = array
+
+    # -- interface ---------------------------------------------------------
+    def element_offsets(self, coords: np.ndarray) -> np.ndarray:
+        """Map ``(n, K)`` data coordinates to ``K`` element offsets."""
+        raise NotImplementedError
+
+    @property
+    def size_elements(self) -> int:
+        """Footprint in elements, padding included."""
+        raise NotImplementedError
+
+    @property
+    def transformed(self) -> bool:
+        """True when this layout differs from the original row-major."""
+        return True
+
+    # -- conveniences --------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self.size_elements * self.array.element_size
+
+    def byte_offsets(self, coords: np.ndarray) -> np.ndarray:
+        return self.element_offsets(coords) * self.array.element_size
+
+    def offset_of(self, coords: Sequence[int]) -> int:
+        """Single-element convenience (tests, examples)."""
+        pts = np.asarray(coords, dtype=np.int64).reshape(-1, 1)
+        return int(self.element_offsets(pts)[0])
+
+    def desired_mc_of_relative_page(self, rel_page: int) -> Optional[int]:
+        """Hardware MC index this layout wants for a footprint-relative
+        page, or None when the layout expresses no preference.  Consumed
+        by the MC-aware page-allocation policy (Section 5.3, Figure 12).
+        """
+        return None
+
+
+class RowMajorLayout(Layout):
+    """The original layout: row-major over the declared dims."""
+
+    def __init__(self, array: ArrayDecl):
+        super().__init__(array)
+        self._strides = _row_major_strides(array.dims)
+
+    def element_offsets(self, coords: np.ndarray) -> np.ndarray:
+        c = np.asarray(coords, dtype=np.int64)
+        return self._strides @ c
+
+    @property
+    def size_elements(self) -> int:
+        return self.array.num_elements
+
+    @property
+    def transformed(self) -> bool:
+        return False
+
+
+class TransformedLayout(Layout):
+    """Unimodular relabeling ``a' = U a``, then row-major on the box.
+
+    This is what the Data-to-Core step alone yields: threads own
+    contiguous slabs along the slowest dimension, but the hardware's
+    Data-to-MC interleaving is not yet matched (used as an ablation and as
+    the substrate the customized layouts build on).
+    """
+
+    def __init__(self, array: ArrayDecl, u: linalg.Matrix):
+        super().__init__(array)
+        if len(u) != array.rank:
+            raise ValueError("transform rank mismatch")
+        if not linalg.is_unimodular(u):
+            raise ValueError("layout transform must be unimodular")
+        self.u = linalg.copy_matrix(u)
+        mins, extents = transformed_bounds(u, array.dims)
+        self._u_np = np.asarray(u, dtype=np.int64)
+        self._mins = np.asarray(mins, dtype=np.int64).reshape(-1, 1)
+        self.extents = tuple(extents)
+        self._strides = _row_major_strides(extents)
+
+    def transformed_coords(self, coords: np.ndarray) -> np.ndarray:
+        """``U a`` shifted into the non-negative bounding box."""
+        c = np.asarray(coords, dtype=np.int64)
+        return self._u_np @ c - self._mins
+
+    def element_offsets(self, coords: np.ndarray) -> np.ndarray:
+        return self._strides @ self.transformed_coords(coords)
+
+    @property
+    def size_elements(self) -> int:
+        n = 1
+        for e in self.extents:
+            n *= e
+        return n
+
+
+class _PartitionedBase(TransformedLayout):
+    """Shared machinery: thread ownership along the partition dimension.
+
+    ``partition_anchor`` is the untransformed-origin partition coordinate
+    where thread 0's slab begins (from the Data-to-Core step); slabs are
+    aligned to it so loop lower bounds -- stencil halos starting at 1 --
+    do not smear each thread's data across two slots.  Coordinates below
+    the anchor (boundary rows no thread's chunk owns) wrap to the end of
+    the slab space, which keeps the map injective because the slab space
+    ``block * num_threads`` covers the whole extent.
+    """
+
+    def __init__(self, array: ArrayDecl, u: Optional[linalg.Matrix],
+                 num_threads: int, partition_anchor: int = 0):
+        super().__init__(array, u if u is not None
+                         else linalg.identity(array.rank))
+        if num_threads < 1:
+            raise ValueError("need at least one thread")
+        self.num_threads = num_threads
+        # b: elements per thread along the (slowest) partition dimension,
+        # rounded up -- the implicit padding of Section 5.3.
+        self.block = -(-self.extents[0] // num_threads)
+        # anchor relative to the shifted (non-negative) bounding box
+        self.partition_offset = int(partition_anchor) \
+            - int(self._mins[0, 0])
+        self._rest_strides = _row_major_strides(self.extents[1:]) \
+            if len(self.extents) > 1 else np.zeros(0, dtype=np.int64)
+        self.rest = 1
+        for e in self.extents[1:]:
+            self.rest *= e
+
+    def _split(self, coords: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(thread, within-block index w, rest index) per point."""
+        tc = self.transformed_coords(coords)
+        span = self.block * self.num_threads
+        adjusted = (tc[0] - self.partition_offset) % span
+        thread = adjusted // self.block
+        w = adjusted % self.block
+        if tc.shape[0] > 1:
+            rest_idx = self._rest_strides @ tc[1:]
+        else:
+            rest_idx = np.zeros(tc.shape[1], dtype=np.int64)
+        return thread, w, rest_idx
+
+    def owning_thread(self, coords: np.ndarray) -> np.ndarray:
+        """The thread whose slab each element falls in (Data-to-Core)."""
+        return self._split(coords)[0]
+
+
+class ClusteredLayout(_PartitionedBase):
+    """Private-L2 customization (Section 5.3, "Private L2 Case").
+
+    Construction (equivalent to the paper's reference rewriting
+    ``(..., r_n/(k*p), R(r_v), r_n % (k*p))`` read row-major, generalized
+    to arbitrary cluster geometry):
+
+    1. enumerate each cluster's elements row-major as
+       ``e = (rank_in_cluster * b + w) * rest + rest_index``;
+    2. split into lines ``lam = e / p`` and line offsets ``o = e % p``;
+    3. place cluster ``c``'s ``lam``-th line at the global line
+       ``L = (lam / k) * N' + M_c[lam % k]``, where ``M_c`` is the sorted
+       tuple of hardware MC indices assigned to ``c``.
+
+    Under the hardware mapping ``MC = L % N'`` every line of cluster ``c``
+    then lands on one of ``M_c`` -- the desired Data-to-MC mapping -- and
+    a thread's stream sweeps its MCs round-robin (memory-level
+    parallelism inside the cluster is preserved).  Because the clusters'
+    MC sets partition ``[0, N')``, the map is injective.
+    """
+
+    def __init__(self, array: ArrayDecl, u: Optional[linalg.Matrix],
+                 num_threads: int, unit_elems: int,
+                 thread_cluster: Sequence[int],
+                 cluster_mcs: Sequence[Sequence[int]], num_mcs: int,
+                 partition_anchor: int = 0):
+        super().__init__(array, u, num_threads, partition_anchor)
+        if unit_elems < 1:
+            raise ValueError("interleave unit must be >= 1 element")
+        self.unit_elems = unit_elems
+        self.num_mcs = num_mcs
+        self.num_clusters = len(cluster_mcs)
+        ks = {len(m) for m in cluster_mcs}
+        if len(ks) != 1:
+            raise ValueError("clusters must own equally many MCs")
+        self.k = ks.pop()
+        if self.k * self.num_clusters > num_mcs:
+            raise ValueError("more cluster MC slots than MCs")
+        if len(thread_cluster) != num_threads:
+            raise ValueError("thread_cluster must cover every thread")
+
+        self._thread_cluster = np.asarray(thread_cluster, dtype=np.int64)
+        self._mc_slot = np.asarray(
+            [sorted(int(x) for x in mcs) for mcs in cluster_mcs],
+            dtype=np.int64)
+        seen = sorted(int(x) for row in cluster_mcs for x in row)
+        if len(set(seen)) != len(seen) or \
+                any(not 0 <= x < num_mcs for x in seen):
+            # Disjointness keeps the map injective; a *partial* MC cover
+            # (fewer cluster slots than MCs) just leaves address holes --
+            # used when an application owns a sub-region of the chip
+            # (multiprogrammed workloads, Figure 25).
+            raise ValueError("cluster MC sets must be disjoint subsets of "
+                             "[0, num_mcs)")
+        # rank of each thread inside its cluster, in thread order
+        ranks = np.zeros(num_threads, dtype=np.int64)
+        counter: Dict[int, int] = {}
+        for t, c in enumerate(thread_cluster):
+            ranks[t] = counter.get(int(c), 0)
+            counter[int(c)] = ranks[t] + 1
+        sizes = set(counter.values())
+        if len(sizes) != 1:
+            raise ValueError("clusters must have equally many threads")
+        self.threads_per_cluster = sizes.pop()
+        self._rank = ranks
+
+    @property
+    def cluster_elements(self) -> int:
+        """Per-cluster enumeration span (padding included)."""
+        return self.threads_per_cluster * self.block * self.rest
+
+    def element_offsets(self, coords: np.ndarray) -> np.ndarray:
+        thread, w, rest_idx = self._split(coords)
+        cluster = self._thread_cluster[thread]
+        rank = self._rank[thread]
+        e = (rank * self.block + w) * self.rest + rest_idx
+        lam = e // self.unit_elems
+        o = e % self.unit_elems
+        line = (lam // self.k) * self.num_mcs + \
+            self._mc_slot[cluster, lam % self.k]
+        return line * self.unit_elems + o
+
+    def target_mc(self, coords: np.ndarray) -> np.ndarray:
+        """Hardware MC index each element's line maps to (for tests)."""
+        return (self.element_offsets(coords) // self.unit_elems) \
+            % self.num_mcs
+
+    @property
+    def size_elements(self) -> int:
+        s = self.cluster_elements
+        if s == 0:
+            return 0
+        last_lam = (s - 1) // self.unit_elems
+        return (last_lam // self.k + 1) * self.num_mcs * self.unit_elems
+
+    def desired_mc_of_relative_page(self, rel_page: int) -> Optional[int]:
+        # By construction line L targets hardware MC L % N'; with a page
+        # interleave unit, relative page == line index.
+        return int(rel_page % self.num_mcs)
+
+
+class SharedL2Layout(_PartitionedBase):
+    """Shared-L2 (SNUCA) customization (Section 5.3, "Shared L2 Case").
+
+    On-chip localization first: thread ``t``'s elements are packed into
+    lines whose home bank -- ``(addr / p) % N`` -- is a chosen *slot*
+    ``s_t``, normally the core running ``t``.  The delta-skip of the paper
+    (move an element forward past addresses whose MC is not adjacent to
+    the desired MC) is realized by the slot assignment: slots are chosen
+    per-thread so that the induced MC ``s_t % N'`` is the desired MC or
+    adjacent to it, at the cost of a (small) home-bank displacement.  The
+    assignment itself lives in :func:`repro.core.customization.
+    assign_shared_slots`; this class just applies it.
+
+    With ``g`` threads per core the line groups of co-located threads are
+    interleaved (``L = (lam * g + sub) * N + s``), preserving injectivity.
+    """
+
+    def __init__(self, array: ArrayDecl, u: Optional[linalg.Matrix],
+                 num_threads: int, unit_elems: int,
+                 thread_slot: Sequence[int], num_banks: int, num_mcs: int,
+                 partition_anchor: int = 0):
+        super().__init__(array, u, num_threads, partition_anchor)
+        if len(thread_slot) != num_threads:
+            raise ValueError("thread_slot must cover every thread")
+        self.unit_elems = unit_elems
+        self.num_banks = num_banks
+        self.num_mcs = num_mcs
+        self._slot = np.asarray(thread_slot, dtype=np.int64)
+        if np.any((self._slot < 0) | (self._slot >= num_banks)):
+            raise ValueError("slots must be in [0, num_banks)")
+        # sub-index among threads sharing a slot
+        subs = np.zeros(num_threads, dtype=np.int64)
+        counter: Dict[int, int] = {}
+        for t, s in enumerate(thread_slot):
+            subs[t] = counter.get(int(s), 0)
+            counter[int(s)] = subs[t] + 1
+        self._sub = subs
+        self.groups_per_slot = max(counter.values()) if counter else 1
+
+    def element_offsets(self, coords: np.ndarray) -> np.ndarray:
+        thread, w, rest_idx = self._split(coords)
+        e = w * self.rest + rest_idx
+        lam = e // self.unit_elems
+        o = e % self.unit_elems
+        line = (lam * self.groups_per_slot + self._sub[thread]) \
+            * self.num_banks + self._slot[thread]
+        return line * self.unit_elems + o
+
+    def home_bank(self, coords: np.ndarray) -> np.ndarray:
+        """Home L2 bank of each element: ``(addr / p) % N`` (Eq. 4)."""
+        return (self.element_offsets(coords) // self.unit_elems) \
+            % self.num_banks
+
+    def target_mc(self, coords: np.ndarray) -> np.ndarray:
+        """MC of each element: ``(addr / p) % N'`` (Eq. 5)."""
+        return (self.element_offsets(coords) // self.unit_elems) \
+            % self.num_mcs
+
+    @property
+    def size_elements(self) -> int:
+        per_thread = self.block * self.rest
+        if per_thread == 0:
+            return 0
+        last_lam = (per_thread - 1) // self.unit_elems
+        lines = (last_lam + 1) * self.groups_per_slot * self.num_banks
+        return lines * self.unit_elems

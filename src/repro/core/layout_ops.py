@@ -1,0 +1,160 @@
+"""Composable index-space transformations: strip-mine, permute, pad.
+
+Section 5.3 builds the customized layouts from two classical layout
+transformations -- *strip-mining* (split a dimension of extent ``N_i``
+into ``N_i / s`` by ``s``, turning a subscript ``r_i`` into
+``(r_i / s, r_i % s)``) and *permutation* (swap dimension positions) --
+plus *padding* (round a dimension up so strip-mining divides evenly and
+array bases stay aligned).  The production layouts in
+:mod:`repro.core.layout` use closed-form address formulas for speed; this
+module provides the individual transformations so tests and examples can
+build the paper's expressions step by step (e.g. Figure 9(c)) and
+cross-check the closed forms.
+
+Each transformation maps an :class:`IndexSpace` to a new one together
+with a vectorized coordinate map; compose them with :class:`Composition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+CoordMap = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class IndexSpace:
+    """A rectangular integer index space with row-major addressing."""
+
+    extents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.extents or any(e <= 0 for e in self.extents):
+            raise ValueError(f"bad extents {self.extents}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.extents)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for e in self.extents:
+            n *= e
+        return n
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        """Row-major offsets for coordinates of shape ``(rank, K)``."""
+        c = np.asarray(coords, dtype=np.int64)
+        strides = np.ones(self.rank, dtype=np.int64)
+        for i in range(self.rank - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.extents[i + 1]
+        return strides @ c
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """An index-space transformation with its coordinate map."""
+
+    source: IndexSpace
+    target: IndexSpace
+    apply: CoordMap
+
+
+def strip_mine(space: IndexSpace, dim: int, s: int) -> Transformation:
+    """Split dimension ``dim`` into (outer, inner) of extents
+    ``(ceil(N/s), s)``; subscript ``r`` becomes ``(r / s, r % s)``.
+
+    When ``s`` does not divide the extent the outer extent is rounded up
+    -- this is exactly the intra-array padding of Section 5.3 ("align
+    data elements within an array to make the strip-mined dimension
+    divisible by s").
+    """
+    if not 0 <= dim < space.rank:
+        raise ValueError(f"dim {dim} out of range")
+    if s < 1:
+        raise ValueError("strip size must be >= 1")
+    n = space.extents[dim]
+    outer = -(-n // s)
+    new_extents = space.extents[:dim] + (outer, s) + space.extents[dim + 1:]
+
+    def apply(coords: np.ndarray) -> np.ndarray:
+        c = np.asarray(coords, dtype=np.int64)
+        return np.vstack([c[:dim], c[dim] // s, c[dim] % s, c[dim + 1:]])
+
+    return Transformation(space, IndexSpace(new_extents), apply)
+
+
+def permute(space: IndexSpace, order: Sequence[int]) -> Transformation:
+    """Reorder dimensions: new dimension ``i`` is old dimension
+    ``order[i]`` (a full permutation; the paper's pairwise swap is the
+    special case of a transposition)."""
+    if sorted(order) != list(range(space.rank)):
+        raise ValueError(f"{order} is not a permutation of the dims")
+    new_extents = tuple(space.extents[o] for o in order)
+    idx = np.asarray(order, dtype=np.int64)
+
+    def apply(coords: np.ndarray) -> np.ndarray:
+        return np.asarray(coords, dtype=np.int64)[idx]
+
+    return Transformation(space, IndexSpace(new_extents), apply)
+
+
+def pad(space: IndexSpace, dim: int, multiple: int) -> Transformation:
+    """Round dimension ``dim`` up to a multiple; coordinates unchanged.
+
+    Pure padding [11]: the index map is the identity, only the addressing
+    extent grows, leaving alignment holes.
+    """
+    if not 0 <= dim < space.rank:
+        raise ValueError(f"dim {dim} out of range")
+    if multiple < 1:
+        raise ValueError("multiple must be >= 1")
+    n = space.extents[dim]
+    padded = -(-n // multiple) * multiple
+    new_extents = space.extents[:dim] + (padded,) + space.extents[dim + 1:]
+
+    def apply(coords: np.ndarray) -> np.ndarray:
+        return np.asarray(coords, dtype=np.int64)
+
+    return Transformation(space, IndexSpace(new_extents), apply)
+
+
+class Composition:
+    """A chain of transformations applied left to right."""
+
+    def __init__(self, space: IndexSpace):
+        self.source = space
+        self.target = space
+        self._steps: List[Transformation] = []
+
+    def then(self, make: Callable[[IndexSpace], Transformation]
+             ) -> "Composition":
+        step = make(self.target)
+        if step.source != self.target:
+            raise ValueError("transformation chained onto the wrong space")
+        self._steps.append(step)
+        self.target = step.target
+        return self
+
+    def strip_mine(self, dim: int, s: int) -> "Composition":
+        return self.then(lambda sp: strip_mine(sp, dim, s))
+
+    def permute(self, order: Sequence[int]) -> "Composition":
+        return self.then(lambda sp: permute(sp, order))
+
+    def pad(self, dim: int, multiple: int) -> "Composition":
+        return self.then(lambda sp: pad(sp, dim, multiple))
+
+    def apply(self, coords: np.ndarray) -> np.ndarray:
+        c = np.asarray(coords, dtype=np.int64)
+        for step in self._steps:
+            c = step.apply(c)
+        return c
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        """Row-major offsets in the final transformed space."""
+        return self.target.linearize(self.apply(coords))

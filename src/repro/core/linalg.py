@@ -1,0 +1,450 @@
+"""Exact integer linear algebra for layout transformations.
+
+The layout pass of the paper (Section 5.2, Algorithm 1) needs three exact
+integer-matrix operations:
+
+* solving the homogeneous system ``B^T g_v^T = 0`` by integer Gaussian
+  elimination (we expose the full integer nullspace lattice basis),
+* completing a primitive row vector ``g_v`` to a *unimodular* matrix ``U``
+  (determinant +/-1) so that ``a' = U a`` is a bijective relabeling of the
+  data space, and
+* Hermite-normal-form correction of a candidate matrix that is not
+  unimodular (Algorithm 1, lines 10-12).
+
+Everything here works on plain Python ``int`` values (arbitrary precision),
+represented as lists of lists, so there is no overflow and no floating-point
+round-off.  Matrices are small (loop depths and array ranks are single
+digits), so asymptotic efficiency is irrelevant; clarity and exactness win.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Optional, Sequence, Tuple
+
+Matrix = List[List[int]]
+Vector = List[int]
+
+
+def copy_matrix(m: Sequence[Sequence[int]]) -> Matrix:
+    """Return a deep copy of ``m`` as a list-of-lists of ints."""
+    return [[int(x) for x in row] for row in m]
+
+
+def identity(n: int) -> Matrix:
+    """Return the n-by-n identity matrix."""
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+
+def zeros(rows: int, cols: int) -> Matrix:
+    """Return a rows-by-cols zero matrix."""
+    return [[0] * cols for _ in range(rows)]
+
+
+def shape(m: Sequence[Sequence[int]]) -> Tuple[int, int]:
+    """Return ``(rows, cols)`` of ``m``; a 0-row matrix has 0 columns."""
+    rows = len(m)
+    cols = len(m[0]) if rows else 0
+    return rows, cols
+
+
+def transpose(m: Sequence[Sequence[int]]) -> Matrix:
+    """Return the transpose of ``m``."""
+    rows, cols = shape(m)
+    return [[int(m[i][j]) for i in range(rows)] for j in range(cols)]
+
+
+def mat_mul(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> Matrix:
+    """Exact integer matrix product ``a @ b``."""
+    ra, ca = shape(a)
+    rb, cb = shape(b)
+    if ca != rb:
+        raise ValueError(f"dimension mismatch: {ra}x{ca} @ {rb}x{cb}")
+    out = zeros(ra, cb)
+    for i in range(ra):
+        arow = a[i]
+        for k in range(ca):
+            aik = arow[k]
+            if aik == 0:
+                continue
+            brow = b[k]
+            orow = out[i]
+            for j in range(cb):
+                orow[j] += aik * brow[j]
+    return out
+
+
+def mat_vec(a: Sequence[Sequence[int]], v: Sequence[int]) -> Vector:
+    """Exact integer matrix-vector product ``a @ v``."""
+    ra, ca = shape(a)
+    if ca != len(v):
+        raise ValueError(f"dimension mismatch: {ra}x{ca} @ len-{len(v)}")
+    return [sum(a[i][j] * v[j] for j in range(ca)) for i in range(ra)]
+
+
+def vec_gcd(v: Sequence[int]) -> int:
+    """GCD of the absolute values of the entries of ``v`` (0 for all-zero)."""
+    g = 0
+    for x in v:
+        g = gcd(g, abs(int(x)))
+    return g
+
+
+def is_zero_vector(v: Sequence[int]) -> bool:
+    """True when every entry of ``v`` is zero."""
+    return all(x == 0 for x in v)
+
+
+def make_primitive(v: Sequence[int]) -> Vector:
+    """Divide ``v`` by the GCD of its entries (primitive lattice vector).
+
+    The leading nonzero entry is normalized to be positive so that callers
+    get a canonical representative.  An all-zero vector is returned as-is.
+    """
+    g = vec_gcd(v)
+    if g == 0:
+        return [0] * len(v)
+    out = [int(x) // g for x in v]
+    for x in out:
+        if x != 0:
+            if x < 0:
+                out = [-y for y in out]
+            break
+    return out
+
+
+def determinant(m: Sequence[Sequence[int]]) -> int:
+    """Exact determinant by fraction-free (Bareiss) elimination."""
+    rows, cols = shape(m)
+    if rows != cols:
+        raise ValueError("determinant of a non-square matrix")
+    if rows == 0:
+        return 1
+    a = copy_matrix(m)
+    sign = 1
+    prev = 1
+    for k in range(rows - 1):
+        if a[k][k] == 0:
+            pivot_row = next(
+                (i for i in range(k + 1, rows) if a[i][k] != 0), None)
+            if pivot_row is None:
+                return 0
+            a[k], a[pivot_row] = a[pivot_row], a[k]
+            sign = -sign
+        for i in range(k + 1, rows):
+            for j in range(k + 1, cols):
+                a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) // prev
+            a[i][k] = 0
+        prev = a[k][k]
+    return sign * a[rows - 1][rows - 1]
+
+
+def is_unimodular(m: Sequence[Sequence[int]]) -> bool:
+    """True when ``m`` is square with determinant +1 or -1."""
+    rows, cols = shape(m)
+    return rows == cols and determinant(m) in (1, -1)
+
+
+def _swap_cols(m: Matrix, i: int, j: int) -> None:
+    for row in m:
+        row[i], row[j] = row[j], row[i]
+
+
+def _add_col(m: Matrix, src: int, dst: int, factor: int) -> None:
+    """Column operation ``col[dst] += factor * col[src]``."""
+    for row in m:
+        row[dst] += factor * row[src]
+
+
+def _negate_col(m: Matrix, i: int) -> None:
+    for row in m:
+        row[i] = -row[i]
+
+
+def column_hermite_normal_form(
+        m: Sequence[Sequence[int]]) -> Tuple[Matrix, Matrix]:
+    """Column-style Hermite normal form.
+
+    Returns ``(h, v)`` with ``h = m @ v``, ``v`` unimodular, and ``h`` in
+    lower-triangular column HNF: pivots positive, entries to the right of a
+    pivot zero, entries to the left of a pivot reduced modulo the pivot.
+    Zero columns (spanning the nullspace image) are pushed to the right.
+    """
+    rows, cols = shape(m)
+    h = copy_matrix(m)
+    v = identity(cols)
+    pivot_col = 0
+    for r in range(rows):
+        if pivot_col >= cols:
+            break
+        # Reduce all columns >= pivot_col in row r to a single nonzero pivot
+        # using the Euclidean algorithm expressed as column operations.
+        while True:
+            nonzero = [c for c in range(pivot_col, cols) if h[r][c] != 0]
+            if not nonzero:
+                break
+            # Bring the column whose row-r entry has minimal magnitude to
+            # the pivot position.
+            best = min(nonzero, key=lambda c: abs(h[r][c]))
+            if best != pivot_col:
+                _swap_cols(h, pivot_col, best)
+                _swap_cols(v, pivot_col, best)
+            if h[r][pivot_col] < 0:
+                _negate_col(h, pivot_col)
+                _negate_col(v, pivot_col)
+            pivot = h[r][pivot_col]
+            done = True
+            for c in range(pivot_col + 1, cols):
+                if h[r][c] != 0:
+                    q = h[r][c] // pivot
+                    _add_col(h, pivot_col, c, -q)
+                    _add_col(v, pivot_col, c, -q)
+                    if h[r][c] != 0:
+                        done = False
+            if done:
+                break
+        if pivot_col < cols and h[r][pivot_col] != 0:
+            pivot = h[r][pivot_col]
+            # Reduce entries to the left of the pivot into [0, pivot).
+            for c in range(pivot_col):
+                q = h[r][c] // pivot
+                if q:
+                    _add_col(h, pivot_col, c, -q)
+                    _add_col(v, pivot_col, c, -q)
+            pivot_col += 1
+    return h, v
+
+
+def row_hermite_normal_form(
+        m: Sequence[Sequence[int]]) -> Tuple[Matrix, Matrix]:
+    """Row-style Hermite normal form: ``h = u @ m`` with ``u`` unimodular.
+
+    This is the ``Hermit_Normal_Form`` helper of Algorithm 1 (lines 10-12),
+    used to repair a candidate transformation matrix that came out
+    non-unimodular: ``U <- H^{-1} U`` there is equivalent to using the
+    unimodular factor ``u`` we return here.
+    """
+    ht, vt = column_hermite_normal_form(transpose(m))
+    return transpose(ht), transpose(vt)
+
+
+def integer_nullspace(m: Sequence[Sequence[int]]) -> List[Vector]:
+    """Basis of the integer nullspace lattice ``{x : m @ x = 0}``.
+
+    Computed from the column HNF ``m @ v = h``: the columns of ``v`` that
+    correspond to zero columns of ``h`` form a basis (``v`` is unimodular,
+    so these columns generate the full nullspace lattice, not a sublattice).
+    Returns a list of primitive basis vectors; empty when the nullspace is
+    trivial.
+    """
+    rows, cols = shape(m)
+    if cols == 0:
+        return []
+    if rows == 0:
+        return [row[:] for row in identity(cols)]
+    h, v = column_hermite_normal_form(m)
+    basis = []
+    for c in range(cols):
+        if all(h[r][c] == 0 for r in range(rows)):
+            basis.append(make_primitive([v[r][c] for r in range(cols)]))
+    return basis
+
+
+def solve_homogeneous(m: Sequence[Sequence[int]]) -> Optional[Vector]:
+    """One primitive non-trivial solution of ``m @ x = 0``, or ``None``.
+
+    This is the ``Gaussian_Elimination`` + ``Forward_Substitution`` pair of
+    Algorithm 1 (lines 5-6).  When the nullspace has dimension greater than
+    one we prefer the basis vector with the smallest L1 norm, breaking
+    ties toward the earliest nonzero position (so the original
+    slowest-varying dimension is kept as the partition dimension when
+    several choices are equivalent) and then lexicographically.
+    """
+    basis = integer_nullspace(m)
+    if not basis:
+        return None
+
+    def first_nonzero(v: Sequence[int]) -> int:
+        return next((i for i, x in enumerate(v) if x != 0), len(v))
+
+    return min(basis, key=lambda v: (sum(abs(x) for x in v),
+                                     first_nonzero(v), v))
+
+
+def complete_to_unimodular(g: Sequence[int], row: int = 0) -> Matrix:
+    """Extend a primitive vector ``g`` to a unimodular matrix.
+
+    Returns an ``n x n`` unimodular matrix whose ``row``-th row equals
+    ``g`` (Algorithm 1, line 7, ``Unimodular_Layout_Transformation``).
+
+    Construction: column-reduce ``g`` to ``e_1^T`` with elementary
+    unimodular column operations, accumulating the *inverse* operations on
+    an identity matrix.  If ``g @ E_1 @ ... @ E_k = e_1^T`` then
+    ``w = E_k^{-1} @ ... @ E_1^{-1}`` is unimodular with first row ``g``;
+    finally the first row is swapped into position ``row``.
+
+    Raises ``ValueError`` if ``g`` is zero or not primitive.
+    """
+    n = len(g)
+    if n == 0:
+        raise ValueError("cannot complete an empty vector")
+    if is_zero_vector(g):
+        raise ValueError("cannot complete the zero vector to unimodular")
+    if vec_gcd(g) != 1:
+        raise ValueError(
+            f"vector {list(g)} is not primitive (gcd {vec_gcd(g)})")
+    if not 0 <= row < n:
+        raise ValueError(f"row index {row} out of range for size {n}")
+
+    work = [list(map(int, g))]  # 1 x n, reduced by column ops
+    w = identity(n)             # accumulates inverse ops: w = V^{-1}
+
+    # Inverse of "col[dst] += f * col[src]" is "row[src] -= f * row[dst]"
+    # acting on w from the left; inverse of a column swap is a row swap;
+    # inverse of a column negation is a row negation.
+    def add_col(src: int, dst: int, f: int) -> None:
+        work[0][dst] += f * work[0][src]
+        wd = w[dst]
+        ws = w[src]
+        for j in range(n):
+            ws[j] -= f * wd[j]
+
+    def swap(i: int, j: int) -> None:
+        work[0][i], work[0][j] = work[0][j], work[0][i]
+        w[i], w[j] = w[j], w[i]
+
+    def negate(i: int) -> None:
+        work[0][i] = -work[0][i]
+        w[i] = [-x for x in w[i]]
+
+    while True:
+        nonzero = [c for c in range(n) if work[0][c] != 0]
+        if len(nonzero) == 1:
+            c = nonzero[0]
+            if c != 0:
+                swap(0, c)
+            if work[0][0] < 0:
+                negate(0)
+            break
+        best = min(nonzero, key=lambda c: abs(work[0][c]))
+        if best != 0:
+            swap(0, best)
+        if work[0][0] < 0:
+            negate(0)
+        pivot = work[0][0]
+        for c in range(1, n):
+            if work[0][c] != 0:
+                add_col(0, c, -(work[0][c] // pivot))
+
+    assert work[0][0] == 1 and all(x == 0 for x in work[0][1:])
+    if row != 0:
+        w[0], w[row] = w[row], w[0]
+    assert w[row] == list(map(int, g))
+    return w
+
+
+def smith_normal_form(
+        m: Sequence[Sequence[int]]) -> Tuple[Matrix, Matrix, Matrix]:
+    """Smith normal form: ``d = u @ m @ v`` with ``u``, ``v`` unimodular.
+
+    ``d`` is diagonal with each diagonal entry dividing the next --
+    the canonical decomposition of an integer matrix, used to reason
+    about which Data-to-MC mappings a layout can realize exactly (the
+    divisibility chain tells how the image lattice of an access matrix
+    interleaves with the controller-selection modulus).
+    """
+    rows, cols = shape(m)
+    d = copy_matrix(m)
+    u = identity(rows)
+    v = identity(cols)
+
+    def swap_rows(a: Matrix, i: int, j: int) -> None:
+        a[i], a[j] = a[j], a[i]
+
+    def add_row(a: Matrix, src: int, dst: int, f: int) -> None:
+        a[dst] = [x + f * y for x, y in zip(a[dst], a[src])]
+
+    def negate_row(a: Matrix, i: int) -> None:
+        a[i] = [-x for x in a[i]]
+
+    k = 0
+    while k < min(rows, cols):
+        # find a nonzero pivot in the trailing submatrix
+        pivot = None
+        for i in range(k, rows):
+            for j in range(k, cols):
+                if d[i][j] != 0:
+                    if pivot is None or abs(d[i][j]) < abs(
+                            d[pivot[0]][pivot[1]]):
+                        pivot = (i, j)
+        if pivot is None:
+            break
+        pi, pj = pivot
+        if pi != k:
+            swap_rows(d, k, pi)
+            swap_rows(u, k, pi)
+        if pj != k:
+            _swap_cols(d, k, pj)
+            _swap_cols(v, k, pj)
+        if d[k][k] < 0:
+            negate_row(d, k)
+            negate_row(u, k)
+        # clear the pivot's row and column; repeat until stable (the
+        # Euclidean steps can reintroduce entries)
+        dirty = False
+        for i in range(k + 1, rows):
+            if d[i][k]:
+                q = d[i][k] // d[k][k]
+                add_row(d, k, i, -q)
+                add_row(u, k, i, -q)
+                if d[i][k]:
+                    dirty = True
+        for j in range(k + 1, cols):
+            if d[k][j]:
+                q = d[k][j] // d[k][k]
+                _add_col(d, k, j, -q)
+                _add_col(v, k, j, -q)
+                if d[k][j]:
+                    dirty = True
+        if dirty:
+            continue
+        # enforce the divisibility chain d[k][k] | d[i][j]
+        fixed = True
+        for i in range(k + 1, rows):
+            for j in range(k + 1, cols):
+                if d[i][j] % d[k][k]:
+                    add_row(d, i, k, 1)
+                    add_row(u, i, k, 1)
+                    fixed = False
+                    break
+            if not fixed:
+                break
+        if fixed:
+            k += 1
+    return d, u, v
+
+
+def inverse_unimodular(m: Sequence[Sequence[int]]) -> Matrix:
+    """Exact inverse of a unimodular integer matrix (also unimodular).
+
+    Uses Gauss-Jordan elimination on ``[m | I]``; all pivots stay +/-1
+    after the HNF-style reduction because ``det(m) = +/-1``.
+    """
+    rows, cols = shape(m)
+    if rows != cols:
+        raise ValueError("inverse of a non-square matrix")
+    det = determinant(m)
+    if det not in (1, -1):
+        raise ValueError(f"matrix is not unimodular (det {det})")
+    n = rows
+    # Adjugate / Cramer via cofactors is fine at these sizes.
+    out = zeros(n, n)
+    for i in range(n):
+        for j in range(n):
+            minor = [[m[r][c] for c in range(n) if c != i]
+                     for r in range(n) if r != j]
+            cof = determinant(minor) if n > 1 else 1
+            if (i + j) % 2 == 1:
+                cof = -cof
+            out[i][j] = cof * det  # det is +/-1 so division is multiplication
+    return out

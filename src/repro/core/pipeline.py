@@ -1,0 +1,212 @@
+"""Algorithm 1: the end-to-end layout transformation pass.
+
+For every array in the program (outer loop, Algorithm 1 line 16):
+
+1. gather all references to it across all nests (Section 5.5: references
+   from different nests are treated uniformly -- their weights accumulate
+   per layout preference);
+2. replace indexed references by profiled affine approximations, skipping
+   those whose approximation error exceeds the gate (Section 5.4);
+3. determine the Data-to-Core mapping ``U`` (Section 5.2) from the
+   heaviest solvable homogeneous system;
+4. customize the layout for the cache attribute (private vs shared L2)
+   and the interleaving granularity (cache line vs page), per Section 5.3.
+
+The result carries one :class:`~repro.core.layout.Layout` per array plus
+the Table 2 statistics: which arrays were optimized and what fraction of
+(dynamic) references the chosen layout satisfies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.clustering import L2ToMCMapping
+from repro.arch.config import MachineConfig
+from repro.core.customization import private_l2_layout, shared_l2_layout
+from repro.core.data_to_core import (DataToCoreResult, RefSystem,
+                                     data_to_core_mapping)
+from repro.core.indexed import (AffineApproximation, DEFAULT_ERROR_GATE,
+                                approximate_indexed)
+from repro.core.layout import Layout, RowMajorLayout
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, Program)
+
+
+@dataclass
+class ArrayPlan:
+    """Per-array outcome of the pass."""
+
+    array: ArrayDecl
+    layout: Layout
+    optimized: bool
+    reason: str
+    mapping_result: Optional[DataToCoreResult] = None
+    satisfied_weight: int = 0
+    total_weight: int = 0
+    approximations: List[AffineApproximation] = field(default_factory=list)
+
+    @property
+    def satisfaction(self) -> float:
+        if self.total_weight == 0:
+            return 0.0
+        return self.satisfied_weight / self.total_weight
+
+
+@dataclass
+class TransformationResult:
+    """The pass output: layouts plus the Table 2 coverage statistics."""
+
+    program: Program
+    plans: Dict[str, ArrayPlan]
+
+    @property
+    def layouts(self) -> Dict[str, Layout]:
+        return {name: plan.layout for name, plan in self.plans.items()}
+
+    @property
+    def pct_arrays_optimized(self) -> float:
+        """Table 2, second column: share of referenced arrays optimized."""
+        referenced = [p for p in self.plans.values() if p.total_weight > 0]
+        if not referenced:
+            return 0.0
+        return sum(1 for p in referenced if p.optimized) / len(referenced)
+
+    @property
+    def pct_refs_satisfied(self) -> float:
+        """Table 2, third column: dynamically weighted reference
+        satisfaction across all arrays."""
+        total = sum(p.total_weight for p in self.plans.values())
+        if total == 0:
+            return 0.0
+        satisfied = sum(p.satisfied_weight for p in self.plans.values())
+        return satisfied / total
+
+    @property
+    def any_transformed(self) -> bool:
+        return any(p.optimized for p in self.plans.values())
+
+
+class LayoutTransformer:
+    """The compiler pass (Algorithm 1), configured once and run per program.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration; supplies the cache attribute (private or
+        shared L2) and the interleaving granularity.
+    mapping:
+        The user-provided L2-to-MC mapping (defaults to M1 when omitted,
+        as in Section 6.1).
+    error_gate:
+        Maximum tolerated relative error of an indexed-reference affine
+        approximation (Section 5.4 cites 30%).
+    localize_offchip:
+        Shared-L2 only: apply the delta-skip that trades a little on-chip
+        locality for off-chip locality.  ``False`` is the ablation.
+    min_satisfaction:
+        Profitability gate: when the best solvable system covers less
+        than this fraction of an array's dynamic references (e.g. only a
+        tiny initialization sweep is compatible while the hot compute
+        loops are not), transforming would thrash the hot loops'
+        locality, so the array is left in its original layout.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 mapping: Optional[L2ToMCMapping] = None,
+                 error_gate: float = DEFAULT_ERROR_GATE,
+                 localize_offchip: bool = True,
+                 min_satisfaction: float = 0.5):
+        self.config = config
+        self.mapping = mapping or config.default_mapping()
+        self.error_gate = error_gate
+        self.localize_offchip = localize_offchip
+        self.min_satisfaction = min_satisfaction
+
+    @property
+    def num_threads(self) -> int:
+        return self.config.num_cores * self.config.threads_per_core
+
+    def run(self, program: Program) -> TransformationResult:
+        plans: Dict[str, ArrayPlan] = {}
+        for array in program.arrays:
+            plans[array.name] = self._plan_array(program, array)
+        return TransformationResult(program=program, plans=plans)
+
+    # -- per-array ---------------------------------------------------------
+    def _plan_array(self, program: Program, array: ArrayDecl) -> ArrayPlan:
+        pairs = program.references_to(array)
+        if not pairs:
+            return ArrayPlan(array, RowMajorLayout(array), False,
+                             "no references")
+
+        systems: List[RefSystem] = []
+        rejected_weight = 0
+        approximations: List[AffineApproximation] = []
+        for nest, ref in pairs:
+            weight = nest.trip_weight
+            lo = nest.bounds[nest.parallel_dim][0]
+            if isinstance(ref, AffineRef):
+                systems.append(RefSystem(ref.access, ref.offset,
+                                         nest.parallel_dim, lo, weight))
+            elif isinstance(ref, IndexedRef):
+                approx = approximate_indexed(nest, ref, self.error_gate)
+                approximations.append(approx)
+                if approx.accepted:
+                    systems.append(RefSystem(
+                        approx.reference.access, approx.reference.offset,
+                        nest.parallel_dim, lo, weight))
+                else:
+                    # The paper "simply does not optimize those
+                    # references"; their weight counts as unsatisfied.
+                    rejected_weight += weight
+
+        total_weight = sum(r.weight for r in systems) + rejected_weight
+        if not systems:
+            return ArrayPlan(array, RowMajorLayout(array), False,
+                             "all references are unapproximable indexed "
+                             "accesses", total_weight=total_weight,
+                             approximations=approximations)
+
+        result = data_to_core_mapping(systems)
+        if not result.optimized:
+            return ArrayPlan(array, RowMajorLayout(array), False,
+                             "no nontrivial partition vector",
+                             mapping_result=result,
+                             total_weight=total_weight,
+                             approximations=approximations)
+        if result.satisfaction < self.min_satisfaction:
+            return ArrayPlan(array, RowMajorLayout(array), False,
+                             "chosen layout satisfies too few references",
+                             mapping_result=result,
+                             total_weight=total_weight,
+                             approximations=approximations)
+
+        layout = self._customize(array, result)
+        return ArrayPlan(array, layout, True, "optimized",
+                         mapping_result=result,
+                         satisfied_weight=result.satisfied_weight,
+                         total_weight=total_weight,
+                         approximations=approximations)
+
+    def _customize(self, array: ArrayDecl,
+                   result: DataToCoreResult) -> Layout:
+        if self.config.shared_l2:
+            # Home banks interleave at L2-line granularity (Eq. 4); the
+            # paper evaluates shared L2 with cache-line interleaving.
+            return shared_l2_layout(
+                array, result.transform, self.mapping,
+                unit_bytes=self.config.l2_line,
+                num_threads=self.num_threads,
+                localize_offchip=self.localize_offchip,
+                partition_anchor=result.partition_anchor)
+        return private_l2_layout(
+            array, result.transform, self.mapping,
+            unit_bytes=self.config.interleave_unit,
+            num_threads=self.num_threads,
+            partition_anchor=result.partition_anchor)
+
+
+def original_layouts(program: Program) -> Dict[str, Layout]:
+    """Row-major layouts for every array: the unoptimized baseline."""
+    return {a.name: RowMajorLayout(a) for a in program.arrays}

@@ -1,0 +1,15 @@
+"""The kernel-language front end: parse, lower, transform, emit C."""
+
+from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
+                                AssignNode, KernelModule, LoopNode)
+from repro.frontend.codegen import emit_layout_function, emit_program
+from repro.frontend.lexer import LexerError, Token, tokenize
+from repro.frontend.lower import LoweringError, compile_kernel, lower_module
+from repro.frontend.parser import ParseError, parse_kernel
+
+__all__ = [
+    "Affine", "ArrayDeclNode", "ArrayRefNode", "AssignNode",
+    "KernelModule", "LexerError", "LoopNode", "LoweringError",
+    "ParseError", "Token", "compile_kernel", "emit_layout_function",
+    "emit_program", "lower_module", "parse_kernel", "tokenize",
+]

@@ -1,0 +1,134 @@
+"""Abstract syntax for the kernel mini-language.
+
+The language is deliberately small: constant bindings, array
+declarations, and perfectly nestable counted loops whose bodies contain
+assignments over affine array references.  Affine expressions are kept
+in *normalized* form -- a mapping from loop-variable names to integer
+coefficients plus a constant -- because that is exactly what the IR's
+access matrices need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Affine:
+    """A normalized affine expression ``sum(coeff[v] * v) + const``."""
+
+    coeffs: Tuple[Tuple[str, int], ...]
+    const: int = 0
+
+    def coeff_map(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine((), value)
+
+    @staticmethod
+    def variable(name: str) -> "Affine":
+        return Affine(((name, 1),), 0)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        coeffs = self.coeff_map()
+        for name, c in other.coeffs:
+            coeffs[name] = coeffs.get(name, 0) + c
+        return Affine(
+            tuple((n, c) for n, c in sorted(coeffs.items()) if c != 0),
+            self.const + other.const)
+
+    def __neg__(self) -> "Affine":
+        return Affine(tuple((n, -c) for n, c in self.coeffs), -self.const)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + (-other)
+
+    def scaled(self, factor: int) -> "Affine":
+        return Affine(
+            tuple((n, c * factor) for n, c in self.coeffs if c * factor),
+            self.const * factor)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def render(self) -> str:
+        """Human-readable form, e.g. ``2*i + j - 1``."""
+        parts: List[str] = []
+        for name, c in self.coeffs:
+            if c == 1:
+                parts.append(name)
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{c}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        out = parts[0]
+        for part in parts[1:]:
+            out += f" - {part[1:]}" if part.startswith("-") else \
+                f" + {part}"
+        return out
+
+
+@dataclass(frozen=True)
+class ArrayRefNode:
+    """``NAME[e1][e2]...`` with normalized affine subscripts."""
+
+    name: str
+    subscripts: Tuple[Affine, ...]
+    line: int = 0
+
+    def render(self) -> str:
+        subs = "".join(f"[{s.render()}]" for s in self.subscripts)
+        return f"{self.name}{subs}"
+
+
+@dataclass(frozen=True)
+class AssignNode:
+    """``lhs op= <expr>``: one write plus the reads the expr contains.
+
+    The right-hand side's non-reference arithmetic is irrelevant to the
+    layout pass, so only the reads are kept (plus the original text for
+    faithful re-emission).
+    """
+
+    lhs: ArrayRefNode
+    reads: Tuple[ArrayRefNode, ...]
+    op: str = "="          # '=', '+=', '-='
+    rhs_text: str = ""
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    """``[parallel] for (var = lo; var < hi; var++) [work W] [repeat R]``"""
+
+    var: str
+    lower: Affine
+    upper: Affine
+    parallel: bool = False
+    work: Optional[int] = None
+    repeat: int = 1
+    body: Tuple[object, ...] = ()   # LoopNode | AssignNode
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayDeclNode:
+    name: str
+    dims: Tuple[Affine, ...]
+    element_size: int = 8
+    line: int = 0
+
+
+@dataclass
+class KernelModule:
+    """A parsed source file: bindings, arrays, top-level loops."""
+
+    bindings: Dict[str, int] = field(default_factory=dict)
+    arrays: List[ArrayDeclNode] = field(default_factory=list)
+    loops: List[LoopNode] = field(default_factory=list)

@@ -1,0 +1,233 @@
+"""C code generation: the source-to-source translator's output.
+
+The paper's tool is an Open64 source-to-source pass whose output is C
+with rewritten subscript expressions (Figure 9(c)).  We emit the same
+thing for any :class:`~repro.core.pipeline.TransformationResult`:
+
+* each transformed array becomes a flat buffer sized to the (padded)
+  layout footprint,
+* each array gets a ``static inline`` index function implementing its
+  layout -- the unimodular relabeling plus the strip-mining/permutation
+  arithmetic of Section 5.3, with the small per-thread lookup tables
+  (cluster, rank, MC slot) the clustered layouts need,
+* every loop nest is re-emitted with references rewritten to
+  ``NAME_data[NAME_idx(...)]``.
+
+The emitted code is plain C99 and self-contained; it is also what the
+``repro-cli transform`` command prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.layout import (ClusteredLayout, Layout, RowMajorLayout,
+                               SharedL2Layout, TransformedLayout)
+from repro.core.pipeline import TransformationResult
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
+                              Program)
+
+
+def _iter_names(depth: int) -> List[str]:
+    base = ["i", "j", "k", "l", "m", "n"]
+    return [base[d] if d < len(base) else f"i{d}" for d in range(depth)]
+
+
+def _affine_text(row: Sequence[int], offset: int,
+                 names: Sequence[str]) -> str:
+    parts: List[str] = []
+    for c, name in zip(row, names):
+        c = int(c)
+        if c == 0:
+            continue
+        if c == 1:
+            parts.append(name)
+        elif c == -1:
+            parts.append(f"-{name}")
+        else:
+            parts.append(f"{c}*{name}")
+    if offset or not parts:
+        parts.append(str(int(offset)))
+    text = parts[0]
+    for part in parts[1:]:
+        text += f" - {part[1:]}" if part.startswith("-") else f" + {part}"
+    return text
+
+
+def _int_array(name: str, values: Sequence[int]) -> str:
+    body = ", ".join(str(int(v)) for v in values)
+    return f"static const long {name}[{len(values)}] = {{{body}}};"
+
+
+def _layout_tables(name: str, layout: Layout) -> List[str]:
+    lines: List[str] = []
+    if isinstance(layout, ClusteredLayout):
+        lines.append(_int_array(f"{name}_CLUSTER",
+                                layout._thread_cluster.tolist()))
+        lines.append(_int_array(f"{name}_RANK", layout._rank.tolist()))
+        slots = layout._mc_slot.reshape(-1).tolist()
+        lines.append(_int_array(f"{name}_MCSLOT", slots))
+    elif isinstance(layout, SharedL2Layout):
+        lines.append(_int_array(f"{name}_SLOT", layout._slot.tolist()))
+        lines.append(_int_array(f"{name}_SUB", layout._sub.tolist()))
+    return lines
+
+
+def _transformed_coord_exprs(layout: TransformedLayout,
+                             names: Sequence[str]) -> List[str]:
+    """Expressions for ``U a - mins`` with ``a`` the argument names."""
+    exprs = []
+    for k in range(len(layout.u)):
+        row = layout.u[k]
+        shift = -int(layout._mins[k, 0])
+        exprs.append(_affine_text(row, shift, names))
+    return exprs
+
+
+def _rest_expr(layout, tc_names: Sequence[str]) -> str:
+    strides = layout._rest_strides.tolist()
+    if not strides:
+        return "0"
+    return _affine_text(strides, 0, tc_names[1:])
+
+
+def emit_layout_function(name: str, layout: Layout) -> str:
+    """The ``static inline long NAME_idx(...)`` for one array."""
+    rank = layout.array.rank
+    args = ", ".join(f"long a{d}" for d in range(rank))
+    header = f"static inline long {name}_idx({args}) {{"
+    names = [f"a{d}" for d in range(rank)]
+
+    if isinstance(layout, ClusteredLayout):
+        tc = _transformed_coord_exprs(layout, names)
+        body = [
+            f"  long tc0 = {tc[0]};",
+            f"  long adj = ((tc0 - {layout.partition_offset}) % "
+            f"{layout.block * layout.num_threads} + "
+            f"{layout.block * layout.num_threads}) % "
+            f"{layout.block * layout.num_threads};",
+            f"  long t = adj / {layout.block};",
+            f"  long w = adj % {layout.block};",
+            f"  long rest = {_rest_expr(layout, ['tc0'] + tc[1:])};"
+            if rank > 1 else "  long rest = 0;",
+            f"  long e = ({name}_RANK[t] * {layout.block} + w) * "
+            f"{layout.rest} + rest;",
+            f"  long lam = e / {layout.unit_elems};",
+            f"  long line = (lam / {layout.k}) * {layout.num_mcs} + "
+            f"{name}_MCSLOT[{name}_CLUSTER[t] * {layout.k} + "
+            f"lam % {layout.k}];",
+            f"  return line * {layout.unit_elems} + "
+            f"e % {layout.unit_elems};",
+        ]
+    elif isinstance(layout, SharedL2Layout):
+        tc = _transformed_coord_exprs(layout, names)
+        body = [
+            f"  long tc0 = {tc[0]};",
+            f"  long adj = ((tc0 - {layout.partition_offset}) % "
+            f"{layout.block * layout.num_threads} + "
+            f"{layout.block * layout.num_threads}) % "
+            f"{layout.block * layout.num_threads};",
+            f"  long t = adj / {layout.block};",
+            f"  long w = adj % {layout.block};",
+            f"  long rest = {_rest_expr(layout, ['tc0'] + tc[1:])};"
+            if rank > 1 else "  long rest = 0;",
+            f"  long e = w * {layout.rest} + rest;",
+            f"  long lam = e / {layout.unit_elems};",
+            f"  long line = (lam * {layout.groups_per_slot} + "
+            f"{name}_SUB[t]) * {layout.num_banks} + {name}_SLOT[t];",
+            f"  return line * {layout.unit_elems} + "
+            f"e % {layout.unit_elems};",
+        ]
+    elif isinstance(layout, TransformedLayout):
+        tc = _transformed_coord_exprs(layout, names)
+        strides = layout._strides.tolist()
+        terms = [f"({e}) * {s}" if s != 1 else f"({e})"
+                 for e, s in zip(tc, strides)]
+        body = [f"  return {' + '.join(terms)};"]
+    else:  # RowMajorLayout or base
+        strides = [1] * rank
+        acc = 1
+        for d in range(rank - 1, -1, -1):
+            strides[d] = acc
+            acc *= layout.array.dims[d]
+        terms = [f"a{d} * {s}" if s != 1 else f"a{d}"
+                 for d, s in enumerate(strides)]
+        body = [f"  return {' + '.join(terms)};"]
+    return "\n".join([header] + body + ["}"])
+
+
+def _ref_text(ref: AffineRef, names: Sequence[str]) -> str:
+    subs = ", ".join(
+        _affine_text(ref.access[d], ref.offset[d], names)
+        for d in range(ref.array.rank))
+    return f"{ref.array.name}_data[{ref.array.name}_idx({subs})]"
+
+
+def _emit_nest(nest: LoopNest, out: List[str]) -> None:
+    names = _iter_names(nest.depth)
+    indent = ""
+    for d, (lo, hi) in enumerate(nest.bounds):
+        pragma = ("#pragma omp parallel for schedule(static)"
+                  if d == nest.parallel_dim else None)
+        if pragma:
+            out.append(f"{indent}{pragma}")
+        var = names[d]
+        out.append(f"{indent}for (long {var} = {lo}; {var} < {hi}; "
+                   f"{var}++) {{")
+        indent += "  "
+    writes = [r for r in nest.refs
+              if isinstance(r, AffineRef) and r.is_write]
+    reads = [r for r in nest.refs
+             if isinstance(r, AffineRef) and not r.is_write]
+    skipped = sum(1 for r in nest.refs if isinstance(r, IndexedRef))
+    lhs = _ref_text(writes[-1], names) if writes else "/* no write */"
+    rhs = " + ".join(_ref_text(r, names) for r in reads) or "0.0"
+    if skipped:
+        out.append(f"{indent}/* {skipped} indexed reference(s) kept in "
+                   f"original form */")
+    out.append(f"{indent}{lhs} = {rhs};")
+    for d in range(nest.depth - 1, -1, -1):
+        out.append("  " * d + "}")
+
+
+def emit_program(program: Program,
+                 result: Optional[TransformationResult] = None,
+                 header_comment: str = "") -> str:
+    """Emit the whole program as C, with or without the transformation.
+
+    Without ``result`` the original row-major layouts are emitted (so
+    the before/after pair diff cleanly).
+    """
+    layouts: Dict[str, Layout] = (
+        result.layouts if result is not None
+        else {a.name: RowMajorLayout(a) for a in program.arrays})
+    out: List[str] = []
+    title = header_comment or (
+        f"transformed kernel {program.name!r}" if result
+        else f"original kernel {program.name!r}")
+    out.append(f"/* {title} -- generated by repro.frontend.codegen */")
+    out.append("")
+    for array in program.arrays:
+        layout = layouts[array.name]
+        if result is not None:
+            plan = result.plans[array.name]
+            note = plan.reason if not plan.optimized else (
+                f"optimized, {plan.satisfaction:.0%} of references "
+                f"satisfied")
+            out.append(f"/* {array.name}: {note} */")
+        for table in _layout_tables(array.name, layout):
+            out.append(table)
+        out.append(f"static double {array.name}_data"
+                   f"[{layout.size_elements}];")
+        out.append(emit_layout_function(array.name, layout))
+        out.append("")
+    out.append(f"void {program.name}_kernel(void) {{")
+    for nest in program.nests:
+        out.append(f"  /* nest {nest.name}"
+                   + (f", repeated {nest.repeat}x" if nest.repeat > 1
+                      else "") + " */")
+        body: List[str] = []
+        _emit_nest(nest, body)
+        out.extend("  " + line for line in body)
+    out.append("}")
+    return "\n".join(out)

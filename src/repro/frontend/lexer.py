@@ -1,0 +1,93 @@
+"""Tokenizer for the kernel mini-language.
+
+The front end accepts a small C-like language for data-parallel affine
+kernels (the shape of the paper's inputs -- see Figure 9(a)):
+
+.. code-block:: c
+
+    let N = 128;
+    array Z[N][N] elem 8;
+
+    parallel for (i = 1; i < N - 1; i++) work 12 {
+      for (j = 1; j < N - 1; j++) {
+        Z[i][j] = Z[i-1][j] + Z[i][j] + Z[i+1][j];
+      }
+    }
+
+Tokens are identifiers, integer literals, keywords (``let``, ``array``,
+``elem``, ``parallel``, ``for``, ``work``, ``repeat``) and punctuation.
+Comments run from ``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {"let", "array", "elem", "parallel", "for", "work", "repeat"}
+
+PUNCT = ["++", "+=", "-=", "==", "<=", ">=",
+         "(", ")", "[", "]", "{", "}", ";", ",",
+         "=", "+", "-", "*", "/", "%", "<", ">"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line)."""
+
+    kind: str      # 'ident', 'int', 'punct', or a keyword
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexerError(ValueError):
+    """Raised on characters the language does not contain."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize the whole source; raises :class:`LexerError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for punct in PUNCT:  # longest-match first (list is ordered)
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            raise LexerError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,152 @@
+"""Lowering: kernel-language AST to the affine Program IR.
+
+The IR wants rectangular loop nests with constant bounds, one parallel
+dimension, and references as integer access matrices.  Lowering walks
+the loop tree, flattens each *perfect* nest path into one
+:class:`~repro.program.ir.LoopNest`, turns every normalized affine
+subscript into an access-matrix row, and collects array declarations.
+
+Restrictions (diagnosed with source lines):
+
+* loop bounds and array extents must fold to constants (after ``let``
+  substitution) -- the paper's framework also assumes array sizes are
+  known (Section 4);
+* statements may only appear in the innermost loop of a nest path;
+* at most one loop per nest path may be marked ``parallel`` (the
+  outermost is assumed when none is).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
+                                AssignNode, KernelModule, LoopNode)
+from repro.frontend.parser import ParseError, parse_kernel
+from repro.program.ir import (AffineRef, ArrayDecl, LoopNest, Program)
+
+
+class LoweringError(ValueError):
+    """Semantic error during lowering, with a source line."""
+
+
+def _const(value: Affine, what: str, line: int) -> int:
+    if not value.is_constant:
+        raise LoweringError(
+            f"line {line}: {what} must be constant, got "
+            f"{value.render()!r}")
+    return value.const
+
+
+def _lower_arrays(module: KernelModule) -> Dict[str, ArrayDecl]:
+    arrays: Dict[str, ArrayDecl] = {}
+    for node in module.arrays:
+        if node.name in arrays:
+            raise LoweringError(
+                f"line {node.line}: array {node.name!r} redeclared")
+        dims = tuple(_const(d, f"extent of {node.name}", node.line)
+                     for d in node.dims)
+        arrays[node.name] = ArrayDecl(node.name, dims, node.element_size)
+    return arrays
+
+
+def _access_row(sub: Affine, loop_vars: Sequence[str], line: int
+                ) -> Tuple[Tuple[int, ...], int]:
+    coeffs = sub.coeff_map()
+    row = tuple(coeffs.pop(var, 0) for var in loop_vars)
+    if coeffs:
+        stray = ", ".join(sorted(coeffs))
+        raise LoweringError(
+            f"line {line}: subscript uses {stray} outside the nest")
+    return row, sub.const
+
+
+def _lower_ref(node: ArrayRefNode, arrays: Dict[str, ArrayDecl],
+               loop_vars: Sequence[str], is_write: bool) -> AffineRef:
+    if node.name not in arrays:
+        raise LoweringError(
+            f"line {node.line}: array {node.name!r} not declared")
+    array = arrays[node.name]
+    if len(node.subscripts) != array.rank:
+        raise LoweringError(
+            f"line {node.line}: {node.name} has rank {array.rank}, "
+            f"reference has {len(node.subscripts)} subscripts")
+    rows: List[Tuple[int, ...]] = []
+    offsets: List[int] = []
+    for sub in node.subscripts:
+        row, off = _access_row(sub, loop_vars, node.line)
+        rows.append(row)
+        offsets.append(off)
+    return AffineRef(array, tuple(rows), tuple(offsets), is_write)
+
+
+def _flatten(loop: LoopNode) -> Tuple[List[LoopNode], List[AssignNode]]:
+    """Peel a perfect nest path: the chain of loops plus the statements
+    of the innermost body.  Imperfect nests (statements next to inner
+    loops) are rejected -- split them in the source."""
+    chain = [loop]
+    node = loop
+    while True:
+        loops = [c for c in node.body if isinstance(c, LoopNode)]
+        stmts = [c for c in node.body if isinstance(c, AssignNode)]
+        if loops and stmts:
+            raise LoweringError(
+                f"line {node.line}: imperfect nest -- statements and "
+                f"inner loops mix in one body")
+        if not loops:
+            return chain, stmts
+        if len(loops) > 1:
+            raise LoweringError(
+                f"line {node.line}: multiple inner loops in one body; "
+                f"write them as separate top-level nests")
+        node = loops[0]
+        chain.append(node)
+
+
+def _lower_nest(loop: LoopNode, arrays: Dict[str, ArrayDecl],
+                index: int) -> LoopNest:
+    chain, stmts = _flatten(loop)
+    if not stmts:
+        raise LoweringError(
+            f"line {loop.line}: nest has no statements")
+    loop_vars = [l.var for l in chain]
+    bounds = tuple(
+        (_const(l.lower, f"lower bound of {l.var}", l.line),
+         _const(l.upper, f"upper bound of {l.var}", l.line))
+        for l in chain)
+    parallel_marks = [d for d, l in enumerate(chain) if l.parallel]
+    if len(parallel_marks) > 1:
+        raise LoweringError(
+            f"line {loop.line}: more than one parallel loop in a nest")
+    parallel_dim = parallel_marks[0] if parallel_marks else 0
+
+    refs: List[AffineRef] = []
+    for stmt in stmts:
+        for read in stmt.reads:
+            refs.append(_lower_ref(read, arrays, loop_vars, False))
+        refs.append(_lower_ref(stmt.lhs, arrays, loop_vars, True))
+
+    work = next((l.work for l in chain if l.work is not None), None)
+    repeat = 1
+    for l in chain:
+        repeat *= l.repeat
+    return LoopNest(
+        name=f"nest{index}_{chain[-1].var}",
+        bounds=bounds,
+        refs=tuple(refs),
+        parallel_dim=parallel_dim,
+        repeat=repeat,
+        work_per_iteration=work if work is not None else 4)
+
+
+def lower_module(module: KernelModule, name: str = "kernel") -> Program:
+    """Lower a parsed module to a :class:`~repro.program.ir.Program`."""
+    arrays = _lower_arrays(module)
+    nests = [_lower_nest(loop, arrays, i)
+             for i, loop in enumerate(module.loops)]
+    return Program(name, list(arrays.values()), nests)
+
+
+def compile_kernel(source: str, name: str = "kernel") -> Program:
+    """Front door: source text to Program (parse + lower)."""
+    return lower_module(parse_kernel(source), name)

@@ -1,0 +1,306 @@
+"""Recursive-descent parser for the kernel mini-language.
+
+Grammar (EBNF-ish)::
+
+    module   := item*
+    item     := "let" IDENT "=" expr ";"
+              | "array" IDENT ("[" expr "]")+ ("elem" INT)? ";"
+              | loop
+    loop     := ("parallel")? "for" "(" IDENT "=" expr ";"
+                IDENT "<" expr ";" IDENT ("++" | "+=" INT) ")"
+                ("work" INT | "repeat" INT)* block
+    block    := "{" (loop | assign)* "}"
+    assign   := ref ("=" | "+=" | "-=") rhs ";"
+    rhs      := any expression; array references inside are collected
+    ref      := IDENT ("[" expr "]")+
+    expr     := affine arithmetic over constants, let-bindings and
+                loop variables (+, -, and * by a constant)
+
+Constant folding happens during parsing: ``let`` bindings and integer
+literals reduce immediately, so loop bounds and array extents come out
+as :class:`~repro.frontend.ast.Affine` values whose variables can only
+be loop iterators.
+
+Strided loops (``i += s``) are desugared at parse time: the loop is
+normalized to unit stride over ``ceil((hi - lo) / s)`` iterations and
+every use of the iterator inside the body substitutes ``s*i + lo`` --
+so the IR only ever sees unit-stride rectangular nests while subscripts
+keep their true strides (e.g. mgrid's ``A[2i][2j]``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
+                                AssignNode, KernelModule, LoopNode)
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Syntax or semantic error, with a source line."""
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.module = KernelModule()
+        self._loop_vars: List[str] = []
+        self._substitutions: dict = {}
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.current
+        self.pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.current
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"line {tok.line}: expected {want!r}, found {tok.text!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None
+                ) -> Optional[Token]:
+        tok = self.current
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._advance()
+        return None
+
+    # -- entry --------------------------------------------------------------
+    def parse(self) -> KernelModule:
+        while self.current.kind != "eof":
+            if self.current.kind == "let":
+                self._parse_let()
+            elif self.current.kind == "array":
+                self._parse_array()
+            elif self.current.kind in ("parallel", "for"):
+                self.module.loops.append(self._parse_loop())
+            else:
+                raise ParseError(
+                    f"line {self.current.line}: unexpected "
+                    f"{self.current.text!r} at top level")
+        if not self.module.loops:
+            raise ParseError("module contains no loop nests")
+        return self.module
+
+    # -- declarations -------------------------------------------------------
+    def _parse_let(self) -> None:
+        self._expect("let")
+        name = self._expect("ident").text
+        self._expect("punct", "=")
+        value = self._parse_expr()
+        if not value.is_constant:
+            raise ParseError(f"let {name}: value must be constant")
+        self._expect("punct", ";")
+        self.module.bindings[name] = value.const
+
+    def _parse_array(self) -> None:
+        tok = self._expect("array")
+        name = self._expect("ident").text
+        dims: List[Affine] = []
+        while self._accept("punct", "["):
+            dims.append(self._parse_expr())
+            self._expect("punct", "]")
+        if not dims:
+            raise ParseError(f"line {tok.line}: array {name} needs dims")
+        elem = 8
+        if self._accept("elem"):
+            elem = int(self._expect("int").text)
+        self._expect("punct", ";")
+        self.module.arrays.append(
+            ArrayDeclNode(name, tuple(dims), elem, tok.line))
+
+    # -- loops & statements --------------------------------------------------
+    def _parse_loop(self) -> LoopNode:
+        parallel = self._accept("parallel") is not None
+        tok = self._expect("for")
+        self._expect("punct", "(")
+        var = self._expect("ident").text
+        if var in self._loop_vars:
+            raise ParseError(f"line {tok.line}: iterator {var!r} shadows "
+                             f"an enclosing loop")
+        self._expect("punct", "=")
+        lower = self._parse_expr()
+        self._expect("punct", ";")
+        cond_var = self._expect("ident").text
+        if cond_var != var:
+            raise ParseError(f"line {tok.line}: condition tests "
+                             f"{cond_var!r}, not {var!r}")
+        self._expect("punct", "<")
+        upper = self._parse_expr()
+        self._expect("punct", ";")
+        inc_var = self._expect("ident").text
+        if inc_var != var:
+            raise ParseError(f"line {tok.line}: increment bumps "
+                             f"{inc_var!r}, not {var!r}")
+        step = 1
+        if self._accept("punct", "++") is None:
+            self._expect("punct", "+=")
+            step = int(self._expect("int").text)
+            if step < 1:
+                raise ParseError(f"line {tok.line}: step must be >= 1")
+        self._expect("punct", ")")
+        if step > 1:
+            # Desugar to unit stride: normalized iterations, and every
+            # body use of the iterator reads ``step*var + lo``.
+            if not (lower.is_constant and upper.is_constant):
+                raise ParseError(
+                    f"line {tok.line}: strided loop needs constant "
+                    f"bounds")
+            count = -(-(upper.const - lower.const) // step)
+            self._substitutions[var] = \
+                Affine.variable(var).scaled(step) + \
+                Affine.constant(lower.const)
+            lower = Affine.constant(0)
+            upper = Affine.constant(max(count, 0) or 1)
+
+        work: Optional[int] = None
+        repeat = 1
+        while True:
+            if self._accept("work"):
+                work = int(self._expect("int").text)
+            elif self._accept("repeat"):
+                repeat = int(self._expect("int").text)
+            else:
+                break
+
+        self._loop_vars.append(var)
+        body: List[object] = []
+        self._expect("punct", "{")
+        while not self._accept("punct", "}"):
+            if self.current.kind in ("parallel", "for"):
+                body.append(self._parse_loop())
+            elif self.current.kind == "ident":
+                body.append(self._parse_assign())
+            else:
+                raise ParseError(
+                    f"line {self.current.line}: unexpected "
+                    f"{self.current.text!r} in loop body")
+        self._loop_vars.pop()
+        self._substitutions.pop(var, None)
+        return LoopNode(var=var, lower=lower, upper=upper,
+                        parallel=parallel, work=work, repeat=repeat,
+                        body=tuple(body), line=tok.line)
+
+    def _parse_assign(self) -> AssignNode:
+        lhs = self._parse_ref()
+        op_tok = self.current
+        if op_tok.kind != "punct" or op_tok.text not in ("=", "+=", "-="):
+            raise ParseError(
+                f"line {op_tok.line}: expected assignment operator")
+        self._advance()
+        reads, rhs_text = self._parse_rhs()
+        self._expect("punct", ";")
+        if op_tok.text in ("+=", "-="):
+            reads = (ArrayRefNode(lhs.name, lhs.subscripts,
+                                  lhs.line),) + reads
+        return AssignNode(lhs=lhs, reads=reads, op=op_tok.text,
+                          rhs_text=rhs_text, line=lhs.line)
+
+    def _parse_rhs(self) -> Tuple[Tuple[ArrayRefNode, ...], str]:
+        """Scan the right-hand side up to ';', collecting array refs.
+
+        Arbitrary arithmetic is allowed; only references matter to the
+        layout pass.  Parentheses must balance.
+        """
+        reads: List[ArrayRefNode] = []
+        pieces: List[str] = []
+        depth = 0
+        while True:
+            tok = self.current
+            if tok.kind == "eof":
+                raise ParseError(f"line {tok.line}: unterminated "
+                                 f"statement")
+            if tok.kind == "punct" and tok.text == ";" and depth == 0:
+                break
+            if tok.kind == "punct" and tok.text == "(":
+                depth += 1
+                pieces.append(self._advance().text)
+            elif tok.kind == "punct" and tok.text == ")":
+                depth -= 1
+                if depth < 0:
+                    raise ParseError(
+                        f"line {tok.line}: unbalanced ')'")
+                pieces.append(self._advance().text)
+            elif tok.kind == "ident" and self._peek_is_ref():
+                ref = self._parse_ref()
+                reads.append(ref)
+                pieces.append(ref.render())
+            else:
+                pieces.append(self._advance().text)
+        return tuple(reads), " ".join(pieces)
+
+    def _peek_is_ref(self) -> bool:
+        nxt = self.tokens[self.pos + 1]
+        return nxt.kind == "punct" and nxt.text == "["
+
+    def _parse_ref(self) -> ArrayRefNode:
+        tok = self._expect("ident")
+        subs: List[Affine] = []
+        while self._accept("punct", "["):
+            subs.append(self._parse_expr())
+            self._expect("punct", "]")
+        if not subs:
+            raise ParseError(
+                f"line {tok.line}: {tok.text!r} used without subscripts")
+        return ArrayRefNode(tok.text, tuple(subs), tok.line)
+
+    # -- affine expressions ---------------------------------------------------
+    def _parse_expr(self) -> Affine:
+        value = self._parse_term()
+        while True:
+            if self._accept("punct", "+"):
+                value = value + self._parse_term()
+            elif self._accept("punct", "-"):
+                value = value - self._parse_term()
+            else:
+                return value
+
+    def _parse_term(self) -> Affine:
+        value = self._parse_factor()
+        while self._accept("punct", "*"):
+            rhs = self._parse_factor()
+            if rhs.is_constant:
+                value = value.scaled(rhs.const)
+            elif value.is_constant:
+                value = rhs.scaled(value.const)
+            else:
+                raise ParseError("non-affine product of two variables")
+        return value
+
+    def _parse_factor(self) -> Affine:
+        tok = self.current
+        if self._accept("punct", "("):
+            inner = self._parse_expr()
+            self._expect("punct", ")")
+            return inner
+        if self._accept("punct", "-"):
+            return -self._parse_factor()
+        if tok.kind == "int":
+            self._advance()
+            return Affine.constant(int(tok.text))
+        if tok.kind == "ident":
+            self._advance()
+            if tok.text in self.module.bindings:
+                return Affine.constant(self.module.bindings[tok.text])
+            if tok.text in self._loop_vars:
+                return self._substitutions.get(
+                    tok.text, Affine.variable(tok.text))
+            raise ParseError(
+                f"line {tok.line}: unknown name {tok.text!r} (not a "
+                f"let-binding or enclosing loop variable)")
+        raise ParseError(
+            f"line {tok.line}: expected expression, found {tok.text!r}")
+
+
+def parse_kernel(source: str) -> KernelModule:
+    """Parse a kernel module from source text."""
+    return Parser(source).parse()

@@ -1,0 +1,6 @@
+"""Memory system: address interleaving, DRAM banks, FR-FCFS controllers."""
+
+from repro.memsys.address import AddressMap
+from repro.memsys.controller import ControllerStats, MemoryController
+
+__all__ = ["AddressMap", "ControllerStats", "MemoryController"]

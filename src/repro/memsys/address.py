@@ -1,0 +1,69 @@
+"""Physical-address interpretation (Section 3, Figure 5).
+
+With ``N`` memory controllers, ``log(N)`` physical-address bits select
+the controller.  Taken just above the cache-block offset they give
+*cache-line interleaving*; taken just above the page offset they give
+*page interleaving*.  This module computes, from a physical address:
+
+* the owning MC (``(paddr / unit) % num_mcs``),
+* the DRAM bank and row inside that MC's devices (row-buffer granularity
+  = 4 KB, Table 1), and
+* for shared-L2 systems, the home L2 bank (``(addr / l2_line) % cores``,
+  Eq. 4 -- computed on the *virtual* address, since with cache-line
+  interleaving translation leaves the selection bits alone).
+
+Everything is vectorized; the simulator precomputes these per access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import MachineConfig
+
+
+class AddressMap:
+    """Address-bit interpretation for one machine configuration."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.unit = config.interleave_unit
+        self.num_mcs = config.num_mcs
+        self.row_bytes = config.row_buffer_bytes
+        self.banks_per_mc = config.banks_per_mc
+
+    def mc_of(self, paddr: np.ndarray) -> np.ndarray:
+        """Owning MC (hardware index) per physical address."""
+        return (np.asarray(paddr, dtype=np.int64) // self.unit) \
+            % self.num_mcs
+
+    def local_of(self, paddr: np.ndarray) -> np.ndarray:
+        """MC-local address: the MC-select bits stripped out.
+
+        Each controller addresses only its own share of the physical
+        space; the hardware removes the ``log(N)`` selection bits before
+        bank/row decoding, so an MC's consecutive interleave units are
+        *contiguous* in its devices (this is what makes a localized
+        sweep fill whole DRAM rows).
+        """
+        p = np.asarray(paddr, dtype=np.int64)
+        return (p // self.unit // self.num_mcs) * self.unit + p % self.unit
+
+    def bank_of(self, paddr: np.ndarray) -> np.ndarray:
+        """DRAM bank (within the owning MC) per physical address.
+
+        Consecutive row-buffer-sized regions of an MC's local address
+        stream rotate across its banks, the usual bank interleaving.
+        """
+        rows = self.local_of(paddr) // self.row_bytes
+        return rows % self.banks_per_mc
+
+    def row_of(self, paddr: np.ndarray) -> np.ndarray:
+        """DRAM row (within the bank) per physical address."""
+        rows = self.local_of(paddr) // self.row_bytes
+        return rows // self.banks_per_mc
+
+    def home_bank_of(self, vaddr: np.ndarray, num_cores: int) -> np.ndarray:
+        """Home L2 bank per virtual address (Eq. 4; shared L2 only)."""
+        return (np.asarray(vaddr, dtype=np.int64) // self.config.l2_line) \
+            % num_cores

@@ -1,0 +1,5 @@
+"""Event-approximate wormhole NoC simulator."""
+
+from repro.noc.network import Network, NetworkStats
+
+__all__ = ["Network", "NetworkStats"]

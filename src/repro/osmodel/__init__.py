@@ -1,0 +1,13 @@
+"""OS model: page tables and allocation policies."""
+
+from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
+                                      MCAwarePolicy, PageAllocationPolicy,
+                                      PhysicalMemory, SequentialPolicy)
+from repro.osmodel.page_table import (PageTable, first_touch_order,
+                                      translate_traces)
+
+__all__ = [
+    "FirstTouchPolicy", "IdentityPolicy", "MCAwarePolicy",
+    "PageAllocationPolicy", "PageTable", "PhysicalMemory",
+    "SequentialPolicy", "first_touch_order", "translate_traces",
+]

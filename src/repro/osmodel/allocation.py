@@ -1,0 +1,165 @@
+"""Page-allocation policies (Section 5.3, "Page Interleaving" + Section 6.3).
+
+Under page interleaving the memory-controller-select bits sit above the
+page offset, so virtual-to-physical translation decides which MC owns a
+page and the compiler needs OS help (Figure 12).  We model the physical
+address space as ``pages_per_mc * num_mcs`` frames where frame ``ppn``
+belongs to MC ``ppn % num_mcs`` (the hardware page interleaving), and
+provide the policies the paper evaluates:
+
+* :class:`SequentialPolicy` -- the default OS: frames handed out in
+  first-touch order from a single free list, which decorrelates virtual
+  pages from controllers (the baseline behaviour).
+* :class:`MCAwarePolicy` -- the paper's madvise-style modified allocator:
+  honor the compiler's desired-MC hint for each virtual page, falling
+  back to the nearest controller with free frames when the desired one is
+  full (so the approach "does not increase the number of page faults").
+* :class:`FirstTouchPolicy` -- the OS-only baseline of Section 6.3 [20]:
+  allocate a page from MC ``x`` when the first access comes from a node
+  in cluster ``x``.
+* :class:`IdentityPolicy` -- ppn = vpn; used for cache-line interleaving,
+  where the MC-select bits are below the page offset and translation
+  leaves them alone (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.clustering import L2ToMCMapping
+
+
+class PhysicalMemory:
+    """Frames grouped by owning MC: frame ``ppn`` belongs to
+    ``ppn % num_mcs``.  Allocation is O(1) per frame."""
+
+    def __init__(self, num_mcs: int, pages_per_mc: int):
+        if num_mcs < 1 or pages_per_mc < 1:
+            raise ValueError("need at least one MC and one page")
+        self.num_mcs = num_mcs
+        self.pages_per_mc = pages_per_mc
+        self._next_in_mc = [0] * num_mcs   # frames handed out per MC
+        self._sequential = 0               # cursor for sequential service
+
+    def free_in(self, mc: int) -> int:
+        return self.pages_per_mc - self._next_in_mc[mc]
+
+    @property
+    def total_free(self) -> int:
+        return sum(self.free_in(m) for m in range(self.num_mcs))
+
+    def allocate_from(self, mc: int) -> Optional[int]:
+        """A frame owned by ``mc``, or None when that MC's memory is full."""
+        if not 0 <= mc < self.num_mcs:
+            raise ValueError(f"MC {mc} out of range")
+        if self.free_in(mc) == 0:
+            return None
+        ppn = self._next_in_mc[mc] * self.num_mcs + mc
+        self._next_in_mc[mc] += 1
+        return ppn
+
+    def allocate_sequential(self) -> int:
+        """The next frame in plain round-robin frame order (default OS)."""
+        while self._sequential < self.num_mcs * self.pages_per_mc:
+            ppn = self._sequential
+            self._sequential += 1
+            mc = ppn % self.num_mcs
+            idx = ppn // self.num_mcs
+            if idx >= self._next_in_mc[mc]:
+                # Mark the frame used (sequential and per-MC cursors share
+                # the same pool).
+                self._next_in_mc[mc] = idx + 1
+                return ppn
+        raise MemoryError("physical memory exhausted")
+
+
+class PageAllocationPolicy:
+    """Strategy interface: pick a frame for a newly touched virtual page."""
+
+    def place(self, memory: PhysicalMemory, vpn: int,
+              first_core: int) -> int:
+        raise NotImplementedError
+
+
+class SequentialPolicy(PageAllocationPolicy):
+    """Default OS behaviour: frames in first-touch order."""
+
+    def place(self, memory: PhysicalMemory, vpn: int,
+              first_core: int) -> int:
+        return memory.allocate_sequential()
+
+
+class IdentityPolicy(PageAllocationPolicy):
+    """ppn = vpn: models translations that preserve the MC-select bits.
+
+    Used for cache-line interleaving, where those bits are inside the
+    page offset and the compiler can steer controllers from virtual
+    addresses alone.
+    """
+
+    def place(self, memory: PhysicalMemory, vpn: int,
+              first_core: int) -> int:
+        return vpn
+
+
+class MCAwarePolicy(PageAllocationPolicy):
+    """The modified allocator of Section 5.3: honor compiler hints.
+
+    ``hints`` maps virtual page numbers to desired hardware MC indices
+    (produced by the layout pass).  Unhinted pages fall back to the
+    default sequential behaviour.  When the desired MC is out of frames,
+    the nearest alternate MC (by controller-node mesh distance) with free
+    frames is used instead.
+    """
+
+    def __init__(self, hints: Dict[int, int], mapping: L2ToMCMapping):
+        self.hints = hints
+        self.mapping = mapping
+        self.fallbacks = 0
+
+    def _alternates(self, desired: int) -> List[int]:
+        mesh = self.mapping.mesh
+        nodes = self.mapping.mc_nodes
+        order = sorted(range(len(nodes)),
+                       key=lambda j: (mesh.distance(nodes[j],
+                                                    nodes[desired]), j))
+        return [j for j in order if j != desired]
+
+    def place(self, memory: PhysicalMemory, vpn: int,
+              first_core: int) -> int:
+        desired = self.hints.get(vpn)
+        if desired is None:
+            return memory.allocate_sequential()
+        ppn = memory.allocate_from(desired)
+        if ppn is not None:
+            return ppn
+        self.fallbacks += 1
+        for alternate in self._alternates(desired):
+            ppn = memory.allocate_from(alternate)
+            if ppn is not None:
+                return ppn
+        raise MemoryError("physical memory exhausted")
+
+
+class FirstTouchPolicy(PageAllocationPolicy):
+    """The OS-only first-touch baseline (Section 6.3).
+
+    A page is allocated from MC ``x`` when its first access comes from a
+    node in cluster ``x`` -- greedy, and wrong whenever later accesses
+    come from other clusters (which the paper finds is the common case).
+    With several MCs per cluster the least-loaded one is used.
+    """
+
+    def __init__(self, mapping: L2ToMCMapping):
+        self.mapping = mapping
+
+    def place(self, memory: PhysicalMemory, vpn: int,
+              first_core: int) -> int:
+        cluster = self.mapping.cluster_of_core(first_core)
+        candidates = sorted(self.mapping.mcs_of_cluster(cluster),
+                            key=lambda m: -memory.free_in(m))
+        for mc in candidates:
+            ppn = memory.allocate_from(mc)
+            if ppn is not None:
+                return ppn
+        return memory.allocate_sequential()

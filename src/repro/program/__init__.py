@@ -1,0 +1,14 @@
+"""Affine program IR, address-space placement, and trace generation."""
+
+from repro.program.address_space import AddressSpace
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
+                              Program, identity_ref, shifted_ref)
+from repro.program.trace import ThreadTrace, generate_traces, total_accesses
+from repro.program.tracefile import load_metadata, load_traces, save_traces
+
+__all__ = [
+    "AddressSpace", "AffineRef", "ArrayDecl", "IndexedRef", "LoopNest",
+    "Program", "ThreadTrace", "generate_traces", "identity_ref",
+    "load_metadata", "load_traces", "save_traces", "shifted_ref",
+    "total_accesses",
+]

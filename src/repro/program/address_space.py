@@ -1,0 +1,85 @@
+"""Virtual address-space placement of arrays.
+
+Arrays are placed sequentially with their bases aligned to a *superblock*
+-- the least common multiple of the page size and ``num_mcs *
+interleave_unit`` bytes.  Base-address alignment is the inter-array
+padding of Section 5.3: it guarantees that offset 0 of every customized
+layout lands on hardware MC index 0, so the layouts' round-robin line
+placement meets the interleaving hardware in phase.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import TYPE_CHECKING, Dict, Mapping
+
+from repro.arch.config import MachineConfig
+
+if TYPE_CHECKING:  # avoid a core <-> program import cycle; typing only
+    from repro.core.layout import Layout
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
+
+
+class AddressSpace:
+    """Sequential allocator with superblock alignment."""
+
+    def __init__(self, config: MachineConfig, start: int = 0):
+        self.config = config
+        self.alignment = _lcm(config.page_size,
+                              config.num_mcs * config.interleave_unit)
+        if config.shared_l2:
+            # Home banks hash ``(addr / l2_line) % cores`` (Eq. 4): a base
+            # must not shift the slot the layout packed each thread into.
+            self.alignment = _lcm(self.alignment,
+                                  config.num_cores * config.l2_line)
+        self._cursor = self._align(start)
+        self.bases: Dict[str, int] = {}
+
+    def _align(self, addr: int) -> int:
+        a = self.alignment
+        return -(-addr // a) * a
+
+    def place(self, name: str, layout: "Layout") -> int:
+        """Assign a base address to one array; returns the base."""
+        if name in self.bases:
+            raise ValueError(f"array {name!r} already placed")
+        base = self._cursor
+        self.bases[name] = base
+        self._cursor = self._align(base + layout.size_bytes)
+        return base
+
+    def place_all(self, layouts: Mapping[str, "Layout"]
+                  ) -> Dict[str, int]:
+        """Place every array (sorted by name for determinism)."""
+        for name in sorted(layouts):
+            self.place(name, layouts[name])
+        return dict(self.bases)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self._cursor
+
+    def desired_mc_hints(self, layouts: Mapping[str, "Layout"]
+                         ) -> Dict[int, int]:
+        """Per-vpn desired-MC hints for the MC-aware page allocator.
+
+        Only layouts that express a preference (customized layouts with a
+        page-sized interleave unit) contribute; everything else is left
+        to the default policy.
+        """
+        page = self.config.page_size
+        hints: Dict[int, int] = {}
+        for name, layout in layouts.items():
+            base = self.bases.get(name)
+            if base is None:
+                continue
+            base_vpn = base // page
+            num_pages = -(-layout.size_bytes // page)
+            for rel in range(num_pages):
+                mc = layout.desired_mc_of_relative_page(rel)
+                if mc is not None:
+                    hints[base_vpn + rel] = mc
+        return hints

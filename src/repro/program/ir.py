@@ -1,0 +1,371 @@
+"""Affine program intermediate representation.
+
+The paper's compiler pass operates on *data-parallel affine programs*: loop
+nests whose bounds and array subscripts are affine functions of the
+enclosing loop iterators (Section 5.1).  This module provides the small IR
+the pass consumes:
+
+* :class:`ArrayDecl` -- an n-dimensional array (the *data space*),
+* :class:`AffineRef` -- an array reference ``r = A i + o`` with an integer
+  access matrix ``A`` and offset vector ``o``,
+* :class:`IndexedRef` -- an irregular reference through an index array
+  (Section 5.4), carried with the concrete index data so traces stay exact
+  while the pass works on an affine approximation,
+* :class:`LoopNest` -- a rectangular affine loop nest with one parallel
+  dimension (the *iteration partition dimension* ``u``), and
+* :class:`Program` -- a named collection of arrays and nests.
+
+Iteration vectors are column vectors ``(i_1, ..., i_m)``; data vectors are
+``(a_1, ..., a_n)``.  All matrices are plain nested lists of ints so the
+exact integer solvers in :mod:`repro.core.linalg` can consume them
+directly; trace generation converts to NumPy for bulk evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import linalg
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An n-dimensional array: the data space being laid out.
+
+    ``dims`` are the extents per dimension (slowest-varying first, as in a
+    row-major C layout).  ``element_size`` is in bytes.
+    """
+
+    name: str
+    dims: Tuple[int, ...]
+    element_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError(f"array {self.name!r} needs at least 1 dim")
+        if any(d <= 0 for d in self.dims):
+            raise ValueError(f"array {self.name!r} has non-positive extent")
+        if self.element_size <= 0:
+            raise ValueError(f"array {self.name!r} element_size must be > 0")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.element_size
+
+
+@dataclass(frozen=True)
+class AffineRef:
+    """An affine array reference ``r = A i + o``.
+
+    ``access`` is the ``n x m`` access matrix (n = array rank, m = loop
+    depth); ``offset`` the length-n constant vector.  ``is_write`` is kept
+    for bookkeeping (reads and writes travel the same network paths in the
+    simulated protocol).
+    """
+
+    array: ArrayDecl
+    access: Tuple[Tuple[int, ...], ...]
+    offset: Tuple[int, ...]
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        n = self.array.rank
+        if len(self.access) != n or len(self.offset) != n:
+            raise ValueError(
+                f"reference to {self.array.name!r}: access/offset rows "
+                f"({len(self.access)}/{len(self.offset)}) != rank {n}")
+        depths = {len(row) for row in self.access}
+        if len(depths) > 1:
+            raise ValueError("ragged access matrix")
+
+    @property
+    def depth(self) -> int:
+        """Loop depth m this reference was written for."""
+        return len(self.access[0])
+
+    def access_matrix(self) -> linalg.Matrix:
+        """The access matrix as a mutable list-of-lists copy."""
+        return [list(row) for row in self.access]
+
+    def apply(self, iterations: np.ndarray) -> np.ndarray:
+        """Map iteration points to data coordinates.
+
+        ``iterations`` has shape ``(m, K)``; the result has shape
+        ``(n, K)`` of int64 data coordinates.
+        """
+        a = np.asarray(self.access, dtype=np.int64)
+        o = np.asarray(self.offset, dtype=np.int64).reshape(-1, 1)
+        return a @ iterations + o
+
+    def coords_of(self, iteration: Sequence[int]) -> Tuple[int, ...]:
+        """Data vector for one iteration point (convenience for tests)."""
+        pts = np.asarray(iteration, dtype=np.int64).reshape(-1, 1)
+        return tuple(int(x) for x in self.apply(pts)[:, 0])
+
+
+@dataclass(frozen=True)
+class IndexedRef:
+    """An irregular reference ``X[f(index_array[i], i)]`` (Section 5.4).
+
+    The concrete addresses are produced by ``index_data``: for each data
+    dimension ``d`` an int64 array of shape matching the nest's iteration
+    count, giving the coordinate along ``d`` for the k-th iteration point
+    of the nest (in row-major iteration order).  The layout pass never sees
+    these raw indices; it profiles them and fits an affine approximation
+    (:mod:`repro.core.indexed`), exactly as the paper extracts "dense
+    access patterns" from profile data.
+    """
+
+    array: ArrayDecl
+    index_data: Tuple[np.ndarray, ...]
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.index_data) != self.array.rank:
+            raise ValueError(
+                f"indexed ref to {self.array.name!r}: {len(self.index_data)} "
+                f"index streams for rank {self.array.rank}")
+        lengths = {len(d) for d in self.index_data}
+        if len(lengths) > 1:
+            raise ValueError("index streams have differing lengths")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.index_data[0])
+
+    def coords(self) -> np.ndarray:
+        """All data coordinates, shape ``(n, K)``, in iteration order."""
+        return np.vstack([np.asarray(d, dtype=np.int64)
+                          for d in self.index_data])
+
+
+Reference = Union[AffineRef, IndexedRef]
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A rectangular affine loop nest with one parallel dimension.
+
+    ``bounds`` are half-open ``(lo, hi)`` pairs per loop level, outermost
+    first.  ``parallel_dim`` (``u`` in the paper, 0-based here) is the
+    level distributed across threads with OpenMP static scheduling, i.e.
+    block distribution of contiguous chunks in thread order.  ``repeat``
+    models an enclosing sequential time loop without enlarging the traced
+    iteration space.  ``work_per_iteration`` is the compute-cycle cost a
+    core pays per iteration outside of memory accesses (feeds the
+    execution-time model, expressing an application's memory intensity).
+    """
+
+    name: str
+    bounds: Tuple[Tuple[int, int], ...]
+    refs: Tuple[Reference, ...]
+    parallel_dim: int = 0
+    repeat: int = 1
+    work_per_iteration: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError(f"nest {self.name!r} needs at least one loop")
+        for lo, hi in self.bounds:
+            if hi <= lo:
+                raise ValueError(f"nest {self.name!r}: empty bounds {lo, hi}")
+        if not 0 <= self.parallel_dim < len(self.bounds):
+            raise ValueError(
+                f"nest {self.name!r}: parallel_dim {self.parallel_dim} "
+                f"out of range")
+        if not self.refs:
+            raise ValueError(f"nest {self.name!r} has no references")
+        if self.repeat < 1:
+            raise ValueError(f"nest {self.name!r}: repeat must be >= 1")
+        for ref in self.refs:
+            if isinstance(ref, AffineRef) and ref.depth != self.depth:
+                raise ValueError(
+                    f"nest {self.name!r}: reference depth {ref.depth} != "
+                    f"nest depth {self.depth}")
+            if isinstance(ref, IndexedRef) and \
+                    ref.num_points != self.num_iterations:
+                raise ValueError(
+                    f"nest {self.name!r}: indexed ref has {ref.num_points} "
+                    f"points for {self.num_iterations} iterations")
+
+    @property
+    def depth(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def extents(self) -> Tuple[int, ...]:
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+    @property
+    def num_iterations(self) -> int:
+        n = 1
+        for e in self.extents:
+            n *= e
+        return n
+
+    @property
+    def trip_weight(self) -> int:
+        """Dynamic occurrence estimate: trip-count product times repeat.
+
+        This is the ``n_j`` of Section 5.2 used to weight submatrices when
+        multiple references compete for the layout.
+        """
+        return self.num_iterations * self.repeat
+
+    def iteration_points(self) -> np.ndarray:
+        """All iteration points, shape ``(m, K)``, row-major order.
+
+        Row-major means the innermost loop varies fastest, matching both C
+        semantics and the ordering contract of :class:`IndexedRef`.
+        """
+        grids = np.meshgrid(
+            *[np.arange(lo, hi, dtype=np.int64) for lo, hi in self.bounds],
+            indexing="ij")
+        return np.vstack([g.reshape(1, -1) for g in grids])
+
+    def thread_chunk(self, thread: int, num_threads: int
+                     ) -> Optional[Tuple[int, int]]:
+        """OpenMP-static chunk ``(lo, hi)`` of the parallel loop for a thread.
+
+        Contiguous chunks in thread order (the paper's Data-to-Core
+        mapping premise); the last chunks may be smaller or empty, in which
+        case ``None`` is returned.
+        """
+        lo, hi = self.bounds[self.parallel_dim]
+        span = hi - lo
+        chunk = -(-span // num_threads)  # ceil division
+        t_lo = lo + thread * chunk
+        t_hi = min(hi, t_lo + chunk)
+        if t_lo >= hi:
+            return None
+        return (t_lo, t_hi)
+
+    def thread_iteration_points(self, thread: int, num_threads: int
+                                ) -> Optional[np.ndarray]:
+        """Iteration points executed by one thread, shape ``(m, K_t)``."""
+        chunk = self.thread_chunk(thread, num_threads)
+        if chunk is None:
+            return None
+        ranges = []
+        for level, (lo, hi) in enumerate(self.bounds):
+            if level == self.parallel_dim:
+                ranges.append(np.arange(chunk[0], chunk[1], dtype=np.int64))
+            else:
+                ranges.append(np.arange(lo, hi, dtype=np.int64))
+        grids = np.meshgrid(*ranges, indexing="ij")
+        return np.vstack([g.reshape(1, -1) for g in grids])
+
+    def thread_iteration_mask(self, thread: int, num_threads: int
+                              ) -> np.ndarray:
+        """Boolean mask over row-major iteration order for one thread.
+
+        Used to slice :class:`IndexedRef` streams, whose data is stored in
+        full row-major iteration order.
+        """
+        chunk = self.thread_chunk(thread, num_threads)
+        pts = self.iteration_points()
+        if chunk is None:
+            return np.zeros(pts.shape[1], dtype=bool)
+        par = pts[self.parallel_dim]
+        return (par >= chunk[0]) & (par < chunk[1])
+
+
+@dataclass
+class Program:
+    """A named collection of arrays and parallel loop nests.
+
+    ``memory_intensity`` is a qualitative knob (requests per kilocycle
+    scale) that the mapping-selection analysis (Section 4) uses to weigh
+    memory-level parallelism against locality; it is derived from the
+    nests' ``work_per_iteration`` when not given explicitly.
+    """
+
+    name: str
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    nests: List[LoopNest] = field(default_factory=list)
+    # Profile-derived burst memory-level-parallelism demand: roughly how
+    # many concurrent off-chip requests the application's bursts can keep
+    # in flight per cluster.  High for fma3d/minighost in the paper
+    # (Figure 18 shows their bank queues saturating); the
+    # mapping-selection analysis weighs this against distance-to-MC.
+    mlp_demand: float = 2.0
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError(f"program {self.name!r}: duplicate array names")
+        declared = set(names)
+        for nest in self.nests:
+            for ref in nest.refs:
+                if ref.array.name not in declared:
+                    raise ValueError(
+                        f"program {self.name!r}: nest {nest.name!r} "
+                        f"references undeclared array {ref.array.name!r}")
+
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def references_to(self, array: ArrayDecl
+                      ) -> List[Tuple[LoopNest, Reference]]:
+        """All (nest, ref) pairs touching ``array``, across all nests.
+
+        Section 5.5 stresses that references from different nests are
+        treated uniformly -- weights accumulate per layout preference
+        regardless of the nest of origin.
+        """
+        out = []
+        for nest in self.nests:
+            for ref in nest.refs:
+                if ref.array.name == array.name:
+                    out.append((nest, ref))
+        return out
+
+    @property
+    def total_accesses(self) -> int:
+        """Total dynamic accesses (all nests, all refs, with repeats)."""
+        return sum(n.trip_weight * len(n.refs) for n in self.nests)
+
+    @property
+    def avg_work_per_access(self) -> float:
+        """Average compute cycles per memory access (memory intensity)."""
+        total_work = sum(n.trip_weight * n.work_per_iteration
+                         for n in self.nests)
+        return total_work / max(1, self.total_accesses)
+
+
+def identity_ref(array: ArrayDecl, depth: Optional[int] = None,
+                 is_write: bool = False) -> AffineRef:
+    """The canonical reference ``X[i_1]...[i_n]`` (access matrix = I)."""
+    m = depth if depth is not None else array.rank
+    if m < array.rank:
+        raise ValueError("depth smaller than array rank")
+    access = tuple(
+        tuple(1 if j == i else 0 for j in range(m))
+        for i in range(array.rank))
+    return AffineRef(array, access, (0,) * array.rank, is_write)
+
+
+def shifted_ref(array: ArrayDecl, shifts: Sequence[int],
+                depth: Optional[int] = None,
+                is_write: bool = False) -> AffineRef:
+    """A stencil-style reference ``X[i_1+s_1]...[i_n+s_n]``."""
+    base = identity_ref(array, depth, is_write)
+    return AffineRef(array, base.access, tuple(int(s) for s in shifts),
+                     is_write)

@@ -1,0 +1,136 @@
+"""Trace generation: executing the program model per thread.
+
+Each thread's memory-access stream is produced by evaluating every nest's
+references over the thread's OpenMP-static iteration chunk, mapping data
+coordinates through the array layouts (original or transformed), and
+adding the array base addresses.  References inside an iteration are
+interleaved in program order; nests execute in order; a nest's ``repeat``
+re-streams it (modeling an enclosing time loop).
+
+Everything is vectorized with NumPy; the per-access compute ``gap``
+(cycles of non-memory work, from ``work_per_iteration``) rides along so
+the execution-time model can charge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.program.ir import AffineRef, IndexedRef, LoopNest, Program
+
+if TYPE_CHECKING:  # avoid a core <-> program import cycle; typing only
+    from repro.core.layout import Layout
+
+
+@dataclass
+class ThreadTrace:
+    """One thread's access stream: virtual byte addresses, compute gaps,
+    per-access write flags (consumed by the optional write-invalidation
+    coherence model), and the nest segmentation (``segments`` lists
+    ``(nest_name, start, end)`` half-open ranges, for per-phase
+    accounting)."""
+
+    vaddrs: np.ndarray
+    gaps: np.ndarray
+    writes: np.ndarray = None
+    segments: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.writes is None:
+            self.writes = np.zeros(len(self.vaddrs), dtype=bool)
+        if not (len(self.vaddrs) == len(self.gaps) == len(self.writes)):
+            raise ValueError("vaddrs, gaps and writes must align")
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.vaddrs)
+
+
+def _nest_thread_addresses(nest: LoopNest, thread: int, num_threads: int,
+                           layouts: Mapping[str, Layout],
+                           bases: Mapping[str, int]) -> np.ndarray:
+    """Addresses one thread generates for one pass over one nest,
+    iteration-major with references interleaved in program order."""
+    pts = nest.thread_iteration_points(thread, num_threads)
+    if pts is None:
+        return np.zeros(0, dtype=np.int64)
+    mask = None
+    columns = []
+    for ref in nest.refs:
+        if isinstance(ref, AffineRef):
+            coords = ref.apply(pts)
+        else:
+            assert isinstance(ref, IndexedRef)
+            if mask is None:
+                mask = nest.thread_iteration_mask(thread, num_threads)
+            coords = ref.coords()[:, mask]
+        layout = layouts[ref.array.name]
+        offsets = layout.byte_offsets(coords)
+        columns.append(offsets + bases[ref.array.name])
+    stacked = np.stack(columns, axis=1)      # (K, R): iteration-major
+    return stacked.reshape(-1)
+
+
+def _nest_write_flags(nest: LoopNest, count: int) -> np.ndarray:
+    """Per-access write flags matching the iteration-major interleave."""
+    per_iter = np.array([r.is_write for r in nest.refs], dtype=bool)
+    reps = count // len(nest.refs)
+    return np.tile(per_iter, reps)
+
+
+def generate_traces(program: Program, layouts: Mapping[str, Layout],
+                    bases: Mapping[str, int],
+                    num_threads: int) -> List[ThreadTrace]:
+    """Per-thread traces for the whole program.
+
+    Compute gaps carry a small deterministic per-thread jitter (seeded by
+    the thread id): real threads executing identical loop bodies drift
+    apart through cache effects and branchy work, and without the drift
+    every thread's misses would collide at the controllers in perfect
+    lockstep, grossly exaggerating baseline queueing.
+    """
+    traces = []
+    for thread in range(num_threads):
+        rng = np.random.default_rng(977 + thread)
+        addr_chunks: List[np.ndarray] = []
+        gap_chunks: List[np.ndarray] = []
+        write_chunks: List[np.ndarray] = []
+        segments = []
+        cursor = 0
+        for nest in program.nests:
+            addrs = _nest_thread_addresses(nest, thread, num_threads,
+                                           layouts, bases)
+            if len(addrs) == 0:
+                continue
+            if nest.repeat > 1:
+                addrs = np.tile(addrs, nest.repeat)
+            per_access = max(0, nest.work_per_iteration // len(nest.refs))
+            if per_access > 0:
+                spread = max(1, per_access // 2)
+                gaps = per_access + rng.integers(
+                    -spread, spread + 1, size=len(addrs))
+                gaps = np.maximum(gaps, 0)
+            else:
+                gaps = np.zeros(len(addrs), dtype=np.int64)
+            addr_chunks.append(addrs)
+            gap_chunks.append(gaps.astype(np.int64))
+            write_chunks.append(_nest_write_flags(nest, len(addrs)))
+            segments.append((nest.name, cursor, cursor + len(addrs)))
+            cursor += len(addrs)
+        if addr_chunks:
+            traces.append(ThreadTrace(np.concatenate(addr_chunks),
+                                      np.concatenate(gap_chunks),
+                                      np.concatenate(write_chunks),
+                                      tuple(segments)))
+        else:
+            traces.append(ThreadTrace(np.zeros(0, dtype=np.int64),
+                                      np.zeros(0, dtype=np.int64),
+                                      np.zeros(0, dtype=bool)))
+    return traces
+
+
+def total_accesses(traces: Sequence[ThreadTrace]) -> int:
+    return sum(t.num_accesses for t in traces)

@@ -1,0 +1,60 @@
+"""Trace persistence: save and replay generated access traces.
+
+Trace generation is deterministic but not free (layout evaluation over
+every iteration point); saving traces lets sweeps over *machine*
+parameters (placements, bank counts, DRAM timings) reuse one trace set,
+and lets users inspect or post-process the streams with external tools.
+The format is a single ``.npz`` with three arrays per thread plus a
+small JSON header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.program.trace import ThreadTrace
+
+FORMAT_VERSION = 1
+
+
+def save_traces(path: Union[str, Path], traces: Sequence[ThreadTrace],
+                metadata: Dict[str, object] = None) -> None:
+    """Write per-thread traces (and optional metadata) to ``path``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for tid, trace in enumerate(traces):
+        arrays[f"vaddr_{tid}"] = np.asarray(trace.vaddrs, dtype=np.int64)
+        arrays[f"gap_{tid}"] = np.asarray(trace.gaps, dtype=np.int64)
+        arrays[f"write_{tid}"] = np.asarray(trace.writes, dtype=bool)
+    header = {"version": FORMAT_VERSION, "threads": len(traces),
+              "metadata": metadata or {}}
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_traces(path: Union[str, Path]) -> List[ThreadTrace]:
+    """Read traces written by :func:`save_traces`."""
+    with np.load(str(path)) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version "
+                f"{header.get('version')!r}")
+        traces = []
+        for tid in range(header["threads"]):
+            traces.append(ThreadTrace(
+                vaddrs=data[f"vaddr_{tid}"],
+                gaps=data[f"gap_{tid}"],
+                writes=data[f"write_{tid}"]))
+    return traces
+
+
+def load_metadata(path: Union[str, Path]) -> Dict[str, object]:
+    """Just the metadata dictionary of a trace file."""
+    with np.load(str(path)) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+    return dict(header.get("metadata", {}))

@@ -1,0 +1,17 @@
+"""Full-system simulation: the experiment runner and metrics."""
+
+from repro.sim.metrics import Comparison, RunMetrics
+from repro.sim.multiprogram import (WeightedSpeedupResult, run_multiprogram,
+                                    split_regions)
+from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
+                           run_simulation)
+from repro.sim.sweep import Sweep, SweepPoint, best_point, to_csv
+from repro.sim.system import SystemSimulator, ThreadStream, build_streams
+
+__all__ = [
+    "Comparison", "RunMetrics", "RunResult", "RunSpec", "Sweep",
+    "SweepPoint", "SystemSimulator", "best_point", "to_csv",
+    "ThreadStream", "WeightedSpeedupResult", "build_streams",
+    "run_multiprogram", "run_optimal_pair", "run_pair", "run_simulation",
+    "split_regions",
+]

@@ -1,0 +1,156 @@
+"""Run metrics: the quantities every figure of the evaluation reports.
+
+The paper's four headline metrics per run (Figures 4, 14, 16, 22):
+
+1. network latency of **on-chip** accesses (L2-miss requests served by
+   another cache, or remote-home-bank hits under shared L2),
+2. network latency of **off-chip** accesses (request + response paths
+   between the issuing node and the memory controller),
+3. **memory latency** of off-chip accesses (queue wait + bank service),
+4. **execution time** (the slowest thread, plus the transformation
+   overhead for optimized runs).
+
+Plus the supporting data: the off-chip fraction (Figure 3), per-(MC,
+node) off-chip request counts (Figure 13), hop histograms for the CDF of
+links traversed (Figure 15), and bank-queue occupancy (Figure 18).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one simulation run."""
+
+    name: str = ""
+    exec_time: float = 0.0
+
+    total_accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0          # local L2 (private) or home-bank hit (shared)
+    onchip_remote: int = 0    # served by another on-chip cache
+    offchip: int = 0
+
+    onchip_net_sum: float = 0.0
+    offchip_net_sum: float = 0.0
+    offchip_mem_sum: float = 0.0
+    offchip_queue_sum: float = 0.0
+
+    onchip_hops: Counter = field(default_factory=Counter)
+    offchip_hops: Counter = field(default_factory=Counter)
+
+    # mc_node_requests[mc, node]: off-chip requests issued from ``node``
+    # (the L2 that issued them) to controller ``mc`` -- Figure 13's map.
+    mc_node_requests: Optional[np.ndarray] = None
+
+    mc_requests: List[int] = field(default_factory=list)
+    mc_row_hits: List[int] = field(default_factory=list)
+    mc_queue_wait: List[float] = field(default_factory=list)
+
+    net_wait_cycles: float = 0.0
+    page_fallbacks: int = 0
+    invalidations: int = 0
+    # per-nest accounting, populated when config.track_phases is set
+    phase_cycles: Dict[str, float] = field(default_factory=dict)
+    phase_accesses: Dict[str, int] = field(default_factory=dict)
+    thread_finish: List[float] = field(default_factory=list)
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def offchip_fraction(self) -> float:
+        """Share of total data accesses that go off-chip (Figure 3)."""
+        return self.offchip / self.total_accesses \
+            if self.total_accesses else 0.0
+
+    @property
+    def avg_onchip_net_latency(self) -> float:
+        served = self.onchip_remote
+        return self.onchip_net_sum / served if served else 0.0
+
+    @property
+    def avg_offchip_net_latency(self) -> float:
+        return self.offchip_net_sum / self.offchip if self.offchip else 0.0
+
+    @property
+    def avg_offchip_mem_latency(self) -> float:
+        return self.offchip_mem_sum / self.offchip if self.offchip else 0.0
+
+    @property
+    def avg_offchip_queue_wait(self) -> float:
+        return self.offchip_queue_sum / self.offchip if self.offchip else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = sum(self.mc_requests)
+        return sum(self.mc_row_hits) / total if total else 0.0
+
+    def bank_queue_occupancy(self) -> float:
+        """Mean waiting requests across controllers (Figure 18's metric),
+        by Little's law over the run's span."""
+        if self.exec_time <= 0:
+            return 0.0
+        return sum(self.mc_queue_wait) / self.exec_time
+
+    def hop_cdf(self, kind: str = "offchip") -> Dict[int, float]:
+        """CDF of links traversed per request (Figure 15).
+
+        Returns ``{hops: fraction of requests using <= hops links}``.
+        """
+        counts = self.offchip_hops if kind == "offchip" else self.onchip_hops
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        cdf = {}
+        running = 0
+        for hops in sorted(counts):
+            running += counts[hops]
+            cdf[hops] = running / total
+        return cdf
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Baseline vs. optimized: the percentage reductions of Figure 14."""
+
+    base: RunMetrics
+    opt: RunMetrics
+
+    @staticmethod
+    def _reduction(before: float, after: float) -> float:
+        if before <= 0:
+            return 0.0
+        return (before - after) / before
+
+    @property
+    def onchip_net_reduction(self) -> float:
+        return self._reduction(self.base.avg_onchip_net_latency,
+                               self.opt.avg_onchip_net_latency)
+
+    @property
+    def offchip_net_reduction(self) -> float:
+        return self._reduction(self.base.avg_offchip_net_latency,
+                               self.opt.avg_offchip_net_latency)
+
+    @property
+    def offchip_mem_reduction(self) -> float:
+        return self._reduction(self.base.avg_offchip_mem_latency,
+                               self.opt.avg_offchip_mem_latency)
+
+    @property
+    def exec_time_reduction(self) -> float:
+        return self._reduction(self.base.exec_time, self.opt.exec_time)
+
+    def as_row(self) -> Dict[str, float]:
+        """The four bars of Figures 4/14/16/22, as fractions."""
+        return {
+            "onchip_net": self.onchip_net_reduction,
+            "offchip_net": self.offchip_net_reduction,
+            "offchip_mem": self.offchip_mem_reduction,
+            "exec_time": self.exec_time_reduction,
+        }

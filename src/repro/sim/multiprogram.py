@@ -1,0 +1,182 @@
+"""Multiprogrammed workloads and weighted speedup (Section 6.4).
+
+Several multithreaded applications co-run on the same manycore: each
+owns a rectangular sub-region of the mesh (its threads pinned there) but
+all share the NoC and the memory controllers -- exactly the interference
+the paper quantifies in Figure 25.  Each application is compiled with a
+*partial* L2-to-MC mapping over its region (the compiler "does not do
+anything specific for multiprogrammed workloads"; it simply localizes
+each application to the controllers nearest its region).
+
+Performance is reported as **weighted speedup** [21]:
+``WS = sum_i T_alone_i / T_shared_i`` -- each application's slowdown
+relative to running alone on its region, summed.  The paper reports the
+*improvement* of the optimized layouts' WS over the original layouts'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.clustering import L2ToMCMapping, partial_grid_mapping
+from repro.arch.config import MachineConfig
+from repro.core.pipeline import LayoutTransformer, original_layouts
+from repro.program.address_space import AddressSpace
+from repro.program.ir import Program
+from repro.program.trace import generate_traces
+from repro.sim.metrics import RunMetrics
+from repro.sim.system import SystemSimulator, build_streams
+
+
+@dataclass
+class AppPlacement:
+    """One co-running application with its region and compiled traces."""
+
+    program: Program
+    mapping: L2ToMCMapping
+    thread_nodes: List[int]
+    vtraces: List[np.ndarray]
+    gaps: List[np.ndarray]
+
+
+def split_regions(config: MachineConfig, count: int
+                  ) -> List[Tuple[int, int, int, int]]:
+    """Carve the mesh into ``count`` equal rectangles (x0, y0, w, h)."""
+    w, h = config.mesh_width, config.mesh_height
+    if count == 1:
+        return [(0, 0, w, h)]
+    if count == 2 and w % 2 == 0:
+        return [(0, 0, w // 2, h), (w // 2, 0, w // 2, h)]
+    if count == 4 and w % 2 == 0 and h % 2 == 0:
+        return [(0, 0, w // 2, h // 2), (w // 2, 0, w // 2, h // 2),
+                (0, h // 2, w // 2, h // 2),
+                (w // 2, h // 2, w // 2, h // 2)]
+    raise ValueError(f"cannot split {w}x{h} into {count} regions")
+
+
+def _compile_app(program: Program, config: MachineConfig,
+                 mapping: L2ToMCMapping, space: AddressSpace,
+                 optimized: bool, app_index: int) -> AppPlacement:
+    num_threads = mapping.num_threads * config.threads_per_core
+    if optimized:
+        transformer = LayoutTransformer(config, mapping)
+        layouts = transformer.run(program).layouts
+    else:
+        layouts = original_layouts(program)
+    # Namespace array names per app so the shared address space does not
+    # collide when two apps use the same model.
+    prefixed = {f"app{app_index}:{name}": layout
+                for name, layout in layouts.items()}
+    bases_prefixed = space.place_all(prefixed)
+    bases = {name.split(":", 1)[1]: base
+             for name, base in bases_prefixed.items()}
+    traces = generate_traces(program, layouts, bases, num_threads)
+    cores = mapping.num_threads
+    thread_nodes = [mapping.core_order[t % cores]
+                    for t in range(num_threads)]
+    return AppPlacement(program=program, mapping=mapping,
+                        thread_nodes=thread_nodes,
+                        vtraces=[t.vaddrs for t in traces],
+                        gaps=[t.gaps for t in traces])
+
+
+def _simulate(config: MachineConfig, full_mapping: L2ToMCMapping,
+              apps: Sequence[AppPlacement],
+              overheads: Sequence[float]) -> List[float]:
+    """Co-run all apps; returns each app's completion time."""
+    thread_nodes: List[int] = []
+    vtraces: List[np.ndarray] = []
+    gaps: List[np.ndarray] = []
+    spans: List[Tuple[int, int]] = []
+    for app in apps:
+        start = len(thread_nodes)
+        thread_nodes.extend(app.thread_nodes)
+        vtraces.extend(app.vtraces)
+        gaps.extend(app.gaps)
+        spans.append((start, len(thread_nodes)))
+    # Multiprogrammed runs use cache-line interleaving (identity V2P).
+    streams = build_streams(config, thread_nodes, vtraces, vtraces, gaps)
+    simulator = SystemSimulator(config, full_mapping)
+    metrics = simulator.run(streams)
+    times = []
+    for (lo, hi), overhead in zip(spans, overheads):
+        finish = max(metrics.thread_finish[lo:hi], default=0.0)
+        times.append(finish * (1.0 + overhead))
+    return times
+
+
+@dataclass
+class WeightedSpeedupResult:
+    """Weighted speedups of the original and optimized co-runs."""
+
+    workload: Tuple[str, ...]
+    alone_original: List[float]
+    alone_optimized: List[float]
+    shared_original: List[float]
+    shared_optimized: List[float]
+
+    @property
+    def ws_original(self) -> float:
+        return sum(a / s for a, s in zip(self.alone_original,
+                                         self.shared_original))
+
+    @property
+    def ws_optimized(self) -> float:
+        return sum(a / s for a, s in zip(self.alone_optimized,
+                                         self.shared_optimized))
+
+    @property
+    def improvement(self) -> float:
+        """Relative weighted-speedup gain of the optimized layouts."""
+        if self.ws_original == 0:
+            return 0.0
+        return self.ws_optimized / self.ws_original - 1.0
+
+
+def run_multiprogram(programs: Sequence[Program], config: MachineConfig,
+                     clusters_per_app: int = 2) -> WeightedSpeedupResult:
+    """Co-run ``programs`` (2 or 4) and compare layouts via weighted
+    speedup.  ``T_alone`` runs each app by itself on its own region (the
+    standard weighted-speedup baseline)."""
+    regions = split_regions(config, len(programs))
+    mesh = config.mesh()
+    mc_nodes = config.mc_nodes(mesh)
+    full_mapping = config.default_mapping(mesh)
+
+    def placements(optimized: bool) -> Tuple[List[AppPlacement],
+                                             List[float]]:
+        space = AddressSpace(config)
+        apps = []
+        overheads = []
+        for index, (program, (x0, y0, w, h)) in enumerate(
+                zip(programs, regions)):
+            mapping = partial_grid_mapping(
+                mesh, mc_nodes, x0, y0, w, h, clusters_per_app,
+                name=f"{program.name}@({x0},{y0})")
+            apps.append(_compile_app(program, config, mapping, space,
+                                     optimized, index))
+            overheads.append(config.transform_overhead if optimized
+                             else 0.0)
+        return apps, overheads
+
+    base_apps, base_over = placements(False)
+    opt_apps, opt_over = placements(True)
+
+    alone_original = [
+        _simulate(config, full_mapping, [app], [over])[0]
+        for app, over in zip(base_apps, base_over)]
+    alone_optimized = [
+        _simulate(config, full_mapping, [app], [over])[0]
+        for app, over in zip(opt_apps, opt_over)]
+    shared_original = _simulate(config, full_mapping, base_apps, base_over)
+    shared_optimized = _simulate(config, full_mapping, opt_apps, opt_over)
+
+    return WeightedSpeedupResult(
+        workload=tuple(p.name for p in programs),
+        alone_original=alone_original,
+        alone_optimized=alone_optimized,
+        shared_original=shared_original,
+        shared_optimized=shared_optimized)

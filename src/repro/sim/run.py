@@ -1,0 +1,183 @@
+"""High-level experiment runner: program + configuration -> metrics.
+
+This is the public entry point the examples and benchmarks use.  A
+:class:`RunSpec` names everything one simulated execution needs -- the
+application model, the machine, the L2-to-MC mapping, whether the layout
+pass runs, which page-allocation policy the OS uses, and whether the
+idealized *optimal scheme* is simulated instead.  :func:`run_simulation`
+performs the whole flow:
+
+1. run (or skip) the layout transformation pass,
+2. place arrays in the virtual address space,
+3. generate per-thread traces,
+4. translate to physical addresses under the chosen OS policy,
+5. simulate, and return :class:`~repro.sim.metrics.RunMetrics`.
+
+Page-allocation policies are resolved from the configuration: cache-line
+interleaving keeps the MC-select bits below the page offset, so
+translation is identity; page interleaving uses the default sequential
+allocator for baselines, the MC-aware allocator (with the layout pass's
+hints) for optimized runs, and the first-touch policy for the Section
+6.3 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.clustering import L2ToMCMapping
+from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
+from repro.core.pipeline import (LayoutTransformer, TransformationResult,
+                                 original_layouts)
+from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
+                                      MCAwarePolicy, PhysicalMemory,
+                                      SequentialPolicy)
+from repro.osmodel.page_table import PageTable, translate_traces
+from repro.program.address_space import AddressSpace
+from repro.program.ir import Program
+from repro.program.trace import generate_traces
+from repro.sim.metrics import Comparison, RunMetrics
+from repro.sim.system import SystemSimulator, build_streams
+
+PAGE_POLICIES = ("auto", "default", "mc_aware", "first_touch")
+
+
+@dataclass
+class RunSpec:
+    """One simulated execution, fully specified."""
+
+    program: Program
+    config: MachineConfig
+    mapping: Optional[L2ToMCMapping] = None
+    optimized: bool = False
+    page_policy: str = "auto"
+    optimal: bool = False
+    localize_offchip: bool = True
+    pages_per_mc: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in PAGE_POLICIES:
+            raise ValueError(f"unknown page policy {self.page_policy!r}")
+
+    def resolved_mapping(self) -> L2ToMCMapping:
+        return self.mapping or self.config.default_mapping()
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        kind = "optimal" if self.optimal else (
+            "optimized" if self.optimized else "original")
+        return f"{self.program.name}/{kind}"
+
+
+@dataclass
+class RunResult:
+    """Metrics plus the artifacts a bench may want to inspect."""
+
+    spec: RunSpec
+    metrics: RunMetrics
+    transformation: Optional[TransformationResult] = None
+    page_fallbacks: int = 0
+
+
+def _make_policy(spec: RunSpec, mapping: L2ToMCMapping,
+                 hints: Dict[int, int]):
+    config = spec.config
+    if config.interleaving == CACHE_LINE_INTERLEAVING:
+        return IdentityPolicy()
+    policy = spec.page_policy
+    if policy == "auto":
+        policy = "mc_aware" if spec.optimized else "default"
+    if policy == "default":
+        return SequentialPolicy()
+    if policy == "first_touch":
+        return FirstTouchPolicy(mapping)
+    return MCAwarePolicy(hints, mapping)
+
+
+def run_simulation(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` end to end."""
+    config = spec.config
+    mapping = spec.resolved_mapping()
+    num_threads = config.num_cores * config.threads_per_core
+
+    transformation: Optional[TransformationResult] = None
+    if spec.optimized:
+        transformer = LayoutTransformer(
+            config, mapping, localize_offchip=spec.localize_offchip)
+        transformation = transformer.run(spec.program)
+        layouts = transformation.layouts
+        transformed = transformation.any_transformed
+    else:
+        layouts = original_layouts(spec.program)
+        transformed = False
+
+    space = AddressSpace(config)
+    bases = space.place_all(layouts)
+    traces = generate_traces(spec.program, layouts, bases, num_threads)
+    vtraces = [t.vaddrs for t in traces]
+    gaps = [t.gaps for t in traces]
+
+    hints = space.desired_mc_hints(layouts) if transformed else {}
+    policy = _make_policy(spec, mapping, hints)
+    pages_per_mc = spec.pages_per_mc
+    if pages_per_mc is None:
+        total_pages = -(-space.footprint_bytes // config.page_size)
+        pages_per_mc = max(16, 4 * (total_pages // config.num_mcs + 1))
+    memory = PhysicalMemory(config.num_mcs, pages_per_mc)
+    table = PageTable(config.page_size, memory, policy)
+
+    cores = mapping.num_threads
+    thread_cores = [mapping.core_order[t % cores]
+                    for t in range(num_threads)]
+    if isinstance(policy, IdentityPolicy):
+        ptraces = vtraces  # ppn == vpn: skip the table walk entirely
+    else:
+        ptraces = translate_traces(vtraces, table, thread_cores)
+
+    streams = build_streams(config, thread_cores, vtraces, ptraces, gaps,
+                            writes=[t.writes for t in traces],
+                            segments=[t.segments for t in traces])
+    simulator = SystemSimulator(
+        config, mapping, optimal=spec.optimal,
+        miss_overlap=config.effective_overlap(spec.program.mlp_demand))
+    overhead = config.transform_overhead if transformed else 0.0
+    metrics = simulator.run(streams, transform_overhead=overhead,
+                            name=spec.label())
+    metrics.page_fallbacks = getattr(policy, "fallbacks", 0)
+    return RunResult(spec=spec, metrics=metrics,
+                     transformation=transformation,
+                     page_fallbacks=metrics.page_fallbacks)
+
+
+def run_pair(program: Program, config: MachineConfig,
+             mapping: Optional[L2ToMCMapping] = None,
+             page_policy: str = "auto",
+             localize_offchip: bool = True) -> Tuple[RunResult, RunResult,
+                                                     Comparison]:
+    """Baseline vs. optimized under one configuration -- the comparison
+    every per-application bar of Figures 14/16/17/19-22 reports."""
+    base = run_simulation(RunSpec(program=program, config=config,
+                                  mapping=mapping, optimized=False,
+                                  page_policy=page_policy))
+    opt = run_simulation(RunSpec(program=program, config=config,
+                                 mapping=mapping, optimized=True,
+                                 page_policy=page_policy,
+                                 localize_offchip=localize_offchip))
+    return base, opt, Comparison(base.metrics, opt.metrics)
+
+
+def run_optimal_pair(program: Program, config: MachineConfig,
+                     mapping: Optional[L2ToMCMapping] = None
+                     ) -> Tuple[RunResult, RunResult, Comparison]:
+    """Baseline vs. the idealized optimal scheme (Figure 4)."""
+    base = run_simulation(RunSpec(program=program, config=config,
+                                  mapping=mapping, optimized=False))
+    opt = run_simulation(RunSpec(program=program, config=config,
+                                 mapping=mapping, optimized=False,
+                                 optimal=True))
+    return base, opt, Comparison(base.metrics, opt.metrics)

@@ -1,0 +1,129 @@
+"""Parameter sweeps: grids of configurations with cached runs.
+
+The paper's evaluation is a family of sweeps (interleavings, mappings,
+placements, controller counts, mesh sizes, thread counts).  This module
+provides the reusable machinery the benchmark harness is built on, as a
+public API: declare axes, get every combination simulated (with
+memoization across overlapping sweeps), and export the results as rows
+or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.arch.clustering import (balanced_mapping, grid_mapping,
+                                   mapping_m1, mapping_m2)
+from repro.arch.config import MachineConfig
+from repro.program.ir import Program
+from repro.sim.metrics import Comparison, RunMetrics
+from repro.sim.run import RunSpec, run_simulation
+
+
+def resolve_mapping(config: MachineConfig, name: str = "M1"):
+    """Mapping presets by name, handling non-corner placements and
+    non-default controller counts (shared with the CLI and benches)."""
+    mesh = config.mesh()
+    nodes = config.mc_nodes(mesh)
+    if name == "M2":
+        return mapping_m2(mesh, nodes)
+    if name == "voronoi" or config.mc_placement != "P1":
+        return balanced_mapping(mesh, nodes, name="M1")
+    if config.num_mcs != 4:
+        return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
+    return mapping_m1(mesh, nodes)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the axis values plus its comparison."""
+
+    settings: Tuple[Tuple[str, object], ...]
+    comparison: Comparison
+
+    def value(self, axis: str):
+        return dict(self.settings)[axis]
+
+    def row(self) -> Dict[str, object]:
+        out: Dict[str, object] = dict(self.settings)
+        out.update({k: round(v, 4)
+                    for k, v in self.comparison.as_row().items()})
+        return out
+
+
+class Sweep:
+    """A cartesian sweep over configuration axes for one program.
+
+    Axes are named keyword lists; recognized names map onto
+    :class:`MachineConfig` fields (plus ``mapping``).  Every point runs
+    a baseline/optimized pair; pairs are memoized so overlapping sweeps
+    (or repeated axes values) cost nothing extra.
+    """
+
+    CONFIG_AXES = ("interleaving", "shared_l2", "mc_placement",
+                   "num_mcs", "mesh_width", "mesh_height",
+                   "threads_per_core", "banks_per_mc", "model_writes")
+
+    def __init__(self, program: Program,
+                 base_config: Optional[MachineConfig] = None):
+        self.program = program
+        self.base_config = base_config or \
+            MachineConfig.scaled_default().with_(
+                interleaving="cache_line")
+        self._cache: Dict[tuple, Comparison] = {}
+
+    def _point(self, settings: Dict[str, object]) -> Comparison:
+        key = tuple(sorted(settings.items()))
+        if key not in self._cache:
+            config_kw = {k: v for k, v in settings.items()
+                         if k in self.CONFIG_AXES}
+            config = self.base_config.with_(**config_kw)
+            mapping = resolve_mapping(config,
+                                      str(settings.get("mapping", "M1")))
+            base = run_simulation(RunSpec(
+                program=self.program, config=config, mapping=mapping,
+                optimized=False))
+            opt = run_simulation(RunSpec(
+                program=self.program, config=config, mapping=mapping,
+                optimized=True))
+            self._cache[key] = Comparison(base.metrics, opt.metrics)
+        return self._cache[key]
+
+    def run(self, **axes: Iterable) -> List[SweepPoint]:
+        """Run the cartesian product of the given axes."""
+        for name in axes:
+            if name not in self.CONFIG_AXES and name != "mapping":
+                raise ValueError(f"unknown sweep axis {name!r}")
+        names = sorted(axes)
+        points = []
+        for combo in itertools.product(*(list(axes[n]) for n in names)):
+            settings = dict(zip(names, combo))
+            comparison = self._point(settings)
+            points.append(SweepPoint(tuple(sorted(settings.items())),
+                                     comparison))
+        return points
+
+
+def to_csv(points: List[SweepPoint]) -> str:
+    """Render sweep points as CSV text (axes + the four reductions)."""
+    if not points:
+        return ""
+    fieldnames = list(points[0].row().keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for point in points:
+        writer.writerow(point.row())
+    return buffer.getvalue()
+
+
+def best_point(points: List[SweepPoint],
+               metric: str = "exec_time") -> SweepPoint:
+    """The point with the largest reduction on ``metric``."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: p.comparison.as_row()[metric])

@@ -1,0 +1,10 @@
+"""The 13-application workload suite and registry."""
+
+from repro.workloads.suite import (FIRST_TOUCH_FRIENDLY, HIGH_MLP,
+                                   SUITE_ORDER, WORKLOADS, build_suite,
+                                   build_workload)
+
+__all__ = [
+    "FIRST_TOUCH_FRIENDLY", "HIGH_MLP", "SUITE_ORDER", "WORKLOADS",
+    "build_suite", "build_workload",
+]

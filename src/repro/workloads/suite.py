@@ -1,0 +1,533 @@
+"""The 13-application workload suite (SPECOMP + Mantevo models).
+
+The paper evaluates all SPECOMP applications except ``equake`` --
+``wupwise``, ``swim``, ``mgrid``, ``applu``, ``galgel``, ``apsi``,
+``gafort``, ``fma3d``, ``art``, ``ammp`` -- plus three Mantevo
+mini-applications: ``hpccg``, ``minighost``, ``minimd``.  We cannot run
+the original binaries (no Fortran/OpenMP runtime, GB-scale inputs, and
+the paper's GEM5 testbed), so each application is modeled by an affine
+:class:`~repro.program.ir.Program` that mirrors what matters to this
+study:
+
+* the **array shapes and reference patterns** of its computational core
+  (stencils, transposed sweeps, strided multigrid levels, CRS SpMV,
+  neighbor-list gathers),
+* its **inter-thread sharing** (halo exchange, transposed second sweeps,
+  globally shared read-only tables, long-range FEM connectivity),
+* its **memory intensity** (``work_per_iteration``: compute cycles per
+  iteration) and profile-derived burst **MLP demand** (high for
+  ``fma3d`` and ``minighost``, whose bank queues saturate in Figure 18),
+* and its **irregularity**: ``gafort``/``fma3d``/``ammp``/``hpccg``/
+  ``minimd`` access data through index arrays, exercising the affine
+  approximation of Section 5.4 with realistic structure (banded,
+  locally-shuffled, or long-range connectivity; ``ammp``'s nonbonded
+  pair list is random enough to be *rejected* by the error gate).
+
+Grid-point and particle records are modeled with a 64-byte element size
+(the multi-field structs these codes carry per point), so spatial
+locality relative to the 64 B / 256 B cache lines -- and therefore the
+off-chip access fraction of Figure 3 -- is in a realistic range.  Array
+extents are scaled so a full 64-thread run is laptop-sized; the machine
+configuration shrinks its caches by a matching proportion
+(:meth:`~repro.arch.config.MachineConfig.scaled_default`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
+                              Program, identity_ref, shifted_ref)
+
+# 64-byte grid-point / particle records (8 doubles of state per point).
+FIELD = 64
+
+
+def _dim(base: int, scale: float, minimum: int = 8) -> int:
+    """Scale a linear array extent, keeping it usable."""
+    return max(minimum, int(round(base * scale)))
+
+
+def _ref(array: ArrayDecl, rows: List[List[int]], offset: List[int],
+         write: bool = False) -> AffineRef:
+    return AffineRef(array, tuple(tuple(r) for r in rows), tuple(offset),
+                     write)
+
+
+def _gather(array: ArrayDecl, rows: np.ndarray, cols: np.ndarray,
+            write: bool = False) -> IndexedRef:
+    """An indexed 2D gather ``array[rows[k]][cols[k]]``."""
+    return IndexedRef(array, (rows.astype(np.int64),
+                              cols.astype(np.int64)), write)
+
+
+
+# Thread count the workload models are tuned for (the default 8x8 mesh).
+MODEL_THREADS = 64
+
+
+def _init_nests(arrays: List[ArrayDecl], aligned: bool) -> List[LoopNest]:
+    """Initialization sweeps, one per array.
+
+    Real OpenMP codes initialize their arrays once before the main
+    computation; *where* those loops run decides where first-touch page
+    placement puts the data.  ``aligned=True`` parallelizes the
+    initialization the same way as the compute loops (first touch then
+    matches use -- wupwise/gafort/minimd, the applications the paper
+    found first-touch-friendly).  ``aligned=False`` misaligns it, the
+    common pattern that makes first-touch placement wrong for the main
+    phase: wide arrays are initialized along the other dimension, and
+    narrow (particle-record) arrays with a cyclic ``schedule(static,1)``
+    row distribution -- both keep the init work balanced across threads.
+    """
+    nests = []
+    for array in arrays:
+        name = f"init_{array.name.lower()}"
+        if not aligned and array.rank == 2 and array.dims[1] < 16 \
+                and array.dims[0] % MODEL_THREADS == 0:
+            # cyclic rows: thread c first-touches rows c, c+64, ... (one
+            # access per record -- enough to fault the page in)
+            rows, _ = array.dims
+            ref = AffineRef(array, ((1, MODEL_THREADS), (0, 0)),
+                            (0, 0), is_write=True)
+            nests.append(LoopNest(
+                name, ((0, MODEL_THREADS), (0, rows // MODEL_THREADS)),
+                refs=(ref,), parallel_dim=0, work_per_iteration=6))
+            continue
+        parallel = 0 if aligned or array.rank < 2 else 1
+        bounds = tuple((0, d) for d in array.dims)
+        nests.append(LoopNest(
+            name, bounds,
+            refs=(identity_ref(array, is_write=True),),
+            parallel_dim=parallel, work_per_iteration=6))
+    return nests
+
+
+# ---------------------------------------------------------------------------
+# SPECOMP models
+# ---------------------------------------------------------------------------
+
+def wupwise(scale: float = 1.0) -> Program:
+    """Lattice QCD: regular, unit-stride field updates; data effectively
+    private per thread (first-touch does well here, Section 6.3)."""
+    n = _dim(96, scale)
+    x = ArrayDecl("X", (n, n), FIELD)
+    y = ArrayDecl("Y", (n, n), FIELD)
+    m = ArrayDecl("M", (n, n), FIELD)
+    update = LoopNest(
+        "su3_update", ((0, n), (0, n)),
+        refs=(identity_ref(m), identity_ref(x),
+              identity_ref(y, is_write=True)),
+        work_per_iteration=26, repeat=2)
+    accumulate = LoopNest(
+        "gamma_acc", ((0, n), (0, n)),
+        refs=(identity_ref(y), identity_ref(x, is_write=True)),
+        work_per_iteration=22, repeat=2)
+    return Program("wupwise", [x, y, m],
+                   _init_nests([x, y, m], aligned=True)
+                   + [update, accumulate],
+                   mlp_demand=2.0)
+
+
+def swim(scale: float = 1.0) -> Program:
+    """Shallow-water 2D stencils: three fields, neighbor halos shared
+    between adjacent threads only."""
+    n = _dim(112, scale)
+    u = ArrayDecl("U", (n, n), FIELD)
+    v = ArrayDecl("V", (n, n), FIELD)
+    p = ArrayDecl("P", (n, n), FIELD)
+    calc1 = LoopNest(
+        "calc1", ((1, n - 1), (1, n - 1)),
+        refs=(identity_ref(u), shifted_ref(u, (0, 1)),
+              identity_ref(v), shifted_ref(v, (1, 0)),
+              identity_ref(p, is_write=True), shifted_ref(p, (1, 1))),
+        work_per_iteration=24)
+    calc2 = LoopNest(
+        "calc2", ((1, n - 1), (1, n - 1)),
+        refs=(identity_ref(p), shifted_ref(p, (-1, 0)),
+              identity_ref(u, is_write=True)),
+        work_per_iteration=18, repeat=2)
+    return Program("swim", [u, v, p],
+                   _init_nests([u, v, p], aligned=False)
+                   + [calc1, calc2], mlp_demand=2.0)
+
+
+def mgrid(scale: float = 1.0) -> Program:
+    """3D multigrid V-cycle: a 7-point relaxation plus a strided
+    coarse-grid restriction (access matrix with stride-2 entries).
+
+    The two fastest grid dimensions are coalesced (``f = i * m + j``), as
+    the OpenMP codes do, so the parallel loop has far more iterations
+    than cores; plane neighbors become ``f +/- m``.
+    """
+    m = _dim(26, scale)
+    plane = m * m
+    a = ArrayDecl("A", (plane, m), FIELD)
+    r = ArrayDecl("R", (plane, m), FIELD)
+    relax = LoopNest(
+        "resid", ((m, plane - m), (1, m - 1)),
+        refs=(identity_ref(a), shifted_ref(a, (m, 0)),
+              shifted_ref(a, (-m, 0)), shifted_ref(a, (1, 0)),
+              shifted_ref(a, (0, 1)),
+              identity_ref(r, is_write=True)),
+        work_per_iteration=16, repeat=2)
+    half = m // 2
+    restrict = LoopNest(
+        "rprj3", ((0, half), (0, half), (0, half)),
+        refs=(_ref(r, [[2 * m, 2, 0], [0, 0, 2]], [0, 0]),
+              _ref(a, [[m, 1, 0], [0, 0, 1]], [0, 0], write=True)),
+        work_per_iteration=8, repeat=2)
+    return Program("mgrid", [a, r],
+                   _init_nests([a, r], aligned=False)
+                   + [relax, restrict], mlp_demand=3.0)
+
+
+def applu(scale: float = 1.0) -> Program:
+    """SSOR on a 3D grid: forward and backward wavefront-ish sweeps over
+    the solution and residual arrays (planes coalesced as in mgrid)."""
+    m = _dim(24, scale)
+    plane = m * m
+    u = ArrayDecl("U", (plane, m), FIELD)
+    rsd = ArrayDecl("RSD", (plane, m), FIELD)
+    forward = LoopNest(
+        "blts", ((m, plane), (1, m)),
+        refs=(identity_ref(u), shifted_ref(u, (-m, 0)),
+              shifted_ref(u, (-1, 0)), shifted_ref(u, (0, -1)),
+              identity_ref(rsd, is_write=True)),
+        work_per_iteration=18)
+    backward = LoopNest(
+        "buts", ((0, plane - m), (0, m - 1)),
+        refs=(identity_ref(rsd), shifted_ref(rsd, (m, 0)),
+              shifted_ref(rsd, (1, 0)),
+              identity_ref(u, is_write=True)),
+        work_per_iteration=18)
+    return Program("applu", [u, rsd],
+                   _init_nests([u, rsd], aligned=False)
+                   + [forward, backward], mlp_demand=3.0)
+
+
+def galgel(scale: float = 1.0) -> Program:
+    """Galerkin FEM / fluid oscillations: dense linear algebra where one
+    operand is swept transposed -- the layout pass must transpose ``B``
+    (a different ``U`` per array), and the baseline's column-order sweep
+    of ``B`` defeats spatial locality."""
+    n = _dim(112, scale)
+    a = ArrayDecl("A", (n, n), FIELD)
+    b = ArrayDecl("B", (n, n), FIELD)
+    w = ArrayDecl("W", (n, n), FIELD)
+    sweep = LoopNest(
+        "syshtN", ((0, n), (0, n)),
+        refs=(identity_ref(a),
+              _ref(b, [[0, 1], [1, 0]], [0, 0]),  # B[j][i]: transposed
+              identity_ref(w, is_write=True)),
+        work_per_iteration=16, repeat=2)
+    post = LoopNest(
+        "grsum", ((0, n), (0, n)),
+        refs=(identity_ref(w), identity_ref(a, is_write=True)),
+        work_per_iteration=16)
+    return Program("galgel", [a, b, w],
+                   _init_nests([a, b, w], aligned=False)
+                   + [sweep, post], mlp_demand=3.0)
+
+
+def apsi(scale: float = 1.0) -> Program:
+    """Mesoscale weather: 3D fields swept along different axes in
+    different phases -- conflicting layout preferences resolved by
+    weight, leaving genuine cross-cluster traffic (the Figure 13
+    showcase application)."""
+    m = _dim(26, scale)
+    plane = m * m
+    t = ArrayDecl("T", (plane, m), FIELD)
+    q = ArrayDecl("Q", (plane, m), FIELD)
+    s = ArrayDecl("S", (plane, m), FIELD)
+    advect = LoopNest(
+        "dctdx", ((0, plane), (0, m)),
+        refs=(identity_ref(t), identity_ref(q),
+              identity_ref(s, is_write=True)),
+        work_per_iteration=12, repeat=3)
+    # The vertical sweep runs the parallel iterator along T's *fastest*
+    # dimension: its preferred partition row conflicts with the advection
+    # nest's and loses on weight.
+    vertical = LoopNest(
+        "dvdtz", ((0, plane), (0, m)),
+        refs=(_ref(t, [[0, m], [1, 0]], [0, 0]),
+              identity_ref(q, is_write=True)),
+        work_per_iteration=6)
+    return Program("apsi", [t, q, s],
+                   _init_nests([t, q, s], aligned=False)
+                   + [advect, vertical], mlp_demand=3.0)
+
+
+def gafort(scale: float = 1.0) -> Program:
+    """Genetic algorithm: each thread evolves its own subpopulation;
+    tournament selection shuffles rows *within* a thread's block, so the
+    affine approximation of the indexed access is accurate and the data
+    stays effectively private (first-touch does well, Section 6.3)."""
+    rows = _dim(4096, scale, minimum=128)
+    genes = 8
+    pop = ArrayDecl("POP", (rows, genes), FIELD)
+    fit = ArrayDecl("FIT", (rows, genes))
+    rng = np.random.default_rng(7)
+    block = max(1, rows // 64)
+    shuffled = np.arange(rows)
+    for start in range(0, rows, block):
+        stop = min(rows, start + block)
+        segment = shuffled[start:stop].copy()
+        rng.shuffle(segment)
+        shuffled[start:stop] = segment
+    row_stream = np.repeat(shuffled, genes)
+    col_stream = np.tile(np.arange(genes), rows)
+    crossover = LoopNest(
+        "crossover", ((0, rows), (0, genes)),
+        refs=(_gather(pop, row_stream, col_stream),
+              identity_ref(fit, is_write=True)),
+        work_per_iteration=22, repeat=2)
+    evaluate = LoopNest(
+        "evalout", ((0, rows), (0, genes)),
+        refs=(identity_ref(pop), identity_ref(fit)),
+        work_per_iteration=24)
+    return Program("gafort", [pop, fit],
+                   _init_nests([pop, fit], aligned=True)
+                   + [crossover, evaluate],
+                   mlp_demand=2.0)
+
+
+def fma3d(scale: float = 1.0) -> Program:
+    """Crash-simulation FEM: each element gathers its (distinct) nodes
+    through a connectivity map with long-range connections (heavy
+    inter-cluster sharing), at very low compute per access -- the
+    bank-queue saturator of Figure 18, and one of the two applications
+    that prefer mapping M2."""
+    elems = _dim(6144, scale, minimum=512)
+    nodes = _dim(6144, scale, minimum=512)
+    fan = 8                       # nodes gathered per element
+    node = ArrayDecl("NODE", (nodes, 8), FIELD)
+    force = ArrayDecl("FORCE", (elems, fan), 32)
+    rng = np.random.default_rng(11)
+    base = (np.arange(elems, dtype=np.int64) * nodes) // elems
+    # Per-(element, j) connectivity: mostly near-diagonal, but a quarter
+    # of the connections reach anywhere on the mesh (shared parts).
+    jitter = rng.integers(-48, 49, size=(elems, fan))
+    connect = np.clip(base[:, None] + jitter, 0, nodes - 1)
+    remote = rng.random((elems, fan)) < 0.15
+    connect[remote] = rng.integers(0, nodes, size=int(remote.sum()))
+    row_stream = connect.reshape(-1)
+    col_stream = np.tile(np.arange(fan) % 8, elems)
+    gather = LoopNest(
+        "platq", ((0, elems), (0, fan)),
+        refs=(_gather(node, row_stream, col_stream),
+              identity_ref(force, is_write=True)),
+        work_per_iteration=2, repeat=2)
+    scatter = LoopNest(
+        "force_acc", ((0, elems), (0, fan)),
+        refs=(identity_ref(force), identity_ref(force, is_write=True)),
+        work_per_iteration=6)
+    return Program("fma3d", [node, force],
+                   _init_nests([node, force], aligned=False)
+                   + [gather, scatter],
+                   mlp_demand=10.0)
+
+
+def art(scale: float = 1.0) -> Program:
+    """Adaptive resonance neural net: every thread scans the whole
+    weight table (unpartitionable -- its access is independent of the
+    parallel loop), while the image data partitions cleanly."""
+    images = _dim(128, scale, minimum=16)
+    features = 8
+    inputs = 96
+    img = ArrayDecl("IMG", (images, inputs), FIELD)
+    wgt = ArrayDecl("WGT", (features, inputs), FIELD)
+    match = LoopNest(
+        "match", ((0, images), (0, features), (0, inputs)),
+        refs=(_ref(wgt, [[0, 1, 0], [0, 0, 1]], [0, 0]),
+              _ref(img, [[1, 0, 0], [0, 0, 1]], [0, 0])),
+        work_per_iteration=6)
+    update = LoopNest(
+        "train", ((0, images), (0, inputs)),
+        refs=(identity_ref(img), identity_ref(img, is_write=True)),
+        work_per_iteration=8)
+    return Program("art", [img, wgt],
+                   _init_nests([img, wgt], aligned=False)
+                   + [match, update], mlp_demand=3.0)
+
+
+def ammp(scale: float = 1.0) -> Program:
+    """Molecular dynamics: bonded neighbor-list gathers fit tightly, but
+    the nonbonded pair list is random enough that its affine
+    approximation fails the 30% error gate and is left unoptimized
+    (Section 5.4's escape hatch)."""
+    atoms = _dim(4096, scale, minimum=256)
+    fan = 8
+    pos = ArrayDecl("ATOM", (atoms, 8), FIELD)
+    frc = ArrayDecl("FRC", (atoms, fan), 32)
+    rng = np.random.default_rng(13)
+    neighbor = np.clip(
+        np.arange(atoms, dtype=np.int64)[:, None]
+        + rng.integers(-24, 25, size=(atoms, fan)),
+        0, atoms - 1)
+    bonded = LoopNest(
+        "mm_fv_update", ((0, atoms), (0, fan)),
+        refs=(_gather(pos, neighbor.reshape(-1),
+                      np.tile(np.arange(fan) % 8, atoms)),
+              identity_ref(frc, is_write=True)),
+        work_per_iteration=18)
+    pairs = rng.integers(0, atoms, size=(atoms, fan))
+    nonbond = LoopNest(
+        "nonbon", ((0, atoms), (0, fan)),
+        refs=(_gather(pos, pairs.reshape(-1),
+                      np.tile(np.arange(fan) % 8, atoms)),),
+        work_per_iteration=16)
+    integrate = LoopNest(
+        "verlet", ((0, atoms), (0, fan)),
+        refs=(identity_ref(frc), identity_ref(pos, is_write=True)),
+        work_per_iteration=22)
+    return Program("ammp", [pos, frc],
+                   _init_nests([pos, frc], aligned=False)
+                   + [bonded, nonbond, integrate],
+                   mlp_demand=3.0)
+
+
+# ---------------------------------------------------------------------------
+# Mantevo models
+# ---------------------------------------------------------------------------
+
+def hpccg(scale: float = 1.0) -> Program:
+    """Conjugate gradient with a banded CRS sparse matrix: the SpMV
+    gathers ``X[col[i][j]]`` where the column indices hug the diagonal,
+    so the Section 5.4 approximation (``col ~ i``) passes the gate."""
+    nrows = _dim(4096, scale, minimum=256)
+    nnz = 12
+    band = 32
+    val = ArrayDecl("VAL", (nrows, nnz), 32)
+    x = ArrayDecl("X", (nrows, nnz), FIELD)
+    rng = np.random.default_rng(17)
+    offsets = rng.integers(-band, band + 1, size=(nrows, nnz))
+    cols = np.clip(np.arange(nrows)[:, None] + offsets, 0, nrows - 1)
+    spmv = LoopNest(
+        "spmv", ((0, nrows), (0, nnz)),
+        refs=(identity_ref(val),
+              _gather(x, cols.reshape(-1),
+                      np.tile(np.arange(nnz), nrows))),
+        work_per_iteration=12)
+    axpy = LoopNest(
+        "waxpby", ((0, nrows), (0, nnz)),
+        refs=(identity_ref(x), identity_ref(x, is_write=True)),
+        work_per_iteration=16)
+    return Program("hpccg", [val, x],
+                   _init_nests([val, x], aligned=False)
+                   + [spmv, axpy], mlp_demand=3.0)
+
+
+def minighost(scale: float = 1.0) -> Program:
+    """3D stencil with explicit halo exchange (modeled as a transposed
+    sweep): high sharing and very high memory intensity -- the other
+    M2-preferring application."""
+    m = _dim(24, scale)
+    plane = m * m
+    grid = ArrayDecl("GRID", (plane, m), FIELD)
+    work = ArrayDecl("WORK", (plane, m), FIELD)
+    stencil = LoopNest(
+        "stencil27", ((m, plane - m), (1, m - 1)),
+        refs=(identity_ref(grid), shifted_ref(grid, (m, 0)),
+              shifted_ref(grid, (-m, 0)), shifted_ref(grid, (1, 0)),
+              shifted_ref(grid, (-1, 0)), shifted_ref(grid, (0, 1)),
+              identity_ref(work, is_write=True)),
+        work_per_iteration=4, repeat=3)
+    halo = LoopNest(
+        "exchange", ((0, plane), (0, m)),
+        refs=(_ref(grid, [[0, m], [1, 0]], [0, 0]),
+              identity_ref(work)),
+        work_per_iteration=4, repeat=2)
+    return Program("minighost", [grid, work],
+                   _init_nests([grid, work], aligned=False)
+                   + [stencil, halo],
+                   mlp_demand=9.0)
+
+
+def minimd(scale: float = 1.0) -> Program:
+    """Lennard-Jones MD mini-app: tight neighbor lists, data nearly
+    private per thread (the third first-touch-friendly application)."""
+    atoms = _dim(4096, scale, minimum=256)
+    fan = 8
+    pos = ArrayDecl("POS", (atoms, 8), FIELD)
+    f = ArrayDecl("F", (atoms, fan), 32)
+    rng = np.random.default_rng(19)
+    neighbor = np.clip(
+        np.arange(atoms, dtype=np.int64)[:, None]
+        + rng.integers(-8, 9, size=(atoms, fan)),
+        0, atoms - 1)
+    force = LoopNest(
+        "compute_force", ((0, atoms), (0, fan)),
+        refs=(_gather(pos, neighbor.reshape(-1),
+                      np.tile(np.arange(fan) % 8, atoms)),
+              identity_ref(f, is_write=True)),
+        work_per_iteration=20, repeat=2)
+    integrate = LoopNest(
+        "integrate", ((0, atoms), (0, fan)),
+        refs=(identity_ref(f), identity_ref(pos, is_write=True)),
+        work_per_iteration=22)
+    return Program("minimd", [pos, f],
+                   _init_nests([pos, f], aligned=True)
+                   + [force, integrate], mlp_demand=3.0)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+WORKLOADS: Dict[str, Callable[[float], Program]] = {
+    "wupwise": wupwise,
+    "swim": swim,
+    "mgrid": mgrid,
+    "applu": applu,
+    "galgel": galgel,
+    "apsi": apsi,
+    "gafort": gafort,
+    "fma3d": fma3d,
+    "art": art,
+    "ammp": ammp,
+    "hpccg": hpccg,
+    "minighost": minighost,
+    "minimd": minimd,
+}
+
+SUITE_ORDER: Tuple[str, ...] = tuple(WORKLOADS)
+
+# The applications whose mostly-private data makes the first-touch
+# policy competitive (Section 6.3).
+FIRST_TOUCH_FRIENDLY = ("wupwise", "gafort", "minimd")
+
+# The applications whose burst MLP demand makes mapping M2 win
+# (Figures 17/18).
+HIGH_MLP = ("fma3d", "minighost")
+
+
+def with_work_scale(program: Program, factor: float) -> Program:
+    """Scale every nest's compute intensity (calibration helper)."""
+    if factor == 1.0:
+        return program
+    from dataclasses import replace
+    nests = [replace(n, work_per_iteration=max(0, round(
+        n.work_per_iteration * factor))) for n in program.nests]
+    return Program(program.name, program.arrays, nests,
+                   mlp_demand=program.mlp_demand)
+
+
+def build_workload(name: str, scale: float = 1.0,
+                   work_scale: float = 1.0) -> Program:
+    """Build one application model by name."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    return with_work_scale(builder(scale), work_scale)
+
+
+def build_suite(scale: float = 1.0,
+                work_scale: float = 1.0) -> List[Program]:
+    """All 13 applications, in the paper's presentation order."""
+    return [build_workload(name, scale, work_scale)
+            for name in SUITE_ORDER]

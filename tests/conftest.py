@@ -1,0 +1,15 @@
+"""Test-suite configuration: deterministic hypothesis profile."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed properties can be slow per example; disable the
+# per-example deadline and the too-slow health check so the suite is
+# robust on loaded CI machines, while keeping example counts as each
+# test specifies.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

@@ -1,0 +1,79 @@
+"""Physical-address interpretation (Section 3, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
+from repro.memsys.address import AddressMap
+
+
+@pytest.fixture()
+def line_map():
+    return AddressMap(MachineConfig.scaled_default().with_(
+        interleaving=CACHE_LINE_INTERLEAVING))
+
+
+@pytest.fixture()
+def page_map():
+    return AddressMap(MachineConfig.scaled_default())
+
+
+class TestMcSelection:
+    def test_cache_line_interleaving(self, line_map):
+        """Consecutive 256 B lines rotate across the 4 controllers."""
+        addrs = np.arange(8) * 256
+        assert line_map.mc_of(addrs).tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_page_interleaving(self, page_map):
+        addrs = np.arange(8) * 4096
+        assert page_map.mc_of(addrs).tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_within_unit_constant(self, line_map):
+        addrs = np.arange(256)
+        assert set(line_map.mc_of(addrs).tolist()) == {0}
+
+
+class TestLocalAddress:
+    def test_strips_selection_bits(self, line_map):
+        """An MC's consecutive interleave units are contiguous locally."""
+        # lines 0, 4, 8 all belong to MC 0 and must be local lines 0,1,2
+        addrs = np.array([0, 4 * 256, 8 * 256])
+        local = line_map.local_of(addrs)
+        assert local.tolist() == [0, 256, 512]
+
+    def test_offset_preserved(self, line_map):
+        addrs = np.array([4 * 256 + 17])
+        assert line_map.local_of(addrs)[0] == 256 + 17
+
+    def test_local_rows_fill_before_switching(self, line_map):
+        """16 consecutive local lines share one 4 KB row -- the row
+        locality that localized sweeps exploit."""
+        addrs = np.arange(16) * (256 * 4)  # MC0's first 16 lines
+        rows = line_map.local_of(addrs) // 4096
+        assert set(rows.tolist()) == {0}
+
+
+class TestBankRow:
+    def test_banks_rotate_per_row_buffer(self, line_map):
+        cfg = line_map.config
+        units = cfg.row_buffer_bytes * cfg.num_mcs
+        addrs = np.arange(cfg.banks_per_mc + 1) * units
+        banks = line_map.bank_of(addrs)
+        assert banks[0] == banks[cfg.banks_per_mc]
+        assert len(set(banks[:cfg.banks_per_mc].tolist())) == \
+            cfg.banks_per_mc
+
+    def test_rows_increment_after_all_banks(self, line_map):
+        cfg = line_map.config
+        units = cfg.row_buffer_bytes * cfg.num_mcs
+        addr_same_bank = np.array([0, cfg.banks_per_mc * units])
+        rows = line_map.row_of(addr_same_bank)
+        assert rows[1] == rows[0] + 1
+
+
+class TestHomeBank:
+    def test_eq4(self, line_map):
+        """Eq. 4: home bank = (addr / line) % cores."""
+        addrs = np.array([0, 256, 64 * 256, 65 * 256])
+        homes = line_map.home_bank_of(addrs, num_cores=64)
+        assert homes.tolist() == [0, 1, 0, 1]

@@ -1,0 +1,94 @@
+"""Page-allocation policies (Section 5.3 + Section 6.3)."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
+                                      MCAwarePolicy, PhysicalMemory,
+                                      SequentialPolicy)
+
+
+@pytest.fixture()
+def memory():
+    return PhysicalMemory(num_mcs=4, pages_per_mc=8)
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return MachineConfig.scaled_default().default_mapping()
+
+
+class TestPhysicalMemory:
+    def test_frames_belong_to_mc(self, memory):
+        ppn = memory.allocate_from(2)
+        assert ppn % 4 == 2
+
+    def test_exhaustion(self, memory):
+        for _ in range(8):
+            assert memory.allocate_from(1) is not None
+        assert memory.allocate_from(1) is None
+        assert memory.free_in(1) == 0
+
+    def test_sequential_rotates(self, memory):
+        ppns = [memory.allocate_sequential() for _ in range(4)]
+        assert [p % 4 for p in ppns] == [0, 1, 2, 3]
+
+    def test_sequential_skips_taken(self, memory):
+        memory.allocate_from(0)  # takes frame 0
+        assert memory.allocate_sequential() == 1
+
+    def test_total_exhaustion(self):
+        memory = PhysicalMemory(2, 1)
+        memory.allocate_sequential()
+        memory.allocate_sequential()
+        with pytest.raises(MemoryError):
+            memory.allocate_sequential()
+
+    def test_bad_mc(self, memory):
+        with pytest.raises(ValueError):
+            memory.allocate_from(9)
+
+
+class TestPolicies:
+    def test_identity(self, memory):
+        assert IdentityPolicy().place(memory, vpn=1234, first_core=0) \
+            == 1234
+
+    def test_sequential(self, memory):
+        p = SequentialPolicy()
+        assert p.place(memory, 100, 0) == 0
+        assert p.place(memory, 200, 5) == 1
+
+    def test_mc_aware_honors_hint(self, memory, mapping):
+        p = MCAwarePolicy({7: 3}, mapping)
+        assert p.place(memory, 7, 0) % 4 == 3
+
+    def test_mc_aware_unhinted_sequential(self, memory, mapping):
+        p = MCAwarePolicy({}, mapping)
+        assert p.place(memory, 7, 0) == 0
+
+    def test_mc_aware_fallback_nearest(self, mapping):
+        """When the desired MC is full, the nearest alternate with free
+        frames is used -- never a page fault (Section 5.3)."""
+        memory = PhysicalMemory(4, 1)
+        p = MCAwarePolicy({1: 0, 2: 0}, mapping)
+        p.place(memory, 1, 0)            # fills MC0's only frame
+        ppn = p.place(memory, 2, 0)      # falls back
+        assert ppn % 4 != 0
+        assert p.fallbacks == 1
+        # fallback MC is the nearest to MC0 (corner 0 -> corner 1 or 2)
+        assert ppn % 4 in (1, 2)
+
+    def test_first_touch_uses_cluster(self, memory, mapping):
+        p = FirstTouchPolicy(mapping)
+        core = 63  # bottom-right corner: its cluster owns the SE MC
+        ppn = p.place(memory, 5, core)
+        cluster = mapping.cluster_of_core(core)
+        assert ppn % 4 in mapping.mcs_of_cluster(cluster)
+
+    def test_first_touch_overflow(self, mapping):
+        memory = PhysicalMemory(4, 1)
+        p = FirstTouchPolicy(mapping)
+        p.place(memory, 1, 0)
+        ppn = p.place(memory, 2, 0)  # cluster MC full: sequential
+        assert ppn is not None

@@ -1,0 +1,97 @@
+"""Figure-oriented analysis helpers."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_rows, merge_hop_cdfs, pooled_hop_cdf
+from repro.analysis.distribution import (distance_weighted_hops,
+                                         mc_access_map,
+                                         skew_toward_cluster)
+from repro.analysis.tables import (format_percent_table,
+                                   format_value_table, geometric_mean,
+                                   improvement_summary)
+from repro.arch.config import MachineConfig
+from repro.sim.metrics import Comparison, RunMetrics
+
+
+class TestCdf:
+    def test_merge(self):
+        cdf = merge_hop_cdfs([Counter({1: 1}), Counter({3: 1})])
+        assert cdf[0] == 0.0
+        assert cdf[1] == 0.5
+        assert cdf[3] == 1.0
+
+    def test_pooled_kinds(self):
+        m = RunMetrics()
+        m.offchip_hops = Counter({2: 4})
+        m.onchip_hops = Counter({1: 1})
+        assert pooled_hop_cdf([m], "offchip")[2] == 1.0
+        assert pooled_hop_cdf([m], "onchip")[1] == 1.0
+        with pytest.raises(ValueError):
+            pooled_hop_cdf([m], "bogus")
+
+    def test_empty(self):
+        assert merge_hop_cdfs([]) == {}
+
+    def test_cdf_rows_dense(self):
+        rows = cdf_rows({1: 0.5, 3: 1.0}, max_hops=4)
+        assert rows == [0.0, 0.5, 0.5, 1.0, 1.0]
+
+
+class TestDistribution:
+    def make_metrics(self):
+        m = RunMetrics()
+        m.mc_node_requests = np.zeros((4, 64), dtype=np.int64)
+        m.mc_node_requests[0, 1] = 30
+        m.mc_node_requests[0, 60] = 10
+        return m
+
+    def test_access_map(self):
+        grid = mc_access_map(self.make_metrics(), 0, 8, 8)
+        assert grid.shape == (8, 8)
+        assert grid[0, 1] == pytest.approx(0.75)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_skew(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        m = self.make_metrics()
+        # node 1 is in MC0's cluster; node 60 is not
+        skew = skew_toward_cluster(m, mapping, mc=0)
+        assert skew == pytest.approx(0.75)
+
+    def test_requires_counts(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        with pytest.raises(ValueError):
+            skew_toward_cluster(RunMetrics(), mapping, 0)
+
+    def test_distance_weighted(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        m = self.make_metrics()
+        d = distance_weighted_hops(m, mapping)
+        assert d > 0
+
+
+class TestTables:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+    def make_cmp(self, base_t, opt_t):
+        b, o = RunMetrics(), RunMetrics()
+        b.exec_time, o.exec_time = base_t, opt_t
+        return Comparison(b, o)
+
+    def test_summary_average_row(self):
+        rows = {"a": self.make_cmp(100, 80), "b": self.make_cmp(100, 60)}
+        summary = improvement_summary(rows)
+        assert summary["average"]["exec_time"] == pytest.approx(0.3)
+
+    def test_format_tables(self):
+        rows = {"app": {"x": 0.5}}
+        text = format_percent_table(rows, ["x"], title="T")
+        assert "app" in text and "50.0%" in text and "T" in text
+        text2 = format_value_table(rows, ["x"])
+        assert "0.50" in text2

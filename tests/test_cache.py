@@ -1,0 +1,126 @@
+"""Set-associative caches with LRU and hashed set index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert c.num_sets == 8
+        assert c.capacity_lines == 16
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, 64, 2)
+
+    def test_not_multiple(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 64, 2)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert not c.access(5)
+        c.fill(5)
+        assert c.access(5)
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_access_does_not_allocate(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        c.access(5)
+        assert not c.contains(5)
+
+    def test_hit_rate(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        c.fill(1)
+        c.access(1)
+        c.access(2)
+        assert c.hit_rate == 0.5
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        c = SetAssociativeCache(128, 64, 2)  # 1 set, 2 ways
+        c.fill(0)
+        c.fill(1)
+        evicted = c.fill(2)
+        assert evicted == 0  # LRU
+
+    def test_access_promotes(self):
+        c = SetAssociativeCache(128, 64, 2)
+        c.fill(0)
+        c.fill(1)
+        c.access(0)          # 0 becomes MRU
+        evicted = c.fill(2)
+        assert evicted == 1
+
+    def test_refill_promotes(self):
+        c = SetAssociativeCache(128, 64, 2)
+        c.fill(0)
+        c.fill(1)
+        assert c.fill(0) is None  # already present: promote, no evict
+        assert c.fill(2) == 1
+
+    def test_invalidate(self):
+        c = SetAssociativeCache(128, 64, 2)
+        c.fill(3)
+        assert c.invalidate(3)
+        assert not c.contains(3)
+        assert not c.invalidate(3)
+
+
+class TestSetHashing:
+    def test_power_of_two_stride_spreads(self):
+        """The regression that motivated hashing: lines with stride 4
+        (the clustered layouts' line pattern) must use every set, not
+        alias into num_sets/4 of them."""
+        c = SetAssociativeCache(4096, 64, 4)  # 16 sets
+        used = {c.set_index(line) for line in range(0, 64 * 4, 4)}
+        assert len(used) == c.num_sets
+
+    def test_index_in_range(self):
+        c = SetAssociativeCache(2048, 64, 2)
+        for line in range(0, 100000, 977):
+            assert 0 <= c.set_index(line) < c.num_sets
+
+    def test_capacity_respected(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        for line in range(100):
+            c.fill(line)
+        assert c.occupancy <= c.capacity_lines
+
+    @given(st.lists(st.integers(0, 10**7), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_invariants(self, lines):
+        c = SetAssociativeCache(512, 64, 2)
+        for line in lines:
+            hit = c.access(line)
+            if hit:
+                assert c.contains(line)
+            c.fill(line)
+            assert c.contains(line)
+            assert c.occupancy <= c.capacity_lines
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_fully_associative_is_lru_stack(self, lines):
+        """A 1-set cache must behave as a pure LRU stack: after any
+        sequence, the resident lines are the most recent distinct ones."""
+        ways = 4
+        c = SetAssociativeCache(64 * ways, 64, ways)
+        for line in lines:
+            c.access(line)
+            c.fill(line)
+        recent = []
+        for line in reversed(lines):
+            if line not in recent:
+                recent.append(line)
+            if len(recent) == ways:
+                break
+        for line in recent:
+            assert c.contains(line)

@@ -1,0 +1,143 @@
+"""L2-to-MC mappings: validation, presets, partial regions."""
+
+import pytest
+
+from repro.arch.clustering import (Cluster, L2ToMCMapping, grid_mapping,
+                                   grid_shape_for, mapping_m1, mapping_m2,
+                                   partial_grid_mapping)
+from repro.arch.placement import corners, perimeter
+from repro.arch.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(8, 8)
+
+
+@pytest.fixture(scope="module")
+def mc_nodes(mesh):
+    return corners(mesh)
+
+
+class TestValidation:
+    def test_unequal_clusters_rejected(self, mesh, mc_nodes):
+        clusters = [Cluster(tuple(range(0, 32)), (0, 1)),
+                    Cluster(tuple(range(32, 64)), (2,))]
+        with pytest.raises(ValueError):
+            L2ToMCMapping(mesh, mc_nodes, clusters)
+
+    def test_core_overlap_rejected(self, mesh, mc_nodes):
+        clusters = [Cluster(tuple(range(0, 33)), (0, 1)),
+                    Cluster(tuple(range(32, 64)) + (0,), (2, 3))]
+        with pytest.raises(ValueError):
+            L2ToMCMapping(mesh, mc_nodes, clusters)
+
+    def test_incomplete_cover_rejected(self, mesh, mc_nodes):
+        clusters = [Cluster(tuple(range(0, 16)), (0, 1)),
+                    Cluster(tuple(range(16, 32)), (2, 3))]
+        with pytest.raises(ValueError):
+            L2ToMCMapping(mesh, mc_nodes, clusters)
+
+    def test_mc_reuse_rejected(self, mesh, mc_nodes):
+        clusters = [Cluster(tuple(range(0, 32)), (0, 1)),
+                    Cluster(tuple(range(32, 64)), (1, 2))]
+        with pytest.raises(ValueError):
+            L2ToMCMapping(mesh, mc_nodes, clusters)
+
+    def test_partial_allows_subset(self, mesh, mc_nodes):
+        clusters = [Cluster(tuple(range(0, 8)), (0,))]
+        mapping = L2ToMCMapping(mesh, mc_nodes, clusters, partial=True)
+        assert mapping.num_threads == 8
+
+
+class TestM1(object):
+    def test_shape(self, mesh, mc_nodes):
+        m1 = mapping_m1(mesh, mc_nodes)
+        assert m1.num_clusters == 4
+        assert m1.cores_per_cluster == 16
+        assert m1.mcs_per_cluster == 1
+
+    def test_nearest_matching(self, mesh, mc_nodes):
+        """Each quadrant gets its own corner's controller."""
+        m1 = mapping_m1(mesh, mc_nodes)
+        for cluster in m1.clusters:
+            mc_node = m1.mc_nodes[cluster.mc_indices[0]]
+            assert mc_node in cluster.cores
+
+    def test_desired_mc_is_cluster_mc(self, mesh, mc_nodes):
+        m1 = mapping_m1(mesh, mc_nodes)
+        for core in range(64):
+            cluster = m1.cluster_of_core(core)
+            assert m1.desired_mc_index(core) in m1.mcs_of_cluster(cluster)
+
+    def test_thread_binding_cluster_major(self, mesh, mc_nodes):
+        m1 = mapping_m1(mesh, mc_nodes)
+        clusters = [m1.cluster_of_thread(t) for t in range(64)]
+        # threads 0-15 in cluster 0, 16-31 in cluster 1, ...
+        for t in range(64):
+            assert clusters[t] == t // 16
+
+
+class TestM2:
+    def test_shape(self, mesh, mc_nodes):
+        m2 = mapping_m2(mesh, mc_nodes)
+        assert m2.num_clusters == 2
+        assert m2.cores_per_cluster == 32
+        assert m2.mcs_per_cluster == 2
+
+    def test_odd_mc_count_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mapping_m2(mesh, [0, 7, 56])
+
+    def test_locality_tradeoff(self, mesh, mc_nodes):
+        m1 = mapping_m1(mesh, mc_nodes)
+        m2 = mapping_m2(mesh, mc_nodes)
+        assert m1.avg_distance_to_mc() < m2.avg_distance_to_mc()
+
+
+class TestGridMapping:
+    def test_eight_mcs(self, mesh):
+        nodes = perimeter(mesh, 8)
+        mapping = grid_mapping(mesh, nodes, 8)
+        assert mapping.num_clusters == 8
+        assert mapping.cores_per_cluster == 8
+
+    def test_sixteen_mcs(self, mesh):
+        nodes = perimeter(mesh, 16)
+        mapping = grid_mapping(mesh, nodes, 16)
+        assert mapping.num_clusters == 16
+        assert mapping.mcs_per_cluster == 1
+
+    def test_uneven_split_rejected(self, mesh, mc_nodes):
+        with pytest.raises(ValueError):
+            grid_mapping(mesh, mc_nodes, 3)
+
+    def test_grid_shape_for(self, mesh):
+        cx, cy = grid_shape_for(mesh, 4)
+        assert cx * cy == 4
+        with pytest.raises(ValueError):
+            grid_shape_for(Mesh(5, 5), 4)
+
+    def test_small_mesh(self):
+        mesh = Mesh(4, 4)
+        mapping = mapping_m1(mesh, corners(mesh))
+        assert mapping.cores_per_cluster == 4
+
+
+class TestPartialGrid:
+    def test_left_half(self, mesh, mc_nodes):
+        mapping = partial_grid_mapping(mesh, mc_nodes, 0, 0, 4, 8, 2)
+        assert mapping.partial
+        assert mapping.num_threads == 32
+        # the region's controllers are the two west corners
+        used = {m for c in mapping.clusters for m in c.mc_indices}
+        used_nodes = {mc_nodes[m] for m in used}
+        assert used_nodes == {0, 56}
+
+    def test_untileable_region(self, mesh, mc_nodes):
+        with pytest.raises(ValueError):
+            partial_grid_mapping(mesh, mc_nodes, 0, 0, 3, 5, 7)
+
+    def test_avg_distance(self, mesh, mc_nodes):
+        mapping = partial_grid_mapping(mesh, mc_nodes, 0, 0, 4, 8, 2)
+        assert mapping.avg_distance_to_mc() < 6

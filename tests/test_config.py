@@ -1,0 +1,90 @@
+"""Machine configuration: Table 1 defaults and derived values."""
+
+import pytest
+
+from repro.arch.config import (CACHE_LINE_INTERLEAVING, MachineConfig,
+                               PAGE_INTERLEAVING)
+
+
+class TestTable1Defaults:
+    """The paper_default configuration reproduces Table 1 verbatim."""
+
+    def test_table1(self):
+        cfg = MachineConfig.paper_default()
+        assert (cfg.mesh_width, cfg.mesh_height) == (8, 8)
+        assert cfg.l1_size == 16 * 1024
+        assert cfg.l1_line == 64
+        assert cfg.l1_ways == 2
+        assert cfg.l2_size == 256 * 1024
+        assert cfg.l2_line == 256
+        assert cfg.l2_ways == 16
+        assert (cfg.l1_latency, cfg.l2_latency, cfg.hop_latency) == \
+            (2, 10, 4)
+        assert cfg.link_bytes == 16
+        assert cfg.num_mcs == 4
+        assert cfg.mc_placement == "P1"          # four corners
+        assert cfg.row_buffer_bytes == 4096      # = page size
+        assert cfg.page_size == 4096
+        assert cfg.interleaving == PAGE_INTERLEAVING
+        assert not cfg.shared_l2
+
+    def test_interleave_unit(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.interleave_unit == 4096
+        assert cfg.with_(
+            interleaving=CACHE_LINE_INTERLEAVING).interleave_unit == 256
+
+    def test_flits(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.data_flits == 16   # 256 B line / 16 B links
+        assert cfg.control_flits == 1
+
+
+class TestScaling:
+    def test_scaled_keeps_structure(self):
+        cfg = MachineConfig.scaled_default()
+        paper = MachineConfig.paper_default()
+        assert cfg.l1_line == paper.l1_line
+        assert cfg.l2_line == paper.l2_line
+        assert cfg.num_mcs == paper.num_mcs
+        assert cfg.l1_size < paper.l1_size
+        assert cfg.l2_size < paper.l2_size
+
+    def test_scaled_ratio(self):
+        cfg = MachineConfig.scaled_default(scale=16)
+        assert cfg.l1_size == 1024
+        assert cfg.l2_size == 16 * 1024
+
+
+class TestValidation:
+    def test_bad_interleaving(self):
+        with pytest.raises(ValueError):
+            MachineConfig(interleaving="bogus")
+
+    def test_line_ratio_checked(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1_line=96)
+
+    def test_page_multiple_checked(self):
+        with pytest.raises(ValueError):
+            MachineConfig(page_size=300)
+
+
+class TestDerived:
+    def test_num_cores(self):
+        assert MachineConfig(mesh_width=4, mesh_height=8).num_cores == 32
+
+    def test_default_mapping_is_m1(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        assert mapping.name == "M1"
+        assert mapping.num_clusters == 4
+
+    def test_with_(self):
+        cfg = MachineConfig.scaled_default().with_(num_mcs=8)
+        assert cfg.num_mcs == 8
+
+    def test_effective_overlap(self):
+        cfg = MachineConfig.scaled_default()
+        assert cfg.effective_overlap(2.0) == cfg.miss_overlap
+        assert cfg.effective_overlap(10.0) <= cfg.mlp_overlap_cap
+        assert cfg.effective_overlap(10.0) > cfg.effective_overlap(3.0)

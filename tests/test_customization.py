@@ -1,0 +1,119 @@
+"""Layout customization drivers: private and shared L2 (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.core.customization import (allowed_mcs, assign_shared_slots,
+                                      private_l2_layout, shared_l2_layout,
+                                      thread_clusters)
+from repro.program.ir import ArrayDecl
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return MachineConfig.scaled_default().default_mapping()
+
+
+class TestThreadClusters:
+    def test_one_per_core(self, mapping):
+        tc = thread_clusters(mapping, 64)
+        assert len(tc) == 64
+        assert set(tc) == {0, 1, 2, 3}
+        assert tc.count(0) == 16
+
+    def test_wraparound(self, mapping):
+        tc = thread_clusters(mapping, 128)
+        assert tc[:64] == tc[64:]
+
+
+class TestPrivateLayout:
+    def test_builds(self, mapping):
+        a = ArrayDecl("X", (128, 64))
+        lay = private_l2_layout(a, None, mapping, unit_bytes=256)
+        assert lay.num_threads == 64
+        assert lay.unit_elems == 32
+
+    def test_unit_must_divide(self, mapping):
+        a = ArrayDecl("X", (64, 64), element_size=48)
+        with pytest.raises(ValueError):
+            private_l2_layout(a, None, mapping, unit_bytes=256)
+
+    def test_every_line_goes_to_cluster_mc(self, mapping):
+        """The desired Data-to-MC mapping is realized: thread data maps
+        to the thread's cluster's controller."""
+        a = ArrayDecl("X", (128, 32), element_size=64)
+        lay = private_l2_layout(a, None, mapping, unit_bytes=256)
+        grids = np.meshgrid(np.arange(128), np.arange(32), indexing="ij")
+        coords = np.vstack([g.reshape(1, -1) for g in grids])
+        threads = lay.owning_thread(coords)
+        mcs = lay.target_mc(coords)
+        for t, mc in zip(threads.tolist(), mcs.tolist()):
+            cluster = mapping.cluster_of_thread(int(t))
+            assert mc in mapping.mcs_of_cluster(cluster)
+
+
+class TestAllowedMCs:
+    def test_diagonal_excluded(self, mapping):
+        # corner MCs: the diagonally opposite controller is not adjacent
+        allowed = allowed_mcs(mapping, core=0)
+        assert len(allowed) == 3
+        desired = mapping.desired_mc_index(0)
+        assert desired in allowed
+
+    def test_tight_adjacency(self, mapping):
+        allowed = allowed_mcs(mapping, core=0, adjacency=0)
+        assert allowed == {mapping.desired_mc_index(0)}
+
+
+class TestSlotAssignment:
+    def test_permutation(self, mapping):
+        slots = assign_shared_slots(mapping, 64)
+        assert sorted(set(slots)) == list(range(64))
+
+    def test_most_cores_keep_their_slot(self, mapping):
+        """Phase 1: cores whose own residue is acceptable stay put --
+        the displacement cascade must not occur."""
+        slots = assign_shared_slots(mapping, 64)
+        same = sum(1 for t in range(64)
+                   if slots[t] == mapping.core_of_thread(t))
+        assert same >= 40  # 48 out of 64 for corner MCs
+
+    def test_assigned_mcs_allowed(self, mapping):
+        slots = assign_shared_slots(mapping, 64)
+        for t in range(64):
+            core = mapping.core_of_thread(t)
+            assert (slots[t] % mapping.num_mcs) in allowed_mcs(mapping,
+                                                               core)
+
+    def test_threads_share_core_slots(self, mapping):
+        slots = assign_shared_slots(mapping, 128)
+        assert slots[:64] == slots[64:]
+
+
+class TestSharedLayout:
+    def test_builds(self, mapping):
+        a = ArrayDecl("X", (128, 64))
+        lay = shared_l2_layout(a, None, mapping, unit_bytes=256)
+        assert lay.num_banks == 64
+
+    def test_pure_onchip_ablation(self, mapping):
+        a = ArrayDecl("X", (128, 64))
+        lay = shared_l2_layout(a, None, mapping, unit_bytes=256,
+                               localize_offchip=False)
+        # slot == own core for every thread
+        for t in range(64):
+            assert lay._slot[t] == mapping.core_of_thread(t)
+
+    def test_home_bank_is_near_core(self, mapping):
+        a = ArrayDecl("X", (128, 64))
+        lay = shared_l2_layout(a, None, mapping, unit_bytes=256)
+        mesh = mapping.mesh
+        for t in range(64):
+            core = mapping.core_of_thread(t)
+            assert mesh.distance(core, int(lay._slot[t])) <= 6
+
+    def test_unit_must_divide(self, mapping):
+        a = ArrayDecl("X", (64, 64), element_size=48)
+        with pytest.raises(ValueError):
+            shared_l2_layout(a, None, mapping, unit_bytes=256)

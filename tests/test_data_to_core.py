@@ -1,0 +1,155 @@
+"""Determining the Data-to-Core mapping (Section 5.2)."""
+
+import pytest
+
+from repro.core import linalg
+from repro.core.data_to_core import (RefSystem, build_unimodular,
+                                     data_to_core_mapping, partition_vector,
+                                     submatrix_without_column)
+
+
+def ref(access, u=0, lo=0, weight=100, offset=None):
+    n = len(access)
+    off = tuple(offset) if offset is not None else (0,) * n
+    return RefSystem(tuple(tuple(r) for r in access), off, u, lo, weight)
+
+
+class TestSubmatrix:
+    def test_removes_column(self):
+        a = [[1, 2, 3], [4, 5, 6]]
+        assert submatrix_without_column(a, 1) == [[1, 3], [4, 6]]
+
+    def test_bad_column(self):
+        with pytest.raises(ValueError):
+            submatrix_without_column([[1, 2]], 5)
+
+
+class TestPartitionVector:
+    def test_paper_example(self):
+        # Figure 9(a): ref Z[j][i], parallel loop j (u per B = (0,1)^T).
+        # B = (0, 1)^T; the solution satisfies B^T g = 0.
+        g = partition_vector([[0], [1]])
+        assert g == [1, 0]
+
+    def test_identity_ref(self):
+        # X[i][j], parallel i: B = column j = (0,1)^T -> g = (1,0).
+        g = partition_vector([[0], [1]])
+        assert g is not None
+        assert g[0] * 0 + g[1] * 1 == 0
+
+    def test_unsolvable(self):
+        # B square full rank: no nontrivial solution (art's WGT case).
+        assert partition_vector([[1, 0], [0, 1]]) is None
+
+    def test_depth_one_nest(self):
+        # B has no columns: anything works; the default picks e_1.
+        g = partition_vector([[], [], []])
+        assert g == [1, 0, 0]
+
+
+class TestBuildUnimodular:
+    def test_keeps_sign(self):
+        u = build_unimodular([-1, 0])
+        assert u[0] == [-1, 0]
+        assert linalg.is_unimodular(u)
+
+    def test_divides_gcd(self):
+        u = build_unimodular([2, 4])
+        assert u[0] == [1, 2]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            build_unimodular([0, 0])
+
+
+class TestDataToCoreMapping:
+    def test_empty(self):
+        result = data_to_core_mapping([])
+        assert not result.optimized
+
+    def test_single_reference(self):
+        # X[i][j] with i parallel: partition along dim 0.
+        result = data_to_core_mapping([ref([[1, 0], [0, 1]])])
+        assert result.optimized
+        assert result.partition_row == [1, 0]
+        assert result.satisfaction == 1.0
+
+    def test_transposed_reference(self):
+        # B[j][i] with i parallel (galgel): U must swap dimensions.
+        result = data_to_core_mapping([ref([[0, 1], [1, 0]])])
+        assert result.optimized
+        assert result.partition_row == [0, 1]
+        assert result.transform[0] == [0, 1]
+
+    def test_unsolvable_single(self):
+        # art's WGT: access independent of the parallel iterator.
+        result = data_to_core_mapping(
+            [ref([[0, 1, 0], [0, 0, 1]], u=0)])
+        assert not result.optimized
+
+    def test_weighted_majority_wins(self):
+        heavy = ref([[1, 0], [0, 1]], weight=1000)
+        light = ref([[0, 1], [1, 0]], weight=10)
+        result = data_to_core_mapping([heavy, light])
+        assert result.partition_row == [1, 0]
+        assert result.satisfied_weight == 1000
+        assert result.total_weight == 1010
+        assert 0.9 < result.satisfaction < 1.0
+
+    def test_weights_accumulate_across_nests(self):
+        # Section 5.5: same submatrix from different nests accumulates.
+        a = ref([[1, 0], [0, 1]], weight=400)
+        b = ref([[1, 0], [0, 1]], weight=400, lo=2)
+        c = ref([[0, 1], [1, 0]], weight=700)
+        result = data_to_core_mapping([a, b, c])
+        assert result.partition_row == [1, 0]  # 800 beats 700
+
+    def test_falls_through_to_solvable_system(self):
+        unsolvable = ref([[0, 1, 0], [0, 0, 1]], u=0, weight=10_000)
+        solvable = ref([[1, 0, 0], [0, 0, 1]], u=0, weight=5)
+        result = data_to_core_mapping([unsolvable, solvable])
+        assert result.optimized
+        assert result.satisfaction < 0.01  # the gate's job to reject
+
+    def test_orientation_normalized(self):
+        # Reference X[-i][j]: alpha < 0 under g=(1,0); g must flip.
+        r = ref([[-1, 0], [0, 1]])
+        result = data_to_core_mapping([r])
+        assert r.alpha(result.partition_row) > 0
+
+    def test_anchor_from_lower_bound(self):
+        # X[i][j] with i in [3, n): thread 0's slab starts at 3.
+        result = data_to_core_mapping([ref([[1, 0], [0, 1]], lo=3)])
+        assert result.partition_anchor == 3
+
+    def test_anchor_includes_offset(self):
+        # X[i+2][j] with i from 0: slab starts at 2.
+        result = data_to_core_mapping(
+            [ref([[1, 0], [0, 1]], offset=(2, 0))])
+        assert result.partition_anchor == 2
+
+    def test_stencil_offsets_share_system(self):
+        # X[i][j], X[i+1][j], X[i-1][j]: one submatrix, all satisfied.
+        refs = [ref([[1, 0], [0, 1]], offset=(d, 0)) for d in (-1, 0, 1)]
+        result = data_to_core_mapping(refs)
+        assert result.satisfaction == 1.0
+        assert len(result.systems) == 1
+        assert result.systems[0].num_references == 3
+
+    def test_transform_is_unimodular(self):
+        result = data_to_core_mapping(
+            [ref([[2, 1, 0], [1, 0, 1], [0, 0, 1]], u=1)])
+        if result.optimized:
+            assert linalg.is_unimodular(result.transform)
+
+    def test_hyperplane_isolation_property(self):
+        """Eq. (2): iterations on one iteration hyperplane touch data on
+        one transformed-data hyperplane."""
+        access = [[1, 1], [0, 1]]  # X[i+j][j], parallel i (u=0)
+        result = data_to_core_mapping([ref(access)])
+        assert result.optimized
+        g = result.partition_row
+        # any two iterations with equal i_u=i must give equal g . (A di)
+        b = submatrix_without_column(access, 0)
+        for col in linalg.transpose(b):
+            assert sum(gi * ci for gi, ci in zip(g, col)) == 0

@@ -1,0 +1,66 @@
+"""Determinism: identical inputs give bit-identical results.
+
+A research simulator must be reproducible run to run -- the trace
+jitter, first-touch races, indexed-profile sampling and FR-FCFS state
+are all seeded or derived deterministically.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.sim.run import RunSpec, run_pair, run_simulation
+from repro.sim.sweep import Sweep
+from repro.workloads import build_workload
+
+SCALE = 0.3
+
+
+def snapshot(metrics):
+    return (metrics.exec_time, metrics.total_accesses, metrics.l1_hits,
+            metrics.l2_hits, metrics.onchip_remote, metrics.offchip,
+            metrics.onchip_net_sum, metrics.offchip_net_sum,
+            metrics.offchip_mem_sum, tuple(metrics.mc_requests))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("interleaving", ["cache_line", "page"])
+    def test_identical_runs(self, interleaving):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving=interleaving)
+        prog = build_workload("galgel", SCALE)
+        a = run_simulation(RunSpec(program=prog, config=cfg,
+                                   optimized=True)).metrics
+        b = run_simulation(RunSpec(program=prog, config=cfg,
+                                   optimized=True)).metrics
+        assert snapshot(a) == snapshot(b)
+
+    def test_fresh_program_object(self):
+        """Rebuilding the workload model gives the same simulation."""
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        a = run_simulation(RunSpec(
+            program=build_workload("hpccg", SCALE),
+            config=cfg)).metrics
+        b = run_simulation(RunSpec(
+            program=build_workload("hpccg", SCALE),
+            config=cfg)).metrics
+        assert snapshot(a) == snapshot(b)
+
+    def test_first_touch_deterministic(self):
+        cfg = MachineConfig.scaled_default()
+        prog = build_workload("swim", SCALE)
+        a = run_simulation(RunSpec(program=prog, config=cfg,
+                                   page_policy="first_touch")).metrics
+        b = run_simulation(RunSpec(program=prog, config=cfg,
+                                   page_policy="first_touch")).metrics
+        assert snapshot(a) == snapshot(b)
+
+    def test_sweep_agrees_with_run_pair(self):
+        """The sweep harness and the plain runner produce identical
+        comparisons for the same configuration."""
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        prog = build_workload("swim", SCALE)
+        _, _, direct = run_pair(prog, cfg)
+        point = Sweep(prog, cfg).run(mapping=["M1"])[0]
+        assert point.comparison.as_row() == direct.as_row()

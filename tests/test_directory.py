@@ -1,0 +1,47 @@
+"""The private-L2 sharer directory."""
+
+from repro.cache.directory import Directory
+
+
+class TestDirectory:
+    def test_empty(self):
+        d = Directory()
+        assert d.find_sharer(10, requester=0) is None
+        assert d.tracked_lines == 0
+
+    def test_add_and_find(self):
+        d = Directory()
+        d.add_sharer(10, 3)
+        assert d.find_sharer(10, requester=0) == 3
+
+    def test_requester_excluded(self):
+        d = Directory()
+        d.add_sharer(10, 3)
+        assert d.find_sharer(10, requester=3) is None
+
+    def test_deterministic_choice(self):
+        d = Directory()
+        for node in (9, 2, 7):
+            d.add_sharer(10, node)
+        assert d.find_sharer(10, requester=0) == 2
+
+    def test_remove(self):
+        d = Directory()
+        d.add_sharer(10, 3)
+        d.add_sharer(10, 5)
+        d.remove_sharer(10, 3)
+        assert d.sharers_of(10) == {5}
+        d.remove_sharer(10, 5)
+        assert d.tracked_lines == 0
+
+    def test_remove_absent_is_noop(self):
+        d = Directory()
+        d.remove_sharer(99, 1)
+        assert d.tracked_lines == 0
+
+    def test_sharers_of_copy(self):
+        d = Directory()
+        d.add_sharer(1, 2)
+        s = d.sharers_of(1)
+        s.add(99)
+        assert d.sharers_of(1) == {2}

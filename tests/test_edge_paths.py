@@ -1,0 +1,132 @@
+"""Edge paths: 1-D arrays, indexed codegen, 4-way multiprogramming,
+phase accounting, and deep-config runs."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, Program
+from repro.core.layout import ClusteredLayout, SharedL2Layout
+from repro.core.pipeline import LayoutTransformer
+from repro.frontend import emit_program
+from repro.program.ir import (ArrayDecl, IndexedRef, LoopNest,
+                              identity_ref)
+from repro.sim.multiprogram import run_multiprogram
+from repro.sim.run import RunSpec, run_simulation
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+
+
+class TestOneDimensionalArrays:
+    def make_program(self, n=512):
+        vec = ArrayDecl("V", (n,))
+        nest = LoopNest("axpy", ((0, n),),
+                        refs=(identity_ref(vec),
+                              identity_ref(vec, is_write=True)),
+                        work_per_iteration=4)
+        return Program("vec1d", [vec], [nest])
+
+    def test_clustered_1d_bijective(self):
+        a = ArrayDecl("V", (64,))
+        lay = ClusteredLayout(a, None, 8, 2,
+                              thread_cluster=[t % 4 for t in range(8)],
+                              cluster_mcs=[(c,) for c in range(4)],
+                              num_mcs=4)
+        coords = np.arange(64).reshape(1, -1)
+        offs = lay.element_offsets(coords)
+        assert len(set(offs.tolist())) == 64
+
+    def test_shared_1d_bijective(self):
+        a = ArrayDecl("V", (64,))
+        lay = SharedL2Layout(a, None, 8, 2, list(range(8)), 8, 4)
+        coords = np.arange(64).reshape(1, -1)
+        offs = lay.element_offsets(coords)
+        assert len(set(offs.tolist())) == 64
+
+    def test_end_to_end(self, config):
+        program = self.make_program()
+        result = LayoutTransformer(config).run(program)
+        assert result.plans["V"].optimized
+        res = run_simulation(RunSpec(program=program, config=config,
+                                     optimized=True))
+        assert res.metrics.total_accesses == program.total_accesses
+
+    def test_codegen_1d(self, config):
+        program = self.make_program(n=128)
+        result = LayoutTransformer(config).run(program)
+        c = emit_program(program, result)
+        assert "V_idx(long a0)" in c
+        assert "rest = 0" in c
+
+
+class TestIndexedCodegen:
+    def test_indexed_nest_annotated(self, config):
+        x = ArrayDecl("X", (64, 8))
+        rows = np.repeat(np.arange(64), 8)
+        cols = np.tile(np.arange(8), 64)
+        nest = LoopNest("g", ((0, 64), (0, 8)),
+                        refs=(IndexedRef(x, (rows, cols)),
+                              identity_ref(x, is_write=True)))
+        program = Program("p", [x], [nest])
+        result = LayoutTransformer(config).run(program)
+        c = emit_program(program, result)
+        assert "indexed reference(s) kept in original form" in c
+
+
+class TestFourWayMultiprogram:
+    def test_quadrant_workload(self, config):
+        programs = [build_workload(a, 0.25)
+                    for a in ("swim", "art", "wupwise", "galgel")]
+        result = run_multiprogram(programs, config, clusters_per_app=1)
+        assert len(result.shared_original) == 4
+        assert 0 < result.ws_original <= 4.001
+        assert result.ws_optimized > 0
+
+
+class TestPhaseAccounting:
+    def test_phases_cover_all_accesses(self, config):
+        cfg = config.with_(track_phases=True)
+        prog = build_workload("galgel", 0.3)
+        m = run_simulation(RunSpec(program=prog, config=cfg)).metrics
+        assert sum(m.phase_accesses.values()) == m.total_accesses
+        assert set(m.phase_accesses) == {n.name for n in prog.nests}
+        assert all(v > 0 for v in m.phase_cycles.values())
+
+    def test_disabled_by_default(self, config):
+        prog = build_workload("galgel", 0.3)
+        m = run_simulation(RunSpec(program=prog, config=config)).metrics
+        assert m.phase_cycles == {}
+
+
+class TestDeepConfigs:
+    def test_page_plus_shared_rejected_gracefully(self):
+        """Shared L2 with page interleaving is unusual but must run
+        (the home-bank interleave stays at line granularity)."""
+        cfg = MachineConfig.scaled_default().with_(shared_l2=True)
+        prog = build_workload("swim", 0.25)
+        res = run_simulation(RunSpec(program=prog, config=cfg,
+                                     optimized=True))
+        assert res.metrics.total_accesses > 0
+
+    def test_single_mc(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line", num_mcs=1)
+        from repro.arch.clustering import grid_mapping
+        mesh = cfg.mesh()
+        mapping = grid_mapping(mesh, cfg.mc_nodes(mesh)[:1], 1)
+        prog = build_workload("swim", 0.25)
+        res = run_simulation(RunSpec(program=prog, config=cfg,
+                                     mapping=mapping, optimized=True))
+        assert res.metrics.offchip > 0
+
+    def test_non_square_mesh(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line", mesh_width=8, mesh_height=4)
+        prog = build_workload("swim", 0.25)
+        res = run_simulation(RunSpec(program=prog, config=cfg,
+                                     optimized=True))
+        assert res.metrics.total_accesses > 0

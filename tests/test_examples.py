@@ -1,0 +1,63 @@
+"""The example scripts run end to end (as subprocesses, like a user)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "reductions from the layout transformation" in out
+        assert "execution time" in out
+
+    def test_stencil_localization(self):
+        out = run_example("stencil_localization.py")
+        assert "per-array plan" in out
+        assert "GRID: optimized=True" in out
+        assert "cluster owns" in out
+
+    def test_mapping_tradeoff(self):
+        out = run_example("mapping_tradeoff.py")
+        assert "fma3d" in out
+        # the analysis picks M2 for the high-MLP pair
+        fma_line = next(l for l in out.splitlines()
+                        if l.startswith("fma3d"))
+        assert "M2" in fma_line
+
+    def test_source_to_source(self):
+        out = run_example("source_to_source.py")
+        assert "parallelization legal" in out
+        assert "Z_idx" in out  # emitted C
+
+    def test_source_to_source_custom_kernel(self):
+        out = run_example("source_to_source.py",
+                          str(EXAMPLES / "kernels" / "transpose.krn"))
+        assert "B_idx" in out
+
+    def test_design_space_sweep(self):
+        out = run_example("design_space_sweep.py", "swim", "0.3")
+        assert "best configuration for swim" in out
+        assert "mapping" in out
+
+    def test_first_touch_comparison(self):
+        out = run_example("first_touch_comparison.py", "wupwise")
+        assert "FT-friendly" in out
+
+    @pytest.mark.slow
+    def test_shared_l2_snuca(self):
+        out = run_example("shared_l2_snuca.py")
+        assert "local-bank hits" in out
+        assert "delta-skip" in out

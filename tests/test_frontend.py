@@ -1,0 +1,234 @@
+"""The kernel-language front end: lexer, parser, lowering."""
+
+import pytest
+
+from repro.frontend.ast import Affine
+from repro.frontend.lexer import LexerError, tokenize
+from repro.frontend.lower import LoweringError, compile_kernel
+from repro.frontend.parser import ParseError, parse_kernel
+
+JACOBI = """
+let N = 32;
+array Z[N][N] elem 8;
+array OUT[N][N];
+
+parallel for (i = 1; i < N - 1; i++) work 12 repeat 2 {
+  for (j = 1; j < N - 1; j++) {
+    OUT[i][j] = Z[i-1][j] + Z[i][j] + Z[i+1][j];
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_token_stream(self):
+        toks = tokenize("for (i = 0; i < 10; i++)")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "for"
+        assert "eof" == kinds[-1]
+        texts = [t.text for t in toks if t.kind == "punct"]
+        assert "++" in texts
+
+    def test_comments_skipped(self):
+        toks = tokenize("let x = 1; // comment\n# another\nlet y = 2;")
+        assert sum(1 for t in toks if t.kind == "let") == 2
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+
+    def test_longest_match(self):
+        toks = tokenize("a += b")
+        assert any(t.text == "+=" for t in toks)
+
+    def test_bad_char(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+
+class TestAffine:
+    def test_arithmetic(self):
+        i = Affine.variable("i")
+        expr = (i + Affine.constant(2)).scaled(3) - i
+        assert expr.coeff_map() == {"i": 2}
+        assert expr.const == 6
+
+    def test_cancellation(self):
+        i = Affine.variable("i")
+        assert (i - i).is_constant
+
+    def test_render(self):
+        expr = Affine((("i", 2), ("j", -1)), 5)
+        assert expr.render() == "2*i - j + 5"
+        assert Affine.constant(0).render() == "0"
+
+
+class TestParser:
+    def test_jacobi(self):
+        module = parse_kernel(JACOBI)
+        assert module.bindings == {"N": 32}
+        assert [a.name for a in module.arrays] == ["Z", "OUT"]
+        assert module.arrays[0].element_size == 8
+        loop = module.loops[0]
+        assert loop.parallel
+        assert loop.work == 12
+        assert loop.repeat == 2
+        inner = loop.body[0]
+        assert inner.var == "j"
+        stmt = inner.body[0]
+        assert stmt.lhs.name == "OUT"
+        assert len(stmt.reads) == 3
+
+    def test_subscript_normalization(self):
+        module = parse_kernel(
+            "let N=8; array A[N][N];\n"
+            "parallel for (i=0;i<N;i++){for (j=0;j<N;j++){"
+            "A[2*i+1][j-1] = A[i][j];}}")
+        stmt = module.loops[0].body[0].body[0]
+        assert stmt.lhs.subscripts[0].coeff_map() == {"i": 2}
+        assert stmt.lhs.subscripts[0].const == 1
+        assert stmt.lhs.subscripts[1].const == -1
+
+    def test_plus_equals_reads_lhs(self):
+        module = parse_kernel(
+            "let N=4; array A[N];\n"
+            "parallel for (i=0;i<N;i++){ A[i] += A[i]; }")
+        stmt = module.loops[0].body[0]
+        assert len(stmt.reads) == 2  # the implicit LHS read + the RHS
+
+    def test_unknown_name(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N=4; array A[N];\n"
+                         "parallel for (i=0;i<N;i++){ A[q] = 0; }")
+
+    def test_mismatched_loop_var(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N=4; array A[N];\n"
+                         "for (i=0; j<N; i++){ A[i]=0; }")
+
+    def test_nonaffine_product(self):
+        with pytest.raises(ParseError):
+            parse_kernel(
+                "let N=4; array A[N][N];\n"
+                "for (i=0;i<N;i++){for (j=0;j<N;j++){A[i*j][j]=0;}}")
+
+    def test_shadowed_iterator(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N=4; array A[N];\n"
+                         "for (i=0;i<N;i++){for (i=0;i<N;i++){A[i]=0;}}")
+
+    def test_empty_module(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N = 4;")
+
+    def test_scalar_use_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N=4; array A[N];\n"
+                         "for (i=0;i<N;i++){ A = 0; }")
+
+
+class TestLowering:
+    def test_jacobi_program(self):
+        program = compile_kernel(JACOBI, "jacobi")
+        assert program.name == "jacobi"
+        assert {a.name for a in program.arrays} == {"Z", "OUT"}
+        nest = program.nests[0]
+        assert nest.bounds == ((1, 31), (1, 31))
+        assert nest.parallel_dim == 0
+        assert nest.repeat == 2
+        assert nest.work_per_iteration == 12
+        # 3 reads + 1 write
+        assert len(nest.refs) == 4
+        assert nest.refs[-1].is_write
+
+    def test_access_matrices(self):
+        program = compile_kernel(JACOBI)
+        read = program.nests[0].refs[0]      # Z[i-1][j]
+        assert read.access == ((1, 0), (0, 1))
+        assert read.offset == (-1, 0)
+
+    def test_parallel_marker_inner(self):
+        program = compile_kernel(
+            "let N=8; array A[N][N];\n"
+            "for (i=0;i<N;i++){parallel for (j=0;j<N;j++){"
+            "A[i][j] = A[i][j];}}")
+        assert program.nests[0].parallel_dim == 1
+
+    def test_two_parallel_markers_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_kernel(
+                "let N=8; array A[N][N];\n"
+                "parallel for (i=0;i<N;i++){parallel for (j=0;j<N;j++){"
+                "A[i][j]=0;}}")
+
+    def test_imperfect_nest_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_kernel(
+                "let N=8; array A[N][N];\n"
+                "for (i=0;i<N;i++){ A[i][0] = 0;"
+                " for (j=0;j<N;j++){ A[i][j]=0; } }")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(LoweringError):
+            compile_kernel("let N=8; array A[N][N];\n"
+                           "for (i=0;i<N;i++){ A[i] = 0; }")
+
+    def test_undeclared_array(self):
+        with pytest.raises(LoweringError):
+            compile_kernel("let N=8; array A[N];\n"
+                           "for (i=0;i<N;i++){ Q[i] = 0; }")
+
+    def test_multiple_nests(self):
+        program = compile_kernel(
+            "let N=8; array A[N];\n"
+            "parallel for (i=0;i<N;i++){ A[i] = A[i]; }\n"
+            "parallel for (i=0;i<N;i++){ A[i] = A[i]; }")
+        assert len(program.nests) == 2
+
+    def test_end_to_end_transformable(self):
+        """The compiled jacobi goes through the full pass cleanly."""
+        from repro import MachineConfig
+        from repro.core.pipeline import LayoutTransformer
+        config = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        program = compile_kernel(JACOBI)
+        result = LayoutTransformer(config).run(program)
+        assert result.pct_arrays_optimized == 1.0
+
+
+class TestStridedLoops:
+    def test_desugared_bounds(self):
+        from repro.frontend.lower import compile_kernel
+        program = compile_kernel(
+            "let N=16; array A[2*N][N];\n"
+            "parallel for (i=0;i<N;i+=2){for (j=0;j<N;j++){"
+            "A[2*i][j] = A[2*i+1][j];}}")
+        nest = program.nests[0]
+        assert nest.bounds[0] == (0, 8)  # 8 strided iterations
+        # subscript 2*i with i = 2*i' -> coefficient 4
+        assert nest.refs[0].access[0] == (4, 0)
+
+    def test_stride_with_offset_lower_bound(self):
+        from repro.frontend.lower import compile_kernel
+        program = compile_kernel(
+            "let N=20; array A[N];\n"
+            "parallel for (i=3;i<N;i+=4){ A[i] = A[i]; }")
+        nest = program.nests[0]
+        assert nest.bounds[0] == (0, 5)   # ceil((20-3)/4)
+        ref = nest.refs[0]
+        assert ref.access[0] == (4,)
+        assert ref.offset[0] == 3
+
+    def test_bad_step(self):
+        with pytest.raises(ParseError):
+            parse_kernel("let N=8; array A[N];\n"
+                         "for (i=0;i<N;i+=0){ A[i]=0; }")
+
+    def test_substitution_scoped_to_loop(self):
+        from repro.frontend.lower import compile_kernel
+        program = compile_kernel(
+            "let N=8; array A[N];\narray B[N];\n"
+            "parallel for (i=0;i<N;i+=2){ A[i] = A[i]; }\n"
+            "parallel for (i=0;i<N;i++){ B[i] = B[i]; }")
+        # second nest's iterator must NOT inherit the substitution
+        assert program.nests[1].refs[0].access[0] == (1,)

@@ -1,0 +1,56 @@
+"""Hyperplane geometry (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperplane import (Hyperplane, same_hyperplane_family,
+                                   unit_hyperplane)
+
+
+class TestHyperplane:
+    def test_contains(self):
+        h = Hyperplane((1, 0), 3)
+        assert h.contains((3, 7))
+        assert not h.contains((4, 7))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane((0, 0))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Hyperplane((1, 0)).contains((1, 2, 3))
+
+    def test_evaluate_vectorized(self):
+        h = Hyperplane((1, -1), 0)
+        pts = np.array([[0, 1, 2], [0, 1, 3]])
+        assert h.evaluate(pts).tolist() == [0, 0, -1]
+
+    def test_parallel_at(self):
+        h = Hyperplane((2, 1), 0).parallel_at(5)
+        assert h.vector == (2, 1)
+        assert h.offset == 5
+        assert h.contains((2, 1))
+
+    def test_dim(self):
+        assert Hyperplane((1, 2, 3)).dim == 3
+
+
+class TestUnitHyperplane:
+    def test_axis(self):
+        h = unit_hyperplane(3, 1, offset=4)
+        assert h.vector == (0, 1, 0)
+        assert h.contains((9, 4, -2))
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            unit_hyperplane(2, 5)
+
+
+class TestFamily:
+    def test_grouping(self):
+        # iterations sharing i_1 share the hyperplane with h = e_1
+        pts = np.array([[0, 0, 1], [5, 9, 5]])
+        labels = same_hyperplane_family(pts, [1, 0])
+        assert labels[0] == labels[1]
+        assert labels[0] != labels[2]

@@ -1,0 +1,89 @@
+"""Affine approximation of indexed references (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexed import approximate_indexed
+from repro.program.ir import ArrayDecl, IndexedRef, LoopNest, identity_ref
+
+
+def make_nest(rows, cols, row_stream, col_stream, array):
+    return LoopNest(
+        "gather", ((0, rows), (0, cols)),
+        refs=(IndexedRef(array, (row_stream, col_stream)),
+              identity_ref(array, is_write=True)),
+        work_per_iteration=4)
+
+
+class TestApproximation:
+    def test_exact_identity_pattern(self):
+        rows, cols = 64, 8
+        a = ArrayDecl("X", (rows, cols))
+        row_stream = np.repeat(np.arange(rows), cols)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = make_nest(rows, cols, row_stream, col_stream, a)
+        approx = approximate_indexed(nest, nest.refs[0])
+        assert approx.accepted
+        assert approx.relative_error < 1e-9
+        assert approx.reference.access == ((1, 0), (0, 1))
+
+    def test_banded_pattern_accepted(self):
+        """CRS columns hugging the diagonal (hpccg): small error."""
+        rows, cols = 128, 8
+        a = ArrayDecl("X", (rows, cols))
+        rng = np.random.default_rng(3)
+        jitter = rng.integers(-4, 5, size=rows * cols)
+        row_stream = np.clip(np.repeat(np.arange(rows), cols) + jitter,
+                             0, rows - 1)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = make_nest(rows, cols, row_stream, col_stream, a)
+        approx = approximate_indexed(nest, nest.refs[0])
+        assert approx.accepted
+        assert approx.relative_error < 0.05
+
+    def test_random_pattern_rejected(self):
+        """ammp's nonbonded pairs: uniform random, past the 30% gate."""
+        rows, cols = 128, 8
+        a = ArrayDecl("X", (rows, cols))
+        rng = np.random.default_rng(5)
+        row_stream = rng.integers(0, rows, size=rows * cols)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = make_nest(rows, cols, row_stream, col_stream, a)
+        approx = approximate_indexed(nest, nest.refs[0])
+        assert approx.rejected
+        assert approx.relative_error > 0.3
+
+    def test_gate_is_configurable(self):
+        rows, cols = 64, 4
+        a = ArrayDecl("X", (rows, cols))
+        rng = np.random.default_rng(7)
+        row_stream = rng.integers(0, rows, size=rows * cols)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = make_nest(rows, cols, row_stream, col_stream, a)
+        lax = approximate_indexed(nest, nest.refs[0], error_gate=1.0)
+        assert lax.accepted
+
+    def test_strided_pattern(self):
+        """row = 2*i is recovered exactly."""
+        rows, cols = 32, 4
+        a = ArrayDecl("X", (2 * rows, cols))
+        row_stream = np.repeat(2 * np.arange(rows), cols)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = LoopNest("s", ((0, rows), (0, cols)),
+                        refs=(IndexedRef(a, (row_stream, col_stream)),))
+        approx = approximate_indexed(nest, nest.refs[0])
+        assert approx.accepted
+        assert approx.reference.access[0] == (2, 0)
+
+    def test_sampling_is_deterministic(self):
+        rows, cols = 256, 8
+        a = ArrayDecl("X", (rows, cols))
+        rng = np.random.default_rng(11)
+        row_stream = np.clip(
+            np.repeat(np.arange(rows), cols)
+            + rng.integers(-2, 3, size=rows * cols), 0, rows - 1)
+        col_stream = np.tile(np.arange(cols), rows)
+        nest = make_nest(rows, cols, row_stream, col_stream, a)
+        a1 = approximate_indexed(nest, nest.refs[0], max_samples=512)
+        a2 = approximate_indexed(nest, nest.refs[0], max_samples=512)
+        assert a1.relative_error == a2.relative_error

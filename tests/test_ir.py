@@ -1,0 +1,189 @@
+"""The affine program IR."""
+
+import numpy as np
+import pytest
+
+from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
+                              Program, identity_ref, shifted_ref)
+
+
+class TestArrayDecl:
+    def test_basics(self):
+        a = ArrayDecl("X", (4, 5), element_size=8)
+        assert a.rank == 2
+        assert a.num_elements == 20
+        assert a.size_bytes == 160
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("X", ())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("X", (4, 0))
+
+    def test_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("X", (4,), element_size=0)
+
+
+class TestAffineRef:
+    def test_paper_example(self):
+        """Section 5.1: A[i1][2 i2 + 1] at i = (1, 2) gives a = (1, 5)."""
+        a = ArrayDecl("A", (10, 10))
+        ref = AffineRef(a, ((1, 0), (0, 2)), (0, 1))
+        assert ref.coords_of((1, 2)) == (1, 5)
+
+    def test_apply_vectorized(self):
+        a = ArrayDecl("A", (10, 10))
+        ref = shifted_ref(a, (1, -1))
+        pts = np.array([[0, 1], [5, 6]])
+        out = ref.apply(pts)
+        assert out[:, 0].tolist() == [1, 4]
+        assert out[:, 1].tolist() == [2, 5]
+
+    def test_rank_mismatch(self):
+        a = ArrayDecl("A", (10, 10))
+        with pytest.raises(ValueError):
+            AffineRef(a, ((1, 0),), (0,))
+
+    def test_ragged_matrix(self):
+        a = ArrayDecl("A", (10, 10))
+        with pytest.raises(ValueError):
+            AffineRef(a, ((1, 0), (0,)), (0, 0))
+
+    def test_identity_ref_depth(self):
+        a = ArrayDecl("A", (4, 4))
+        ref = identity_ref(a, depth=3)
+        assert ref.depth == 3
+        assert ref.coords_of((1, 2, 9)) == (1, 2)
+
+    def test_identity_ref_too_shallow(self):
+        with pytest.raises(ValueError):
+            identity_ref(ArrayDecl("A", (4, 4)), depth=1)
+
+
+class TestIndexedRef:
+    def test_coords(self):
+        a = ArrayDecl("A", (8, 4))
+        rows = np.array([3, 1])
+        cols = np.array([0, 2])
+        ref = IndexedRef(a, (rows, cols))
+        assert ref.coords().T.tolist() == [[3, 0], [1, 2]]
+        assert ref.num_points == 2
+
+    def test_rank_mismatch(self):
+        a = ArrayDecl("A", (8, 4))
+        with pytest.raises(ValueError):
+            IndexedRef(a, (np.array([1]),))
+
+    def test_length_mismatch(self):
+        a = ArrayDecl("A", (8, 4))
+        with pytest.raises(ValueError):
+            IndexedRef(a, (np.array([1]), np.array([1, 2])))
+
+
+class TestLoopNest:
+    def make(self, bounds=((0, 4), (0, 6)), parallel=0, repeat=1):
+        a = ArrayDecl("A", (8, 8))
+        return LoopNest("n", bounds, refs=(identity_ref(a),),
+                        parallel_dim=parallel, repeat=repeat)
+
+    def test_shape(self):
+        nest = self.make()
+        assert nest.depth == 2
+        assert nest.extents == (4, 6)
+        assert nest.num_iterations == 24
+
+    def test_trip_weight_includes_repeat(self):
+        assert self.make(repeat=3).trip_weight == 72
+
+    def test_iteration_points_row_major(self):
+        nest = self.make(bounds=((0, 2), (0, 3)))
+        pts = nest.iteration_points()
+        assert pts.T.tolist() == [[0, 0], [0, 1], [0, 2],
+                                  [1, 0], [1, 1], [1, 2]]
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(bounds=((0, 0), (0, 3)))
+
+    def test_bad_parallel_dim(self):
+        with pytest.raises(ValueError):
+            self.make(parallel=7)
+
+    def test_ref_depth_checked(self):
+        a = ArrayDecl("A", (8,))
+        with pytest.raises(ValueError):
+            LoopNest("n", ((0, 4), (0, 4)),
+                     refs=(AffineRef(a, ((1,),), (0,)),))
+
+    def test_thread_chunk_contiguous(self):
+        nest = self.make(bounds=((0, 10), (0, 2)))
+        chunks = [nest.thread_chunk(t, 4) for t in range(4)]
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_thread_chunk_empty(self):
+        nest = self.make(bounds=((0, 2), (0, 2)))
+        assert nest.thread_chunk(3, 4) is None
+
+    def test_thread_points_match_mask(self):
+        nest = self.make(bounds=((0, 9), (1, 5)), parallel=0)
+        for t in range(4):
+            pts = nest.thread_iteration_points(t, 4)
+            mask = nest.thread_iteration_mask(t, 4)
+            all_pts = nest.iteration_points()
+            if pts is None:
+                assert not mask.any()
+            else:
+                assert np.array_equal(all_pts[:, mask], pts)
+
+    def test_thread_points_nondefault_parallel_dim(self):
+        nest = self.make(bounds=((0, 3), (0, 8)), parallel=1)
+        pts = nest.thread_iteration_points(1, 4)
+        mask = nest.thread_iteration_mask(1, 4)
+        assert np.array_equal(nest.iteration_points()[:, mask], pts)
+
+    def test_chunks_partition_iterations(self):
+        nest = self.make(bounds=((0, 13), (0, 3)))
+        total = 0
+        for t in range(8):
+            pts = nest.thread_iteration_points(t, 8)
+            if pts is not None:
+                total += pts.shape[1]
+        assert total == nest.num_iterations
+
+
+class TestProgram:
+    def test_duplicate_arrays_rejected(self):
+        a = ArrayDecl("A", (4,))
+        with pytest.raises(ValueError):
+            Program("p", [a, a], [])
+
+    def test_undeclared_array_rejected(self):
+        a = ArrayDecl("A", (4, 4))
+        nest = LoopNest("n", ((0, 4), (0, 4)), refs=(identity_ref(a),))
+        with pytest.raises(ValueError):
+            Program("p", [], [nest])
+
+    def test_references_to_collects_across_nests(self):
+        a = ArrayDecl("A", (4, 4))
+        n1 = LoopNest("n1", ((0, 4), (0, 4)), refs=(identity_ref(a),))
+        n2 = LoopNest("n2", ((0, 4), (0, 4)),
+                      refs=(identity_ref(a), shifted_ref(a, (1, 0))))
+        program = Program("p", [a], [n1, n2])
+        assert len(program.references_to(a)) == 3
+
+    def test_total_accesses(self):
+        a = ArrayDecl("A", (4, 4))
+        nest = LoopNest("n", ((0, 4), (0, 4)),
+                        refs=(identity_ref(a), identity_ref(a)), repeat=2)
+        program = Program("p", [a], [nest])
+        assert program.total_accesses == 4 * 4 * 2 * 2
+
+    def test_array_lookup(self):
+        a = ArrayDecl("A", (4,))
+        program = Program("p", [a], [])
+        assert program.array("A") is a
+        with pytest.raises(KeyError):
+            program.array("B")

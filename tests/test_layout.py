@@ -1,0 +1,233 @@
+"""Layouts: injectivity, MC targeting, home banks (Section 5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+from repro.core.layout import (ClusteredLayout, RowMajorLayout,
+                               SharedL2Layout, TransformedLayout,
+                               transformed_bounds)
+from repro.program.ir import ArrayDecl
+
+
+def all_coords(dims):
+    grids = np.meshgrid(*[np.arange(d) for d in dims], indexing="ij")
+    return np.vstack([g.reshape(1, -1) for g in grids])
+
+
+class TestTransformedBounds:
+    def test_identity(self):
+        mins, extents = transformed_bounds(linalg.identity(2), [4, 6])
+        assert mins == [0, 0]
+        assert extents == [4, 6]
+
+    def test_swap(self):
+        mins, extents = transformed_bounds([[0, 1], [1, 0]], [4, 6])
+        assert extents == [6, 4]
+
+    def test_negative(self):
+        mins, extents = transformed_bounds([[-1, 0], [0, 1]], [4, 6])
+        assert mins == [-3, 0]
+        assert extents == [4, 6]
+
+    def test_shear(self):
+        mins, extents = transformed_bounds([[1, 1], [0, 1]], [3, 3])
+        assert mins == [0, 0]
+        assert extents == [5, 3]
+
+
+class TestRowMajor:
+    def test_offsets(self):
+        a = ArrayDecl("X", (3, 4))
+        lay = RowMajorLayout(a)
+        assert lay.offset_of((0, 0)) == 0
+        assert lay.offset_of((1, 0)) == 4
+        assert lay.offset_of((2, 3)) == 11
+
+    def test_size(self):
+        lay = RowMajorLayout(ArrayDecl("X", (3, 4), element_size=8))
+        assert lay.size_elements == 12
+        assert lay.size_bytes == 96
+
+    def test_not_transformed(self):
+        assert not RowMajorLayout(ArrayDecl("X", (2,))).transformed
+
+    def test_bijective(self):
+        a = ArrayDecl("X", (5, 7))
+        lay = RowMajorLayout(a)
+        offs = lay.element_offsets(all_coords(a.dims))
+        assert len(set(offs.tolist())) == a.num_elements
+
+
+class TestTransformedLayout:
+    def test_swap_layout(self):
+        a = ArrayDecl("X", (3, 5))
+        lay = TransformedLayout(a, [[0, 1], [1, 0]])
+        # element (i, j) lands at transposed position j*3 + i
+        assert lay.offset_of((1, 2)) == 2 * 3 + 1
+
+    def test_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            TransformedLayout(ArrayDecl("X", (3, 3)), [[2, 0], [0, 1]])
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TransformedLayout(ArrayDecl("X", (3,)), [[1, 0], [0, 1]])
+
+    def test_bijective_with_shear(self):
+        a = ArrayDecl("X", (4, 6))
+        lay = TransformedLayout(a, [[1, 1], [0, 1]])
+        offs = lay.element_offsets(all_coords(a.dims))
+        assert len(set(offs.tolist())) == a.num_elements
+        assert offs.min() >= 0
+        assert offs.max() < lay.size_elements
+
+
+def make_clustered(dims=(16, 8), threads=8, unit=2, clusters=4, k=1,
+                   num_mcs=4, u=None, anchor=0, element_size=8):
+    a = ArrayDecl("X", dims, element_size)
+    thread_cluster = [t % clusters for t in range(threads)]
+    cluster_mcs = [tuple(c * k + j for j in range(k))
+                   for c in range(clusters)]
+    return ClusteredLayout(a, u, threads, unit, thread_cluster,
+                           cluster_mcs, num_mcs, partition_anchor=anchor)
+
+
+class TestClusteredLayout:
+    def test_bijective(self):
+        lay = make_clustered()
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert len(set(offs.tolist())) == 16 * 8
+
+    def test_within_footprint(self):
+        lay = make_clustered()
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert offs.min() >= 0
+        assert offs.max() < lay.size_elements
+
+    def test_lines_target_cluster_mcs(self):
+        """The defining property: every element's line maps, under the
+        hardware (line % num_mcs) rule, to an MC owned by the cluster of
+        the thread that owns the element."""
+        lay = make_clustered()
+        coords = all_coords((16, 8))
+        threads = lay.owning_thread(coords)
+        mcs = lay.target_mc(coords)
+        for t, mc in zip(threads.tolist(), mcs.tolist()):
+            cluster = t % 4
+            assert mc in lay._mc_slot[cluster]
+
+    def test_k2_round_robin(self):
+        """With k=2 MCs per cluster a thread's consecutive lines
+        alternate between its cluster's two controllers."""
+        lay = make_clustered(dims=(8, 16), threads=4, clusters=2, k=2,
+                             unit=2)
+        row = np.array([[0] * 16, list(range(16))])
+        mcs = lay.target_mc(row)
+        assert set(mcs.tolist()) == {0, 1}  # cluster 0 owns MCs 0 and 1
+
+    def test_anchor_shifts_ownership(self):
+        lay0 = make_clustered(anchor=0)
+        lay1 = make_clustered(anchor=1)
+        row1 = np.array([[1, 1], [0, 1]])
+        # with anchor 1, row 1 belongs to thread 0 (block = 2)
+        assert lay1.owning_thread(row1).tolist() == [0, 0]
+        assert lay0.owning_thread(row1).tolist() == [0, 0]
+        row0 = np.array([[0], [0]])
+        # with anchor 1, row 0 wraps to the last slab
+        assert lay1.owning_thread(row0)[0] == lay1.num_threads - 1
+        assert lay0.owning_thread(row0)[0] == 0
+
+    def test_anchor_preserves_bijectivity(self):
+        lay = make_clustered(anchor=3)
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert len(set(offs.tolist())) == 16 * 8
+
+    def test_page_hint(self):
+        lay = make_clustered()
+        assert lay.desired_mc_of_relative_page(0) == 0
+        assert lay.desired_mc_of_relative_page(5) == 1
+
+    def test_disjointness_enforced(self):
+        a = ArrayDecl("X", (8, 8))
+        with pytest.raises(ValueError):
+            ClusteredLayout(a, None, 4, 2, [0, 1, 0, 1],
+                            [(0,), (0,)], 4)
+
+    def test_unequal_cluster_mcs_rejected(self):
+        a = ArrayDecl("X", (8, 8))
+        with pytest.raises(ValueError):
+            ClusteredLayout(a, None, 4, 2, [0, 1, 0, 1],
+                            [(0,), (1, 2)], 4)
+
+    def test_partial_mc_cover_allowed(self):
+        """Multiprogram regions use a subset of the MCs; holes are left
+        at the other controllers' line slots."""
+        lay = make_clustered(clusters=2, threads=8, num_mcs=4, k=1)
+        coords = all_coords((16, 8))
+        mcs = set(lay.target_mc(coords).tolist())
+        assert mcs <= {0, 1}
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(1, 8),
+           st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_bijectivity_property(self, d0, d1, threads, unit):
+        dims = (d0 * 4, d1)
+        clusters = 2 if threads % 2 == 0 else 1
+        lay = make_clustered(dims=dims, threads=max(threads, clusters),
+                             unit=unit, clusters=clusters, k=1,
+                             num_mcs=2)
+        offs = lay.element_offsets(all_coords(dims))
+        assert len(set(offs.tolist())) == dims[0] * dims[1]
+
+
+def make_shared(dims=(16, 8), threads=8, unit=2, banks=8, num_mcs=4,
+                slots=None, anchor=0):
+    a = ArrayDecl("X", dims)
+    if slots is None:
+        slots = list(range(threads))
+    return SharedL2Layout(a, None, threads, unit, slots, banks, num_mcs,
+                          partition_anchor=anchor)
+
+
+class TestSharedL2Layout:
+    def test_bijective(self):
+        lay = make_shared()
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert len(set(offs.tolist())) == 16 * 8
+
+    def test_home_banks_match_slots(self):
+        """Eq. 4: (addr / p) % N must equal the owning thread's slot."""
+        lay = make_shared()
+        coords = all_coords((16, 8))
+        threads = lay.owning_thread(coords)
+        homes = lay.home_bank(coords)
+        slots = lay._slot
+        for t, h in zip(threads.tolist(), homes.tolist()):
+            assert h == slots[t]
+
+    def test_mc_follows_slot(self):
+        """Eq. 5: MC = slot % N' when banks are a multiple of N'."""
+        lay = make_shared()
+        coords = all_coords((16, 8))
+        threads = lay.owning_thread(coords)
+        mcs = lay.target_mc(coords)
+        for t, mc in zip(threads.tolist(), mcs.tolist()):
+            assert mc == lay._slot[t] % 4
+
+    def test_shared_slots_interleave(self):
+        # two threads per slot (threads_per_core = 2)
+        lay = make_shared(threads=8, banks=4,
+                          slots=[0, 1, 2, 3, 0, 1, 2, 3])
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert len(set(offs.tolist())) == 16 * 8
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_shared(slots=[99] * 8)
+
+    def test_anchor_bijective(self):
+        lay = make_shared(anchor=2)
+        offs = lay.element_offsets(all_coords((16, 8)))
+        assert len(set(offs.tolist())) == 16 * 8

@@ -1,0 +1,123 @@
+"""Strip-mining, permutation, padding primitives and their composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layout_ops import (Composition, IndexSpace, pad, permute,
+                                   strip_mine)
+
+
+class TestIndexSpace:
+    def test_size(self):
+        assert IndexSpace((3, 4)).size == 12
+
+    def test_rank(self):
+        assert IndexSpace((2, 2, 2)).rank == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndexSpace(())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IndexSpace((3, 0))
+
+    def test_linearize_row_major(self):
+        sp = IndexSpace((3, 4))
+        coords = np.array([[1], [2]])
+        assert sp.linearize(coords)[0] == 6
+
+
+class TestStripMine:
+    def test_divides_dimension(self):
+        t = strip_mine(IndexSpace((8, 3)), 0, 2)
+        assert t.target.extents == (4, 2, 3)
+
+    def test_subscript_rewrite(self):
+        # r becomes (r / s, r % s) -- the paper's formula
+        t = strip_mine(IndexSpace((8,)), 0, 3)
+        out = t.apply(np.array([[7]]))
+        assert out[:, 0].tolist() == [2, 1]
+
+    def test_rounds_up_with_padding(self):
+        t = strip_mine(IndexSpace((7,)), 0, 2)
+        assert t.target.extents == (4, 2)
+        assert t.target.size == 8  # one padding element
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            strip_mine(IndexSpace((4,)), 3, 2)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            strip_mine(IndexSpace((4,)), 0, 0)
+
+
+class TestPermute:
+    def test_swap(self):
+        t = permute(IndexSpace((3, 5)), [1, 0])
+        assert t.target.extents == (5, 3)
+        out = t.apply(np.array([[1], [4]]))
+        assert out[:, 0].tolist() == [4, 1]
+
+    def test_identity_permutation(self):
+        t = permute(IndexSpace((3, 5)), [0, 1])
+        assert t.target.extents == (3, 5)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permute(IndexSpace((3, 5)), [0, 0])
+
+
+class TestPad:
+    def test_rounds_up(self):
+        t = pad(IndexSpace((7, 3)), 0, 4)
+        assert t.target.extents == (8, 3)
+
+    def test_identity_map(self):
+        t = pad(IndexSpace((7,)), 0, 4)
+        out = t.apply(np.array([[6]]))
+        assert out[0, 0] == 6
+
+    def test_already_aligned(self):
+        t = pad(IndexSpace((8,)), 0, 4)
+        assert t.target.extents == (8,)
+
+
+class TestComposition:
+    def test_figure9c_shape(self):
+        """Reconstruct the structure of Figure 9(c): strip-mine the
+        fastest dim by k*p, permute the chunk index outward."""
+        kp = 4
+        comp = (Composition(IndexSpace((8, 16)))
+                .strip_mine(1, kp)       # (8, 4, kp)
+                .permute([1, 0, 2]))     # (4, 8, kp)
+        assert comp.target.extents == (4, 8, 4)
+        # element (i, j): j -> (j / kp, j % kp), then chunk leads
+        out = comp.apply(np.array([[3], [9]]))
+        assert out[:, 0].tolist() == [2, 3, 1]
+
+    def test_wrong_space_chaining(self):
+        comp = Composition(IndexSpace((4, 4)))
+        with pytest.raises(ValueError):
+            comp.then(lambda sp: strip_mine(IndexSpace((9, 9)), 0, 2))
+
+    def test_composition_injective(self):
+        comp = (Composition(IndexSpace((6, 8)))
+                .strip_mine(1, 2)
+                .permute([1, 0, 2])
+                .pad(1, 4))
+        grids = np.meshgrid(np.arange(6), np.arange(8), indexing="ij")
+        coords = np.vstack([g.reshape(1, -1) for g in grids])
+        offs = comp.linearize(coords)
+        assert len(set(offs.tolist())) == 48
+
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_strip_mine_injective(self, n0, n1, s):
+        comp = Composition(IndexSpace((n0, n1))).strip_mine(0, s)
+        grids = np.meshgrid(np.arange(n0), np.arange(n1), indexing="ij")
+        coords = np.vstack([g.reshape(1, -1) for g in grids])
+        offs = comp.linearize(coords)
+        assert len(set(offs.tolist())) == n0 * n1

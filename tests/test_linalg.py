@@ -1,0 +1,275 @@
+"""Exact integer linear algebra: unit and property-based tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+
+
+def small_matrices(max_dim=4, lo=-6, hi=6):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda m: st.lists(
+                st.lists(st.integers(lo, hi), min_size=m, max_size=m),
+                min_size=n, max_size=n)))
+
+
+def vectors(max_dim=5, lo=-9, hi=9):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.lists(st.integers(lo, hi), min_size=n, max_size=n))
+
+
+class TestBasics:
+    def test_identity(self):
+        assert linalg.identity(3) == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_identity_zero(self):
+        assert linalg.identity(0) == []
+
+    def test_zeros(self):
+        assert linalg.zeros(2, 3) == [[0, 0, 0], [0, 0, 0]]
+
+    def test_shape(self):
+        assert linalg.shape([[1, 2, 3], [4, 5, 6]]) == (2, 3)
+        assert linalg.shape([]) == (0, 0)
+
+    def test_transpose(self):
+        assert linalg.transpose([[1, 2, 3], [4, 5, 6]]) == \
+            [[1, 4], [2, 5], [3, 6]]
+
+    def test_transpose_involution(self):
+        m = [[1, 2], [3, 4], [5, 6]]
+        assert linalg.transpose(linalg.transpose(m)) == m
+
+    def test_mat_mul(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        assert linalg.mat_mul(a, b) == [[19, 22], [43, 50]]
+
+    def test_mat_mul_identity(self):
+        a = [[1, 2], [3, 4]]
+        assert linalg.mat_mul(a, linalg.identity(2)) == a
+        assert linalg.mat_mul(linalg.identity(2), a) == a
+
+    def test_mat_mul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.mat_mul([[1, 2]], [[1, 2]])
+
+    def test_mat_vec(self):
+        assert linalg.mat_vec([[1, 0], [0, 2]], [3, 4]) == [3, 8]
+
+    def test_mat_vec_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.mat_vec([[1, 0]], [1, 2, 3])
+
+    def test_vec_gcd(self):
+        assert linalg.vec_gcd([4, 6, 8]) == 2
+        assert linalg.vec_gcd([0, 0]) == 0
+        assert linalg.vec_gcd([-3, 9]) == 3
+
+    def test_make_primitive(self):
+        assert linalg.make_primitive([4, 6]) == [2, 3]
+        assert linalg.make_primitive([-2, 4]) == [1, -2]
+        assert linalg.make_primitive([0, 0]) == [0, 0]
+
+
+class TestDeterminant:
+    def test_2x2(self):
+        assert linalg.determinant([[1, 2], [3, 4]]) == -2
+
+    def test_singular(self):
+        assert linalg.determinant([[1, 2], [2, 4]]) == 0
+
+    def test_identity(self):
+        assert linalg.determinant(linalg.identity(4)) == 1
+
+    def test_permutation_matrix(self):
+        assert linalg.determinant([[0, 1], [1, 0]]) == -1
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            linalg.determinant([[1, 2, 3]])
+
+    def test_needs_pivot(self):
+        # zero pivot requires a row swap
+        assert linalg.determinant([[0, 1], [1, 0]]) == -1
+
+    @given(small_matrices(max_dim=3))
+    @settings(max_examples=60)
+    def test_det_of_transpose(self, m):
+        rows, cols = linalg.shape(m)
+        if rows != cols:
+            return
+        assert linalg.determinant(m) == \
+            linalg.determinant(linalg.transpose(m))
+
+    def test_is_unimodular(self):
+        assert linalg.is_unimodular([[1, 1], [0, 1]])
+        assert not linalg.is_unimodular([[2, 0], [0, 1]])
+        assert not linalg.is_unimodular([[1, 2, 3]])
+
+
+class TestHermiteNormalForm:
+    def test_column_hnf_reconstruction(self):
+        m = [[2, 4, 4], [-6, 6, 12], [10, 4, 16]]
+        h, v = linalg.column_hermite_normal_form(m)
+        assert linalg.is_unimodular(v)
+        assert linalg.mat_mul(m, v) == h
+
+    def test_column_hnf_zero_columns_right(self):
+        m = [[1, 2], [2, 4]]  # rank 1
+        h, v = linalg.column_hermite_normal_form(m)
+        assert all(h[r][1] == 0 for r in range(2))
+
+    @given(small_matrices(max_dim=4))
+    @settings(max_examples=80)
+    def test_column_hnf_properties(self, m):
+        h, v = linalg.column_hermite_normal_form(m)
+        assert linalg.is_unimodular(v)
+        assert linalg.mat_mul(m, v) == h
+
+    def test_row_hnf(self):
+        m = [[2, 0], [1, 1]]
+        h, u = linalg.row_hermite_normal_form(m)
+        assert linalg.is_unimodular(u)
+        assert linalg.mat_mul(u, m) == h
+
+
+class TestNullspace:
+    def test_simple(self):
+        basis = linalg.integer_nullspace([[1, 0]])
+        assert basis == [[0, 1]]
+
+    def test_full_rank_trivial(self):
+        assert linalg.integer_nullspace([[1, 0], [0, 1]]) == []
+
+    def test_zero_rows_gives_identity(self):
+        basis = linalg.integer_nullspace([[0, 0, 0]])
+        assert len(basis) == 3
+
+    def test_primitive_vectors(self):
+        basis = linalg.integer_nullspace([[2, -4]])
+        assert basis == [[2, 1]]
+
+    @given(small_matrices(max_dim=4))
+    @settings(max_examples=80)
+    def test_nullspace_vectors_annihilate(self, m):
+        for v in linalg.integer_nullspace(m):
+            assert linalg.mat_vec(m, v) == [0] * len(m)
+            assert not linalg.is_zero_vector(v)
+            assert linalg.vec_gcd(v) == 1
+
+    def test_solve_homogeneous_none(self):
+        assert linalg.solve_homogeneous([[1, 0], [0, 1]]) is None
+
+    def test_solve_homogeneous_prefers_early_nonzero(self):
+        # Every unit vector solves; the tie-break picks the earliest axis.
+        v = linalg.solve_homogeneous([[0, 0, 0]])
+        assert v == [1, 0, 0]
+
+
+class TestCompleteToUnimodular:
+    def test_unit_vector(self):
+        u = linalg.complete_to_unimodular([1, 0, 0])
+        assert u[0] == [1, 0, 0]
+        assert linalg.is_unimodular(u)
+
+    def test_row_position(self):
+        u = linalg.complete_to_unimodular([0, 1], row=1)
+        assert u[1] == [0, 1]
+        assert linalg.is_unimodular(u)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linalg.complete_to_unimodular([0, 0])
+
+    def test_rejects_non_primitive(self):
+        with pytest.raises(ValueError):
+            linalg.complete_to_unimodular([2, 4])
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(ValueError):
+            linalg.complete_to_unimodular([1, 0], row=5)
+
+    def test_negative_entries(self):
+        g = [-3, 2]
+        u = linalg.complete_to_unimodular(g)
+        assert u[0] == g
+        assert linalg.is_unimodular(u)
+
+    @given(vectors(max_dim=5))
+    @settings(max_examples=100)
+    def test_property(self, v):
+        g = linalg.make_primitive(v)
+        if linalg.is_zero_vector(g):
+            return
+        u = linalg.complete_to_unimodular(g)
+        assert u[0] == g
+        assert linalg.determinant(u) in (1, -1)
+
+
+class TestInverse:
+    def test_inverse_of_identity(self):
+        assert linalg.inverse_unimodular(linalg.identity(3)) == \
+            linalg.identity(3)
+
+    def test_inverse_roundtrip(self):
+        m = [[1, 1], [0, 1]]
+        inv = linalg.inverse_unimodular(m)
+        assert linalg.mat_mul(m, inv) == linalg.identity(2)
+
+    def test_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            linalg.inverse_unimodular([[2, 0], [0, 1]])
+
+    @given(vectors(max_dim=4))
+    @settings(max_examples=60)
+    def test_inverse_property(self, v):
+        g = linalg.make_primitive(v)
+        if linalg.is_zero_vector(g):
+            return
+        u = linalg.complete_to_unimodular(g)
+        inv = linalg.inverse_unimodular(u)
+        assert linalg.mat_mul(u, inv) == linalg.identity(len(g))
+
+
+class TestSmithNormalForm:
+    def check(self, m):
+        d, u, v = linalg.smith_normal_form(m)
+        rows, cols = linalg.shape(m)
+        assert linalg.is_unimodular(u)
+        assert linalg.is_unimodular(v)
+        assert linalg.mat_mul(linalg.mat_mul(u, m), v) == d
+        diag = [d[i][i] for i in range(min(rows, cols))]
+        for i in range(rows):
+            for j in range(cols):
+                if i != j:
+                    assert d[i][j] == 0
+        for a, b in zip(diag, diag[1:]):
+            if a and b:
+                assert b % a == 0
+            if a == 0:
+                assert b == 0
+        return diag
+
+    def test_diagonal_example(self):
+        diag = self.check([[2, 4], [6, 8]])
+        assert diag == [2, 4]  # det = -8, d1*d2 = 8
+
+    def test_identity(self):
+        assert self.check(linalg.identity(3)) == [1, 1, 1]
+
+    def test_rank_deficient(self):
+        diag = self.check([[1, 2], [2, 4]])
+        assert diag == [1, 0]
+
+    def test_rectangular(self):
+        self.check([[2, 0, 4], [0, 6, 0]])
+
+    def test_zero_matrix(self):
+        assert self.check([[0, 0], [0, 0]]) == [0, 0]
+
+    @given(small_matrices(max_dim=3, lo=-5, hi=5))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, m):
+        self.check(m)

@@ -1,0 +1,59 @@
+"""The L2-to-MC mapping-selection analysis (Section 4)."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.clustering import mapping_m1, mapping_m2
+from repro.core.mapping_selection import (rank_mappings, score_mapping,
+                                          select_mapping)
+from repro.workloads import HIGH_MLP, SUITE_ORDER, build_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = MachineConfig.scaled_default()
+    mesh = config.mesh()
+    mc_nodes = config.mc_nodes(mesh)
+    return config, mapping_m1(mesh, mc_nodes), mapping_m2(mesh, mc_nodes)
+
+
+class TestScores:
+    def test_m1_locality_better(self, setup):
+        config, m1, m2 = setup
+        assert m1.avg_distance_to_mc() < m2.avg_distance_to_mc()
+
+    def test_low_demand_no_penalty(self, setup):
+        config, m1, _ = setup
+        program = build_workload("swim", scale=0.2)
+        assert score_mapping(m1, program, config).mlp_penalty == 0.0
+
+    def test_high_demand_penalized_more_under_m1(self, setup):
+        config, m1, m2 = setup
+        program = build_workload("fma3d", scale=0.2)
+        s1 = score_mapping(m1, program, config)
+        s2 = score_mapping(m2, program, config)
+        assert s1.mlp_penalty > s2.mlp_penalty
+
+    def test_empty_candidates(self, setup):
+        config, *_ = setup
+        with pytest.raises(ValueError):
+            select_mapping([], build_workload("swim", scale=0.2), config)
+
+
+class TestPaperClaim:
+    """Section 4: the analysis favors M2 exactly for fma3d and
+    minighost, M1 for everything else."""
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_choice(self, setup, name):
+        config, m1, m2 = setup
+        program = build_workload(name, scale=0.2)
+        best = select_mapping([m1, m2], program, config)
+        expected = "M2" if name in HIGH_MLP else "M1"
+        assert best.mapping.name == expected
+
+    def test_rank_order(self, setup):
+        config, m1, m2 = setup
+        ranked = rank_mappings([m1, m2],
+                               build_workload("fma3d", scale=0.2), config)
+        assert [s.mapping.name for s in ranked] == ["M2", "M1"]

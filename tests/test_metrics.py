@@ -1,0 +1,83 @@
+"""Run metrics and comparisons."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.sim.metrics import Comparison, RunMetrics
+
+
+def metrics(**kw):
+    m = RunMetrics(name="t")
+    for k, v in kw.items():
+        setattr(m, k, v)
+    return m
+
+
+class TestRunMetrics:
+    def test_offchip_fraction(self):
+        m = metrics(total_accesses=100, offchip=25)
+        assert m.offchip_fraction == 0.25
+
+    def test_empty_run(self):
+        m = RunMetrics()
+        assert m.offchip_fraction == 0.0
+        assert m.avg_offchip_net_latency == 0.0
+        assert m.avg_onchip_net_latency == 0.0
+        assert m.row_hit_rate == 0.0
+        assert m.bank_queue_occupancy() == 0.0
+
+    def test_latency_averages(self):
+        m = metrics(offchip=4, offchip_net_sum=400.0,
+                    offchip_mem_sum=200.0, offchip_queue_sum=40.0,
+                    onchip_remote=2, onchip_net_sum=60.0)
+        assert m.avg_offchip_net_latency == 100.0
+        assert m.avg_offchip_mem_latency == 50.0
+        assert m.avg_offchip_queue_wait == 10.0
+        assert m.avg_onchip_net_latency == 30.0
+
+    def test_row_hit_rate(self):
+        m = metrics(mc_requests=[10, 10], mc_row_hits=[5, 10])
+        assert m.row_hit_rate == 0.75
+
+    def test_bank_queue_occupancy(self):
+        m = metrics(exec_time=1000.0, mc_queue_wait=[500.0, 500.0])
+        assert m.bank_queue_occupancy() == 1.0
+
+    def test_hop_cdf(self):
+        m = metrics(offchip_hops=Counter({2: 1, 4: 3}))
+        cdf = m.hop_cdf("offchip")
+        assert cdf[2] == 0.25
+        assert cdf[4] == 1.0
+
+    def test_hop_cdf_empty(self):
+        assert RunMetrics().hop_cdf("onchip") == {}
+
+
+class TestComparison:
+    def test_reductions(self):
+        base = metrics(exec_time=200.0, offchip=1, offchip_net_sum=100.0,
+                       offchip_mem_sum=50.0, onchip_remote=1,
+                       onchip_net_sum=40.0)
+        opt = metrics(exec_time=100.0, offchip=1, offchip_net_sum=50.0,
+                      offchip_mem_sum=50.0, onchip_remote=1,
+                      onchip_net_sum=30.0)
+        c = Comparison(base, opt)
+        assert c.exec_time_reduction == 0.5
+        assert c.offchip_net_reduction == 0.5
+        assert c.offchip_mem_reduction == 0.0
+        assert c.onchip_net_reduction == 0.25
+
+    def test_regression_is_negative(self):
+        base = metrics(exec_time=100.0)
+        opt = metrics(exec_time=150.0)
+        assert Comparison(base, opt).exec_time_reduction == -0.5
+
+    def test_zero_base_guard(self):
+        assert Comparison(RunMetrics(), RunMetrics()
+                          ).exec_time_reduction == 0.0
+
+    def test_as_row_keys(self):
+        row = Comparison(RunMetrics(), RunMetrics()).as_row()
+        assert set(row) == {"onchip_net", "offchip_net", "offchip_mem",
+                            "exec_time"}

@@ -1,0 +1,60 @@
+"""Multiprogrammed workloads and weighted speedup (Section 6.4)."""
+
+import pytest
+
+from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
+from repro.sim.multiprogram import run_multiprogram, split_regions
+from repro.workloads import build_workload
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        interleaving=CACHE_LINE_INTERLEAVING)
+
+
+class TestRegions:
+    def test_two_way_split(self, config):
+        regions = split_regions(config, 2)
+        assert regions == [(0, 0, 4, 8), (4, 0, 4, 8)]
+
+    def test_four_way_split(self, config):
+        regions = split_regions(config, 4)
+        assert len(regions) == 4
+        assert sum(w * h for _, _, w, h in regions) == 64
+
+    def test_single(self, config):
+        assert split_regions(config, 1) == [(0, 0, 8, 8)]
+
+    def test_unsupported(self, config):
+        with pytest.raises(ValueError):
+            split_regions(config, 3)
+
+
+class TestWeightedSpeedup:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        programs = [build_workload("swim", SCALE),
+                    build_workload("galgel", SCALE)]
+        return run_multiprogram(programs, config)
+
+    def test_structure(self, result):
+        assert result.workload == ("swim", "galgel")
+        assert len(result.shared_original) == 2
+        assert all(t > 0 for t in result.shared_original)
+
+    def test_interference_slows_apps(self, result):
+        """Co-running can only hurt: shared >= alone per app."""
+        for alone, shared in zip(result.alone_original,
+                                 result.shared_original):
+            assert shared >= alone * 0.99
+
+    def test_ws_bounded(self, result):
+        assert 0 < result.ws_original <= 2.001
+        assert 0 < result.ws_optimized <= 2.001
+
+    def test_optimized_improves_ws(self, result):
+        """Figure 25: optimized layouts raise weighted speedup."""
+        assert result.improvement > 0.0

@@ -1,0 +1,75 @@
+"""The contention-aware mesh NoC."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.topology import Mesh
+from repro.noc.network import Network
+
+
+@pytest.fixture()
+def net():
+    cfg = MachineConfig.scaled_default()
+    return Network(Mesh(8, 8), cfg)
+
+
+class TestZeroLoad:
+    def test_local_delivery_free(self, net):
+        arrival, hops = net.send(5, 5, flits=16, depart=100.0)
+        assert arrival == 100.0
+        assert hops == 0
+
+    def test_latency_formula(self, net):
+        cfg = net.config
+        arrival, hops = net.send(0, 7, flits=1, depart=0.0)
+        assert hops == 7
+        assert arrival == 7 * cfg.hop_latency + 1
+
+    def test_critical_word_first(self, net):
+        cfg = net.config
+        arrival, _ = net.send(0, 1, flits=16, depart=0.0)
+        # tail only costs min(flits, critical_word_flits)
+        assert arrival == cfg.hop_latency + min(16,
+                                                cfg.critical_word_flits)
+
+    def test_latency_estimate_matches_uncontended(self, net):
+        est = net.latency_estimate(0, 7, flits=1)
+        arrival, _ = net.send(0, 7, flits=1, depart=0.0)
+        assert arrival == est
+
+
+class TestContention:
+    def test_serialization_on_shared_link(self, net):
+        a1, _ = net.send(0, 1, flits=16, depart=0.0)
+        a2, _ = net.send(0, 1, flits=16, depart=0.0)
+        assert a2 > a1  # second message waits for the link
+        assert net.stats.wait_cycles > 0
+
+    def test_disjoint_paths_no_interference(self, net):
+        a1, _ = net.send(0, 1, flits=16, depart=0.0)
+        a2, _ = net.send(56, 57, flits=16, depart=0.0)
+        assert a1 == a2
+
+    def test_virtual_networks_isolated(self, net):
+        """Control traffic must not wait behind data bursts."""
+        net.send(0, 1, flits=16, depart=0.0, vnet=1)
+        arrival, _ = net.send(0, 1, flits=1, depart=0.0, vnet=0)
+        assert arrival == net.config.hop_latency + 1  # no wait
+
+    def test_same_vnet_waits(self, net):
+        net.send(0, 1, flits=16, depart=0.0, vnet=1)
+        arrival, _ = net.send(0, 1, flits=1, depart=0.0, vnet=1)
+        assert arrival > net.config.hop_latency + 1
+
+
+class TestStats:
+    def test_hop_accounting(self, net):
+        net.send(0, 63, flits=2, depart=0.0)
+        assert net.stats.messages == 1
+        assert net.stats.total_hops == 14
+        assert net.stats.avg_hops == 14
+
+    def test_route_cache(self, net):
+        r1 = net.route(0, 63)
+        r2 = net.route(0, 63)
+        assert r1 is r2

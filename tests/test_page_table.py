@@ -1,0 +1,85 @@
+"""Virtual-to-physical translation and first-touch ordering."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.osmodel.allocation import (PhysicalMemory, SequentialPolicy,
+                                      FirstTouchPolicy)
+from repro.osmodel.page_table import (PageTable, first_touch_order,
+                                      translate_traces)
+
+
+def make_table(pages_per_mc=64, policy=None):
+    memory = PhysicalMemory(4, pages_per_mc)
+    return PageTable(4096, memory, policy or SequentialPolicy())
+
+
+class TestPageTable:
+    def test_lazy_allocation(self):
+        table = make_table()
+        assert table.num_pages == 0
+        table.translate(5000, core=0)
+        assert table.num_pages == 1
+
+    def test_stable_translation(self):
+        table = make_table()
+        p1 = table.translate(5000, core=0)
+        p2 = table.translate(5001, core=9)
+        assert p2 == p1 + 1
+
+    def test_offset_preserved(self):
+        table = make_table()
+        paddr = table.translate(4096 + 123, core=0)
+        assert paddr % 4096 == 123
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            PageTable(0, PhysicalMemory(1, 1), SequentialPolicy())
+
+
+class TestFirstTouchOrder:
+    def test_position_order(self):
+        # thread 0 touches page 9 late; thread 1 touches it first
+        t0 = np.array([0, 4096 * 9])
+        t1 = np.array([4096 * 9, 4096 * 2])
+        order = first_touch_order([t0, t1], 4096, [10, 20])
+        pages = [vpn for vpn, _ in order]
+        assert pages[0] in (0, 9)
+        winners = dict(order)
+        assert winners[9] == 20  # thread 1 touched it at position 0
+
+    def test_empty_traces(self):
+        assert first_touch_order([np.zeros(0)], 4096, [0]) == []
+
+    def test_race_tiebreak_spreads(self):
+        """Simultaneous first touches must not all go to thread 0."""
+        traces = [np.arange(64) * 4096 for _ in range(8)]
+        order = first_touch_order(traces, 4096, list(range(8)))
+        winners = {core for _, core in order}
+        assert len(winners) > 1
+
+
+class TestTranslateTraces:
+    def test_roundtrip_offsets(self):
+        traces = [np.array([100, 5000, 4096 * 3 + 7])]
+        table = make_table()
+        out = translate_traces(traces, table, [0])
+        assert (out[0] % 4096).tolist() == [100, 5000 % 4096, 7]
+
+    def test_consistent_across_threads(self):
+        traces = [np.array([4096 * 5]), np.array([4096 * 5 + 8])]
+        table = make_table()
+        out = translate_traces(traces, table, [0, 1])
+        assert out[1][0] == out[0][0] + 8
+
+    def test_first_touch_policy_integration(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        table = make_table(policy=FirstTouchPolicy(mapping))
+        # one page touched only by a core in the SE cluster
+        core = 63
+        traces = [np.zeros(0), np.array([4096 * 7])]
+        out = translate_traces(traces, table, [0, core])
+        mc = (out[1][0] // 4096) % 4
+        cluster = mapping.cluster_of_core(core)
+        assert mc in mapping.mcs_of_cluster(cluster)

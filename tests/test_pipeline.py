@@ -1,0 +1,162 @@
+"""Algorithm 1 end-to-end: the LayoutTransformer pass."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.core.layout import (ClusteredLayout, RowMajorLayout,
+                               SharedL2Layout)
+from repro.core.pipeline import LayoutTransformer, original_layouts
+from repro.program.ir import (ArrayDecl, IndexedRef, LoopNest, Program,
+                              identity_ref, shifted_ref)
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+def simple_program(n=64):
+    a = ArrayDecl("A", (n, n))
+    nest = LoopNest("sweep", ((0, n), (0, n)),
+                    refs=(identity_ref(a),
+                          identity_ref(a, is_write=True)),
+                    work_per_iteration=4)
+    return Program("simple", [a], [nest])
+
+
+class TestTransformer:
+    def test_optimizes_simple(self, config):
+        result = LayoutTransformer(config).run(simple_program())
+        plan = result.plans["A"]
+        assert plan.optimized
+        assert isinstance(plan.layout, ClusteredLayout)
+        assert result.pct_arrays_optimized == 1.0
+        assert result.pct_refs_satisfied == 1.0
+
+    def test_shared_config_gives_shared_layout(self, config):
+        shared = config.with_(shared_l2=True)
+        result = LayoutTransformer(shared).run(simple_program())
+        assert isinstance(result.plans["A"].layout, SharedL2Layout)
+
+    def test_page_interleaving_uses_page_unit(self):
+        cfg = MachineConfig.scaled_default()  # page interleaving
+        result = LayoutTransformer(cfg).run(simple_program())
+        layout = result.plans["A"].layout
+        assert layout.unit_elems == cfg.page_size // 8
+
+    def test_unreferenced_array_untouched(self, config):
+        a = ArrayDecl("A", (32, 32))
+        b = ArrayDecl("B", (32, 32))
+        nest = LoopNest("s", ((0, 32), (0, 32)),
+                        refs=(identity_ref(a),))
+        program = Program("p", [a, b], [nest])
+        result = LayoutTransformer(config).run(program)
+        assert not result.plans["B"].optimized
+        assert result.plans["B"].reason == "no references"
+        # unreferenced arrays do not dilute the Table 2 statistic
+        assert result.pct_arrays_optimized == 1.0
+
+    def test_unpartitionable_array(self, config):
+        """art's weight table: access independent of the parallel loop."""
+        w = ArrayDecl("W", (16, 16))
+        nest = LoopNest(
+            "scan", ((0, 8), (0, 16), (0, 16)),
+            refs=(
+                # W[j][k] in an (i, j, k) nest parallel on i
+                __import__("repro.program.ir", fromlist=["AffineRef"])
+                .AffineRef(w, ((0, 1, 0), (0, 0, 1)), (0, 0)),),
+        )
+        program = Program("p", [w], [nest])
+        result = LayoutTransformer(config).run(program)
+        assert not result.plans["W"].optimized
+        assert "partition" in result.plans["W"].reason
+
+    def test_profitability_gate(self, config):
+        """A tiny compatible sweep must not flip an otherwise
+        unpartitionable hot array (the art/WGT regression)."""
+        w = ArrayDecl("W", (16, 16))
+        from repro.program.ir import AffineRef
+        hot = LoopNest(
+            "scan", ((0, 64), (0, 16), (0, 16)),
+            refs=(AffineRef(w, ((0, 1, 0), (0, 0, 1)), (0, 0)),))
+        init = LoopNest("init", ((0, 16), (0, 16)),
+                        refs=(identity_ref(w, is_write=True),),
+                        parallel_dim=1)
+        program = Program("p", [w], [hot, init])
+        result = LayoutTransformer(config).run(program)
+        plan = result.plans["W"]
+        assert not plan.optimized
+        assert "too few references" in plan.reason
+
+    def test_rejected_indexed_only_array(self, config):
+        x = ArrayDecl("X", (64, 8))
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 64, size=64 * 8)
+        cols = np.tile(np.arange(8), 64)
+        nest = LoopNest("g", ((0, 64), (0, 8)),
+                        refs=(IndexedRef(x, (rows, cols)),))
+        program = Program("p", [x], [nest])
+        result = LayoutTransformer(config).run(program)
+        plan = result.plans["X"]
+        assert not plan.optimized
+        assert "indexed" in plan.reason
+        assert plan.approximations[0].rejected
+
+    def test_accepted_indexed_array(self, config):
+        x = ArrayDecl("X", (64, 8))
+        rows = np.repeat(np.arange(64), 8)
+        cols = np.tile(np.arange(8), 64)
+        nest = LoopNest("g", ((0, 64), (0, 8)),
+                        refs=(IndexedRef(x, (rows, cols)),))
+        program = Program("p", [x], [nest])
+        result = LayoutTransformer(config).run(program)
+        assert result.plans["X"].optimized
+
+    def test_anchor_propagates(self, config):
+        a = ArrayDecl("A", (66, 16))
+        nest = LoopNest("halo", ((1, 65), (0, 16)),
+                        refs=(identity_ref(a),
+                              shifted_ref(a, (1, 0)),
+                              shifted_ref(a, (-1, 0))),
+                        work_per_iteration=4)
+        program = Program("p", [a], [nest])
+        result = LayoutTransformer(config).run(program)
+        layout = result.plans["A"].layout
+        assert layout.partition_offset == 1
+        # thread 0 owns rows starting at the anchor
+        assert layout.owning_thread(np.array([[1], [0]]))[0] == 0
+
+
+class TestOriginalLayouts:
+    def test_row_major_everywhere(self):
+        program = build_workload("swim", scale=0.2)
+        layouts = original_layouts(program)
+        assert set(layouts) == {"U", "V", "P"}
+        assert all(isinstance(lay, RowMajorLayout)
+                   for lay in layouts.values())
+
+
+class TestSuiteCoverage:
+    """Table 2-style sanity over real workload models."""
+
+    def test_art_weight_table_not_optimized(self, config):
+        result = LayoutTransformer(config).run(
+            build_workload("art", scale=0.5))
+        assert not result.plans["WGT"].optimized
+        assert result.plans["IMG"].optimized
+
+    def test_swim_fully_satisfied(self, config):
+        result = LayoutTransformer(config).run(
+            build_workload("swim", scale=0.5))
+        assert result.pct_arrays_optimized == 1.0
+        assert result.pct_refs_satisfied > 0.75
+
+    def test_apsi_partial_satisfaction(self, config):
+        """The conflicting vertical sweep loses the vote."""
+        result = LayoutTransformer(config).run(
+            build_workload("apsi", scale=0.5))
+        plan = result.plans["T"]
+        assert plan.optimized
+        assert plan.satisfaction < 1.0

@@ -1,0 +1,65 @@
+"""Memory-controller placements (Figures 8a, 26, 27)."""
+
+import pytest
+
+from repro.arch.placement import (corners, diagonal, edge_midpoints,
+                                  perimeter, place_mcs)
+from repro.arch.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(8, 8)
+
+
+class TestPresets:
+    def test_corners(self, mesh):
+        assert corners(mesh) == [0, 7, 56, 63]
+
+    def test_edge_midpoints_on_edges(self, mesh):
+        for node in edge_midpoints(mesh):
+            x, y = mesh.coords(node)
+            assert x in (0, 7) or y in (0, 7)
+
+    def test_diagonal(self, mesh):
+        nodes = diagonal(mesh, 4)
+        assert len(set(nodes)) == 4
+        coords = [mesh.coords(n) for n in nodes]
+        assert coords[0] == (0, 0)
+        assert coords[-1] == (7, 7)
+
+    def test_p2_lower_average_distance_than_p1(self, mesh):
+        """The paper's finding: P2 (edge midpoints) reduces the mean
+        distance-to-controller versus corner placement."""
+        def mean_distance(mcs):
+            return sum(min(mesh.distance(n, m) for m in mcs)
+                       for n in range(mesh.num_nodes)) / mesh.num_nodes
+        assert mean_distance(edge_midpoints(mesh)) < \
+            mean_distance(corners(mesh))
+
+
+class TestPerimeter:
+    def test_counts(self, mesh):
+        for count in (4, 8, 16):
+            nodes = perimeter(mesh, count)
+            assert len(set(nodes)) == count
+
+    def test_all_on_perimeter(self, mesh):
+        for node in perimeter(mesh, 16):
+            x, y = mesh.coords(node)
+            assert x in (0, 7) or y in (0, 7)
+
+    def test_too_many(self, mesh):
+        with pytest.raises(ValueError):
+            perimeter(mesh, 99)
+
+
+class TestPlaceMcs:
+    def test_named(self, mesh):
+        assert place_mcs(mesh, "P1", 4) == corners(mesh)
+        assert place_mcs(mesh, "P2", 4) == edge_midpoints(mesh)
+        assert place_mcs(mesh, "P3", 4) == diagonal(mesh, 4)
+
+    def test_other_counts_use_perimeter(self, mesh):
+        assert len(place_mcs(mesh, "P1", 8)) == 8
+        assert len(place_mcs(mesh, "P1", 16)) == 16

@@ -1,0 +1,63 @@
+"""ASCII plotting helpers."""
+
+from repro.analysis.plots import (bar_chart, cdf_plot, grouped_bar_chart,
+                                  heat_grid)
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart({"swim": 0.25, "apsi": 0.05}, title="T")
+        assert "T" in text
+        assert "swim" in text
+        assert "25.0%" in text
+        assert text.count("#") > 0
+
+    def test_negative_values(self):
+        text = bar_chart({"a": -0.1, "b": 0.2})
+        assert "-" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart({}, title="x") == "x"
+
+    def test_fixed_scale(self):
+        narrow = bar_chart({"a": 0.1}, vmax=1.0, width=10)
+        bars = narrow.splitlines()[0].split("|")[1]
+        assert bars.count("#") == 1
+
+
+class TestGroupedBars:
+    def test_two_series(self):
+        text = grouped_bar_chart(
+            {"swim": {"M1": 0.2, "M2": 0.1}},
+            series=["M1", "M2"])
+        assert "M1" in text and "M2" in text
+        assert "20.0%" in text
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, ["x"], title="t") == "t"
+
+
+class TestCdfPlot:
+    def test_axes_and_markers(self):
+        text = cdf_plot({"orig": [0.0, 0.5, 1.0],
+                         "opt": [0.2, 0.8, 1.0]})
+        assert "o=orig" in text
+        assert "x=opt" in text
+        assert "(hops)" in text
+        assert "1.0 |" in text
+
+    def test_overlap_marker(self):
+        text = cdf_plot({"a": [1.0], "b": [1.0]})
+        assert "*" in text
+
+    def test_empty(self):
+        assert cdf_plot({}, title="c") == "c"
+
+
+class TestHeatGrid:
+    def test_density(self):
+        text = heat_grid([[0.0, 0.5], [0.0, 1.0]])
+        lines = text.splitlines()
+        assert lines[0][:2] == "  "      # zero cell blank
+        assert "@" in lines[1]           # max cell darkest
+        assert "scale" in lines[-1]

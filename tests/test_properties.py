@@ -1,0 +1,187 @@
+"""Deeper property-based tests across module boundaries.
+
+These check system-level invariants: layout injectivity under arbitrary
+unimodular transforms, equivalence between the closed-form layouts and
+the composable strip-mine/permute primitives, lexer/parser robustness on
+arbitrary input, and conservation laws of the simulator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+from repro.core.layout import ClusteredLayout, TransformedLayout
+from repro.core.layout_ops import Composition, IndexSpace
+from repro.frontend.lexer import LexerError, tokenize
+from repro.frontend.parser import ParseError, parse_kernel
+from repro.program.ir import ArrayDecl
+
+
+def all_coords(dims):
+    grids = np.meshgrid(*[np.arange(d) for d in dims], indexing="ij")
+    return np.vstack([g.reshape(1, -1) for g in grids])
+
+
+@st.composite
+def unimodular_2x2(draw):
+    """Random 2x2 unimodular matrices via elementary operations."""
+    m = [[1, 0], [0, 1]]
+    for _ in range(draw(st.integers(0, 4))):
+        kind = draw(st.integers(0, 2))
+        f = draw(st.integers(-3, 3))
+        if kind == 0:
+            m = linalg.mat_mul(m, [[1, f], [0, 1]])
+        elif kind == 1:
+            m = linalg.mat_mul(m, [[1, 0], [f, 1]])
+        else:
+            m = linalg.mat_mul(m, [[0, 1], [1, 0]])
+    return m
+
+
+class TestLayoutProperties:
+    @given(unimodular_2x2(), st.integers(2, 9), st.integers(2, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_transformed_layout_bijective(self, u, d0, d1):
+        a = ArrayDecl("X", (d0, d1))
+        lay = TransformedLayout(a, u)
+        offs = lay.element_offsets(all_coords((d0, d1)))
+        assert len(set(offs.tolist())) == d0 * d1
+        assert offs.min() >= 0
+        assert offs.max() < lay.size_elements
+
+    @given(unimodular_2x2(), st.integers(1, 6), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_clustered_layout_under_transform(self, u, threads_sqrt, unit):
+        threads = threads_sqrt * 2
+        a = ArrayDecl("X", (12, 6))
+        lay = ClusteredLayout(
+            a, u, threads, unit,
+            thread_cluster=[t % 2 for t in range(threads)],
+            cluster_mcs=[(0,), (1,)], num_mcs=2)
+        coords = all_coords((12, 6))
+        offs = lay.element_offsets(coords)
+        assert len(set(offs.tolist())) == 72
+        # the MC property survives arbitrary unimodular relabeling
+        mcs = lay.target_mc(coords)
+        threads_of = lay.owning_thread(coords)
+        for t, mc in zip(threads_of.tolist(), mcs.tolist()):
+            assert mc == t % 2
+
+    def test_closed_form_matches_ops_composition(self):
+        """The ClusteredLayout closed form equals the paper's explicit
+        strip-mine/permute composition for the k=1, aligned case.
+
+        Composition (one cluster dimension, row-major):
+          (v, j) -> strip-mine v by b -> (t, w, j)
+          -> strip-mine j by p: (t, w, jc, jo)
+          -> reorder so the cluster index cycles per line:
+             offset = ((t_rank * b + w) * rest + j) with line slotting.
+        """
+        p = 4
+        threads, clusters = 4, 4  # one thread per cluster: rank == 0
+        dims = (8, 16)
+        a = ArrayDecl("X", dims)
+        lay = ClusteredLayout(
+            a, None, threads, p,
+            thread_cluster=list(range(4)),
+            cluster_mcs=[(c,) for c in range(4)], num_mcs=4)
+        b = lay.block
+        coords = all_coords(dims)
+        # closed form
+        got = lay.element_offsets(coords)
+        # explicit composition: e = w*16 + j per thread; lam = e // p;
+        # line = lam * 4 + t; offset = line * p + e % p
+        v, j = coords
+        t, w = v // b, v % b
+        e = w * 16 + j
+        lam, o = e // p, e % p
+        want = (lam * 4 + t) * p + o
+        assert np.array_equal(got, want)
+
+    def test_strip_mine_permute_equals_figure9(self):
+        """Figure 9(c)'s j-dimension rewrite via the ops API equals the
+        direct div/mod arithmetic."""
+        kp = 8
+        space = IndexSpace((4, 32))
+        comp = Composition(space).strip_mine(1, kp).permute([1, 0, 2])
+        coords = all_coords((4, 32))
+        offs = comp.linearize(coords)
+        i, j = coords
+        want = ((j // kp) * 4 + i) * kp + j % kp
+        assert np.array_equal(offs, want)
+
+
+class TestFrontendRobustness:
+    @given(st.text(alphabet="abcijk01 +-*/=<>;(){}[]\n", max_size=120))
+    @settings(max_examples=120, deadline=None)
+    def test_parser_never_crashes(self, source):
+        """Arbitrary near-language text either parses or raises the
+        typed errors -- never an internal exception."""
+        try:
+            parse_kernel(source)
+        except (ParseError, LexerError):
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_lexer_total(self, source):
+        try:
+            toks = tokenize(source)
+            assert toks[-1].kind == "eof"
+        except LexerError:
+            pass
+
+    @given(st.integers(4, 40), st.integers(-3, 3), st.integers(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_stencil(self, n, s0, s1):
+        source = (
+            f"let N = {n};\n"
+            f"array A[N][N];\narray B[N][N];\n"
+            f"parallel for (i = {max(0, -s0)}; i < N - {max(0, s0)}; "
+            f"i++) {{\n"
+            f"  for (j = {max(0, -s1)}; j < N - {max(0, s1)}; j++) {{\n"
+            f"    B[i][j] = A[i + {s0}][j + {s1}];\n"
+            f"  }}\n}}\n")
+        from repro.frontend.lower import compile_kernel
+        program = compile_kernel(source)
+        read = program.nests[0].refs[0]
+        assert read.offset == (s0, s1)
+
+
+class TestSimulatorConservation:
+    @given(st.lists(st.integers(0, 1 << 18), min_size=1, max_size=120),
+           st.integers(0, 63))
+    @settings(max_examples=25, deadline=None)
+    def test_access_categories_partition(self, raw_addrs, node):
+        from repro.arch.config import MachineConfig
+        from repro.sim.system import SystemSimulator, build_streams
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        mapping = cfg.default_mapping()
+        v = np.asarray(raw_addrs, dtype=np.int64) * 8
+        g = np.zeros(len(v), dtype=np.int64)
+        streams = build_streams(cfg, [node], [v], [v], [g])
+        m = SystemSimulator(cfg, mapping).run(streams)
+        assert m.l1_hits + m.l2_hits + m.onchip_remote + m.offchip == \
+            len(raw_addrs)
+        assert m.exec_time >= 0
+        assert sum(m.mc_requests) == m.offchip
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=80))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_exec_time(self, raw_addrs):
+        """Appending accesses never reduces execution time."""
+        from repro.arch.config import MachineConfig
+        from repro.sim.system import SystemSimulator, build_streams
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        mapping = cfg.default_mapping()
+
+        def run(addrs):
+            v = np.asarray(addrs, dtype=np.int64) * 8
+            g = np.zeros(len(v), dtype=np.int64)
+            streams = build_streams(cfg, [0], [v], [v], [g])
+            return SystemSimulator(cfg, mapping).run(streams).exec_time
+
+        assert run(raw_addrs + [0]) >= run(raw_addrs)

@@ -1,0 +1,33 @@
+"""The suite-report builder."""
+
+import pytest
+
+from repro.analysis.report import SuiteReport, build_report
+from repro.arch.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    return build_report(["swim", "art"], config, scale=0.3)
+
+
+class TestSuiteReport:
+    def test_contains_apps(self, report):
+        assert set(report.comparisons) == {"swim", "art"}
+        assert set(report.coverage) == {"swim", "art"}
+
+    def test_summary_has_average(self, report):
+        assert "average" in report.summary()
+
+    def test_markdown_renders(self, report):
+        text = report.to_markdown("T")
+        assert text.startswith("# T")
+        assert "8x8 mesh" in text
+        assert "| swim |" in text
+        assert "#" in text  # bar chart marks
+
+    def test_coverage_values(self, report):
+        assert report.coverage["swim"]["arrays"] == 1.0
+        assert report.coverage["art"]["arrays"] < 1.0

@@ -1,0 +1,144 @@
+"""Robustness: degenerate inputs and boundary configurations."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.clustering import balanced_mapping, grid_mapping
+from repro.arch.placement import place_mcs
+from repro.arch.topology import Mesh
+from repro.core.customization import private_l2_layout
+from repro.core.layout import ClusteredLayout, RowMajorLayout
+from repro.core.pipeline import LayoutTransformer
+from repro.program.ir import (ArrayDecl, LoopNest, Program, identity_ref)
+from repro.sim.run import RunSpec, run_simulation
+from repro.sim.system import SystemSimulator, build_streams
+
+
+class TestDegenerateArrays:
+    def test_more_threads_than_rows(self):
+        """An array smaller than the thread count: block = 1, trailing
+        threads own nothing, layout stays injective."""
+        a = ArrayDecl("X", (10, 16))
+        lay = ClusteredLayout(a, None, 64, 2,
+                              thread_cluster=[t % 4 for t in range(64)],
+                              cluster_mcs=[(c,) for c in range(4)],
+                              num_mcs=4)
+        grids = np.meshgrid(np.arange(10), np.arange(16), indexing="ij")
+        coords = np.vstack([g.reshape(1, -1) for g in grids])
+        offs = lay.element_offsets(coords)
+        assert len(set(offs.tolist())) == 160
+
+    def test_single_element_array(self):
+        a = ArrayDecl("X", (1, 1))
+        lay = RowMajorLayout(a)
+        assert lay.offset_of((0, 0)) == 0
+
+    def test_unit_interleave(self):
+        a = ArrayDecl("X", (8, 8))
+        lay = ClusteredLayout(a, None, 4, 1,
+                              thread_cluster=[0, 1, 2, 3],
+                              cluster_mcs=[(c,) for c in range(4)],
+                              num_mcs=4)
+        grids = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+        coords = np.vstack([g.reshape(1, -1) for g in grids])
+        assert len(set(lay.element_offsets(coords).tolist())) == 64
+
+
+class TestDegenerateNests:
+    def test_single_iteration_parallel_loop(self):
+        a = ArrayDecl("X", (1, 64))
+        nest = LoopNest("n", ((0, 1), (0, 64)),
+                        refs=(identity_ref(a),
+                              identity_ref(a, is_write=True)))
+        program = Program("p", [a], [nest])
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        res = run_simulation(RunSpec(program=program, config=cfg,
+                                     optimized=True))
+        assert res.metrics.total_accesses == 128
+
+    def test_zero_work_per_iteration(self):
+        a = ArrayDecl("X", (64, 16))
+        nest = LoopNest("n", ((0, 64), (0, 16)),
+                        refs=(identity_ref(a),),
+                        work_per_iteration=0)
+        program = Program("p", [a], [nest])
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        res = run_simulation(RunSpec(program=program, config=cfg))
+        assert res.metrics.exec_time > 0
+
+
+class TestDegenerateMeshes:
+    def test_one_by_n_mesh(self):
+        mesh = Mesh(8, 1)
+        assert mesh.distance(0, 7) == 7
+        assert len(mesh.route(0, 7)) == 7
+
+    def test_two_by_two_full_stack(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line", mesh_width=2, mesh_height=2)
+        mesh = cfg.mesh()
+        mapping = grid_mapping(mesh, cfg.mc_nodes(mesh), 4)
+        a = ArrayDecl("X", (32, 16))
+        nest = LoopNest("n", ((0, 32), (0, 16)),
+                        refs=(identity_ref(a),
+                              identity_ref(a, is_write=True)))
+        program = Program("p", [a], [nest])
+        res = run_simulation(RunSpec(program=program, config=cfg,
+                                     mapping=mapping, optimized=True))
+        assert res.metrics.total_accesses == 1024
+
+    def test_balanced_mapping_square_counts(self):
+        mesh = Mesh(8, 8)
+        for placement in ("P1", "P2", "P3"):
+            nodes = place_mcs(mesh, placement, 4)
+            mapping = balanced_mapping(mesh, nodes)
+            sizes = {len(c.cores) for c in mapping.clusters}
+            assert sizes == {16}
+
+
+class TestEmptyStreams:
+    def test_simulator_with_no_accesses(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        mapping = cfg.default_mapping()
+        empty = np.zeros(0, dtype=np.int64)
+        streams = build_streams(cfg, [0], [empty], [empty], [empty])
+        m = SystemSimulator(cfg, mapping).run(streams)
+        assert m.total_accesses == 0
+        assert m.exec_time == 0.0
+
+    def test_transformer_on_empty_program(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        program = Program("empty", [], [])
+        result = LayoutTransformer(cfg).run(program)
+        assert result.plans == {}
+        assert result.pct_arrays_optimized == 0.0
+
+
+class TestLayoutArgumentValidation:
+    def test_zero_threads(self):
+        a = ArrayDecl("X", (8, 8))
+        with pytest.raises(ValueError):
+            ClusteredLayout(a, None, 0, 1, [], [(0,)], 4)
+
+    def test_zero_unit(self):
+        a = ArrayDecl("X", (8, 8))
+        with pytest.raises(ValueError):
+            ClusteredLayout(a, None, 4, 0, [0, 1, 2, 3],
+                            [(c,) for c in range(4)], 4)
+
+    def test_thread_cluster_length_checked(self):
+        a = ArrayDecl("X", (8, 8))
+        with pytest.raises(ValueError):
+            ClusteredLayout(a, None, 4, 1, [0, 1],
+                            [(c,) for c in range(4)], 4)
+
+    def test_private_layout_element_size_guard(self):
+        mapping = MachineConfig.scaled_default().default_mapping()
+        odd = ArrayDecl("X", (8, 8), element_size=24)
+        with pytest.raises(ValueError):
+            private_l2_layout(odd, None, mapping, 256)

@@ -1,0 +1,128 @@
+"""End-to-end runner integration: the paper's headline behaviors.
+
+These use small workload scales to stay fast; the benchmark harness
+reruns them at full scale.
+"""
+
+import pytest
+
+from repro import MachineConfig, mapping_m2, run_optimal_pair, run_pair
+from repro.sim.run import RunSpec, run_simulation
+from repro.workloads import build_workload
+
+SCALE = 0.45
+
+
+@pytest.fixture(scope="module")
+def line_config():
+    return MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+
+
+@pytest.fixture(scope="module")
+def page_config():
+    return MachineConfig.scaled_default()
+
+
+class TestHeadline:
+    def test_optimization_wins_cache_line(self, line_config):
+        base, opt, cmp = run_pair(build_workload("swim", SCALE),
+                                  line_config)
+        assert cmp.exec_time_reduction > 0.05
+        assert cmp.offchip_net_reduction > 0.1
+
+    def test_optimization_wins_page(self, page_config):
+        base, opt, cmp = run_pair(build_workload("swim", SCALE),
+                                  page_config)
+        assert cmp.exec_time_reduction > 0.0
+
+    def test_transformation_reported(self, line_config):
+        _, opt, _ = run_pair(build_workload("swim", SCALE), line_config)
+        assert opt.transformation is not None
+        assert opt.transformation.pct_arrays_optimized == 1.0
+
+    def test_optimal_scheme_beats_baseline(self, page_config):
+        base, opt, cmp = run_optimal_pair(build_workload("swim", SCALE),
+                                          page_config)
+        assert cmp.offchip_net_reduction > 0.2
+        assert cmp.offchip_mem_reduction > 0.2
+        assert cmp.exec_time_reduction > 0.0
+
+    def test_shared_l2_onchip_localization(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line", shared_l2=True)
+        base, opt, cmp = run_pair(build_workload("galgel", SCALE), cfg)
+        # home banks become local: local-bank hits multiply
+        assert opt.metrics.l2_hits > 5 * max(1, base.metrics.l2_hits)
+        assert cmp.exec_time_reduction > 0.0
+
+    def test_m2_reduces_savings_for_low_mlp_app(self, line_config):
+        mesh = line_config.mesh()
+        m2 = mapping_m2(mesh, line_config.mc_nodes(mesh))
+        prog = build_workload("swim", SCALE)
+        _, _, c1 = run_pair(prog, line_config)
+        _, _, c2 = run_pair(prog, line_config, mapping=m2)
+        assert c1.exec_time_reduction > c2.exec_time_reduction
+
+
+class TestSpecOptions:
+    def test_bad_policy_rejected(self, page_config):
+        with pytest.raises(ValueError):
+            RunSpec(program=build_workload("swim", SCALE),
+                    config=page_config, page_policy="bogus")
+
+    def test_label(self, page_config):
+        spec = RunSpec(program=build_workload("swim", SCALE),
+                       config=page_config, optimized=True)
+        assert spec.label() == "swim/optimized"
+
+    def test_first_touch_policy_runs(self, page_config):
+        res = run_simulation(RunSpec(
+            program=build_workload("swim", SCALE), config=page_config,
+            page_policy="first_touch"))
+        assert res.metrics.total_accesses > 0
+
+    def test_localize_offchip_ablation(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving="cache_line", shared_l2=True)
+        prog = build_workload("swim", SCALE)
+        full = run_simulation(RunSpec(program=prog, config=cfg,
+                                      optimized=True))
+        ablated = run_simulation(RunSpec(program=prog, config=cfg,
+                                         optimized=True,
+                                         localize_offchip=False))
+        assert full.metrics.total_accesses == ablated.metrics.total_accesses
+
+    def test_page_fallbacks_surface(self, page_config):
+        """With tiny physical memory the MC-aware allocator falls back
+        instead of faulting (Section 5.3's guarantee)."""
+        res = run_simulation(RunSpec(
+            program=build_workload("swim", SCALE), config=page_config,
+            optimized=True, pages_per_mc=128))
+        assert res.metrics.total_accesses > 0  # completed despite pressure
+
+
+class TestScalingKnobs:
+    def test_threads_per_core(self, line_config):
+        cfg = line_config.with_(threads_per_core=2)
+        res = run_simulation(RunSpec(
+            program=build_workload("swim", SCALE), config=cfg))
+        base = run_simulation(RunSpec(
+            program=build_workload("swim", SCALE), config=line_config))
+        assert res.metrics.total_accesses == base.metrics.total_accesses
+        assert len(res.metrics.thread_finish) == 128
+
+    def test_smaller_mesh(self, line_config):
+        cfg = line_config.with_(mesh_width=4, mesh_height=4)
+        base, opt, cmp = run_pair(build_workload("swim", SCALE), cfg)
+        assert base.metrics.total_accesses > 0
+        assert cmp.offchip_net_reduction > 0
+
+    def test_more_mcs(self, line_config):
+        cfg = line_config.with_(num_mcs=8)
+        mesh = cfg.mesh()
+        from repro.arch.clustering import grid_mapping
+        mapping = grid_mapping(mesh, cfg.mc_nodes(mesh), 8)
+        base, opt, cmp = run_pair(build_workload("swim", SCALE), cfg,
+                                  mapping=mapping)
+        assert cmp.offchip_net_reduction > 0

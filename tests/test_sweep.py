@@ -1,0 +1,75 @@
+"""The parameter-sweep harness."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.sim.sweep import Sweep, best_point, resolve_mapping, to_csv
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return Sweep(build_workload("swim", 0.3))
+
+
+class TestResolveMapping:
+    def test_presets(self):
+        cfg = MachineConfig.scaled_default()
+        assert resolve_mapping(cfg, "M1").name == "M1"
+        assert resolve_mapping(cfg, "M2").name == "M2"
+
+    def test_p2_uses_voronoi(self):
+        cfg = MachineConfig.scaled_default().with_(mc_placement="P2")
+        mapping = resolve_mapping(cfg, "M1")
+        assert mapping.num_clusters == 4
+        # edge-midpoint controllers sit inside their own clusters
+        for cluster in mapping.clusters:
+            assert mapping.mc_nodes[cluster.mc_indices[0]] \
+                in cluster.cores
+
+    def test_eight_mcs(self):
+        cfg = MachineConfig.scaled_default().with_(num_mcs=8)
+        assert resolve_mapping(cfg, "M1").num_clusters == 8
+
+
+class TestSweep:
+    def test_grid(self, sweep):
+        points = sweep.run(interleaving=["cache_line"],
+                           mapping=["M1", "M2"])
+        assert len(points) == 2
+        names = {p.value("mapping") for p in points}
+        assert names == {"M1", "M2"}
+
+    def test_memoization(self, sweep):
+        first = sweep.run(mapping=["M1"])
+        cached = dict(sweep._cache)
+        again = sweep.run(mapping=["M1"])
+        assert sweep._cache == cached
+        assert first[0].comparison.exec_time_reduction == \
+            again[0].comparison.exec_time_reduction
+
+    def test_unknown_axis(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.run(bogus=[1, 2])
+
+    def test_rows_and_csv(self, sweep):
+        points = sweep.run(mapping=["M1", "M2"])
+        row = points[0].row()
+        assert "mapping" in row
+        assert "exec_time" in row
+        csv_text = to_csv(points)
+        assert csv_text.count("\n") == 3  # header + 2 rows
+        assert "mapping" in csv_text.splitlines()[0]
+
+    def test_best_point(self, sweep):
+        points = sweep.run(mapping=["M1", "M2"])
+        best = best_point(points)
+        assert best.comparison.exec_time_reduction == max(
+            p.comparison.exec_time_reduction for p in points)
+
+    def test_empty_csv(self):
+        assert to_csv([]) == ""
+
+    def test_best_of_empty(self):
+        with pytest.raises(ValueError):
+            best_point([])

@@ -1,0 +1,150 @@
+"""Full-system simulator: protocol behavior at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
+from repro.sim.system import SystemSimulator, ThreadStream, build_streams
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        interleaving=CACHE_LINE_INTERLEAVING)
+
+
+def run_addresses(config, addresses, node=0, shared=False, optimal=False):
+    cfg = config.with_(shared_l2=shared)
+    mapping = cfg.default_mapping()
+    v = np.asarray(addresses, dtype=np.int64)
+    gaps = np.zeros(len(v), dtype=np.int64)
+    streams = build_streams(cfg, [node], [v], [v], [gaps])
+    sim = SystemSimulator(cfg, mapping, optimal=optimal)
+    return sim.run(streams), sim
+
+
+class TestPrivateProtocol:
+    def test_cold_miss_goes_offchip(self, config):
+        m, _ = run_addresses(config, [0])
+        assert m.offchip == 1
+        assert m.l1_hits == 0
+        assert m.total_accesses == 1
+
+    def test_l1_hit_after_fill(self, config):
+        m, _ = run_addresses(config, [0, 0])
+        assert m.offchip == 1
+        assert m.l1_hits == 1
+
+    def test_l2_hit_after_l1_eviction_distance(self, config):
+        # same L2 line (256 B), different L1 lines (64 B)
+        m, _ = run_addresses(config, [0, 64])
+        assert m.offchip == 1
+        assert m.l2_hits == 1
+
+    def test_offchip_latency_components(self, config):
+        m, _ = run_addresses(config, [0], node=27)  # middle of the mesh
+        assert m.avg_offchip_net_latency > 0
+        assert m.avg_offchip_mem_latency >= config.row_miss_cycles
+
+    def test_cache_to_cache_transfer(self, config):
+        """A line cached in another node's L2 is served on-chip."""
+        cfg = config
+        mapping = cfg.default_mapping()
+        v = np.array([0], dtype=np.int64)
+        gaps = np.zeros(1, dtype=np.int64)
+        streams = build_streams(cfg, [0, 9], [v, v], [v, v], [gaps, gaps])
+        sim = SystemSimulator(cfg, mapping)
+        m = sim.run(streams)
+        assert m.offchip == 1          # first requester misses to memory
+        assert m.onchip_remote == 1    # second is served by the sharer
+
+    def test_directory_tracks_eviction(self, config):
+        """After the line is evicted from the only sharer's L2, the next
+        request must go off-chip again."""
+        cfg = config
+        lines = cfg.l2_size // cfg.l2_line
+        # stream enough distinct L2 lines to evict line 0, then retouch
+        addrs = [0] + [(i + 1) * cfg.l2_line * 17 for i in range(2 * lines)] + [0]
+        m, _ = run_addresses(cfg, addrs)
+        assert m.offchip >= 2
+
+    def test_exec_time_monotone_in_accesses(self, config):
+        m1, _ = run_addresses(config, [0])
+        m2, _ = run_addresses(config, [0, 4096, 8192])
+        assert m2.exec_time > m1.exec_time
+
+
+class TestSharedProtocol:
+    def test_remote_home_bank(self, config):
+        """Address line 1 homes at node 1: requester 0 goes on-chip."""
+        # 256 and 320 share the L2 line but not the L1 line, so the
+        # second access misses L1 and hits the (remote) home bank.
+        m, _ = run_addresses(config, [256, 320], node=0, shared=True)
+        assert m.offchip == 1
+        assert m.onchip_remote == 1
+
+    def test_local_home_bank(self, config):
+        """Address line 0 homes at node 0 == requester: no network."""
+        m, _ = run_addresses(config, [0, 0], node=0, shared=True)
+        # second access: L1 hit (since L1 also caches it)
+        assert m.l1_hits == 1
+
+    def test_local_home_l2_hit_counted(self, config):
+        m, _ = run_addresses(config, [0, 64], node=0, shared=True)
+        assert m.l2_hits == 1
+
+    def test_offchip_paths_2_and_4(self, config):
+        """Off-chip network latency covers home<->MC only; a requester
+        co-located with the home bank still reports nonzero off-chip
+        network latency when the home is far from the MC."""
+        # node 27's line homes at 27; MC for line 27 is (27 % 4) = 3
+        m, _ = run_addresses(config, [27 * 256], node=27, shared=True)
+        assert m.offchip == 1
+        assert m.avg_offchip_net_latency > 0
+
+
+class TestOptimalScheme:
+    def test_nearest_mc(self, config):
+        """Under the optimal scheme the request goes to the nearest MC
+        regardless of the address's owner."""
+        # node 1 is nearest corner 0; address at line 2 belongs to MC2
+        base, _ = run_addresses(config, [2 * 256], node=1)
+        opt, _ = run_addresses(config, [2 * 256], node=1, optimal=True)
+        assert opt.avg_offchip_net_latency < base.avg_offchip_net_latency
+        assert opt.avg_offchip_mem_latency == config.row_hit_cycles
+
+    def test_offchip_hops_reduced(self, config):
+        base, _ = run_addresses(config, [2 * 256], node=1)
+        opt, _ = run_addresses(config, [2 * 256], node=1, optimal=True)
+        assert min(opt.offchip_hops) < min(base.offchip_hops)
+
+
+class TestAccounting:
+    def test_categories_partition_accesses(self, config):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 20, size=500) * 8
+        m, _ = run_addresses(config, addrs.tolist())
+        assert m.l1_hits + m.l2_hits + m.onchip_remote + m.offchip == \
+            m.total_accesses
+
+    def test_mc_request_map(self, config):
+        m, _ = run_addresses(config, [0, 256, 512, 768], node=5)
+        assert m.mc_node_requests.sum() == 4
+        assert m.mc_node_requests[:, 5].sum() == 4
+
+    def test_thread_finish_recorded(self, config):
+        m, _ = run_addresses(config, [0, 256])
+        assert len(m.thread_finish) == 1
+        assert m.thread_finish[0] == m.exec_time
+
+    def test_transform_overhead_applied(self, config):
+        cfg = config
+        mapping = cfg.default_mapping()
+        v = np.array([0], dtype=np.int64)
+        gaps = np.zeros(1, dtype=np.int64)
+        streams = build_streams(cfg, [0], [v], [v], [gaps])
+        plain = SystemSimulator(cfg, mapping).run(streams)
+        streams = build_streams(cfg, [0], [v], [v], [gaps])
+        padded = SystemSimulator(cfg, mapping).run(
+            streams, transform_overhead=0.04)
+        assert padded.exec_time == pytest.approx(plain.exec_time * 1.04)

@@ -1,0 +1,93 @@
+"""Mesh topology and XY routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.topology import Mesh
+
+
+class TestMesh:
+    def test_counts(self):
+        mesh = Mesh(8, 8)
+        assert mesh.num_nodes == 64
+        assert mesh.num_links == 2 * (7 * 8 + 7 * 8)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+    def test_coords_roundtrip(self):
+        mesh = Mesh(5, 3)
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).coords(9)
+        with pytest.raises(ValueError):
+            Mesh(2, 2).node_at(5, 0)
+
+    def test_link_id_adjacent_only(self):
+        mesh = Mesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.link_id(0, 2)
+
+    def test_link_ids_distinct_directions(self):
+        mesh = Mesh(4, 4)
+        assert mesh.link_id(0, 1) != mesh.link_id(1, 0)
+
+
+class TestDistance:
+    def test_manhattan(self):
+        mesh = Mesh(8, 8)
+        assert mesh.distance(0, 63) == 14
+        assert mesh.distance(0, 0) == 0
+        assert mesh.distance(0, 7) == 7
+
+    def test_symmetry(self):
+        mesh = Mesh(6, 4)
+        assert mesh.distance(3, 17) == mesh.distance(17, 3)
+
+
+class TestRouting:
+    def test_route_length_equals_distance(self):
+        mesh = Mesh(8, 8)
+        for src, dst in [(0, 63), (5, 40), (10, 10), (7, 56)]:
+            assert len(mesh.route(src, dst)) == mesh.distance(src, dst)
+
+    def test_route_x_first(self):
+        mesh = Mesh(4, 4)
+        links = mesh.route(0, 5)  # (0,0) -> (1,1)
+        assert links[0] == mesh.link_id(0, 1)       # east first
+        assert links[1] == mesh.link_id(1, 5)       # then south
+
+    def test_empty_route(self):
+        assert Mesh(4, 4).route(3, 3) == []
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=60)
+    def test_route_property(self, src, dst):
+        mesh = Mesh(8, 8)
+        links = mesh.route(src, dst)
+        assert len(links) == mesh.distance(src, dst)
+        assert len(set(links)) == len(links)  # no link repeats
+
+
+class TestNearest:
+    def test_nearest(self):
+        mesh = Mesh(8, 8)
+        corners = [0, 7, 56, 63]
+        assert mesh.nearest(9, corners) == 0
+        assert mesh.nearest(62, corners) == 63
+
+    def test_tie_breaks_low_id(self):
+        mesh = Mesh(8, 8)
+        # node 3 is at distance 3 from node 0 and 4 from node 7; node at
+        # the center ties between corners
+        assert mesh.nearest(27, [0, 63]) == 0  # d=6 vs d=8 -> 0
+        assert mesh.nearest(0, [7, 56]) == 7   # both d=7 -> lower id
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).nearest(0, [])

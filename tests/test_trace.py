@@ -1,0 +1,152 @@
+"""Trace generation and address-space placement."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
+from repro.core.pipeline import LayoutTransformer, original_layouts
+from repro.program.address_space import AddressSpace
+from repro.program.ir import (ArrayDecl, IndexedRef, LoopNest, Program,
+                              identity_ref, shifted_ref)
+from repro.program.trace import ThreadTrace, generate_traces, total_accesses
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        interleaving=CACHE_LINE_INTERLEAVING)
+
+
+def tiny_program(n=32, repeat=1):
+    a = ArrayDecl("A", (n, n))
+    b = ArrayDecl("B", (n, n))
+    nest = LoopNest("s", ((0, n), (0, n)),
+                    refs=(identity_ref(a), identity_ref(b, is_write=True)),
+                    work_per_iteration=8, repeat=repeat)
+    return Program("tiny", [a, b], [nest])
+
+
+class TestAddressSpace:
+    def test_alignment(self, config):
+        program = tiny_program()
+        space = AddressSpace(config)
+        bases = space.place_all(original_layouts(program))
+        for base in bases.values():
+            assert base % space.alignment == 0
+
+    def test_no_overlap(self, config):
+        program = tiny_program()
+        layouts = original_layouts(program)
+        space = AddressSpace(config)
+        bases = space.place_all(layouts)
+        spans = sorted((bases[n], bases[n] + layouts[n].size_bytes)
+                       for n in bases)
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+
+    def test_duplicate_rejected(self, config):
+        program = tiny_program()
+        layouts = original_layouts(program)
+        space = AddressSpace(config)
+        space.place("A", layouts["A"])
+        with pytest.raises(ValueError):
+            space.place("A", layouts["A"])
+
+    def test_shared_l2_alignment(self):
+        cfg = MachineConfig.scaled_default().with_(
+            interleaving=CACHE_LINE_INTERLEAVING, shared_l2=True)
+        space = AddressSpace(cfg)
+        assert space.alignment % (cfg.num_cores * cfg.l2_line) == 0
+
+    def test_hints_cover_clustered_pages(self):
+        cfg = MachineConfig.scaled_default()  # page interleaving
+        program = tiny_program(n=64)
+        result = LayoutTransformer(cfg).run(program)
+        space = AddressSpace(cfg)
+        space.place_all(result.layouts)
+        hints = space.desired_mc_hints(result.layouts)
+        assert hints  # clustered page layouts express preferences
+        assert all(0 <= mc < cfg.num_mcs for mc in hints.values())
+
+    def test_row_major_no_hints(self, config):
+        program = tiny_program()
+        layouts = original_layouts(program)
+        space = AddressSpace(config)
+        space.place_all(layouts)
+        assert space.desired_mc_hints(layouts) == {}
+
+
+class TestTraceGeneration:
+    def test_access_counts(self, config):
+        program = tiny_program(n=32)
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        traces = generate_traces(program, layouts, bases, 4)
+        assert total_accesses(traces) == program.total_accesses
+
+    def test_repeat_restreams(self, config):
+        p1 = tiny_program(n=16, repeat=1)
+        p2 = tiny_program(n=16, repeat=3)
+        layouts = original_layouts(p2)
+        bases = AddressSpace(config).place_all(layouts)
+        t1 = generate_traces(p1, original_layouts(p1),
+                             AddressSpace(config).place_all(
+                                 original_layouts(p1)), 2)
+        t2 = generate_traces(p2, layouts, bases, 2)
+        assert total_accesses(t2) == 3 * total_accesses(t1)
+
+    def test_refs_interleaved_per_iteration(self, config):
+        program = tiny_program(n=8)
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        trace = generate_traces(program, layouts, bases, 1)[0]
+        # accesses alternate A, B, A, B, ...
+        assert trace.vaddrs[0] == bases["A"]
+        assert trace.vaddrs[1] == bases["B"]
+        assert trace.vaddrs[2] == bases["A"] + 8  # next element of A
+
+    def test_threads_partition_accesses(self, config):
+        program = tiny_program(n=32)
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        traces = generate_traces(program, layouts, bases, 8)
+        counts = [t.num_accesses for t in traces]
+        assert sum(counts) == program.total_accesses
+        assert max(counts) - min(counts) <= 2 * len(program.nests[0].refs)
+
+    def test_gaps_jittered_but_nonnegative(self, config):
+        program = tiny_program(n=16)
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        traces = generate_traces(program, layouts, bases, 2)
+        for t in traces:
+            assert (t.gaps >= 0).all()
+        # different threads get different jitter
+        assert not np.array_equal(traces[0].gaps, traces[1].gaps)
+
+    def test_indexed_refs_traced_exactly(self, config):
+        """Layouts are chosen from the approximation, but the trace uses
+        the TRUE indices (correctness is never at stake)."""
+        x = ArrayDecl("X", (16, 4))
+        rows = np.repeat(np.arange(16)[::-1], 4)  # reversed gather
+        cols = np.tile(np.arange(4), 16)
+        nest = LoopNest("g", ((0, 16), (0, 4)),
+                        refs=(IndexedRef(x, (rows, cols)),))
+        program = Program("p", [x], [nest])
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        trace = generate_traces(program, layouts, bases, 1)[0]
+        # first iteration gathers row 15, column 0
+        assert trace.vaddrs[0] == bases["X"] + (15 * 4 + 0) * 8
+
+    def test_idle_thread_empty_trace(self, config):
+        program = tiny_program(n=4)  # 4 rows, 8 threads
+        layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        traces = generate_traces(program, layouts, bases, 8)
+        assert traces[7].num_accesses == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadTrace(np.zeros(3, dtype=np.int64),
+                        np.zeros(2, dtype=np.int64))

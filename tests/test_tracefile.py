@@ -1,0 +1,86 @@
+"""Trace persistence (save / load / replay)."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.core.pipeline import original_layouts
+from repro.program.address_space import AddressSpace
+from repro.program.trace import ThreadTrace, generate_traces
+from repro.program.tracefile import (load_metadata, load_traces,
+                                     save_traces)
+from repro.sim.system import build_streams, SystemSimulator
+from repro.workloads import build_workload
+
+
+@pytest.fixture()
+def traces():
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    program = build_workload("swim", 0.25)
+    layouts = original_layouts(program)
+    bases = AddressSpace(config).place_all(layouts)
+    return generate_traces(program, layouts, bases, 8)
+
+
+class TestRoundTrip:
+    def test_save_load(self, traces, tmp_path):
+        path = tmp_path / "swim.npz"
+        save_traces(path, traces, metadata={"app": "swim", "scale": 0.25})
+        loaded = load_traces(path)
+        assert len(loaded) == len(traces)
+        for a, b in zip(traces, loaded):
+            assert np.array_equal(a.vaddrs, b.vaddrs)
+            assert np.array_equal(a.gaps, b.gaps)
+            assert np.array_equal(a.writes, b.writes)
+
+    def test_metadata(self, traces, tmp_path):
+        path = tmp_path / "t.npz"
+        save_traces(path, traces, metadata={"app": "swim"})
+        assert load_metadata(path) == {"app": "swim"}
+
+    def test_empty_metadata(self, traces, tmp_path):
+        path = tmp_path / "t.npz"
+        save_traces(path, traces)
+        assert load_metadata(path) == {}
+
+    def test_version_check(self, traces, tmp_path):
+        import json
+        path = tmp_path / "t.npz"
+        header = np.frombuffer(
+            json.dumps({"version": 99, "threads": 0,
+                        "metadata": {}}).encode(), dtype=np.uint8)
+        np.savez(path, header=header)
+        with pytest.raises(ValueError):
+            load_traces(path)
+
+    def test_empty_thread_preserved(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_traces(path, [ThreadTrace(np.zeros(0, dtype=np.int64),
+                                       np.zeros(0, dtype=np.int64))])
+        loaded = load_traces(path)
+        assert loaded[0].num_accesses == 0
+
+
+class TestReplay:
+    def test_replay_matches_direct(self, traces, tmp_path):
+        """Simulating loaded traces gives the identical result."""
+        config = MachineConfig.scaled_default().with_(
+            interleaving="cache_line")
+        mapping = config.default_mapping()
+        path = tmp_path / "t.npz"
+        save_traces(path, traces)
+        loaded = load_traces(path)
+
+        def simulate(tr):
+            nodes = [mapping.core_order[t % 64]
+                     for t in range(len(tr))]
+            v = [t.vaddrs for t in tr]
+            g = [t.gaps for t in tr]
+            streams = build_streams(config, nodes, v, v, g)
+            return SystemSimulator(config, mapping).run(streams)
+
+        direct = simulate(traces)
+        replayed = simulate(loaded)
+        assert direct.exec_time == replayed.exec_time
+        assert direct.offchip == replayed.offchip

@@ -1,0 +1,88 @@
+"""Trace-level invariants over the workload models.
+
+These check that every application's generated streams are well formed
+under both the original and the transformed layouts: addresses stay
+inside the placed footprints, every thread's trace is nonempty for the
+main nests, and the optimized traces are a permutation-with-padding of
+the same logical accesses (equal counts per array region).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.core.pipeline import LayoutTransformer, original_layouts
+from repro.program.address_space import AddressSpace
+from repro.program.trace import generate_traces, total_accesses
+from repro.workloads import SUITE_ORDER, build_workload
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+
+
+def build(config, app, optimized):
+    program = build_workload(app, SCALE)
+    if optimized:
+        layouts = LayoutTransformer(config).run(program).layouts
+    else:
+        layouts = original_layouts(program)
+    space = AddressSpace(config)
+    bases = space.place_all(layouts)
+    traces = generate_traces(program, layouts, bases, 64)
+    return program, layouts, bases, space, traces
+
+
+@pytest.mark.parametrize("app", SUITE_ORDER)
+class TestPerApplication:
+    def test_counts_match_program(self, config, app):
+        program, _, _, _, traces = build(config, app, optimized=False)
+        assert total_accesses(traces) == program.total_accesses
+
+    def test_counts_invariant_under_transform(self, config, app):
+        """The transformation renames, never adds or drops accesses."""
+        p1, _, _, _, base_traces = build(config, app, optimized=False)
+        p2, _, _, _, opt_traces = build(config, app, optimized=True)
+        assert total_accesses(base_traces) == total_accesses(opt_traces)
+
+    def test_addresses_inside_footprints(self, config, app):
+        _, layouts, bases, space, traces = build(config, app,
+                                                 optimized=True)
+        spans = sorted((bases[name], bases[name] + lay.size_bytes)
+                       for name, lay in layouts.items())
+        lo = spans[0][0]
+        hi = space.footprint_bytes
+        for trace in traces:
+            if trace.num_accesses == 0:
+                continue
+            assert trace.vaddrs.min() >= lo
+            assert trace.vaddrs.max() < hi
+
+    def test_per_array_access_counts_preserved(self, config, app):
+        """For each array, the number of accesses landing in its
+        footprint is the same before and after the transformation."""
+        _, lay1, bases1, _, t1 = build(config, app, optimized=False)
+        _, lay2, bases2, _, t2 = build(config, app, optimized=True)
+
+        def counts(layouts, bases, traces):
+            edges = sorted((bases[n], n) for n in bases)
+            out = {}
+            all_addrs = np.concatenate(
+                [t.vaddrs for t in traces if t.num_accesses])
+            for (base, name) in edges:
+                hi = base + layouts[name].size_bytes
+                out[name] = int(((all_addrs >= base)
+                                 & (all_addrs < hi)).sum())
+            return out
+
+        assert counts(lay1, bases1, t1) == counts(lay2, bases2, t2)
+
+    def test_write_flags_fraction(self, config, app):
+        program, _, _, _, traces = build(config, app, optimized=False)
+        writes = sum(int(t.writes.sum()) for t in traces)
+        total = total_accesses(traces)
+        assert 0 < writes < total  # every app both reads and writes

@@ -1,0 +1,97 @@
+"""The 13-application workload suite."""
+
+import pytest
+
+from repro.program.ir import IndexedRef
+from repro.workloads import (FIRST_TOUCH_FRIENDLY, HIGH_MLP, SUITE_ORDER,
+                             WORKLOADS, build_suite, build_workload)
+from repro.workloads.suite import with_work_scale
+
+
+class TestRegistry:
+    def test_thirteen_applications(self):
+        assert len(WORKLOADS) == 13
+        assert len(SUITE_ORDER) == 13
+
+    def test_paper_membership(self):
+        specomp = {"wupwise", "swim", "mgrid", "applu", "galgel", "apsi",
+                   "gafort", "fma3d", "art", "ammp"}
+        mantevo = {"hpccg", "minighost", "minimd"}
+        assert set(SUITE_ORDER) == specomp | mantevo
+        assert "equake" not in WORKLOADS  # excluded by the paper
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_workload("doom")
+
+    def test_tags(self):
+        assert set(FIRST_TOUCH_FRIENDLY) == {"wupwise", "gafort", "minimd"}
+        assert set(HIGH_MLP) == {"fma3d", "minighost"}
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+class TestEachModel:
+    def test_builds_and_validates(self, name):
+        program = build_workload(name, scale=0.4)
+        assert program.name == name
+        assert program.arrays
+        assert program.nests
+
+    def test_has_init_phase(self, name):
+        program = build_workload(name, scale=0.4)
+        inits = [n for n in program.nests if n.name.startswith("init")]
+        assert len(inits) == len(program.arrays)
+
+    def test_scale_shrinks(self, name):
+        small = build_workload(name, scale=0.3)
+        big = build_workload(name, scale=0.8)
+        assert small.total_accesses < big.total_accesses
+
+    def test_mlp_tag_consistent(self, name):
+        program = build_workload(name, scale=0.3)
+        if name in HIGH_MLP:
+            assert program.mlp_demand >= 8
+        else:
+            assert program.mlp_demand <= 4
+
+
+class TestStructure:
+    def test_indexed_apps(self):
+        for name in ("gafort", "fma3d", "ammp", "hpccg", "minimd"):
+            program = build_workload(name, scale=0.4)
+            has_indexed = any(isinstance(r, IndexedRef)
+                              for nest in program.nests
+                              for r in nest.refs)
+            assert has_indexed, name
+
+    def test_pure_affine_apps(self):
+        for name in ("wupwise", "swim", "mgrid", "galgel", "apsi"):
+            program = build_workload(name, scale=0.4)
+            assert all(not isinstance(r, IndexedRef)
+                       for nest in program.nests for r in nest.refs), name
+
+    def test_high_mlp_apps_memory_intense(self):
+        fma = build_workload("fma3d", scale=0.4)
+        wup = build_workload("wupwise", scale=0.4)
+        assert fma.avg_work_per_access < wup.avg_work_per_access
+
+    def test_build_suite_order(self):
+        suite = build_suite(scale=0.3)
+        assert [p.name for p in suite] == list(SUITE_ORDER)
+
+    def test_work_scale(self):
+        base = build_workload("swim", scale=0.3)
+        scaled = with_work_scale(base, 2.0)
+        for n1, n2 in zip(base.nests, scaled.nests):
+            assert n2.work_per_iteration == round(
+                n1.work_per_iteration * 2.0)
+        assert with_work_scale(base, 1.0) is base
+
+    def test_deterministic_index_streams(self):
+        a = build_workload("fma3d", scale=0.4)
+        b = build_workload("fma3d", scale=0.4)
+        ra = next(r for n in a.nests for r in n.refs
+                  if isinstance(r, IndexedRef))
+        rb = next(r for n in b.nests for r in n.refs
+                  if isinstance(r, IndexedRef))
+        assert (ra.index_data[0] == rb.index_data[0]).all()
