@@ -27,11 +27,17 @@ from repro.arch.config import (CACHE_LINE_INTERLEAVING, MachineConfig,
 from repro.arch.topology import Mesh
 from repro.core.pipeline import (ArrayPlan, LayoutTransformer,
                                  TransformationResult, original_layouts)
+from repro.errors import (FrontendError, LayoutError, ReproError,
+                          SimulationError, SimulationTimeout, SolverError)
+from repro.faults import (BankFault, FaultPlan, LinkDegradation, LinkFault,
+                          MCFault, PagePressure)
 from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
                               Program, identity_ref, shifted_ref)
 from repro.sim.metrics import Comparison, RunMetrics
 from repro.sim.multiprogram import WeightedSpeedupResult, run_multiprogram
 from repro.frontend.lower import compile_kernel
+from repro.sim.harness import (HardenedSweep, HarnessConfig, RunOutcome,
+                               SweepReport, run_hardened)
 from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
                            run_simulation)
 from repro.sim.sweep import Sweep
@@ -39,13 +45,17 @@ from repro.sim.sweep import Sweep
 __version__ = "1.0.0"
 
 __all__ = [
-    "AffineRef", "ArrayDecl", "ArrayPlan", "CACHE_LINE_INTERLEAVING",
-    "Cluster", "Comparison", "IndexedRef", "L2ToMCMapping",
-    "LayoutTransformer", "LoopNest", "MachineConfig", "Mesh",
-    "PAGE_INTERLEAVING", "Program", "RunMetrics", "RunResult", "RunSpec",
-    "Sweep", "TransformationResult", "WeightedSpeedupResult",
+    "AffineRef", "ArrayDecl", "ArrayPlan", "BankFault",
+    "CACHE_LINE_INTERLEAVING", "Cluster", "Comparison", "FaultPlan",
+    "FrontendError", "HardenedSweep", "HarnessConfig", "IndexedRef",
+    "L2ToMCMapping", "LayoutError", "LayoutTransformer", "LinkDegradation",
+    "LinkFault", "LoopNest", "MCFault", "MachineConfig", "Mesh",
+    "PAGE_INTERLEAVING", "PagePressure", "Program", "ReproError",
+    "RunMetrics", "RunOutcome", "RunResult", "RunSpec", "SimulationError",
+    "SimulationTimeout", "SolverError", "Sweep", "SweepReport",
+    "TransformationResult", "WeightedSpeedupResult",
     "compile_kernel", "grid_mapping",
     "identity_ref", "mapping_m1", "mapping_m2", "original_layouts",
-    "partial_grid_mapping", "run_multiprogram", "run_optimal_pair",
-    "run_pair", "run_simulation", "shifted_ref",
+    "partial_grid_mapping", "run_hardened", "run_multiprogram",
+    "run_optimal_pair", "run_pair", "run_simulation", "shifted_ref",
 ]

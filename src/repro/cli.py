@@ -132,17 +132,37 @@ def cmd_legality(args: argparse.Namespace, out) -> int:
     return status
 
 
+def _load_fault_plan(path: str):
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+    try:
+        with open(path) as handle:
+            return FaultPlan.from_json(handle.read())
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        raise SystemExit(f"repro-cli: cannot load fault plan "
+                         f"{path!r}: {err}")
+
+
 def cmd_run(args: argparse.Namespace, out) -> int:
     program = _load_program(args)
     config = _config(args)
+    plan = _load_fault_plan(args.fault_plan)
     spec = RunSpec(program=program, config=config,
                    mapping=_mapping(config, args.mapping),
-                   optimized=args.optimized, optimal=args.optimal)
+                   optimized=args.optimized, optimal=args.optimal,
+                   fault_plan=plan, seed=args.seed)
     result = run_simulation(spec)
     kind = "optimal" if args.optimal else (
         "optimized" if args.optimized else "baseline")
     print(f"{program.name} ({kind}):", file=out)
     _print_metrics(result.metrics, out)
+    if plan is not None:
+        m = result.metrics
+        print(f"fault events:       {m.fault_events:>12,}  "
+              f"(failovers {m.mc_failovers}, detours {m.link_detours}, "
+              f"bank remaps {m.bank_remaps}, "
+              f"page fallbacks {m.page_fallbacks})", file=out)
     return 0
 
 
@@ -181,16 +201,30 @@ def cmd_suite(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace, out) -> int:
-    program = _load_program(args)
-    sweep = Sweep(program, _config(args))
+def _parse_axes(specs: List[str]) -> dict:
+    """Parse repeated ``--axis name=v1,v2`` flags, failing fast with a
+    one-line diagnostic that names the offending axis/value and lists
+    the known axes (a typo must not abort a sweep mid-run with a
+    traceback)."""
+    known = Sweep.CONFIG_AXES + ("mapping",)
     axes = {}
-    for spec in args.axis:
+    for spec in specs:
         name, _, values = spec.partition("=")
-        if not values:
-            raise SystemExit(f"bad axis {spec!r}; use name=v1,v2")
+        if not name or not values:
+            raise SystemExit(
+                f"repro-cli sweep: bad axis spec {spec!r}; "
+                f"expected name=v1,v2 with name one of: "
+                f"{', '.join(known)}")
+        if name not in known:
+            raise SystemExit(
+                f"repro-cli sweep: unknown axis {name!r} "
+                f"(in {spec!r}); known axes: {', '.join(known)}")
         parsed = []
         for v in values.split(","):
+            if not v:
+                raise SystemExit(
+                    f"repro-cli sweep: empty value for axis {name!r} "
+                    f"(in {spec!r})")
             if v.lower() in ("true", "false"):
                 parsed.append(v.lower() == "true")
             else:
@@ -199,7 +233,17 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                 except ValueError:
                     parsed.append(v)
         axes[name] = parsed
-    points = sweep.run(**axes)
+    return axes
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    program = _load_program(args)
+    sweep = Sweep(program, _config(args))
+    axes = _parse_axes(args.axis)
+    try:
+        points = sweep.run(**axes)
+    except ValueError as err:  # e.g. unknown mapping preset value
+        raise SystemExit(f"repro-cli sweep: {err}")
     print(to_csv(points), end="", file=out)
     return 0
 
@@ -284,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "run":
             p.add_argument("--optimized", action="store_true")
             p.add_argument("--optimal", action="store_true")
+            p.add_argument("--fault-plan", default="",
+                           help="JSON fault plan to inject "
+                                "(see repro.faults.FaultPlan)")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for stochastic tie-breaks")
         _machine_flags(p)
         p.set_defaults(func=func)
 

@@ -30,6 +30,7 @@ from repro.core.data_to_core import (DataToCoreResult, RefSystem,
 from repro.core.indexed import (AffineApproximation, DEFAULT_ERROR_GATE,
                                 approximate_indexed)
 from repro.core.layout import Layout, RowMajorLayout
+from repro.errors import LayoutError, ReproError, SolverError
 from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, Program)
 
 
@@ -45,6 +46,9 @@ class ArrayPlan:
     satisfied_weight: int = 0
     total_weight: int = 0
     approximations: List[AffineApproximation] = field(default_factory=list)
+    # Set when the pass degraded this array after a solver/customization
+    # failure: the structured diagnostic explaining the downgrade.
+    error: Optional[ReproError] = None
 
     @property
     def satisfaction(self) -> float:
@@ -85,6 +89,17 @@ class TransformationResult:
     @property
     def any_transformed(self) -> bool:
         return any(p.optimized for p in self.plans.values())
+
+    @property
+    def diagnostics(self) -> List[ReproError]:
+        """Structured errors from arrays the pass degraded (in program
+        array order); empty when every array planned cleanly."""
+        return [p.error for p in self.plans.values() if p.error is not None]
+
+    @property
+    def degraded_arrays(self) -> List[str]:
+        return [name for name, p in self.plans.items()
+                if p.error is not None]
 
 
 class LayoutTransformer:
@@ -128,9 +143,30 @@ class LayoutTransformer:
         return self.config.num_cores * self.config.threads_per_core
 
     def run(self, program: Program) -> TransformationResult:
+        """Plan every array, degrading per array on failure.
+
+        A solver or customization failure never aborts the pass: the
+        affected array falls back to its original (row-major) layout
+        with a structured diagnostic recorded on its plan, and every
+        other array is still optimized -- the compile-side analogue of
+        the simulator's graceful degradation.
+        """
         plans: Dict[str, ArrayPlan] = {}
         for array in program.arrays:
-            plans[array.name] = self._plan_array(program, array)
+            try:
+                plans[array.name] = self._plan_array(program, array)
+            except ReproError as err:
+                if err.array is None:
+                    err.array = array.name
+                plans[array.name] = ArrayPlan(
+                    array, RowMajorLayout(array), False,
+                    f"degraded to original layout: {err}", error=err)
+            except Exception as exc:  # defensive: solver bugs degrade too
+                err = SolverError(f"unexpected failure: {exc}",
+                                  array=array.name, cause=exc)
+                plans[array.name] = ArrayPlan(
+                    array, RowMajorLayout(array), False,
+                    f"degraded to original layout: {err}", error=err)
         return TransformationResult(program=program, plans=plans)
 
     # -- per-array ---------------------------------------------------------
@@ -150,7 +186,13 @@ class LayoutTransformer:
                 systems.append(RefSystem(ref.access, ref.offset,
                                          nest.parallel_dim, lo, weight))
             elif isinstance(ref, IndexedRef):
-                approx = approximate_indexed(nest, ref, self.error_gate)
+                try:
+                    approx = approximate_indexed(nest, ref,
+                                                 self.error_gate)
+                except Exception as exc:
+                    raise SolverError(
+                        f"affine approximation failed: {exc}",
+                        array=array.name, nest=nest.name, cause=exc)
                 approximations.append(approx)
                 if approx.accepted:
                     systems.append(RefSystem(
@@ -168,7 +210,11 @@ class LayoutTransformer:
                              "accesses", total_weight=total_weight,
                              approximations=approximations)
 
-        result = data_to_core_mapping(systems)
+        try:
+            result = data_to_core_mapping(systems)
+        except Exception as exc:
+            raise SolverError(f"Data-to-Core solver failed: {exc}",
+                              array=array.name, cause=exc)
         if not result.optimized:
             return ArrayPlan(array, RowMajorLayout(array), False,
                              "no nontrivial partition vector",
@@ -182,7 +228,11 @@ class LayoutTransformer:
                              total_weight=total_weight,
                              approximations=approximations)
 
-        layout = self._customize(array, result)
+        try:
+            layout = self._customize(array, result)
+        except Exception as exc:
+            raise LayoutError(f"layout customization failed: {exc}",
+                              array=array.name, cause=exc)
         return ArrayPlan(array, layout, True, "optimized",
                          mapping_result=result,
                          satisfied_weight=result.satisfied_weight,

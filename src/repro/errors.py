@@ -1,0 +1,118 @@
+"""Structured error taxonomy for the whole reproduction.
+
+Every failure the toolchain can produce is classified under
+:class:`ReproError` so callers (the CLI, the hardened harness, the
+layout pass) can react by *kind* instead of string-matching messages:
+
+* :class:`FrontendError` -- lexing/parsing/lowering problems; carries a
+  source location (``line``/``column``) when known.
+* :class:`SolverError` -- the Data-to-Core integer solver or the indexed
+  affine approximation failed; carries the array and reference context.
+* :class:`LayoutError` -- layout customization (strip-mining,
+  permutation, delta-skip) produced an invalid layout for an array.
+* :class:`SimulationError` -- the simulator could not complete a run
+  (partitioned NoC, every controller offline, timeout, ...).
+
+Errors additionally carry a ``transient`` flag: a transient failure
+(e.g. a timeout, or an injected fault window that a retry with backoff
+may miss) is worth retrying; a deterministic one is not.  The hardened
+harness (:mod:`repro.sim.harness`) keys its retry policy off this flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class: a message plus structured context.
+
+    Parameters are all optional; whatever is known is attached and
+    rendered in the message, so a diagnostic always names the thing
+    that failed rather than just the failure.
+    """
+
+    kind = "error"
+
+    def __init__(self, message: str, *,
+                 array: Optional[str] = None,
+                 reference: Optional[str] = None,
+                 nest: Optional[str] = None,
+                 line: Optional[int] = None,
+                 column: Optional[int] = None,
+                 transient: bool = False,
+                 cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.message = message
+        self.array = array
+        self.reference = reference
+        self.nest = nest
+        self.line = line
+        self.column = column
+        self.transient = transient
+        self.cause = cause
+
+    def context(self) -> Dict[str, object]:
+        """The non-empty structured fields, for logs and checkpoints."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for key in ("array", "reference", "nest", "line", "column"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.transient:
+            out["transient"] = True
+        return out
+
+    def __str__(self) -> str:
+        parts = []
+        if self.line is not None:
+            loc = f"line {self.line}"
+            if self.column is not None:
+                loc += f":{self.column}"
+            parts.append(loc)
+        if self.array is not None:
+            parts.append(f"array {self.array!r}")
+        if self.nest is not None:
+            parts.append(f"nest {self.nest!r}")
+        if self.reference is not None:
+            parts.append(f"reference {self.reference}")
+        where = ", ".join(parts)
+        return f"[{self.kind}] {self.message}" + (f" ({where})" if where
+                                                 else "")
+
+
+class FrontendError(ReproError):
+    """Lexer/parser/lowering failure, located in the kernel source."""
+
+    kind = "frontend"
+
+
+class SolverError(ReproError):
+    """Data-to-Core solving or affine approximation failed."""
+
+    kind = "solver"
+
+
+class LayoutError(ReproError):
+    """Layout customization produced an unusable layout."""
+
+    kind = "layout"
+
+
+class SimulationError(ReproError):
+    """The simulator could not complete the run."""
+
+    kind = "simulation"
+
+
+class SimulationTimeout(SimulationError):
+    """A run exceeded the harness's per-run timeout.
+
+    Timeouts are flagged transient: on a loaded machine a retry often
+    succeeds, and the harness's exponential backoff gives the machine
+    room to drain.
+    """
+
+    def __init__(self, message: str, **kwargs):
+        kwargs.setdefault("transient", True)
+        super().__init__(message, **kwargs)

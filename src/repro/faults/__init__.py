@@ -1,0 +1,19 @@
+"""Fault injection & graceful degradation for the simulated fabric.
+
+The paper's argument rests on *where* requests are serviced; this
+package lets the reproduction answer the follow-up question -- does the
+layout optimization still win when the machine is degraded?  A seeded,
+serializable :class:`FaultPlan` declares link failures, bandwidth
+degradation windows, controller offline/slowdown windows, dead DRAM
+banks and page-pool pressure; the runtime models translate it into the
+queries the NoC, controllers and OS model ask during simulation.
+"""
+
+from repro.faults.models import ControllerFaultModel, NetworkFaultModel
+from repro.faults.plan import (BankFault, FaultPlan, LinkDegradation,
+                               LinkFault, MCFault, PagePressure)
+
+__all__ = [
+    "BankFault", "ControllerFaultModel", "FaultPlan", "LinkDegradation",
+    "LinkFault", "MCFault", "NetworkFaultModel", "PagePressure",
+]

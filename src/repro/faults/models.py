@@ -1,0 +1,240 @@
+"""Runtime fault models: the simulator-facing view of a FaultPlan.
+
+Two classes translate the declarative :class:`~repro.faults.plan.FaultPlan`
+into the queries the hot simulation loop asks:
+
+* :class:`NetworkFaultModel` -- which links are dead *now*, what detour
+  route (turn-model, deadlock-free) avoids them, and how degraded a
+  link's bandwidth is.  Routes are computed per *epoch* (the intervals
+  between fault-window boundaries) with a west-first turn-model BFS, so
+  detours never introduce a routing cycle; when west-first adaptivity
+  cannot reach the destination (rare corner failures) an unrestricted
+  shortest path is used and counted, and a genuinely partitioned mesh
+  raises :class:`~repro.errors.SimulationError`.
+
+* :class:`ControllerFaultModel` -- whether a controller is offline or
+  slowed at a given time, when it comes back, and where a dead bank's
+  requests remap.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.arch.topology import Mesh
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
+
+INF = math.inf
+
+
+class NetworkFaultModel:
+    """Dead links, detour routes and bandwidth degradation over time."""
+
+    def __init__(self, mesh: Mesh, plan: FaultPlan):
+        self.mesh = mesh
+        # Directed-link windows; a LinkFault kills both directions.
+        self._dead: Dict[int, List[Tuple[float, float]]] = {}
+        boundaries = {0.0}
+        for fault in plan.link_faults:
+            for src, dst in ((fault.a, fault.b), (fault.b, fault.a)):
+                link = mesh.link_id(src, dst)
+                self._dead.setdefault(link, []).append(
+                    (fault.start, fault.end))
+            boundaries.add(fault.start)
+            if fault.end != INF:
+                boundaries.add(fault.end)
+        self._epochs: List[float] = sorted(boundaries)
+        self._degraded: Dict[int, List[Tuple[float, float, float]]] = {}
+        for deg in plan.link_degradations:
+            for src, dst in ((deg.a, deg.b), (deg.b, deg.a)):
+                link = mesh.link_id(src, dst)
+                self._degraded.setdefault(link, []).append(
+                    (deg.start, deg.end, deg.factor))
+        self._routes: Dict[Tuple[int, int, int], Tuple[List[int], int]] = {}
+        self._dead_at_epoch: Dict[int, FrozenSet[int]] = {}
+
+    # -- time partitioning -------------------------------------------------
+    def epoch_of(self, t: float) -> int:
+        return max(0, bisect_right(self._epochs, t) - 1)
+
+    def dead_links(self, t: float) -> FrozenSet[int]:
+        epoch = self.epoch_of(t)
+        cached = self._dead_at_epoch.get(epoch)
+        if cached is None:
+            at = self._epochs[epoch]
+            cached = frozenset(
+                link for link, windows in self._dead.items()
+                if any(start <= at < end for start, end in windows))
+            self._dead_at_epoch[epoch] = cached
+        return cached
+
+    def degradation(self, link: int, t: float) -> float:
+        """Serialization-time multiplier for a link at time ``t``."""
+        windows = self._degraded.get(link)
+        if not windows:
+            return 1.0
+        factor = 1.0
+        for start, end, f in windows:
+            if start <= t < end:
+                factor = max(factor, f)
+        return factor
+
+    @property
+    def degrades(self) -> bool:
+        return bool(self._degraded)
+
+    # -- fault-aware routing ----------------------------------------------
+    def route(self, src: int, dst: int, t: float) -> Tuple[List[int], int]:
+        """Links of a deadlock-free route avoiding dead links.
+
+        Returns ``(links, extra_hops)`` where ``extra_hops`` is the
+        detour cost beyond the Manhattan distance (0 for an undisturbed
+        XY route).  Raises :class:`SimulationError` when the surviving
+        topology disconnects ``src`` from ``dst``.
+        """
+        key = (self.epoch_of(t), src, dst)
+        cached = self._routes.get(key)
+        if cached is None:
+            cached = self._compute_route(src, dst, self.dead_links(t))
+            self._routes[key] = cached
+        return cached
+
+    def _compute_route(self, src: int, dst: int,
+                       dead: FrozenSet[int]) -> Tuple[List[int], int]:
+        mesh = self.mesh
+        if src == dst:
+            return [], 0
+        xy = mesh.route(src, dst)
+        if not dead or not any(link in dead for link in xy):
+            return xy, 0
+        path = self._turn_model_path(src, dst, dead, west_first=True)
+        if path is None:
+            # West-first adaptivity exhausted: fall back to any shortest
+            # surviving path.  With two virtual networks and the low
+            # traffic of a mostly-dead corner this is deadlock-safe in
+            # practice; a partitioned mesh is reported, not guessed at.
+            path = self._turn_model_path(src, dst, dead, west_first=False)
+        if path is None:
+            raise SimulationError(
+                f"NoC partitioned: no surviving route from node {src} "
+                f"to node {dst}", transient=False)
+        return path, len(path) - mesh.distance(src, dst)
+
+    def _turn_model_path(self, src: int, dst: int, dead: FrozenSet[int],
+                         west_first: bool) -> Optional[List[int]]:
+        """Shortest surviving path under the west-first turn model.
+
+        State is ``(node, moved_non_west)``; once a packet has moved
+        east/north/south it may no longer turn west -- the classic
+        west-first restriction that keeps adaptive routes deadlock-free
+        on a mesh.  ``west_first=False`` lifts the restriction (plain
+        BFS), used only as a last resort before declaring a partition.
+        """
+        mesh = self.mesh
+        start = (src, False)
+        parents: Dict[Tuple[int, bool], Tuple[Tuple[int, bool], int]] = {
+            start: (start, -1)}
+        queue = deque([start])
+        goal: Optional[Tuple[int, bool]] = None
+        while queue:
+            state = queue.popleft()
+            node, moved = state
+            if node == dst:
+                goal = state
+                break
+            x, y = mesh.coords(node)
+            # Deterministic neighbor order: W, E, N, S.
+            steps = []
+            if x > 0:
+                steps.append((mesh.node_at(x - 1, y), True))
+            if x + 1 < mesh.width:
+                steps.append((mesh.node_at(x + 1, y), False))
+            if y > 0:
+                steps.append((mesh.node_at(x, y - 1), False))
+            if y + 1 < mesh.height:
+                steps.append((mesh.node_at(x, y + 1), False))
+            for neighbor, is_west in steps:
+                if west_first and is_west and moved:
+                    continue
+                link = mesh.link_id(node, neighbor)
+                if link in dead:
+                    continue
+                nxt = (neighbor,
+                       moved or (west_first and not is_west))
+                if nxt not in parents:
+                    parents[nxt] = (state, link)
+                    queue.append(nxt)
+        if goal is None:
+            return None
+        links: List[int] = []
+        state = goal
+        while state != start:
+            state, link = parents[state]
+            links.append(link)
+        links.reverse()
+        return links
+
+
+class ControllerFaultModel:
+    """Offline/slowdown windows and dead banks per controller."""
+
+    def __init__(self, plan: FaultPlan, num_mcs: int, banks_per_mc: int):
+        self.num_mcs = num_mcs
+        self._offline: List[List[Tuple[float, float]]] = [
+            [] for _ in range(num_mcs)]
+        self._slow: List[List[Tuple[float, float, float]]] = [
+            [] for _ in range(num_mcs)]
+        for fault in plan.mc_faults:
+            if not 0 <= fault.mc < num_mcs:
+                raise ValueError(f"MC {fault.mc} out of range")
+            if fault.kind == "offline":
+                self._offline[fault.mc].append((fault.start, fault.end))
+            else:
+                self._slow[fault.mc].append(
+                    (fault.start, fault.end, fault.factor))
+        for windows in self._offline:
+            windows.sort()
+        dead_banks: List[set] = [set() for _ in range(num_mcs)]
+        for fault in plan.bank_faults:
+            if not 0 <= fault.mc < num_mcs:
+                raise ValueError(f"MC {fault.mc} out of range")
+            if not 0 <= fault.bank < banks_per_mc:
+                raise ValueError(f"bank {fault.bank} out of range")
+            dead_banks[fault.mc].add(fault.bank)
+        self._remap: List[Dict[int, int]] = []
+        for mc, dead in enumerate(dead_banks):
+            live = [b for b in range(banks_per_mc) if b not in dead]
+            if not live:
+                raise ValueError(f"every bank of MC {mc} is dead")
+            self._remap.append({
+                bank: min(live, key=lambda b: (abs(b - bank), b))
+                for bank in dead})
+
+    def offline(self, mc: int, t: float) -> bool:
+        return any(start <= t < end for start, end in self._offline[mc])
+
+    def next_online(self, mc: int, t: float) -> float:
+        """Earliest time >= ``t`` the controller is back up (``t`` when
+        already up, ``inf`` when it never returns)."""
+        now = t
+        for start, end in self._offline[mc]:
+            if start <= now < end:
+                now = end
+        return now
+
+    def slowdown(self, mc: int, t: float) -> float:
+        factor = 1.0
+        for start, end, f in self._slow[mc]:
+            if start <= t < end:
+                factor = max(factor, f)
+        return factor
+
+    def remap_bank(self, mc: int, bank: int) -> int:
+        return self._remap[mc].get(bank, bank)
+
+    def has_bank_faults(self, mc: int) -> bool:
+        return bool(self._remap[mc])

@@ -1,0 +1,255 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a seeded, serializable description of every
+fault injected into one simulated execution:
+
+* :class:`LinkFault` -- a mesh link (both directions) is dead during a
+  time window; traffic detours around it (turn-model routing in
+  :mod:`repro.faults.models`).
+* :class:`LinkDegradation` -- a link's effective bandwidth drops by a
+  factor during a window (serialization time is multiplied).
+* :class:`MCFault` -- a memory controller is offline (requests fail
+  over to the nearest live controller) or slowed by a factor during a
+  window.
+* :class:`BankFault` -- one DRAM bank of one controller is dead for the
+  whole run; its requests are remapped to the nearest live bank.
+* :class:`PagePressure` -- a fraction of one controller's physical page
+  pool is unavailable, forcing the MC-aware allocator onto its
+  alternate-controller fallback path (the paper's "never add page
+  faults" guarantee under pressure).
+
+Plans round-trip through JSON so a failing run can be reproduced from
+its checkpoint alone, and :meth:`FaultPlan.random` draws a plan from a
+seeded RNG so fault sweeps are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+INF = math.inf
+
+
+def _window(start: float, end: Optional[float]) -> Tuple[float, float]:
+    end = INF if end is None else float(end)
+    start = float(start)
+    if end <= start:
+        raise ValueError(f"empty fault window [{start}, {end})")
+    return start, end
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """The undirected link between adjacent nodes ``a`` and ``b`` is
+    dead while ``start <= t < end``."""
+
+    a: int
+    b: int
+    start: float = 0.0
+    end: float = INF
+
+    def __post_init__(self) -> None:
+        _window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """The link between ``a`` and ``b`` serializes ``factor``x slower
+    while ``start <= t < end`` (a congested or half-failed channel)."""
+
+    a: int
+    b: int
+    factor: float = 2.0
+    start: float = 0.0
+    end: float = INF
+
+    def __post_init__(self) -> None:
+        _window(self.start, self.end)
+        if self.factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class MCFault:
+    """Controller ``mc`` is ``offline`` or ``slow`` (by ``factor``)
+    while ``start <= t < end``."""
+
+    mc: int
+    kind: str = "offline"          # "offline" | "slow"
+    factor: float = 2.0            # service-latency multiplier for "slow"
+    start: float = 0.0
+    end: float = INF
+
+    def __post_init__(self) -> None:
+        _window(self.start, self.end)
+        if self.kind not in ("offline", "slow"):
+            raise ValueError(f"unknown MC fault kind {self.kind!r}")
+        if self.kind == "slow" and self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class BankFault:
+    """Bank ``bank`` of controller ``mc`` is dead for the whole run."""
+
+    mc: int
+    bank: int
+
+
+@dataclass(frozen=True)
+class PagePressure:
+    """``fraction`` of controller ``mc``'s physical page pool is gone."""
+
+    mc: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("page-pressure fraction must be in [0, 1]")
+
+
+_KINDS = {
+    "link_faults": LinkFault,
+    "link_degradations": LinkDegradation,
+    "mc_faults": MCFault,
+    "bank_faults": BankFault,
+    "page_pressure": PagePressure,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injected into one run, plus the seed that drew it."""
+
+    seed: int = 0
+    name: str = ""
+    link_faults: Tuple[LinkFault, ...] = ()
+    link_degradations: Tuple[LinkDegradation, ...] = ()
+    mc_faults: Tuple[MCFault, ...] = ()
+    bank_faults: Tuple[BankFault, ...] = ()
+    page_pressure: Tuple[PagePressure, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize lists to tuples so plans are hashable/immutable.
+        for name in _KINDS:
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    @property
+    def empty(self) -> bool:
+        return not any(getattr(self, name) for name in _KINDS)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        def encode(item):
+            out = asdict(item)
+            for key, value in out.items():
+                if value == INF:
+                    out[key] = None      # JSON has no Infinity
+            return out
+
+        payload: Dict[str, object] = {"seed": self.seed, "name": self.name}
+        for name in _KINDS:
+            payload[name] = [encode(item) for item in getattr(self, name)]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        kwargs: Dict[str, object] = {
+            "seed": int(payload.get("seed", 0)),
+            "name": str(payload.get("name", "")),
+        }
+        for name, kind in _KINDS.items():
+            items = []
+            for raw in payload.get(name, []):
+                raw = dict(raw)
+                for key, value in raw.items():
+                    if value is None and key in ("start", "end"):
+                        raw[key] = INF if key == "end" else 0.0
+                items.append(kind(**raw))
+            kwargs[name] = tuple(items)
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- seeded generation -------------------------------------------------
+    @classmethod
+    def random(cls, mesh_width: int, mesh_height: int, num_mcs: int,
+               banks_per_mc: int = 16, *, seed: int = 0,
+               link_failure_rate: float = 0.0,
+               link_degradation_rate: float = 0.0,
+               degradation_factor: float = 2.0,
+               mc_offline_rate: float = 0.0,
+               mc_slowdown_rate: float = 0.0,
+               slowdown_factor: float = 2.0,
+               bank_fault_rate: float = 0.0,
+               page_pressure: float = 0.0,
+               start: float = 0.0, end: float = INF,
+               name: str = "") -> "FaultPlan":
+        """Draw a plan from a seeded RNG.
+
+        Rates are fractions of the respective resource populations
+        (undirected links, controllers, banks) that fail; counts are
+        rounded to nearest with at least one faulty instance whenever
+        the rate is nonzero.  Offline controllers are capped at
+        ``num_mcs - 1`` so at least one controller stays alive.
+        """
+        rng = random.Random(seed)
+        pairs = []
+        for y in range(mesh_height):
+            for x in range(mesh_width):
+                node = y * mesh_width + x
+                if x + 1 < mesh_width:
+                    pairs.append((node, node + 1))
+                if y + 1 < mesh_height:
+                    pairs.append((node, node + mesh_width))
+
+        def count(rate: float, population: int, cap: Optional[int] = None
+                  ) -> int:
+            if rate <= 0.0 or population == 0:
+                return 0
+            n = max(1, int(round(rate * population)))
+            return min(n, population if cap is None else cap)
+
+        dead = rng.sample(pairs, count(link_failure_rate, len(pairs)))
+        link_faults = tuple(LinkFault(a, b, start, end) for a, b in dead)
+        remaining = [p for p in pairs if p not in set(dead)]
+        slow = rng.sample(remaining,
+                          count(link_degradation_rate, len(remaining)))
+        degradations = tuple(
+            LinkDegradation(a, b, degradation_factor, start, end)
+            for a, b in slow)
+
+        mcs = list(range(num_mcs))
+        off = rng.sample(mcs, count(mc_offline_rate, num_mcs,
+                                    cap=num_mcs - 1))
+        mc_faults = [MCFault(mc, "offline", start=start, end=end)
+                     for mc in off]
+        live = [mc for mc in mcs if mc not in set(off)]
+        for mc in rng.sample(live, count(mc_slowdown_rate, len(live))):
+            mc_faults.append(MCFault(mc, "slow", slowdown_factor,
+                                     start, end))
+
+        banks = [(mc, b) for mc in mcs for b in range(banks_per_mc)]
+        bad_banks = rng.sample(
+            banks, count(bank_fault_rate, len(banks),
+                         cap=num_mcs * (banks_per_mc - 1)))
+        bank_faults = tuple(BankFault(mc, b) for mc, b in bad_banks)
+
+        pressure = tuple(PagePressure(mc, page_pressure)
+                         for mc in mcs) if page_pressure > 0.0 else ()
+
+        return cls(seed=seed, name=name, link_faults=link_faults,
+                   link_degradations=degradations,
+                   mc_faults=tuple(mc_faults), bank_faults=bank_faults,
+                   page_pressure=pressure)

@@ -29,10 +29,12 @@ additional latency due to bank contention".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.arch.config import MachineConfig
+from repro.faults.models import ControllerFaultModel
 
 
 @dataclass
@@ -44,6 +46,9 @@ class ControllerStats:
     queue_wait_total: float = 0.0
     busy_total: float = 0.0
     last_finish: float = 0.0
+    bank_remaps: int = 0        # requests redirected off a dead bank
+    offline_waits: int = 0      # requests that stalled for an offline MC
+    offline_wait_total: float = 0.0
 
     @property
     def row_hit_rate(self) -> float:
@@ -59,10 +64,14 @@ class MemoryController:
     """One MC: open-row banks + shared channel, busy-until semantics."""
 
     def __init__(self, config: MachineConfig, node: int,
-                 optimal: bool = False):
+                 optimal: bool = False,
+                 faults: Optional[ControllerFaultModel] = None,
+                 mc_index: int = 0):
         self.config = config
         self.node = node
         self.optimal = optimal
+        self.faults = faults
+        self.mc_index = mc_index
         banks = config.banks_per_mc
         self.bank_busy: List[float] = [0.0] * banks
         self.channel_free: float = 0.0
@@ -115,15 +124,37 @@ class MemoryController:
             stats.last_finish = max(stats.last_finish, finish)
             return finish, 0.0, True
 
+        faults = self.faults
+        factor = 1.0
+        if faults is not None:
+            remapped = faults.remap_bank(self.mc_index, bank)
+            if remapped != bank:
+                stats.bank_remaps += 1
+                bank = remapped
+            online = faults.next_online(self.mc_index, arrival)
+            if online > arrival and not math.isinf(online):
+                # The request arrived during an offline window: it
+                # waits at the controller until service resumes (the
+                # failover path in the simulator normally diverts it
+                # first; this covers windows with no live alternate).
+                stats.offline_waits += 1
+                stats.offline_wait_total += online - arrival
+                arrival = online
+            # A request that was already in flight when a *permanent*
+            # outage began (dispatched while the MC was healthy,
+            # arriving after it died) completes normally: waiting for an
+            # infinite window would poison every downstream timestamp.
+            factor = faults.slowdown(self.mc_index, arrival)
+
         start = max(arrival, self.bank_busy[bank], self.channel_free)
         hit = self._is_row_hit(bank, row, start)
         latency = (self.config.row_hit_cycles if hit
-                   else self.config.row_miss_cycles)
+                   else self.config.row_miss_cycles) * factor
         finish = start + latency
         self.bank_busy[bank] = finish
         # The channel carries one burst per request; banks overlap their
         # internal latencies but transfers serialize.
-        self.channel_free = start + self.config.channel_cycles
+        self.channel_free = start + self.config.channel_cycles * factor
         self._touch_row(bank, row, finish)
 
         wait = start - arrival

@@ -13,15 +13,22 @@ link.
 This captures exactly the effects the paper leans on: off-chip requests
 that travel farther hold more links for longer, which both slows them
 down and delays unrelated on-chip traffic sharing those links.
+
+When a :class:`~repro.faults.models.NetworkFaultModel` is attached,
+messages route around dead links on turn-model (west-first) detours
+instead of crashing or deadlocking, and degraded links serialize flits
+more slowly; the extra hops and waits show up in the stats, so the
+metrics expose exactly how much a damaged fabric costs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import MachineConfig
 from repro.arch.topology import Mesh
+from repro.faults.models import NetworkFaultModel
 
 
 @dataclass
@@ -32,6 +39,8 @@ class NetworkStats:
     total_hops: int = 0
     flit_hops: int = 0
     wait_cycles: float = 0.0
+    detoured: int = 0          # messages rerouted around dead links
+    detour_extra_hops: int = 0  # hops beyond the Manhattan distance
 
     @property
     def avg_hops(self) -> float:
@@ -51,15 +60,23 @@ class Network:
     VNET_CONTROL = 0
     VNET_DATA = 1
 
-    def __init__(self, mesh: Mesh, config: MachineConfig):
+    def __init__(self, mesh: Mesh, config: MachineConfig,
+                 faults: Optional[NetworkFaultModel] = None):
         self.mesh = mesh
         self.config = config
+        self.faults = faults
         self.link_free: List[List[float]] = [
             [0.0] * mesh.num_links for _ in range(self.NUM_VNETS)]
         self._routes: Dict[Tuple[int, int], List[int]] = {}
         self.stats = NetworkStats()
 
-    def route(self, src: int, dst: int) -> List[int]:
+    def route(self, src: int, dst: int, now: float = 0.0) -> List[int]:
+        if self.faults is not None:
+            links, extra = self.faults.route(src, dst, now)
+            if extra:
+                self.stats.detoured += 1
+                self.stats.detour_extra_hops += extra
+            return links
         key = (src, dst)
         cached = self._routes.get(key)
         if cached is None:
@@ -80,13 +97,18 @@ class Network:
         t = depart
         hop_latency = self.config.hop_latency
         link_free = self.link_free[vnet]
-        links = self.route(src, dst)
+        links = self.route(src, dst, depart)
+        faults = self.faults
+        degraded = faults is not None and faults.degrades
         for link in links:
             free_at = link_free[link]
             if free_at > t:
                 stats.wait_cycles += free_at - t
                 t = free_at
-            link_free[link] = t + flits
+            hold = flits
+            if degraded:
+                hold = flits * faults.degradation(link, t)
+            link_free[link] = t + hold
             t += hop_latency
         # Critical-word-first: the receiver proceeds as soon as the
         # needed flits arrive; the tail only consumes link bandwidth.

@@ -24,25 +24,44 @@ provide the policies the paper evaluates:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.clustering import L2ToMCMapping
 
 
 class PhysicalMemory:
     """Frames grouped by owning MC: frame ``ppn`` belongs to
-    ``ppn % num_mcs``.  Allocation is O(1) per frame."""
+    ``ppn % num_mcs``.  Allocation is O(1) per frame.
 
-    def __init__(self, num_mcs: int, pages_per_mc: int):
+    ``capacities`` (optional, one entry per MC) models uneven pools --
+    a fault plan's page pressure removes frames from individual
+    controllers, which is what forces the MC-aware policy onto its
+    alternate-controller fallback path.
+    """
+
+    def __init__(self, num_mcs: int, pages_per_mc: int,
+                 capacities: Optional[Sequence[int]] = None):
         if num_mcs < 1 or pages_per_mc < 1:
             raise ValueError("need at least one MC and one page")
         self.num_mcs = num_mcs
         self.pages_per_mc = pages_per_mc
+        if capacities is None:
+            self.capacities = [pages_per_mc] * num_mcs
+        else:
+            if len(capacities) != num_mcs:
+                raise ValueError("need one capacity per MC")
+            if any(c < 0 for c in capacities):
+                raise ValueError("capacities must be non-negative")
+            self.capacities = [int(c) for c in capacities]
+            if sum(self.capacities) == 0:
+                raise ValueError("no physical pages at all")
         self._next_in_mc = [0] * num_mcs   # frames handed out per MC
         self._sequential = 0               # cursor for sequential service
+        self._limit = num_mcs * max(self.capacities)
 
     def free_in(self, mc: int) -> int:
-        return self.pages_per_mc - self._next_in_mc[mc]
+        return self.capacities[mc] - self._next_in_mc[mc]
 
     @property
     def total_free(self) -> int:
@@ -60,12 +79,12 @@ class PhysicalMemory:
 
     def allocate_sequential(self) -> int:
         """The next frame in plain round-robin frame order (default OS)."""
-        while self._sequential < self.num_mcs * self.pages_per_mc:
+        while self._sequential < self._limit:
             ppn = self._sequential
             self._sequential += 1
             mc = ppn % self.num_mcs
             idx = ppn // self.num_mcs
-            if idx >= self._next_in_mc[mc]:
+            if idx < self.capacities[mc] and idx >= self._next_in_mc[mc]:
                 # Mark the frame used (sequential and per-MC cursors share
                 # the same pool).
                 self._next_in_mc[mc] = idx + 1
@@ -147,17 +166,27 @@ class FirstTouchPolicy(PageAllocationPolicy):
     A page is allocated from MC ``x`` when its first access comes from a
     node in cluster ``x`` -- greedy, and wrong whenever later accesses
     come from other clusters (which the paper finds is the common case).
-    With several MCs per cluster the least-loaded one is used.
+    With several MCs per cluster the least-loaded one is used; ties
+    between equally loaded MCs are broken by an explicit seeded RNG
+    (threaded from :class:`~repro.sim.run.RunSpec`), so runs are
+    bit-reproducible for a fixed seed -- including fault-injection runs
+    and the Figure 23 comparison.
     """
 
-    def __init__(self, mapping: L2ToMCMapping):
+    def __init__(self, mapping: L2ToMCMapping, seed: int = 0):
         self.mapping = mapping
+        self.seed = seed
+        self._rng = random.Random(seed)
 
     def place(self, memory: PhysicalMemory, vpn: int,
               first_core: int) -> int:
         cluster = self.mapping.cluster_of_core(first_core)
-        candidates = sorted(self.mapping.mcs_of_cluster(cluster),
-                            key=lambda m: -memory.free_in(m))
+        candidates = list(self.mapping.mcs_of_cluster(cluster))
+        if len(candidates) > 1:
+            # Seeded race model: the placement order among equally free
+            # controllers depends on the RNG stream, not on list order.
+            self._rng.shuffle(candidates)
+        candidates.sort(key=lambda m: -memory.free_in(m))
         for mc in candidates:
             ppn = memory.allocate_from(mc)
             if ppn is not None:

@@ -12,6 +12,7 @@ the policies care about: *which core* touched a page first and roughly
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -50,7 +51,7 @@ class PageTable:
 
 
 def first_touch_order(traces: Sequence[np.ndarray], page_size: int,
-                      thread_cores: Sequence[int]
+                      thread_cores: Sequence[int], seed: int = 0
                       ) -> List[Tuple[int, int]]:
     """Global first-touch schedule: ``[(vpn, first_core), ...]`` in order.
 
@@ -58,11 +59,14 @@ def first_touch_order(traces: Sequence[np.ndarray], page_size: int,
     found vectorially; threads are then merged by position so that a page
     touched at position ``i`` by any thread precedes pages first touched
     at later positions.  Ties -- several threads reaching a page at the
-    same loop position -- are broken by a deterministic pseudo-random
-    hash, modeling the race that decides real first-touch winners (a
-    fixed thread-id tie-break would unrealistically funnel every
-    contended page to thread 0).
+    same loop position -- are broken by an explicit seeded RNG (one
+    32-bit salt per thread drawn from ``random.Random(seed)``), modeling
+    the race that decides real first-touch winners (a fixed thread-id
+    tie-break would unrealistically funnel every contended page to
+    thread 0) while keeping every run bit-reproducible for a fixed seed.
     """
+    rng = random.Random(seed)
+    salts = [rng.getrandbits(32) for _ in traces]
     best: Dict[int, Tuple[int, int, int, int]] = {}
     for tid, trace in enumerate(traces):
         if len(trace) == 0:
@@ -70,8 +74,9 @@ def first_touch_order(traces: Sequence[np.ndarray], page_size: int,
         vpns = np.asarray(trace, dtype=np.int64) // page_size
         unique, first_idx = np.unique(vpns, return_index=True)
         core = thread_cores[tid]
+        salt = salts[tid]
         for vpn, idx in zip(unique.tolist(), first_idx.tolist()):
-            race = (vpn * 2654435761 + tid * 40503) % 104729
+            race = ((vpn * 2654435761) ^ salt) % 104729
             key = (idx, race, tid, core)
             if vpn not in best or key < best[vpn]:
                 best[vpn] = key
@@ -80,15 +85,18 @@ def first_touch_order(traces: Sequence[np.ndarray], page_size: int,
 
 
 def translate_traces(traces: Sequence[np.ndarray], page_table: PageTable,
-                     thread_cores: Sequence[int]) -> List[np.ndarray]:
+                     thread_cores: Sequence[int],
+                     seed: int = 0) -> List[np.ndarray]:
     """Translate every thread's virtual trace to physical addresses.
 
     Pages are faulted in global first-touch order (so order-sensitive
     policies behave as they would online), then each trace is mapped
-    through the resulting table with a vectorized gather.
+    through the resulting table with a vectorized gather.  ``seed``
+    drives the first-touch race tie-breaks (see
+    :func:`first_touch_order`).
     """
     page = page_table.page_size
-    for vpn, core in first_touch_order(traces, page, thread_cores):
+    for vpn, core in first_touch_order(traces, page, thread_cores, seed):
         page_table.translate_page(vpn, core)
 
     if not page_table.entries:

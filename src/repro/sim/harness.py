@@ -1,0 +1,296 @@
+"""Hardened experiment harness: timeouts, retries, checkpoints, partial
+results.
+
+A long sweep must survive single-run failures: a pathological
+configuration that never converges (timeout), a transiently overloaded
+machine (retry with exponential backoff), or the process being killed
+halfway (JSON checkpoint + resume).  This module wraps
+:func:`repro.sim.run.run_simulation` and the sweep machinery with
+exactly those guards and aggregates whatever completed, so one bad
+grid point costs one row, not the night's sweep.
+
+* :func:`run_hardened` -- one spec under a per-run timeout and a
+  bounded retry policy (only errors flagged ``transient`` in the
+  :mod:`repro.errors` taxonomy are retried).
+* :class:`HardenedSweep` -- a cartesian sweep whose completed points
+  stream into a JSON checkpoint after every run; re-running with the
+  same checkpoint path skips them, so a killed sweep resumes where it
+  died and reproduces the uninterrupted sweep's rows bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.errors import ReproError, SimulationTimeout
+from repro.faults.plan import FaultPlan
+from repro.program.ir import Program
+from repro.sim.metrics import Comparison
+from repro.sim.run import RunResult, RunSpec, run_simulation
+from repro.sim.sweep import Sweep, resolve_mapping
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Retry/timeout policy for one hardened run.
+
+    ``timeout`` is wall-clock seconds per attempt (``None`` disables
+    it).  Transient failures -- anything raising a
+    :class:`~repro.errors.ReproError` with ``transient=True``, which
+    includes timeouts -- are retried up to ``max_retries`` times with
+    exponential backoff (``backoff_base * backoff_factor**attempt``
+    seconds).  Deterministic failures are never retried: the same
+    inputs would fail the same way.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * (self.backoff_factor ** attempt)
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one hardened run: a result or a diagnostic."""
+
+    label: str
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    attempts: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _attempt(spec: RunSpec, timeout: Optional[float]) -> RunResult:
+    if timeout is None:
+        return run_simulation(spec)
+    # The worker thread cannot be killed; on timeout it is abandoned
+    # (daemonic executor threads die with the process).  That trades a
+    # little memory for never blocking the sweep on one stuck run.
+    executor = ThreadPoolExecutor(max_workers=1)
+    try:
+        future = executor.submit(run_simulation, spec)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            future.cancel()
+            raise SimulationTimeout(
+                f"run {spec.label()!r} exceeded {timeout:g}s")
+    finally:
+        executor.shutdown(wait=False)
+
+
+def run_hardened(spec: RunSpec,
+                 harness: Optional[HarnessConfig] = None) -> RunOutcome:
+    """Execute one spec under the harness's timeout/retry policy.
+
+    Never raises for run failures: the outcome carries either the
+    result or the final error (kind + message), plus attempt count.
+    """
+    harness = harness or HarnessConfig()
+    outcome = RunOutcome(label=spec.label())
+    started = time.monotonic()
+    attempt = 0
+    while True:
+        outcome.attempts = attempt + 1
+        try:
+            outcome.result = _attempt(spec, harness.timeout)
+            break
+        except ReproError as err:
+            outcome.error = str(err)
+            outcome.error_kind = err.kind
+            if not (err.transient and attempt < harness.max_retries):
+                break
+            harness.sleep(harness.backoff(attempt))
+        except Exception as exc:  # deterministic failure: no retry
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.error_kind = "unexpected"
+            break
+        attempt += 1
+    outcome.elapsed = time.monotonic() - started
+    if outcome.ok:
+        outcome.error = None
+        outcome.error_kind = None
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Checkpointed sweeps
+
+
+def _settings_key(settings: Dict[str, object]) -> str:
+    """Canonical, JSON-stable identity of one grid point."""
+    return json.dumps(sorted((k, v) for k, v in settings.items()),
+                      default=str)
+
+
+def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name, suffix=".tmp")
+    try:
+        # No sort_keys: row dicts must round-trip in insertion order so
+        # a resumed sweep's CSV has the same columns as a fresh one
+        # (the points list is already sorted deterministically).
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcome of a hardened sweep: every completed row,
+    every failure, and how much came from the checkpoint."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.rows)
+
+    def to_csv(self) -> str:
+        if not self.rows:
+            return ""
+        import csv
+        import io
+        fieldnames = list(self.rows[0].keys())
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+class HardenedSweep:
+    """A cartesian sweep that checkpoints, retries, and never aborts.
+
+    The axes are those of :class:`repro.sim.sweep.Sweep` (plus
+    ``mapping``); every grid point runs a baseline/optimized pair under
+    :func:`run_hardened`.  After each completed point the row is
+    appended to the JSON checkpoint (atomic rename, so a kill can lose
+    at most the in-flight point); constructing a sweep with an existing
+    checkpoint resumes it.  A failed point is recorded under
+    ``failures`` and the sweep moves on -- partial results beat no
+    results.
+    """
+
+    def __init__(self, program: Program,
+                 base_config: Optional[MachineConfig] = None,
+                 harness: Optional[HarnessConfig] = None,
+                 checkpoint: Optional[str] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 seed: int = 0):
+        self.program = program
+        self.base_config = base_config or \
+            MachineConfig.scaled_default().with_(interleaving="cache_line")
+        self.harness = harness or HarnessConfig()
+        self.checkpoint = Path(checkpoint) if checkpoint else None
+        self.fault_plan = fault_plan
+        self.seed = seed
+        self._done: Dict[str, Dict[str, object]] = {}
+        if self.checkpoint is not None and self.checkpoint.exists():
+            payload = json.loads(self.checkpoint.read_text())
+            if payload.get("program") not in ("", self.program.name):
+                raise ValueError(
+                    f"checkpoint {self.checkpoint} belongs to program "
+                    f"{payload.get('program')!r}, not "
+                    f"{self.program.name!r}")
+            for entry in payload.get("points", []):
+                self._done[entry["key"]] = entry["row"]
+
+    def _save(self) -> None:
+        if self.checkpoint is None:
+            return
+        payload = {
+            "program": self.program.name,
+            "seed": self.seed,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan else None),
+            "points": [{"key": key, "row": row}
+                       for key, row in sorted(self._done.items())],
+        }
+        _atomic_write(self.checkpoint, payload)
+
+    def _run_point(self, settings: Dict[str, object]
+                   ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        config_kw = {k: v for k, v in settings.items()
+                     if k in Sweep.CONFIG_AXES}
+        config = self.base_config.with_(**config_kw)
+        mapping = resolve_mapping(config,
+                                  str(settings.get("mapping", "M1")))
+        outcomes = []
+        for optimized in (False, True):
+            outcome = run_hardened(
+                RunSpec(program=self.program, config=config,
+                        mapping=mapping, optimized=optimized,
+                        fault_plan=self.fault_plan, seed=self.seed),
+                self.harness)
+            if not outcome.ok:
+                return None, (f"{outcome.label}: [{outcome.error_kind}] "
+                              f"{outcome.error} "
+                              f"(after {outcome.attempts} attempts)")
+            outcomes.append(outcome.result.metrics)
+        comparison = Comparison(outcomes[0], outcomes[1])
+        row: Dict[str, object] = dict(sorted(settings.items()))
+        row.update({k: round(v, 4)
+                    for k, v in comparison.as_row().items()})
+        return row, None
+
+    def run(self, max_points: Optional[int] = None,
+            **axes: Iterable) -> SweepReport:
+        """Run the cartesian product of the axes, resuming from the
+        checkpoint.  ``max_points`` bounds the number of *newly
+        simulated* points (smoke runs; also how the resume tests model
+        a killed sweep) -- remaining points are simply left for the
+        next invocation."""
+        for name in axes:
+            if name not in Sweep.CONFIG_AXES and name != "mapping":
+                raise ValueError(
+                    f"unknown sweep axis {name!r}; known axes: "
+                    f"{', '.join(Sweep.CONFIG_AXES)}, mapping")
+        names = sorted(axes)
+        report = SweepReport()
+        fresh = 0
+        for combo in itertools.product(*(list(axes[n]) for n in names)):
+            settings = dict(zip(names, combo))
+            key = _settings_key(settings)
+            if key in self._done:
+                report.rows.append(dict(self._done[key]))
+                report.resumed += 1
+                continue
+            if max_points is not None and fresh >= max_points:
+                continue
+            row, error = self._run_point(settings)
+            fresh += 1
+            if error is not None:
+                report.failures.append(
+                    {**settings, "error": error})
+                continue
+            self._done[key] = row
+            report.rows.append(dict(row))
+            self._save()
+        return report

@@ -56,12 +56,26 @@ class RunMetrics:
     net_wait_cycles: float = 0.0
     page_fallbacks: int = 0
     invalidations: int = 0
+    # fault/degradation accounting (nonzero only under a FaultPlan)
+    mc_failovers: int = 0       # requests diverted to a live alternate MC
+    mc_offline_waits: int = 0   # requests that stalled for an offline MC
+    link_detours: int = 0       # messages rerouted around dead links
+    detour_extra_hops: int = 0  # extra links traversed by those detours
+    bank_remaps: int = 0        # requests redirected off dead banks
     # per-nest accounting, populated when config.track_phases is set
     phase_cycles: Dict[str, float] = field(default_factory=dict)
     phase_accesses: Dict[str, int] = field(default_factory=dict)
     thread_finish: List[float] = field(default_factory=list)
 
     # -- derived ------------------------------------------------------------
+    @property
+    def fault_events(self) -> int:
+        """Total graceful-degradation events: every time the run kept
+        going by taking a detour, failover, stall or bank remap."""
+        return (self.mc_failovers + self.mc_offline_waits
+                + self.link_detours + self.bank_remaps
+                + self.page_fallbacks)
+
     @property
     def offchip_fraction(self) -> float:
         """Share of total data accesses that go off-chip (Figure 3)."""

@@ -32,6 +32,7 @@ from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
 from repro.core.pipeline import (LayoutTransformer, TransformationResult,
                                  original_layouts)
+from repro.faults.plan import FaultPlan
 from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
                                       MCAwarePolicy, PhysicalMemory,
                                       SequentialPolicy)
@@ -58,6 +59,11 @@ class RunSpec:
     localize_offchip: bool = True
     pages_per_mc: Optional[int] = None
     name: str = ""
+    # Robustness knobs: an optional fault plan degrades the simulated
+    # fabric, and the seed drives every stochastic tie-break (first-touch
+    # races) so any run -- healthy or faulted -- is bit-reproducible.
+    fault_plan: Optional[FaultPlan] = None
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.page_policy not in PAGE_POLICIES:
@@ -95,7 +101,7 @@ def _make_policy(spec: RunSpec, mapping: L2ToMCMapping,
     if policy == "default":
         return SequentialPolicy()
     if policy == "first_touch":
-        return FirstTouchPolicy(mapping)
+        return FirstTouchPolicy(mapping, seed=spec.seed)
     return MCAwarePolicy(hints, mapping)
 
 
@@ -128,7 +134,17 @@ def run_simulation(spec: RunSpec) -> RunResult:
     if pages_per_mc is None:
         total_pages = -(-space.footprint_bytes // config.page_size)
         pages_per_mc = max(16, 4 * (total_pages // config.num_mcs + 1))
-    memory = PhysicalMemory(config.num_mcs, pages_per_mc)
+    capacities = None
+    if spec.fault_plan is not None and spec.fault_plan.page_pressure:
+        capacities = [pages_per_mc] * config.num_mcs
+        for pressure in spec.fault_plan.page_pressure:
+            if not 0 <= pressure.mc < config.num_mcs:
+                raise ValueError(f"page pressure on unknown MC "
+                                 f"{pressure.mc}")
+            capacities[pressure.mc] = int(
+                round(pages_per_mc * (1.0 - pressure.fraction)))
+    memory = PhysicalMemory(config.num_mcs, pages_per_mc,
+                            capacities=capacities)
     table = PageTable(config.page_size, memory, policy)
 
     cores = mapping.num_threads
@@ -137,14 +153,16 @@ def run_simulation(spec: RunSpec) -> RunResult:
     if isinstance(policy, IdentityPolicy):
         ptraces = vtraces  # ppn == vpn: skip the table walk entirely
     else:
-        ptraces = translate_traces(vtraces, table, thread_cores)
+        ptraces = translate_traces(vtraces, table, thread_cores,
+                                   seed=spec.seed)
 
     streams = build_streams(config, thread_cores, vtraces, ptraces, gaps,
                             writes=[t.writes for t in traces],
                             segments=[t.segments for t in traces])
     simulator = SystemSimulator(
         config, mapping, optimal=spec.optimal,
-        miss_overlap=config.effective_overlap(spec.program.mlp_demand))
+        miss_overlap=config.effective_overlap(spec.program.mlp_demand),
+        fault_plan=spec.fault_plan)
     overhead = config.transform_overhead if transformed else 0.0
     metrics = simulator.run(streams, transform_overhead=overhead,
                             name=spec.label())

@@ -24,9 +24,20 @@ from repro.sim.metrics import Comparison, RunMetrics
 from repro.sim.run import RunSpec, run_simulation
 
 
+MAPPING_PRESETS = ("M1", "M2", "voronoi")
+
+
 def resolve_mapping(config: MachineConfig, name: str = "M1"):
     """Mapping presets by name, handling non-corner placements and
-    non-default controller counts (shared with the CLI and benches)."""
+    non-default controller counts (shared with the CLI and benches).
+
+    Raises ``ValueError`` for unknown preset names -- a typo like
+    ``m3`` must not silently run the M1 experiment.
+    """
+    if name not in MAPPING_PRESETS:
+        raise ValueError(
+            f"unknown mapping preset {name!r}; valid presets: "
+            f"{', '.join(MAPPING_PRESETS)}")
     mesh = config.mesh()
     nodes = config.mc_nodes(mesh)
     if name == "M2":

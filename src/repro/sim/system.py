@@ -33,6 +33,7 @@ memory-level parallelism").
 from __future__ import annotations
 
 import heapq
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -41,6 +42,9 @@ from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import MachineConfig
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.directory import Directory
+from repro.errors import SimulationError
+from repro.faults.models import ControllerFaultModel, NetworkFaultModel
+from repro.faults.plan import FaultPlan
 from repro.memsys.address import AddressMap
 from repro.memsys.controller import MemoryController
 from repro.noc.network import Network
@@ -128,17 +132,30 @@ class SystemSimulator:
 
     def __init__(self, config: MachineConfig, mapping: L2ToMCMapping,
                  optimal: bool = False,
-                 miss_overlap: Optional[float] = None):
+                 miss_overlap: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.config = config
         self.mapping = mapping
         self.optimal = optimal
         if miss_overlap is None:
             miss_overlap = config.miss_overlap
         self.mesh = mapping.mesh
-        self.network = Network(self.mesh, config)
+        net_faults: Optional[NetworkFaultModel] = None
+        self._mc_faults: Optional[ControllerFaultModel] = None
+        if fault_plan is not None and not fault_plan.empty:
+            if fault_plan.link_faults or fault_plan.link_degradations:
+                net_faults = NetworkFaultModel(self.mesh, fault_plan)
+            if fault_plan.mc_faults or fault_plan.bank_faults:
+                self._mc_faults = ControllerFaultModel(
+                    fault_plan, len(mapping.mc_nodes),
+                    config.banks_per_mc)
+        self.network = Network(self.mesh, config, faults=net_faults)
         self.mc_nodes = mapping.mc_nodes
-        self.controllers = [MemoryController(config, node, optimal=optimal)
-                            for node in self.mc_nodes]
+        self.controllers = [MemoryController(config, node, optimal=optimal,
+                                             faults=self._mc_faults,
+                                             mc_index=j)
+                            for j, node in enumerate(self.mc_nodes)]
+        self._failover_order = self._build_failover_order()
         self.l1 = [SetAssociativeCache(config.l1_size, config.l1_line,
                                        config.l1_ways)
                    for _ in range(config.num_cores)]
@@ -159,6 +176,52 @@ class SystemSimulator:
             min(range(len(self.mc_nodes)),
                 key=lambda j: (self.mesh.distance(node, self.mc_nodes[j]), j))
             for node in range(config.num_cores)]
+
+    # ------------------------------------------------------------------
+    def _build_failover_order(self) -> List[List[int]]:
+        """Per controller, the alternates tried when it is offline.
+
+        Clustering-derived: controllers sharing a cluster with the
+        failed one come first (they serve the same cores, so the paper's
+        locality structure survives), then the rest by mesh distance
+        between controller nodes, ties by hardware index.
+        """
+        mapping = self.mapping
+        num = len(self.mc_nodes)
+        cluster_mates: List[set] = [set() for _ in range(num)]
+        for cluster in mapping.clusters:
+            for j in cluster.mc_indices:
+                if j < num:
+                    cluster_mates[j].update(
+                        k for k in cluster.mc_indices if k != j)
+        order = []
+        for j in range(num):
+            others = [k for k in range(num) if k != j]
+            others.sort(key=lambda k: (
+                k not in cluster_mates[j],
+                self.mesh.distance(self.mc_nodes[j], self.mc_nodes[k]),
+                k))
+            order.append(others)
+        return order
+
+    def _route_mc(self, mc: int, t: float, m: RunMetrics) -> int:
+        """Graceful degradation: divert a request whose controller is
+        offline at ``t`` to the nearest live alternate (counted as a
+        failover); with no live alternate the request stalls at its own
+        controller until the window ends."""
+        faults = self._mc_faults
+        if faults is None or not faults.offline(mc, t):
+            return mc
+        for alt in self._failover_order[mc]:
+            if not faults.offline(alt, t):
+                m.mc_failovers += 1
+                return alt
+        if faults.next_online(mc, t) == math.inf:
+            raise SimulationError(
+                "every memory controller is offline with no recovery "
+                "window; the machine cannot make progress")
+        m.mc_offline_waits += 1
+        return mc
 
     # ------------------------------------------------------------------
     def run(self, streams: Sequence[ThreadStream],
@@ -203,6 +266,9 @@ class SystemSimulator:
         m.mc_queue_wait = [c.stats.queue_wait_total
                            for c in self.controllers]
         m.net_wait_cycles = self.network.stats.wait_cycles
+        m.link_detours = self.network.stats.detoured
+        m.detour_extra_hops = self.network.stats.detour_extra_hops
+        m.bank_remaps = sum(c.stats.bank_remaps for c in self.controllers)
         return m
 
     # ------------------------------------------------------------------
@@ -235,6 +301,8 @@ class SystemSimulator:
 
         # L2 miss: consult the directory at the owning MC (path 1).
         mc = self._nearest_mc[node] if self.optimal else s.mcs[i]
+        if self._mc_faults is not None:
+            mc = self._route_mc(mc, t, m)
         mc_node = self.mc_nodes[mc]
         t1, h1 = self.network.send(node, mc_node, cfg.control_flits, t,
                                    vnet=0)
@@ -367,6 +435,8 @@ class SystemSimulator:
 
         # Path 2: home bank -> MC.
         mc = self._nearest_mc[home] if self.optimal else s.mcs[i]
+        if self._mc_faults is not None:
+            mc = self._route_mc(mc, t1, m)
         mc_node = self.mc_nodes[mc]
         t2, h2 = self.network.send(home, mc_node, cfg.control_flits, t1,
                                    vnet=0)

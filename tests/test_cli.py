@@ -128,6 +128,62 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             run_cli(["sweep", "--app", "swim", "--axis", "mapping"])
 
+    def test_bad_axis_spec_names_offender(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["sweep", "--app", "swim", "--axis", "mapping"])
+        message = str(excinfo.value)
+        assert "mapping" in message and "name=v1,v2" in message
+
+    def test_unknown_axis_lists_known_axes(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["sweep", "--app", "swim",
+                     "--axis", "num_mc=4,8"])  # typo: num_mc
+        message = str(excinfo.value)
+        assert "num_mc" in message
+        assert "num_mcs" in message and "mapping" in message
+
+    def test_empty_axis_value(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["sweep", "--app", "swim",
+                     "--axis", "num_mcs=4,,8"])
+        assert "num_mcs" in str(excinfo.value)
+
+    def test_unknown_mapping_preset_is_one_line(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["sweep", "--app", "swim",
+                     "--axis", "mapping=M1,M9"])
+        message = str(excinfo.value)
+        assert "M9" in message and "voronoi" in message
+        assert "\n" not in message
+
+
+class TestFaultPlanFlag:
+    def test_run_with_fault_plan(self, tmp_path):
+        from repro import FaultPlan, LinkFault, MCFault
+        plan = FaultPlan(link_faults=[LinkFault(0, 1)],
+                         mc_faults=[MCFault(0, "offline",
+                                            start=5000.0)])
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        code, text = run_cli(["run", "--app", "swim", "--scale", "0.3",
+                              "--fault-plan", str(path), "--seed", "3"])
+        assert code == 0
+        assert "fault events" in text
+
+    def test_missing_fault_plan_file(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["run", "--app", "swim",
+                     "--fault-plan", "/nonexistent/plan.json"])
+        assert "cannot load fault plan" in str(excinfo.value)
+
+    def test_malformed_fault_plan(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["run", "--app", "swim",
+                     "--fault-plan", str(path)])
+        assert "cannot load fault plan" in str(excinfo.value)
+
 
 class TestTraceCommand:
     def test_trace_roundtrip(self, tmp_path):

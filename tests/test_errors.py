@@ -1,0 +1,63 @@
+"""The structured error taxonomy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (FrontendError, LayoutError, ReproError,
+                          SimulationError, SimulationTimeout, SolverError)
+
+
+class TestTaxonomy:
+    def test_kinds(self):
+        assert FrontendError("x").kind == "frontend"
+        assert SolverError("x").kind == "solver"
+        assert LayoutError("x").kind == "layout"
+        assert SimulationError("x").kind == "simulation"
+        assert SimulationTimeout("x").kind == "simulation"
+
+    def test_all_are_repro_errors(self):
+        for cls in (FrontendError, SolverError, LayoutError,
+                    SimulationError, SimulationTimeout):
+            assert issubclass(cls, ReproError)
+        assert issubclass(SimulationTimeout, SimulationError)
+
+    def test_catchable_as_exception(self):
+        with pytest.raises(ReproError):
+            raise SolverError("no solution")
+
+
+class TestContext:
+    def test_str_includes_location_and_array(self):
+        err = FrontendError("unexpected token", line=7, column=3)
+        assert "line 7:3" in str(err)
+        assert "[frontend]" in str(err)
+
+        err = SolverError("singular system", array="Z", nest="sweep")
+        text = str(err)
+        assert "array 'Z'" in text and "nest 'sweep'" in text
+
+    def test_plain_message_without_context(self):
+        assert str(SimulationError("boom")) == "[simulation] boom"
+
+    def test_context_dict_skips_empty_fields(self):
+        err = LayoutError("bad stride", array="A")
+        ctx = err.context()
+        assert ctx == {"kind": "layout", "array": "A"}
+
+    def test_cause_is_attached(self):
+        cause = ValueError("inner")
+        err = SolverError("outer", cause=cause)
+        assert err.cause is cause
+
+
+class TestTransient:
+    def test_default_not_transient(self):
+        assert not SimulationError("x").transient
+        assert not SolverError("x").transient
+
+    def test_timeout_is_transient_by_default(self):
+        assert SimulationTimeout("slow").transient
+        assert SimulationTimeout("slow").context()["transient"] is True
+
+    def test_transient_flag_settable(self):
+        assert SimulationError("flaky", transient=True).transient
+        assert not SimulationTimeout("hard", transient=False).transient

@@ -1,0 +1,83 @@
+"""Acceptance: graceful degradation across the whole workload suite.
+
+A seeded fault plan that kills one NoC link and takes one memory
+controller offline mid-run must not crash any workload: every
+application completes, detour/failover counters are nonzero, and runs
+remain bit-reproducible for a fixed seed.
+"""
+
+import pytest
+
+from repro import (FaultPlan, LinkFault, MachineConfig, MCFault, RunSpec,
+                   run_simulation)
+from repro.workloads import SUITE_ORDER, build_workload
+
+SCALE = 0.1
+
+# One dead link on the hot path to the corner MC at node 0, plus MC0
+# offline from mid-run onward (requests fail over to a live alternate).
+PLAN = FaultPlan(
+    seed=11, name="acceptance",
+    link_faults=[LinkFault(0, 1)],
+    mc_faults=[MCFault(0, "offline", start=5000.0)])
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+class TestSuiteResilience:
+    @pytest.mark.parametrize("app", SUITE_ORDER)
+    def test_workload_survives_faults(self, app, config):
+        program = build_workload(app, SCALE)
+        result = run_simulation(RunSpec(
+            program=program, config=config, optimized=True,
+            fault_plan=PLAN, seed=11))
+        m = result.metrics
+        assert m.exec_time > 0
+        assert m.total_accesses > 0
+        # The fabric actually degraded -- and the run absorbed it.
+        assert m.fault_events > 0
+
+    def test_detours_and_failovers_fire(self, config):
+        program = build_workload("swim", SCALE)
+        m = run_simulation(RunSpec(
+            program=program, config=config, optimized=True,
+            fault_plan=PLAN, seed=11)).metrics
+        assert m.link_detours > 0
+        assert m.detour_extra_hops >= m.link_detours
+        assert m.mc_failovers > 0
+
+    def test_faulted_run_is_reproducible(self, config):
+        program = build_workload("swim", SCALE)
+        spec = RunSpec(program=program, config=config, optimized=True,
+                       fault_plan=PLAN, seed=11)
+        a = run_simulation(spec).metrics
+        b = run_simulation(spec).metrics
+        assert a.exec_time == b.exec_time
+        assert a.fault_events == b.fault_events
+        assert a.mc_failovers == b.mc_failovers
+        assert a.link_detours == b.link_detours
+
+    def test_faults_cost_time_but_not_correctness(self, config):
+        program = build_workload("swim", SCALE)
+        healthy = run_simulation(RunSpec(
+            program=program, config=config, optimized=True,
+            seed=11)).metrics
+        faulted = run_simulation(RunSpec(
+            program=program, config=config, optimized=True,
+            fault_plan=PLAN, seed=11)).metrics
+        assert faulted.total_accesses == healthy.total_accesses
+        assert faulted.exec_time >= healthy.exec_time
+
+    def test_seed_changes_first_touch_only_under_page_interleaving(self):
+        config = MachineConfig.scaled_default().with_(interleaving="page")
+        program = build_workload("swim", SCALE)
+        base = RunSpec(program=program, config=config,
+                       page_policy="first_touch", seed=0)
+        same = RunSpec(program=program, config=config,
+                       page_policy="first_touch", seed=0)
+        a = run_simulation(base).metrics
+        b = run_simulation(same).metrics
+        assert a.exec_time == b.exec_time  # same seed, same run

