@@ -1,0 +1,77 @@
+"""Reference sweep: serial vs. process-pool execution.
+
+Standalone script (not a pytest benchmark): runs the reference design-
+space sweep once with ``workers=1`` and once with ``workers=4``,
+asserts the two CSVs are byte-identical, and records wall-clock
+timings plus the machine's CPU count to ``BENCH_sweep.json`` at the
+repo root.  The speedup is an honest measurement -- on a single-core
+container the pool pays fork/IPC overhead and cannot beat serial; the
+recorded ``cpu_count`` says which regime the number came from.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_parallel.py
+    REPRO_BENCH_SCALE=0.3 PYTHONPATH=src \
+        python benchmarks/bench_sweep_parallel.py
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro import MachineConfig
+from repro.sim.sweep import Sweep, to_csv
+from repro.workloads import build_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+PARALLEL_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+AXES = dict(mapping=["M1", "M2", "voronoi"],
+            num_mcs=[4, 8],
+            interleaving=["page", "cache_line"])
+OUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def timed_sweep(program, config, workers):
+    sweep = Sweep(program, config, workers=workers)
+    start = time.perf_counter()
+    points = sweep.run(**AXES)
+    return time.perf_counter() - start, to_csv(points)
+
+
+def main():
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    grid = 1
+    for values in AXES.values():
+        grid *= len(values)
+
+    serial_s, serial_csv = timed_sweep(program, config, workers=1)
+    parallel_s, parallel_csv = timed_sweep(program, config,
+                                           workers=PARALLEL_WORKERS)
+    identical = parallel_csv == serial_csv
+    payload = {
+        "benchmark": "reference_sweep_parallel",
+        "app": "swim",
+        "scale": SCALE,
+        "axes": {name: list(values) for name, values in AXES.items()},
+        "grid_points": grid,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "csv_byte_identical": identical,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        print("FAIL: parallel CSV differs from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

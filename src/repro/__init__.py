@@ -6,17 +6,20 @@ needs: an affine-program IR, a 2D-mesh NoC simulator with link
 contention, private/shared (SNUCA) cache hierarchies, banked DRAM with
 FR-FCFS-style controllers, and an OS page-allocation model.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade)::
 
-    from repro import MachineConfig, run_pair
+    import repro
     from repro.workloads import build_workload
 
-    config = MachineConfig.scaled_default().with_(
-        interleaving="cache_line")
     program = build_workload("swim")
-    base, opt, comparison = run_pair(program, config)
+    comparison = repro.compare(program)
     print(f"execution-time reduction: "
           f"{comparison.exec_time_reduction:.1%}")
+
+    # one fully specified run, and a parallel design-space sweep
+    result = repro.run(program=program, optimized=True)
+    report = repro.sweep(program, workers=4,
+                         mapping=["M1", "M2"], num_mcs=[4, 8])
 """
 
 from repro.arch.clustering import (Cluster, L2ToMCMapping, grid_mapping,
@@ -41,21 +44,26 @@ from repro.sim.harness import (HardenedSweep, HarnessConfig, RunOutcome,
 from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
                            run_simulation)
 from repro.sim.sweep import Sweep
+from repro.api import (Experiment, Result, SweepResult, compare, run,
+                       sweep)
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AffineRef", "ArrayDecl", "ArrayPlan", "BankFault",
-    "CACHE_LINE_INTERLEAVING", "Cluster", "Comparison", "FaultPlan",
-    "FrontendError", "HardenedSweep", "HarnessConfig", "IndexedRef",
-    "L2ToMCMapping", "LayoutError", "LayoutTransformer", "LinkDegradation",
-    "LinkFault", "LoopNest", "MCFault", "MachineConfig", "Mesh",
-    "PAGE_INTERLEAVING", "PagePressure", "Program", "ReproError",
-    "RunMetrics", "RunOutcome", "RunResult", "RunSpec", "SimulationError",
-    "SimulationTimeout", "SolverError", "Sweep", "SweepReport",
-    "TransformationResult", "WeightedSpeedupResult",
-    "compile_kernel", "grid_mapping",
+    "CACHE_LINE_INTERLEAVING", "Cluster", "Comparison", "Experiment",
+    "FaultPlan", "FrontendError", "HardenedSweep", "HarnessConfig",
+    "IndexedRef", "L2ToMCMapping", "LayoutError", "LayoutTransformer",
+    "LinkDegradation", "LinkFault", "LoopNest", "MCFault",
+    "MachineConfig", "Mesh", "PAGE_INTERLEAVING", "PagePressure",
+    "Program", "ReproError", "Result", "RunMetrics", "RunOutcome",
+    "RunResult", "RunSpec", "SimulationError", "SimulationTimeout",
+    "SolverError", "Sweep", "SweepReport", "SweepResult",
+    "TransformationResult", "WeightedSpeedupResult", "api",
+    "compare", "compile_kernel", "grid_mapping",
     "identity_ref", "mapping_m1", "mapping_m2", "original_layouts",
-    "partial_grid_mapping", "run_hardened", "run_multiprogram",
+    "partial_grid_mapping", "run", "run_hardened", "run_multiprogram",
     "run_optimal_pair", "run_pair", "run_simulation", "shifted_ref",
+    "sweep",
 ]

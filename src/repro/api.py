@@ -1,0 +1,141 @@
+"""The unified experiment facade: ``repro.run`` / ``repro.sweep`` /
+``repro.compare``.
+
+Historically the public entry points were scattered --
+:func:`repro.sim.run.run_simulation`, :class:`repro.sim.sweep.Sweep`,
+:class:`repro.sim.harness.HardenedSweep`, and the CLI each with their
+own conventions.  This module is the stable, documented surface over
+all of them; the old import paths keep working as thin aliases.
+
+Naming scheme
+-------------
+* :class:`Experiment` (= :class:`repro.sim.run.RunSpec`) -- everything
+  one simulated execution needs, fully specified and picklable.
+* :class:`Result` (= :class:`repro.sim.run.RunResult`) -- one
+  experiment's metrics plus inspectable artifacts.
+* :class:`SweepResult` (= :class:`repro.sim.harness.SweepReport`) --
+  the rows, failures and resume statistics of a sweep; ``to_csv()``
+  emits the one canonical schema regardless of which engine ran it.
+
+Quick start::
+
+    import repro
+    from repro.workloads import build_workload
+
+    program = build_workload("swim")
+    result = repro.run(program=program, optimized=True)
+
+    report = repro.sweep(program, workers=4,
+                         mapping=["M1", "M2"], num_mcs=[4, 8])
+    print(report.to_csv())
+
+    comparison = repro.compare(program)
+    print(f"{comparison.exec_time_reduction:.1%}")
+
+Every sweep accepts ``workers=N`` to fan grid points out to a process
+pool (see :mod:`repro.sim.executor`); results are bit-identical to a
+serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.arch.clustering import L2ToMCMapping
+from repro.arch.config import MachineConfig
+from repro.faults.plan import FaultPlan
+from repro.program.ir import Program
+from repro.sim.harness import HardenedSweep, HarnessConfig, SweepReport
+from repro.sim.metrics import Comparison
+from repro.sim.run import (RunResult, RunSpec, run_pair, run_simulation)
+from repro.sim.sweep import Sweep
+
+__all__ = ["Experiment", "Result", "SweepResult", "compare", "run",
+           "sweep"]
+
+#: The documented names for the spec/result pair.
+Experiment = RunSpec
+Result = RunResult
+SweepResult = SweepReport
+
+
+def _default_config() -> MachineConfig:
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+def run(experiment: Optional[Experiment] = None, *,
+        program: Optional[Program] = None,
+        config: Optional[MachineConfig] = None,
+        **spec_kw) -> Result:
+    """Execute one experiment end to end.
+
+    Either pass a fully built :class:`Experiment`, or pass ``program=``
+    (plus any :class:`Experiment` field as a keyword) and the facade
+    assembles it with the default scaled machine::
+
+        repro.run(repro.Experiment(program=p, config=c, optimized=True))
+        repro.run(program=p, optimized=True, seed=3)
+    """
+    if experiment is not None:
+        if program is not None or config is not None or spec_kw:
+            raise ValueError(
+                "pass either a built Experiment or keyword fields, "
+                "not both")
+        return run_simulation(experiment)
+    if program is None:
+        raise ValueError("run() needs an Experiment or a program=")
+    return run_simulation(Experiment(program=program,
+                                     config=config or _default_config(),
+                                     **spec_kw))
+
+
+def compare(program: Program,
+            config: Optional[MachineConfig] = None, *,
+            mapping: Optional[L2ToMCMapping] = None,
+            page_policy: str = "auto",
+            localize_offchip: bool = True) -> Comparison:
+    """Baseline vs. optimized under one configuration -- the comparison
+    every per-application bar of the paper's figures reports.  The two
+    underlying :class:`Result`\\ s stay reachable through the returned
+    comparison's ``base``/``opt`` metrics."""
+    _, _, comparison = run_pair(program, config or _default_config(),
+                                mapping=mapping, page_policy=page_policy,
+                                localize_offchip=localize_offchip)
+    return comparison
+
+
+def sweep(program: Program, *,
+          config: Optional[MachineConfig] = None,
+          workers: int = 1,
+          hardened: bool = False,
+          checkpoint: Optional[str] = None,
+          harness: Optional[HarnessConfig] = None,
+          fault_plan: Optional[FaultPlan] = None,
+          seed: int = 0,
+          max_points: Optional[int] = None,
+          **axes: Iterable) -> SweepResult:
+    """Run a cartesian configuration sweep and return its
+    :class:`SweepResult`.
+
+    Axes are keyword lists (``mapping=["M1", "M2"], num_mcs=[4, 8]``;
+    see :data:`repro.sim.executor.CONFIG_AXES`).  ``workers=N`` runs
+    grid points on a process pool, bit-identical to serial.
+
+    The plain engine memoizes and raises on failure; requesting
+    ``hardened=True`` -- implied by ``checkpoint``, ``harness`` or
+    ``max_points`` -- runs every point under the timeout/retry/
+    checkpoint harness instead, collecting failures as rows in
+    ``result.failures``.
+    """
+    hardened = (hardened or checkpoint is not None
+                or harness is not None or max_points is not None)
+    if hardened:
+        return HardenedSweep(program, config, harness=harness,
+                             checkpoint=checkpoint, fault_plan=fault_plan,
+                             seed=seed, workers=workers
+                             ).run(max_points=max_points, **axes)
+    engine = Sweep(program, config, workers=workers,
+                   fault_plan=fault_plan, seed=seed)
+    points = engine.run(**axes)
+    return SweepResult(rows=[point.row() for point in points],
+                       points=list(points))

@@ -7,7 +7,8 @@ Subcommands::
     repro-cli run --app swim              # simulate one configuration
     repro-cli compare --app swim          # baseline vs optimized
     repro-cli suite                       # the 13-application table
-    repro-cli sweep --app swim --axis mapping=M1,M2   # CSV design sweep
+    repro-cli sweep --app swim --axis mapping=M1,M2 --workers 4
+                                          # parallel CSV design sweep
     repro-cli trace --app swim --output t.npz         # save traces
     repro-cli report --output report.md   # markdown suite report
     repro-cli list                        # available workload models
@@ -24,15 +25,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import MachineConfig, mapping_m1, mapping_m2
+from repro import MachineConfig
 from repro.analysis.tables import format_percent_table, improvement_summary
-from repro.arch.clustering import balanced_mapping, grid_mapping
 from repro.core.dependence import check_program
 from repro.core.pipeline import LayoutTransformer
 from repro.frontend import compile_kernel, emit_program
 from repro.program.address_space import AddressSpace
 from repro.program.trace import generate_traces
 from repro.program.tracefile import save_traces
+from repro.sim.executor import default_workers, resolve_mapping
 from repro.sim.run import RunSpec, run_pair, run_simulation
 from repro.sim.sweep import Sweep, to_csv
 from repro.workloads import SUITE_ORDER, build_workload
@@ -63,15 +64,8 @@ def _config(args: argparse.Namespace) -> MachineConfig:
 
 
 def _mapping(config: MachineConfig, name: str):
-    mesh = config.mesh()
-    nodes = config.mc_nodes(mesh)
-    if name == "M2":
-        return mapping_m2(mesh, nodes)
-    if config.mc_placement != "P1":
-        return balanced_mapping(mesh, nodes, name="M1")
-    if config.num_mcs != 4:
-        return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
-    return mapping_m1(mesh, nodes)
+    # One canonical preset resolver, shared with the sweep engine.
+    return resolve_mapping(config, name)
 
 
 def _load_program(args: argparse.Namespace):
@@ -238,7 +232,12 @@ def _parse_axes(specs: List[str]) -> dict:
 
 def cmd_sweep(args: argparse.Namespace, out) -> int:
     program = _load_program(args)
-    sweep = Sweep(program, _config(args))
+    workers = args.workers if args.workers is not None else \
+        default_workers()
+    if workers < 1:
+        raise SystemExit(f"repro-cli sweep: --workers must be >= 1, "
+                         f"got {workers}")
+    sweep = Sweep(program, _config(args), workers=workers)
     axes = _parse_axes(args.axis)
     try:
         points = sweep.run(**axes)
@@ -348,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--axis", action="append", default=[],
                    help="axis spec name=v1,v2 (repeatable), e.g. "
                         "mapping=M1,M2 num_mcs=4,8")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel worker processes for grid points "
+                        "(default: one per CPU; 1 = in-process)")
     _machine_flags(p)
     p.set_defaults(func=cmd_sweep)
 

@@ -67,21 +67,48 @@ def first_touch_order(traces: Sequence[np.ndarray], page_size: int,
     """
     rng = random.Random(seed)
     salts = [rng.getrandbits(32) for _ in traces]
-    best: Dict[int, Tuple[int, int, int, int]] = {}
+    columns = []  # per thread: (vpn, first_idx, race, tid, core) arrays
     for tid, trace in enumerate(traces):
         if len(trace) == 0:
             continue
         vpns = np.asarray(trace, dtype=np.int64) // page_size
         unique, first_idx = np.unique(vpns, return_index=True)
-        core = thread_cores[tid]
-        salt = salts[tid]
-        for vpn, idx in zip(unique.tolist(), first_idx.tolist()):
-            race = ((vpn * 2654435761) ^ salt) % 104729
-            key = (idx, race, tid, core)
-            if vpn not in best or key < best[vpn]:
-                best[vpn] = key
-    ordered = sorted(best.items(), key=lambda kv: kv[1])
-    return [(vpn, key[3]) for vpn, key in ordered]
+        race = _race_values(unique, salts[tid])
+        columns.append((unique, first_idx.astype(np.int64), race,
+                        np.full(len(unique), tid, dtype=np.int64),
+                        np.full(len(unique), thread_cores[tid],
+                                dtype=np.int64)))
+    if not columns:
+        return []
+    vpn, idx, race, tid, core = (np.concatenate(parts)
+                                 for parts in zip(*columns))
+    # Winner per vpn: the lexicographically smallest (idx, race, tid)
+    # key.  lexsort with vpn as the primary key groups each page's
+    # contenders; the first row of each group is its winner.
+    order = np.lexsort((core, tid, race, idx, vpn))
+    svpn = vpn[order]
+    lead = np.ones(len(svpn), dtype=bool)
+    lead[1:] = svpn[1:] != svpn[:-1]
+    winners = order[lead]
+    # Global first-touch schedule: winners ordered by the same key.
+    sched = np.lexsort((core[winners], tid[winners], race[winners],
+                        idx[winners]))
+    winners = winners[sched]
+    return list(zip(vpn[winners].tolist(), core[winners].tolist()))
+
+
+def _race_values(vpns: np.ndarray, salt: int) -> np.ndarray:
+    """``((vpn * 2654435761) ^ salt) % 104729`` for every vpn, matching
+    arbitrary-precision Python arithmetic exactly.
+
+    The int64 fast path is exact while the product cannot overflow
+    (every realistic trace: vpns are footprint-sized).  Beyond that the
+    per-element Python loop preserves the historical values.
+    """
+    if len(vpns) == 0 or int(np.abs(vpns).max()) < (1 << 31):
+        return ((vpns * 2654435761) ^ salt) % 104729
+    return np.array([((int(v) * 2654435761) ^ salt) % 104729
+                     for v in vpns.tolist()], dtype=np.int64)
 
 
 def translate_traces(traces: Sequence[np.ndarray], page_table: PageTable,
@@ -101,10 +128,12 @@ def translate_traces(traces: Sequence[np.ndarray], page_table: PageTable,
 
     if not page_table.entries:
         return [np.asarray(t, dtype=np.int64).copy() for t in traces]
-    max_vpn = max(page_table.entries) + 1
-    lookup = np.full(max_vpn, -1, dtype=np.int64)
-    for vpn, ppn in page_table.entries.items():
-        lookup[vpn] = ppn
+    mapped_vpns = np.fromiter(page_table.entries.keys(), dtype=np.int64,
+                              count=len(page_table.entries))
+    mapped_ppns = np.fromiter(page_table.entries.values(), dtype=np.int64,
+                              count=len(page_table.entries))
+    lookup = np.full(int(mapped_vpns.max()) + 1, -1, dtype=np.int64)
+    lookup[mapped_vpns] = mapped_ppns
     out = []
     for trace in traces:
         v = np.asarray(trace, dtype=np.int64)

@@ -49,36 +49,58 @@ class ThreadTrace:
         return len(self.vaddrs)
 
 
-def _nest_thread_addresses(nest: LoopNest, thread: int, num_threads: int,
-                           layouts: Mapping[str, Layout],
-                           bases: Mapping[str, int]) -> np.ndarray:
-    """Addresses one thread generates for one pass over one nest,
-    iteration-major with references interleaved in program order."""
-    pts = nest.thread_iteration_points(thread, num_threads)
-    if pts is None:
-        return np.zeros(0, dtype=np.int64)
-    mask = None
-    columns = []
-    for ref in nest.refs:
-        if isinstance(ref, AffineRef):
-            coords = ref.apply(pts)
-        else:
-            assert isinstance(ref, IndexedRef)
-            if mask is None:
-                mask = nest.thread_iteration_mask(thread, num_threads)
-            coords = ref.coords()[:, mask]
-        layout = layouts[ref.array.name]
-        offsets = layout.byte_offsets(coords)
-        columns.append(offsets + bases[ref.array.name])
-    stacked = np.stack(columns, axis=1)      # (K, R): iteration-major
-    return stacked.reshape(-1)
+class _PreparedNest:
+    """Per-nest state shared by every thread's trace generation.
 
+    Hot-path hoisting: the full coordinate streams of indexed
+    references (``IndexedRef.coords`` re-stacks its int64 arrays on
+    every call), the per-iteration write-flag template, and the
+    per-access work gap are identical across threads, so they are
+    computed once per nest instead of once per (nest, thread).
+    """
 
-def _nest_write_flags(nest: LoopNest, count: int) -> np.ndarray:
-    """Per-access write flags matching the iteration-major interleave."""
-    per_iter = np.array([r.is_write for r in nest.refs], dtype=bool)
-    reps = count // len(nest.refs)
-    return np.tile(per_iter, reps)
+    __slots__ = ("nest", "has_indexed", "indexed_coords", "write_template",
+                 "per_access_work")
+
+    def __init__(self, nest: LoopNest):
+        self.nest = nest
+        self.indexed_coords = {
+            i: ref.coords() for i, ref in enumerate(nest.refs)
+            if isinstance(ref, IndexedRef)}
+        self.has_indexed = bool(self.indexed_coords)
+        self.write_template = np.array([r.is_write for r in nest.refs],
+                                       dtype=bool)
+        self.per_access_work = max(
+            0, nest.work_per_iteration // len(nest.refs))
+
+    def thread_addresses(self, thread: int, num_threads: int,
+                         layouts: Mapping[str, Layout],
+                         bases: Mapping[str, int]) -> np.ndarray:
+        """Addresses one thread generates for one pass over the nest,
+        iteration-major with references interleaved in program order."""
+        nest = self.nest
+        pts = nest.thread_iteration_points(thread, num_threads)
+        if pts is None:
+            return np.zeros(0, dtype=np.int64)
+        mask = None
+        columns = []
+        for i, ref in enumerate(nest.refs):
+            if isinstance(ref, AffineRef):
+                coords = ref.apply(pts)
+            else:
+                if mask is None:
+                    mask = nest.thread_iteration_mask(thread, num_threads)
+                coords = self.indexed_coords[i][:, mask]
+            layout = layouts[ref.array.name]
+            offsets = layout.byte_offsets(coords)
+            columns.append(offsets + bases[ref.array.name])
+        stacked = np.stack(columns, axis=1)      # (K, R): iteration-major
+        return stacked.reshape(-1)
+
+    def write_flags(self, count: int) -> np.ndarray:
+        """Per-access write flags matching the iteration-major
+        interleave."""
+        return np.tile(self.write_template, count // len(self.nest.refs))
 
 
 def generate_traces(program: Program, layouts: Mapping[str, Layout],
@@ -92,6 +114,7 @@ def generate_traces(program: Program, layouts: Mapping[str, Layout],
     every thread's misses would collide at the controllers in perfect
     lockstep, grossly exaggerating baseline queueing.
     """
+    prepared = [_PreparedNest(nest) for nest in program.nests]
     traces = []
     for thread in range(num_threads):
         rng = np.random.default_rng(977 + thread)
@@ -100,14 +123,15 @@ def generate_traces(program: Program, layouts: Mapping[str, Layout],
         write_chunks: List[np.ndarray] = []
         segments = []
         cursor = 0
-        for nest in program.nests:
-            addrs = _nest_thread_addresses(nest, thread, num_threads,
+        for pnest in prepared:
+            nest = pnest.nest
+            addrs = pnest.thread_addresses(thread, num_threads,
                                            layouts, bases)
             if len(addrs) == 0:
                 continue
             if nest.repeat > 1:
                 addrs = np.tile(addrs, nest.repeat)
-            per_access = max(0, nest.work_per_iteration // len(nest.refs))
+            per_access = pnest.per_access_work
             if per_access > 0:
                 spread = max(1, per_access // 2)
                 gaps = per_access + rng.integers(
@@ -117,7 +141,7 @@ def generate_traces(program: Program, layouts: Mapping[str, Layout],
                 gaps = np.zeros(len(addrs), dtype=np.int64)
             addr_chunks.append(addrs)
             gap_chunks.append(gaps.astype(np.int64))
-            write_chunks.append(_nest_write_flags(nest, len(addrs)))
+            write_chunks.append(pnest.write_flags(len(addrs)))
             segments.append((nest.name, cursor, cursor + len(addrs)))
             cursor += len(addrs)
         if addr_chunks:

@@ -1,0 +1,220 @@
+"""Parallel sweep execution engine: fan grid points out to workers.
+
+The paper's evaluation is a large family of sweeps (interleaving x
+mapping x placement x MC-count x mesh x threads); serially, every grid
+point pays the full baseline+optimized simulation cost in one process.
+This module is the shared engine underneath :class:`repro.sim.sweep.Sweep`,
+:class:`repro.sim.harness.HardenedSweep`, and the ``repro-cli sweep
+--workers N`` flag: it turns a list of grid points into
+:class:`PointTask` work items and executes them on a
+:class:`~concurrent.futures.ProcessPoolExecutor` with chunked
+scheduling.
+
+Determinism is free by construction: a grid point is a pure function of
+``(program, base configuration, settings, fault plan, seed)`` -- every
+stochastic component (trace jitter, first-touch races, fault drawing)
+is seeded from the task itself, never from process-global state -- and
+results are collected in submission order.  A parallel sweep is
+therefore bit-identical to a serial one, which the test suite asserts
+down to CSV bytes.  With ``workers=1`` (or a single task) no pool is
+created at all: everything runs in-process, so debuggers, monkeypatched
+test doubles, and coverage tools keep working.
+
+This module also owns the one canonical translation from sweep
+*settings* to :class:`~repro.sim.run.RunSpec` pairs
+(:func:`point_specs`) and the axis vocabulary (:data:`CONFIG_AXES`),
+which the sweep front-ends re-export.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.clustering import (balanced_mapping, grid_mapping,
+                                   mapping_m1, mapping_m2)
+from repro.arch.config import MachineConfig
+from repro.faults.plan import FaultPlan
+from repro.program.ir import Program
+from repro.sim.metrics import Comparison
+from repro.sim.run import RunSpec, run_simulation
+from repro.sim.serialize import comparison_row, point_key
+
+#: Sweep axes that map onto :class:`MachineConfig` fields.  ``mapping``
+#: rides alongside as the one non-config axis.
+CONFIG_AXES = ("interleaving", "shared_l2", "mc_placement",
+               "num_mcs", "mesh_width", "mesh_height",
+               "threads_per_core", "banks_per_mc", "model_writes")
+
+MAPPING_PRESETS = ("M1", "M2", "voronoi")
+
+
+def resolve_mapping(config: MachineConfig, name: str = "M1"):
+    """Mapping presets by name, handling non-corner placements and
+    non-default controller counts (shared by the sweeps, the CLI and
+    the benches).
+
+    Raises ``ValueError`` for unknown preset names -- a typo like
+    ``m3`` must not silently run the M1 experiment.
+    """
+    if name not in MAPPING_PRESETS:
+        raise ValueError(
+            f"unknown mapping preset {name!r}; valid presets: "
+            f"{', '.join(MAPPING_PRESETS)}")
+    mesh = config.mesh()
+    nodes = config.mc_nodes(mesh)
+    if name == "M2":
+        return mapping_m2(mesh, nodes)
+    if name == "voronoi" or config.mc_placement != "P1":
+        return balanced_mapping(mesh, nodes, name="M1")
+    if config.num_mcs != 4:
+        return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
+    return mapping_m1(mesh, nodes)
+
+
+def validate_axes(axes: Mapping[str, Iterable]) -> None:
+    """Reject unknown axis names with a diagnostic listing the known
+    ones -- shared by every sweep front-end."""
+    for name in axes:
+        if name not in CONFIG_AXES and name != "mapping":
+            raise ValueError(
+                f"unknown sweep axis {name!r}; known axes: "
+                f"{', '.join(CONFIG_AXES)}, mapping")
+
+
+def grid_settings(axes: Mapping[str, Iterable]) -> List[Dict[str, object]]:
+    """The cartesian product of the axes as per-point settings dicts,
+    in the canonical (sorted-axis, row-major) order every sweep uses."""
+    names = sorted(axes)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(list(axes[n])
+                                             for n in names))]
+
+
+def point_specs(program: Program, base_config: MachineConfig,
+                settings: Mapping[str, object],
+                fault_plan: Optional[FaultPlan] = None,
+                seed: int = 0) -> Tuple[RunSpec, RunSpec]:
+    """The baseline/optimized :class:`RunSpec` pair for one grid point.
+
+    This is the single source of truth for what a sweep point *means*;
+    :class:`~repro.sim.sweep.Sweep` and
+    :class:`~repro.sim.harness.HardenedSweep` both build their runs --
+    and their cache/checkpoint keys -- from it.
+    """
+    config_kw = {k: v for k, v in settings.items() if k in CONFIG_AXES}
+    config = base_config.with_(**config_kw)
+    mapping = resolve_mapping(config, str(settings.get("mapping", "M1")))
+    specs = tuple(
+        RunSpec(program=program, config=config, mapping=mapping,
+                optimized=optimized, fault_plan=fault_plan, seed=seed)
+        for optimized in (False, True))
+    return specs[0], specs[1]
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point, fully specified and picklable.
+
+    ``hardened`` routes the runs through
+    :func:`repro.sim.harness.run_hardened` (timeout/retry policy from
+    ``harness``); otherwise failures propagate as exceptions.
+    """
+
+    program: Program
+    base_config: MachineConfig
+    settings: Tuple[Tuple[str, object], ...]
+    fault_plan: Optional[FaultPlan] = None
+    seed: int = 0
+    hardened: bool = False
+    harness: Optional[object] = None  # HarnessConfig; typed loosely to
+    # keep this module import-cycle-free with repro.sim.harness
+
+
+@dataclass
+class PointOutcome:
+    """What one grid point produced: a result row or a diagnostic."""
+
+    settings: Dict[str, object]
+    key: str
+    row: Optional[Dict[str, object]] = None
+    comparison: Optional[Comparison] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.row is not None
+
+
+def run_point(task: PointTask) -> PointOutcome:
+    """Execute one grid point (baseline + optimized) in this process.
+
+    This is the worker function the process pool invokes; it is also
+    the in-process fallback, so serial and parallel sweeps share every
+    line of per-point logic.
+    """
+    settings = dict(task.settings)
+    base_spec, opt_spec = point_specs(task.program, task.base_config,
+                                      settings, task.fault_plan,
+                                      task.seed)
+    key = point_key((base_spec, opt_spec))
+    if task.hardened:
+        from repro.sim.harness import run_hardened
+        metrics = []
+        for spec in (base_spec, opt_spec):
+            outcome = run_hardened(spec, task.harness)
+            if not outcome.ok:
+                return PointOutcome(
+                    settings=settings, key=key,
+                    error=(f"{outcome.label}: [{outcome.error_kind}] "
+                           f"{outcome.error} "
+                           f"(after {outcome.attempts} attempts)"))
+            metrics.append(outcome.result.metrics)
+        comparison = Comparison(metrics[0], metrics[1])
+    else:
+        base = run_simulation(base_spec)
+        opt = run_simulation(opt_spec)
+        comparison = Comparison(base.metrics, opt.metrics)
+    return PointOutcome(settings=settings, key=key,
+                        row=comparison_row(settings, comparison),
+                        comparison=comparison)
+
+
+def default_workers() -> int:
+    """The CLI default: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+def default_chunksize(num_tasks: int, workers: int) -> int:
+    """Chunked scheduling: large enough to amortize pickling, small
+    enough that a slow chunk cannot starve the pool (about four chunks
+    per worker)."""
+    if num_tasks <= 0 or workers <= 1:
+        return 1
+    return max(1, num_tasks // (workers * 4))
+
+
+def execute_points(tasks: Sequence[PointTask], workers: int = 1,
+                   chunksize: Optional[int] = None) -> List[PointOutcome]:
+    """Run grid points, preserving submission order.
+
+    ``workers=None`` means :func:`default_workers`.  With one worker
+    (or one task) everything runs in-process -- no pool, no pickling,
+    no subprocesses -- which is both the graceful fallback and the
+    debuggable path.  Worker processes inherit nothing stochastic: all
+    seeding travels inside each task, so the fan-out is bit-identical
+    to the serial loop.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(int(workers), len(tasks) or 1))
+    if workers == 1:
+        return [run_point(task) for task in tasks]
+    if chunksize is None:
+        chunksize = default_chunksize(len(tasks), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_point, tasks, chunksize=chunksize))

@@ -20,7 +20,6 @@ grid point costs one row, not the night's sweep.
 
 from __future__ import annotations
 
-import itertools
 import json
 import os
 import tempfile
@@ -35,9 +34,16 @@ from repro.arch.config import MachineConfig
 from repro.errors import ReproError, SimulationTimeout
 from repro.faults.plan import FaultPlan
 from repro.program.ir import Program
-from repro.sim.metrics import Comparison
+from repro.sim.executor import (PointTask, execute_points, grid_settings,
+                                point_key, point_specs, validate_axes)
 from repro.sim.run import RunResult, RunSpec, run_simulation
-from repro.sim.sweep import Sweep, resolve_mapping
+from repro.sim.serialize import comparison_row, rows_to_csv
+
+#: Checkpoint schema version.  Version 2 keys entries by the canonical
+#: :meth:`RunSpec.key`-derived point key (shared with sweep
+#: memoization); version-1 checkpoints used an ad-hoc settings JSON and
+#: are not resumed (their points simply re-run).
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -136,12 +142,6 @@ def run_hardened(spec: RunSpec,
 # Checkpointed sweeps
 
 
-def _settings_key(settings: Dict[str, object]) -> str:
-    """Canonical, JSON-stable identity of one grid point."""
-    return json.dumps(sorted((k, v) for k, v in settings.items()),
-                      default=str)
-
-
 def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                prefix=path.name, suffix=".tmp")
@@ -166,23 +166,15 @@ class SweepReport:
     rows: List[Dict[str, object]] = field(default_factory=list)
     failures: List[Dict[str, object]] = field(default_factory=list)
     resumed: int = 0
+    #: Populated by the plain-sweep path of :func:`repro.api.sweep`.
+    points: List[object] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
         return len(self.rows)
 
     def to_csv(self) -> str:
-        if not self.rows:
-            return ""
-        import csv
-        import io
-        fieldnames = list(self.rows[0].keys())
-        buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
-        writer.writeheader()
-        for row in self.rows:
-            writer.writerow(row)
-        return buffer.getvalue()
+        return rows_to_csv(self.rows)
 
 
 class HardenedSweep:
@@ -190,12 +182,22 @@ class HardenedSweep:
 
     The axes are those of :class:`repro.sim.sweep.Sweep` (plus
     ``mapping``); every grid point runs a baseline/optimized pair under
-    :func:`run_hardened`.  After each completed point the row is
-    appended to the JSON checkpoint (atomic rename, so a kill can lose
-    at most the in-flight point); constructing a sweep with an existing
-    checkpoint resumes it.  A failed point is recorded under
-    ``failures`` and the sweep moves on -- partial results beat no
-    results.
+    :func:`run_hardened`.  Completed rows stream into the JSON
+    checkpoint (atomic rename); constructing a sweep with an existing
+    checkpoint resumes it.  Checkpoint entries are keyed by the
+    canonical :meth:`RunSpec.key`-derived point key -- the same
+    identity :class:`~repro.sim.sweep.Sweep` memoizes under -- so a
+    resumed point is exactly one whose simulation inputs are
+    unchanged.  A failed point is recorded under ``failures`` and the
+    sweep moves on -- partial results beat no results.
+
+    ``workers`` > 1 fans grid points out to a process pool (see
+    :mod:`repro.sim.executor`) in checkpoint-sized waves: the
+    checkpoint is written after every completed wave, so a kill loses
+    at most one wave of in-flight points (serially: at most the one
+    in-flight point, exactly as before).  Results are bit-identical to
+    a serial run.  In parallel mode the harness's ``sleep`` callback
+    must be picklable (the default, :func:`time.sleep`, is).
     """
 
     def __init__(self, program: Program,
@@ -203,7 +205,8 @@ class HardenedSweep:
                  harness: Optional[HarnessConfig] = None,
                  checkpoint: Optional[str] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 workers: int = 1):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -211,6 +214,7 @@ class HardenedSweep:
         self.checkpoint = Path(checkpoint) if checkpoint else None
         self.fault_plan = fault_plan
         self.seed = seed
+        self.workers = workers
         self._done: Dict[str, Dict[str, object]] = {}
         if self.checkpoint is not None and self.checkpoint.exists():
             payload = json.loads(self.checkpoint.read_text())
@@ -219,13 +223,15 @@ class HardenedSweep:
                     f"checkpoint {self.checkpoint} belongs to program "
                     f"{payload.get('program')!r}, not "
                     f"{self.program.name!r}")
-            for entry in payload.get("points", []):
-                self._done[entry["key"]] = entry["row"]
+            if payload.get("version") == CHECKPOINT_VERSION:
+                for entry in payload.get("points", []):
+                    self._done[entry["key"]] = entry["row"]
 
     def _save(self) -> None:
         if self.checkpoint is None:
             return
         payload = {
+            "version": CHECKPOINT_VERSION,
             "program": self.program.name,
             "seed": self.seed,
             "fault_plan": (self.fault_plan.to_dict()
@@ -235,30 +241,10 @@ class HardenedSweep:
         }
         _atomic_write(self.checkpoint, payload)
 
-    def _run_point(self, settings: Dict[str, object]
-                   ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
-        config_kw = {k: v for k, v in settings.items()
-                     if k in Sweep.CONFIG_AXES}
-        config = self.base_config.with_(**config_kw)
-        mapping = resolve_mapping(config,
-                                  str(settings.get("mapping", "M1")))
-        outcomes = []
-        for optimized in (False, True):
-            outcome = run_hardened(
-                RunSpec(program=self.program, config=config,
-                        mapping=mapping, optimized=optimized,
-                        fault_plan=self.fault_plan, seed=self.seed),
-                self.harness)
-            if not outcome.ok:
-                return None, (f"{outcome.label}: [{outcome.error_kind}] "
-                              f"{outcome.error} "
-                              f"(after {outcome.attempts} attempts)")
-            outcomes.append(outcome.result.metrics)
-        comparison = Comparison(outcomes[0], outcomes[1])
-        row: Dict[str, object] = dict(sorted(settings.items()))
-        row.update({k: round(v, 4)
-                    for k, v in comparison.as_row().items()})
-        return row, None
+    def _key(self, settings: Dict[str, object]) -> str:
+        return point_key(point_specs(self.program, self.base_config,
+                                     settings, self.fault_plan,
+                                     self.seed))
 
     def run(self, max_points: Optional[int] = None,
             **axes: Iterable) -> SweepReport:
@@ -267,30 +253,57 @@ class HardenedSweep:
         simulated* points (smoke runs; also how the resume tests model
         a killed sweep) -- remaining points are simply left for the
         next invocation."""
-        for name in axes:
-            if name not in Sweep.CONFIG_AXES and name != "mapping":
-                raise ValueError(
-                    f"unknown sweep axis {name!r}; known axes: "
-                    f"{', '.join(Sweep.CONFIG_AXES)}, mapping")
-        names = sorted(axes)
+        validate_axes(axes)
         report = SweepReport()
+        pending: List[Tuple[str, Dict[str, object]]] = []
+        slots: Dict[str, List[int]] = {}
         fresh = 0
-        for combo in itertools.product(*(list(axes[n]) for n in names)):
-            settings = dict(zip(names, combo))
-            key = _settings_key(settings)
+        for settings in grid_settings(axes):
+            key = self._key(settings)
             if key in self._done:
                 report.rows.append(dict(self._done[key]))
                 report.resumed += 1
                 continue
+            if key in slots:       # equivalent grid point: simulate once
+                slots[key].append(len(report.rows))
+                report.rows.append(settings)
+                continue
             if max_points is not None and fresh >= max_points:
                 continue
-            row, error = self._run_point(settings)
             fresh += 1
-            if error is not None:
-                report.failures.append(
-                    {**settings, "error": error})
-                continue
-            self._done[key] = row
-            report.rows.append(dict(row))
+            slots[key] = [len(report.rows)]
+            report.rows.append(settings)
+            pending.append((key, settings))
+
+        # Chunked scheduling: the checkpoint is rewritten after every
+        # wave, bounding both checkpoint-write frequency and the work a
+        # kill can lose.
+        done = set(self._done)
+        wave = max(1, self.workers) * 2
+        for start in range(0, len(pending), wave):
+            batch = pending[start:start + wave]
+            outcomes = execute_points(
+                [PointTask(program=self.program,
+                           base_config=self.base_config,
+                           settings=tuple(sorted(settings.items())),
+                           fault_plan=self.fault_plan, seed=self.seed,
+                           hardened=True, harness=self.harness)
+                 for _, settings in batch],
+                workers=self.workers)
+            for (key, settings), outcome in zip(batch, outcomes):
+                if not outcome.ok:
+                    report.failures.append(
+                        {**settings, "error": outcome.error})
+                    continue
+                self._done[key] = outcome.row
+                for slot in slots[key]:
+                    # Each slot keeps its own axis values; the metrics
+                    # come from the one shared simulation.
+                    report.rows[slot] = comparison_row(
+                        report.rows[slot], outcome.comparison)
             self._save()
+        # Drop placeholders for failed (or max_points-skipped) points.
+        report.rows = [row for row in report.rows
+                       if not (isinstance(row, dict)
+                               and "exec_time" not in row)]
         return report

@@ -168,3 +168,8 @@ class Comparison:
             "offchip_mem": self.offchip_mem_reduction,
             "exec_time": self.exec_time_reduction,
         }
+
+    def row(self, precision: int = 4) -> Dict[str, float]:
+        """The four reductions rounded for result rows/CSV export --
+        the single rounding rule every sweep serializer shares."""
+        return {k: round(v, precision) for k, v in self.as_row().items()}

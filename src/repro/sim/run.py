@@ -23,7 +23,9 @@ hints) for optimized runs, and the first-touch policy for the Section
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,6 +46,44 @@ from repro.sim.metrics import Comparison, RunMetrics
 from repro.sim.system import SystemSimulator, build_streams
 
 PAGE_POLICIES = ("auto", "default", "mc_aware", "first_touch")
+
+
+def _program_token(program: Program) -> Dict[str, object]:
+    """Structural identity of a program model: everything that changes
+    the generated traces, without hashing raw index data element-wise
+    (a cheap checksum stands in for indexed streams)."""
+    nests = []
+    for nest in program.nests:
+        refs = []
+        for ref in nest.refs:
+            if hasattr(ref, "access"):
+                refs.append(("affine", ref.array.name, ref.access,
+                             ref.offset, ref.is_write))
+            else:
+                checksum = int(sum(int(np.asarray(d, dtype=np.int64).sum())
+                                   for d in ref.index_data))
+                refs.append(("indexed", ref.array.name, ref.num_points,
+                             checksum, ref.is_write))
+        nests.append((nest.name, nest.bounds, nest.parallel_dim,
+                      nest.repeat, nest.work_per_iteration, refs))
+    return {
+        "name": program.name,
+        "arrays": [(a.name, a.dims, a.element_size)
+                   for a in program.arrays],
+        "nests": nests,
+        "mlp_demand": program.mlp_demand,
+    }
+
+
+def _mapping_token(mapping: L2ToMCMapping) -> Dict[str, object]:
+    """Structural identity of an L2-to-MC mapping (the name alone is
+    not enough: custom mappings all default to ``"custom"``)."""
+    return {
+        "name": mapping.name,
+        "mc_nodes": list(mapping.mc_nodes),
+        "clusters": [(list(c.cores), list(c.mc_indices))
+                     for c in mapping.clusters],
+    }
 
 
 @dataclass
@@ -78,6 +118,39 @@ class RunSpec:
         kind = "optimal" if self.optimal else (
             "optimized" if self.optimized else "original")
         return f"{self.program.name}/{kind}"
+
+    def key(self) -> str:
+        """Canonical cache identity of this run.
+
+        Covers every input that changes the simulation: the program's
+        structure, the full machine configuration, the resolved mapping,
+        the run flags, the fault plan and the seed.  The one identity
+        used for sweep memoization, harness checkpoint entries, and
+        result-row identity -- so a memoized sweep, a resumed
+        checkpoint, and a parallel worker all agree on what "the same
+        run" means.  Short and filename-safe.
+        """
+        payload = {
+            "program": _program_token(self.program),
+            "config": asdict(self.config),
+            "mapping": _mapping_token(self.resolved_mapping()),
+            "optimized": self.optimized,
+            "optimal": self.optimal,
+            "page_policy": self.page_policy,
+            "localize_offchip": self.localize_offchip,
+            "pages_per_mc": self.pages_per_mc,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None else None),
+            "seed": self.seed,
+        }
+        digest = hashlib.sha1(
+            json.dumps(payload, sort_keys=True, default=str)
+            .encode("utf-8")).hexdigest()
+        kind = "optimal" if self.optimal else (
+            "optimized" if self.optimized else "original")
+        safe_name = "".join(c if c.isalnum() or c in "._" else "_"
+                            for c in self.program.name)
+        return f"{safe_name}-{kind}-{digest[:16]}"
 
 
 @dataclass

@@ -6,47 +6,33 @@ provides the reusable machinery the benchmark harness is built on, as a
 public API: declare axes, get every combination simulated (with
 memoization across overlapping sweeps), and export the results as rows
 or CSV.
+
+Execution is delegated to the parallel engine in
+:mod:`repro.sim.executor`: construct the sweep with ``workers=N`` to
+fan grid points out to a process pool (``workers=1``, the default,
+runs everything in-process).  Results are bit-identical either way;
+memoization and the hardened harness's checkpoints share one canonical
+key (:meth:`repro.sim.run.RunSpec.key`), and CSV export goes through
+the shared serializer (:mod:`repro.sim.serialize`).
 """
 
 from __future__ import annotations
 
-import csv
-import io
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.arch.clustering import (balanced_mapping, grid_mapping,
-                                   mapping_m1, mapping_m2)
 from repro.arch.config import MachineConfig
+from repro.faults.plan import FaultPlan
+# Re-exported for backward compatibility: these historically lived here.
+from repro.sim.executor import (CONFIG_AXES, MAPPING_PRESETS, PointTask,
+                                execute_points, grid_settings, point_key,
+                                point_specs, resolve_mapping, validate_axes)
 from repro.program.ir import Program
-from repro.sim.metrics import Comparison, RunMetrics
-from repro.sim.run import RunSpec, run_simulation
+from repro.sim.metrics import Comparison
+from repro.sim.serialize import comparison_row, rows_to_csv
 
-
-MAPPING_PRESETS = ("M1", "M2", "voronoi")
-
-
-def resolve_mapping(config: MachineConfig, name: str = "M1"):
-    """Mapping presets by name, handling non-corner placements and
-    non-default controller counts (shared with the CLI and benches).
-
-    Raises ``ValueError`` for unknown preset names -- a typo like
-    ``m3`` must not silently run the M1 experiment.
-    """
-    if name not in MAPPING_PRESETS:
-        raise ValueError(
-            f"unknown mapping preset {name!r}; valid presets: "
-            f"{', '.join(MAPPING_PRESETS)}")
-    mesh = config.mesh()
-    nodes = config.mc_nodes(mesh)
-    if name == "M2":
-        return mapping_m2(mesh, nodes)
-    if name == "voronoi" or config.mc_placement != "P1":
-        return balanced_mapping(mesh, nodes, name="M1")
-    if config.num_mcs != 4:
-        return grid_mapping(mesh, nodes, config.num_mcs, name="M1")
-    return mapping_m1(mesh, nodes)
+__all__ = ["MAPPING_PRESETS", "Sweep", "SweepPoint", "best_point",
+           "resolve_mapping", "to_csv"]
 
 
 @dataclass(frozen=True)
@@ -60,10 +46,7 @@ class SweepPoint:
         return dict(self.settings)[axis]
 
     def row(self) -> Dict[str, object]:
-        out: Dict[str, object] = dict(self.settings)
-        out.update({k: round(v, 4)
-                    for k, v in self.comparison.as_row().items()})
-        return out
+        return comparison_row(dict(self.settings), self.comparison)
 
 
 class Sweep:
@@ -71,65 +54,67 @@ class Sweep:
 
     Axes are named keyword lists; recognized names map onto
     :class:`MachineConfig` fields (plus ``mapping``).  Every point runs
-    a baseline/optimized pair; pairs are memoized so overlapping sweeps
-    (or repeated axes values) cost nothing extra.
+    a baseline/optimized pair; pairs are memoized under the canonical
+    :meth:`RunSpec.key`-derived point key, so overlapping sweeps (or
+    repeated axis values) cost nothing extra.
+
+    ``workers`` > 1 executes uncached points on a process pool; the
+    memoization cache is filled from the workers' results, so a
+    follow-up sweep over a superset of the axes only simulates the new
+    points.  An optional ``fault_plan``/``seed`` applies to every
+    point, matching :class:`repro.sim.harness.HardenedSweep`.
     """
 
-    CONFIG_AXES = ("interleaving", "shared_l2", "mc_placement",
-                   "num_mcs", "mesh_width", "mesh_height",
-                   "threads_per_core", "banks_per_mc", "model_writes")
+    CONFIG_AXES = CONFIG_AXES
 
     def __init__(self, program: Program,
-                 base_config: Optional[MachineConfig] = None):
+                 base_config: Optional[MachineConfig] = None,
+                 workers: int = 1,
+                 fault_plan: Optional[FaultPlan] = None,
+                 seed: int = 0):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(
                 interleaving="cache_line")
-        self._cache: Dict[tuple, Comparison] = {}
+        self.workers = workers
+        self.fault_plan = fault_plan
+        self.seed = seed
+        self._cache: Dict[str, Comparison] = {}
 
-    def _point(self, settings: Dict[str, object]) -> Comparison:
-        key = tuple(sorted(settings.items()))
-        if key not in self._cache:
-            config_kw = {k: v for k, v in settings.items()
-                         if k in self.CONFIG_AXES}
-            config = self.base_config.with_(**config_kw)
-            mapping = resolve_mapping(config,
-                                      str(settings.get("mapping", "M1")))
-            base = run_simulation(RunSpec(
-                program=self.program, config=config, mapping=mapping,
-                optimized=False))
-            opt = run_simulation(RunSpec(
-                program=self.program, config=config, mapping=mapping,
-                optimized=True))
-            self._cache[key] = Comparison(base.metrics, opt.metrics)
-        return self._cache[key]
+    def _key(self, settings: Dict[str, object]) -> str:
+        return point_key(point_specs(self.program, self.base_config,
+                                     settings, self.fault_plan,
+                                     self.seed))
+
+    def _task(self, settings: Dict[str, object]) -> PointTask:
+        return PointTask(program=self.program,
+                         base_config=self.base_config,
+                         settings=tuple(sorted(settings.items())),
+                         fault_plan=self.fault_plan, seed=self.seed)
 
     def run(self, **axes: Iterable) -> List[SweepPoint]:
         """Run the cartesian product of the given axes."""
-        for name in axes:
-            if name not in self.CONFIG_AXES and name != "mapping":
-                raise ValueError(f"unknown sweep axis {name!r}")
-        names = sorted(axes)
-        points = []
-        for combo in itertools.product(*(list(axes[n]) for n in names)):
-            settings = dict(zip(names, combo))
-            comparison = self._point(settings)
-            points.append(SweepPoint(tuple(sorted(settings.items())),
-                                     comparison))
-        return points
+        validate_axes(axes)
+        grid = grid_settings(axes)
+        keys = [self._key(settings) for settings in grid]
+        pending = []  # first occurrence of each uncached key, in order
+        claimed = set()
+        for settings, key in zip(grid, keys):
+            if key not in self._cache and key not in claimed:
+                claimed.add(key)
+                pending.append((key, settings))
+        outcomes = execute_points([self._task(s) for _, s in pending],
+                                  workers=self.workers)
+        for (key, _), outcome in zip(pending, outcomes):
+            self._cache[key] = outcome.comparison
+        return [SweepPoint(tuple(sorted(settings.items())),
+                           self._cache[key])
+                for settings, key in zip(grid, keys)]
 
 
 def to_csv(points: List[SweepPoint]) -> str:
     """Render sweep points as CSV text (axes + the four reductions)."""
-    if not points:
-        return ""
-    fieldnames = list(points[0].row().keys())
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
-    writer.writeheader()
-    for point in points:
-        writer.writerow(point.row())
-    return buffer.getvalue()
+    return rows_to_csv([point.row() for point in points])
 
 
 def best_point(points: List[SweepPoint],

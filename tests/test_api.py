@@ -1,0 +1,140 @@
+"""The repro.api facade: the documented entry points, their naming
+scheme, and the back-compat of the historical import paths."""
+
+import pytest
+
+import repro
+from repro import MachineConfig
+from repro.api import Experiment, Result, SweepResult
+from repro.sim.harness import SweepReport
+from repro.sim.metrics import Comparison
+from repro.sim.run import RunResult, RunSpec
+from repro.workloads import build_workload
+
+SCALE = 0.12
+AXES = dict(mapping=["M1", "M2"], num_mcs=[4, 8])
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", SCALE)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+class TestNamingScheme:
+    def test_documented_aliases(self):
+        assert Experiment is RunSpec
+        assert Result is RunResult
+        assert SweepResult is SweepReport
+
+    def test_facade_exported_at_top_level(self):
+        assert repro.Experiment is RunSpec
+        assert repro.Result is RunResult
+        assert repro.SweepResult is SweepReport
+        assert repro.run is repro.api.run
+        assert repro.sweep is repro.api.sweep
+        assert repro.compare is repro.api.compare
+
+    def test_old_import_paths_still_work(self):
+        from repro.sim.harness import HardenedSweep, run_hardened
+        from repro.sim.run import run_pair, run_simulation
+        from repro.sim.sweep import MAPPING_PRESETS, Sweep, resolve_mapping
+        assert callable(run_simulation) and callable(run_pair)
+        assert callable(run_hardened)
+        assert "voronoi" in MAPPING_PRESETS
+        assert Sweep is repro.Sweep
+        assert HardenedSweep is repro.HardenedSweep
+        assert callable(resolve_mapping)
+
+
+class TestRun:
+    def test_run_built_experiment(self, program, config):
+        result = repro.run(Experiment(program=program, config=config))
+        assert isinstance(result, Result)
+        assert result.metrics.exec_time > 0
+
+    def test_run_keyword_form(self, program, config):
+        direct = repro.run(Experiment(program=program, config=config,
+                                      optimized=True))
+        kw = repro.run(program=program, config=config, optimized=True)
+        assert kw.metrics.exec_time == direct.metrics.exec_time
+
+    def test_run_default_config(self, program):
+        result = repro.run(program=program)
+        assert result.metrics.exec_time > 0
+
+    def test_run_rejects_mixed_forms(self, program, config):
+        exp = Experiment(program=program, config=config)
+        with pytest.raises(ValueError):
+            repro.run(exp, program=program)
+        with pytest.raises(ValueError):
+            repro.run(exp, optimized=True)
+
+    def test_run_requires_something(self):
+        with pytest.raises(ValueError):
+            repro.run()
+
+
+class TestCompare:
+    def test_compare_matches_run_pair(self, program, config):
+        from repro.sim.run import run_pair
+        _, _, direct = run_pair(program, config)
+        facade = repro.compare(program, config)
+        assert isinstance(facade, Comparison)
+        assert facade.as_row() == direct.as_row()
+
+    def test_compare_exposes_both_sides(self, program, config):
+        comparison = repro.compare(program, config)
+        assert comparison.base.exec_time > 0
+        assert comparison.opt.exec_time > 0
+
+
+class TestSweep:
+    def test_plain_sweep_result(self, program, config):
+        report = repro.sweep(program, config=config, **AXES)
+        assert isinstance(report, SweepResult)
+        assert report.completed == 4
+        assert not report.failures
+        assert report.resumed == 0
+        assert len(report.points) == 4
+        assert "exec_time" in report.rows[0]
+
+    def test_plain_sweep_matches_engine(self, program, config):
+        from repro.sim.sweep import Sweep, to_csv
+        engine = to_csv(Sweep(program, config).run(**AXES))
+        facade = repro.sweep(program, config=config, **AXES)
+        assert facade.to_csv() == engine
+
+    def test_workers_bit_identical(self, program, config):
+        serial = repro.sweep(program, config=config, workers=1, **AXES)
+        parallel = repro.sweep(program, config=config, workers=4, **AXES)
+        assert parallel.to_csv() == serial.to_csv()
+
+    def test_checkpoint_implies_hardened(self, program, config, tmp_path):
+        ckpt = str(tmp_path / "api.json")
+        first = repro.sweep(program, config=config, checkpoint=ckpt,
+                            max_points=2, **AXES)
+        assert first.completed == 2
+        resumed = repro.sweep(program, config=config, checkpoint=ckpt,
+                              **AXES)
+        assert resumed.resumed == 2
+        assert resumed.completed == 4
+
+    def test_hardened_flag(self, program, config):
+        report = repro.sweep(program, config=config, hardened=True,
+                             mapping=["M1"])
+        assert report.completed == 1
+        assert report.points == []
+
+    def test_hardened_csv_matches_plain(self, program, config):
+        plain = repro.sweep(program, config=config, **AXES)
+        hard = repro.sweep(program, config=config, hardened=True, **AXES)
+        assert hard.to_csv() == plain.to_csv()
+
+    def test_unknown_axis_rejected(self, program, config):
+        with pytest.raises(ValueError):
+            repro.sweep(program, config=config, warp_drive=[1, 2])
