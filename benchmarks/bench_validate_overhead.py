@@ -1,0 +1,90 @@
+"""Invariant-sanitizer overhead: validate=off vs metrics vs strict.
+
+Standalone script (not a pytest benchmark): times repeated optimized
+runs of one workload at each validation level and records the relative
+overhead to ``BENCH_validate.json`` at the repo root.  The headline
+number is ``off_overhead_pct`` -- the cost of merely *having* the
+sanitizer wired in with validation disabled, which must stay ~0% (the
+level check is one string comparison per run).  The metrics and strict
+overheads quantify what opting in costs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_validate_overhead.py
+    REPRO_BENCH_SCALE=0.3 PYTHONPATH=src \
+        python benchmarks/bench_validate_overhead.py
+"""
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import MachineConfig, RunSpec, run_simulation
+from repro.workloads import build_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+APP = os.environ.get("REPRO_BENCH_APP", "swim")
+OUT = Path(__file__).resolve().parent.parent / "BENCH_validate.json"
+
+#: Tolerated off-level overhead: the sanitizer disabled must not cost
+#: more than run-to-run noise.
+OFF_BUDGET_PCT = 2.0
+
+
+def timed_runs(program, config, level):
+    spec = RunSpec(program=program, config=config, optimized=True,
+                   validate=level)
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_simulation(spec)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main():
+    program = build_workload(APP, SCALE)
+    config = MachineConfig.scaled_default()
+    timed_runs(program, config, "off")  # warm caches/JIT-free baseline
+
+    # Interleave a second "off" measurement as the noise floor: the
+    # honest question is whether off-vs-baseline is distinguishable
+    # from baseline-vs-itself.
+    baseline = timed_runs(program, config, "off")
+    off = timed_runs(program, config, "off")
+    metrics_level = timed_runs(program, config, "metrics")
+    strict = timed_runs(program, config, "strict")
+
+    def pct(level_s):
+        return round(100.0 * (level_s - baseline) / baseline, 2)
+
+    payload = {
+        "benchmark": "validate_overhead",
+        "app": APP,
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "baseline_seconds": round(baseline, 4),
+        "off_seconds": round(off, 4),
+        "metrics_seconds": round(metrics_level, 4),
+        "strict_seconds": round(strict, 4),
+        "off_overhead_pct": pct(off),
+        "metrics_overhead_pct": pct(metrics_level),
+        "strict_overhead_pct": pct(strict),
+        "off_budget_pct": OFF_BUDGET_PCT,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if payload["off_overhead_pct"] > OFF_BUDGET_PCT:
+        print(f"FAIL: validate=off costs "
+              f"{payload['off_overhead_pct']}% (> {OFF_BUDGET_PCT}%)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,8 @@ from repro.arch.topology import Mesh
 from repro.core.pipeline import (ArrayPlan, LayoutTransformer,
                                  TransformationResult, original_layouts)
 from repro.errors import (FrontendError, LayoutError, ReproError,
-                          SimulationError, SimulationTimeout, SolverError)
+                          SimulationError, SimulationTimeout, SolverError,
+                          ValidationError)
 from repro.faults import (BankFault, FaultPlan, LinkDegradation, LinkFault,
                           MCFault, PagePressure)
 from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, LoopNest,
@@ -47,6 +48,7 @@ from repro.sim.sweep import Sweep
 from repro.api import (Experiment, Result, SweepResult, compare, run,
                        sweep)
 from repro import api
+from repro import validate
 
 __version__ = "1.0.0"
 
@@ -60,10 +62,11 @@ __all__ = [
     "Program", "ReproError", "Result", "RunMetrics", "RunOutcome",
     "RunResult", "RunSpec", "SimulationError", "SimulationTimeout",
     "SolverError", "Sweep", "SweepReport", "SweepResult",
-    "TransformationResult", "WeightedSpeedupResult", "api",
+    "TransformationResult", "ValidationError", "WeightedSpeedupResult",
+    "api",
     "compare", "compile_kernel", "grid_mapping",
     "identity_ref", "mapping_m1", "mapping_m2", "original_layouts",
     "partial_grid_mapping", "run", "run_hardened", "run_multiprogram",
     "run_optimal_pair", "run_pair", "run_simulation", "shifted_ref",
-    "sweep",
+    "sweep", "validate",
 ]

@@ -75,6 +75,10 @@ def run(experiment: Optional[Experiment] = None, *,
 
         repro.run(repro.Experiment(program=p, config=c, optimized=True))
         repro.run(program=p, optimized=True, seed=3)
+
+    ``validate="metrics"`` / ``validate="strict"`` runs the
+    :mod:`repro.validate` invariant sanitizer over the finished run and
+    raises :class:`~repro.errors.ValidationError` on any breach.
     """
     if experiment is not None:
         if program is not None or config is not None or spec_kw:
@@ -112,6 +116,7 @@ def sweep(program: Program, *,
           harness: Optional[HarnessConfig] = None,
           fault_plan: Optional[FaultPlan] = None,
           seed: int = 0,
+          validate: str = "off",
           max_points: Optional[int] = None,
           **axes: Iterable) -> SweepResult:
     """Run a cartesian configuration sweep and return its
@@ -126,16 +131,21 @@ def sweep(program: Program, *,
     ``max_points`` -- runs every point under the timeout/retry/
     checkpoint harness instead, collecting failures as rows in
     ``result.failures``.
+
+    ``validate`` applies the :mod:`repro.validate` level to every run in
+    the sweep; under the hardened engine a validation breach becomes a
+    failure row (kind ``validation``) instead of aborting the sweep.
     """
     hardened = (hardened or checkpoint is not None
                 or harness is not None or max_points is not None)
     if hardened:
         return HardenedSweep(program, config, harness=harness,
                              checkpoint=checkpoint, fault_plan=fault_plan,
-                             seed=seed, workers=workers
+                             seed=seed, workers=workers,
+                             validate=validate
                              ).run(max_points=max_points, **axes)
     engine = Sweep(program, config, workers=workers,
-                   fault_plan=fault_plan, seed=seed)
+                   fault_plan=fault_plan, seed=seed, validate=validate)
     points = engine.run(**axes)
     return SweepResult(rows=[point.row() for point in points],
                        points=list(points))

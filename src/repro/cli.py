@@ -12,6 +12,12 @@ Subcommands::
     repro-cli trace --app swim --output t.npz         # save traces
     repro-cli report --output report.md   # markdown suite report
     repro-cli list                        # available workload models
+    repro-cli doctor                      # install/config/model self-check
+    repro-cli fuzz --cases 200            # frontend never-crash fuzzing
+
+``run`` and ``sweep`` additionally take ``--validate
+{off,metrics,strict}`` to run the :mod:`repro.validate` invariant
+sanitizer over every simulation.
 
 All simulation-facing commands share the machine flags:
 ``--interleaving {cache_line,page}``, ``--shared-l2``, ``--mapping
@@ -27,6 +33,7 @@ from typing import List, Optional
 
 from repro import MachineConfig
 from repro.analysis.tables import format_percent_table, improvement_summary
+from repro.errors import ValidationError
 from repro.core.dependence import check_program
 from repro.core.pipeline import LayoutTransformer
 from repro.frontend import compile_kernel, emit_program
@@ -145,12 +152,22 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     spec = RunSpec(program=program, config=config,
                    mapping=_mapping(config, args.mapping),
                    optimized=args.optimized, optimal=args.optimal,
-                   fault_plan=plan, seed=args.seed)
-    result = run_simulation(spec)
+                   fault_plan=plan, seed=args.seed,
+                   validate=args.validate)
+    try:
+        result = run_simulation(spec)
+    except ValidationError as err:
+        lines = "\n".join(f"  {v}" for v in err.violations)
+        raise SystemExit(f"repro-cli run: validation failed: {err}"
+                         + (f"\n{lines}" if lines else ""))
     kind = "optimal" if args.optimal else (
         "optimized" if args.optimized else "baseline")
     print(f"{program.name} ({kind}):", file=out)
     _print_metrics(result.metrics, out)
+    if args.validate != "off":
+        print(f"validation:         "
+              f"{result.metrics.validation_checks:>12,} checks "
+              f"({args.validate}), all invariants hold", file=out)
     if plan is not None:
         m = result.metrics
         print(f"fault events:       {m.fault_events:>12,}  "
@@ -237,10 +254,13 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     if workers < 1:
         raise SystemExit(f"repro-cli sweep: --workers must be >= 1, "
                          f"got {workers}")
-    sweep = Sweep(program, _config(args), workers=workers)
+    sweep = Sweep(program, _config(args), workers=workers,
+                  validate=args.validate)
     axes = _parse_axes(args.axis)
     try:
         points = sweep.run(**axes)
+    except ValidationError as err:
+        raise SystemExit(f"repro-cli sweep: validation failed: {err}")
     except ValueError as err:  # e.g. unknown mapping preset value
         raise SystemExit(f"repro-cli sweep: {err}")
     print(to_csv(points), end="", file=out)
@@ -288,6 +308,35 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace, out) -> int:
+    from repro.validate.doctor import run_doctor
+    apps = args.apps.split(",") if args.apps else None
+    report = run_doctor(scale=args.scale, apps=apps,
+                        smoke=not args.skip_runs)
+    for check in report.checks:
+        mark = "ok  " if check.ok else "FAIL"
+        print(f"  {mark} {check.name:<16} {check.detail} "
+              f"({check.elapsed:.2f}s)", file=out)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace, out) -> int:
+    from repro.validate.fuzz import fuzz_frontend, load_corpus
+    corpus = load_corpus(args.kernel) if args.kernel else None
+    report = fuzz_frontend(cases=args.cases, seed=args.seed,
+                           corpus=corpus, run_pass=not args.no_pass)
+    print(report.summary(), file=out)
+    for case in report.crashes:
+        print(f"  CRASH case {case.index} "
+              f"(mutations: {', '.join(case.mutations)}): "
+              f"{case.detail}", file=out)
+        print("  ---- source ----", file=out)
+        for line in case.source.splitlines():
+            print(f"  | {line}", file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_list(args: argparse.Namespace, out) -> int:
     for app in SUITE_ORDER:
         program = build_workload(app, 0.2)
@@ -332,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(see repro.faults.FaultPlan)")
             p.add_argument("--seed", type=int, default=0,
                            help="seed for stochastic tie-breaks")
+            p.add_argument("--validate", default="off",
+                           choices=["off", "metrics", "strict"],
+                           help="invariant-sanitizer level "
+                                "(repro.validate)")
         _machine_flags(p)
         p.set_defaults(func=func)
 
@@ -350,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="parallel worker processes for grid points "
                         "(default: one per CPU; 1 = in-process)")
+    p.add_argument("--validate", default="off",
+                   choices=["off", "metrics", "strict"],
+                   help="invariant-sanitizer level for every run")
     _machine_flags(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -368,6 +424,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="", help="write to a file")
     _machine_flags(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("doctor", help="self-check: install, config "
+                                      "presets, one strict-validated "
+                                      "smoke run per workload")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload scale for the smoke runs")
+    p.add_argument("--apps", default="",
+                   help="comma-separated subset to smoke-run "
+                        "(default: all 13)")
+    p.add_argument("--skip-runs", action="store_true",
+                   help="skip the smoke simulations (fast static "
+                        "checks only)")
+    p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser("fuzz", help="fuzz the frontend's never-crash "
+                                    "contract with mutated kernels")
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of mutated kernels to try")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (campaigns are reproducible)")
+    p.add_argument("--kernel", action="append", default=[],
+                   help="extra corpus file or directory of .krn "
+                        "kernels (repeatable)")
+    p.add_argument("--no-pass", action="store_true",
+                   help="compile only; skip the layout-pass "
+                        "degradation check")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("list", help="list workload models")
     p.set_defaults(func=cmd_list)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from math import gcd
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import SolverError
+
 Matrix = List[List[int]]
 Vector = List[int]
 
@@ -336,10 +338,19 @@ def complete_to_unimodular(g: Sequence[int], row: int = 0) -> Matrix:
             if work[0][c] != 0:
                 add_col(0, c, -(work[0][c] // pivot))
 
-    assert work[0][0] == 1 and all(x == 0 for x in work[0][1:])
+    # Postconditions raised as SolverError (not assert) so the checks
+    # survive ``python -O``: a wrong completion here silently corrupts
+    # every downstream layout.
+    if work[0][0] != 1 or any(x != 0 for x in work[0][1:]):
+        raise SolverError(
+            f"unimodular completion did not reduce {list(g)} to a unit "
+            f"vector (got {work[0]})")
     if row != 0:
         w[0], w[row] = w[row], w[0]
-    assert w[row] == list(map(int, g))
+    if w[row] != list(map(int, g)):
+        raise SolverError(
+            f"unimodular completion lost the input vector: row {row} "
+            f"of the result is {w[row]}, expected {list(g)}")
     return w
 
 

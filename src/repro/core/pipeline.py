@@ -19,6 +19,7 @@ the Table 2 statistics: which arrays were optimized and what fraction of
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -162,8 +163,12 @@ class LayoutTransformer:
                     array, RowMajorLayout(array), False,
                     f"degraded to original layout: {err}", error=err)
             except Exception as exc:  # defensive: solver bugs degrade too
+                # The one catch-all in the pass.  The captured traceback
+                # rides on the plan's error context, so the original
+                # failure stays diagnosable after degradation.
                 err = SolverError(f"unexpected failure: {exc}",
-                                  array=array.name, cause=exc)
+                                  array=array.name, cause=exc,
+                                  traceback=traceback.format_exc())
                 plans[array.name] = ArrayPlan(
                     array, RowMajorLayout(array), False,
                     f"degraded to original layout: {err}", error=err)
@@ -189,9 +194,12 @@ class LayoutTransformer:
                 try:
                     approx = approximate_indexed(nest, ref,
                                                  self.error_gate)
-                except Exception as exc:
+                except ReproError as exc:
+                    # Known failure mode: re-raise with the array/nest
+                    # attributed.  Anything else is a genuine bug and
+                    # falls through to run()'s defensive catch-all.
                     raise SolverError(
-                        f"affine approximation failed: {exc}",
+                        f"affine approximation failed: {exc.message}",
                         array=array.name, nest=nest.name, cause=exc)
                 approximations.append(approx)
                 if approx.accepted:
@@ -212,8 +220,9 @@ class LayoutTransformer:
 
         try:
             result = data_to_core_mapping(systems)
-        except Exception as exc:
-            raise SolverError(f"Data-to-Core solver failed: {exc}",
+        except ReproError as exc:
+            message = getattr(exc, "message", str(exc))
+            raise SolverError(f"Data-to-Core solver failed: {message}",
                               array=array.name, cause=exc)
         if not result.optimized:
             return ArrayPlan(array, RowMajorLayout(array), False,
@@ -230,8 +239,9 @@ class LayoutTransformer:
 
         try:
             layout = self._customize(array, result)
-        except Exception as exc:
-            raise LayoutError(f"layout customization failed: {exc}",
+        except ReproError as exc:
+            message = getattr(exc, "message", str(exc))
+            raise LayoutError(f"layout customization failed: {message}",
                               array=array.name, cause=exc)
         return ArrayPlan(array, layout, True, "optimized",
                          mapping_result=result,

@@ -12,6 +12,9 @@ layout pass) can react by *kind* instead of string-matching messages:
   permutation, delta-skip) produced an invalid layout for an array.
 * :class:`SimulationError` -- the simulator could not complete a run
   (partitioned NoC, every controller offline, timeout, ...).
+* :class:`ValidationError` -- an invariant checker from
+  :mod:`repro.validate` found the run internally inconsistent; carries
+  the failing checker's name and every recorded violation.
 
 Errors additionally carry a ``transient`` flag: a transient failure
 (e.g. a timeout, or an injected fault window that a retry with backoff
@@ -21,7 +24,7 @@ harness (:mod:`repro.sim.harness`) keys its retry policy off this flag.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 class ReproError(Exception):
@@ -41,7 +44,8 @@ class ReproError(Exception):
                  line: Optional[int] = None,
                  column: Optional[int] = None,
                  transient: bool = False,
-                 cause: Optional[BaseException] = None):
+                 cause: Optional[BaseException] = None,
+                 traceback: Optional[str] = None):
         super().__init__(message)
         self.message = message
         self.array = array
@@ -51,6 +55,10 @@ class ReproError(Exception):
         self.column = column
         self.transient = transient
         self.cause = cause
+        # Captured ``traceback.format_exc()`` text for defensive catches
+        # that degrade instead of crashing: the original failure stays
+        # inspectable even after the exception object is gone.
+        self.traceback = traceback
 
     def context(self) -> Dict[str, object]:
         """The non-empty structured fields, for logs and checkpoints."""
@@ -61,6 +69,8 @@ class ReproError(Exception):
                 out[key] = value
         if self.transient:
             out["transient"] = True
+        if self.traceback is not None:
+            out["traceback"] = self.traceback
         return out
 
     def __str__(self) -> str:
@@ -103,6 +113,36 @@ class SimulationError(ReproError):
     """The simulator could not complete the run."""
 
     kind = "simulation"
+
+
+class ValidationError(ReproError):
+    """An invariant checker rejected a run as internally inconsistent.
+
+    Raised by :func:`repro.validate.validate_run` (via strict/metrics
+    validation in :func:`repro.sim.run.run_simulation`).  ``checker``
+    names the first failing checker; ``violations`` carries every
+    recorded violation message, so a single raise reports the whole
+    audit.  Deliberately *not* transient: the same inputs would fail
+    the same invariant again, so the hardened harness must not retry.
+    """
+
+    kind = "validation"
+
+    def __init__(self, message: str, *,
+                 checker: Optional[str] = None,
+                 violations: Optional[Sequence[str]] = None,
+                 **kwargs):
+        super().__init__(message, **kwargs)
+        self.checker = checker
+        self.violations: List[str] = list(violations or [])
+
+    def context(self) -> Dict[str, object]:
+        out = super().context()
+        if self.checker is not None:
+            out["checker"] = self.checker
+        if self.violations:
+            out["violations"] = list(self.violations)
+        return out
 
 
 class SimulationTimeout(SimulationError):

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from repro.errors import FrontendError
+
 KEYWORDS = {"let", "array", "elem", "parallel", "for", "work", "repeat"}
 
 PUNCT = ["++", "+=", "-=", "==", "<=", ">=",
@@ -43,8 +45,13 @@ class Token:
         return f"Token({self.kind}, {self.text!r}, line {self.line})"
 
 
-class LexerError(ValueError):
-    """Raised on characters the language does not contain."""
+class LexerError(FrontendError, ValueError):
+    """Raised on characters the language does not contain.
+
+    A :class:`~repro.errors.FrontendError` (the typed rejection half of
+    the frontend's never-crash contract); still a ``ValueError`` for
+    back-compatibility with callers that catch the old type.
+    """
 
 
 def tokenize(source: str) -> List[Token]:

@@ -20,14 +20,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import FrontendError
 from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
                                 AssignNode, KernelModule, LoopNode)
 from repro.frontend.parser import ParseError, parse_kernel
 from repro.program.ir import (AffineRef, ArrayDecl, LoopNest, Program)
 
 
-class LoweringError(ValueError):
-    """Semantic error during lowering, with a source line."""
+class LoweringError(FrontendError, ValueError):
+    """Semantic error during lowering, with a source line.
+
+    Typed under :class:`~repro.errors.FrontendError` (see
+    :class:`~repro.frontend.parser.ParseError`); ``ValueError``
+    ancestry is kept for back-compatibility.
+    """
 
 
 def _const(value: Affine, what: str, line: int) -> int:
@@ -148,5 +154,22 @@ def lower_module(module: KernelModule, name: str = "kernel") -> Program:
 
 
 def compile_kernel(source: str, name: str = "kernel") -> Program:
-    """Front door: source text to Program (parse + lower)."""
-    return lower_module(parse_kernel(source), name)
+    """Front door: source text to Program (parse + lower).
+
+    Upholds the never-crash contract: any rejection is a typed
+    :class:`~repro.errors.FrontendError` subclass.  Failures the
+    grammar walk cannot classify (e.g. recursion exhaustion on deeply
+    nested fuzz inputs) are wrapped rather than leaked.
+    """
+    try:
+        return lower_module(parse_kernel(source), name)
+    except FrontendError:
+        raise
+    except RecursionError:
+        raise FrontendError(
+            "kernel nests expressions or loops too deeply to compile")
+    except (ValueError, TypeError, KeyError, IndexError,
+            OverflowError, MemoryError) as exc:
+        raise FrontendError(
+            f"internal frontend failure: {type(exc).__name__}: {exc}",
+            cause=exc)

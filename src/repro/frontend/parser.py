@@ -32,13 +32,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.errors import FrontendError
 from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
                                 AssignNode, KernelModule, LoopNode)
 from repro.frontend.lexer import Token, tokenize
 
 
-class ParseError(ValueError):
-    """Syntax or semantic error, with a source line."""
+class ParseError(FrontendError, ValueError):
+    """Syntax or semantic error, with a source line.
+
+    Typed under :class:`~repro.errors.FrontendError` so fuzzed inputs
+    are *rejections*, never crashes; ``ValueError`` ancestry is kept
+    for back-compatibility.
+    """
 
 
 class Parser:

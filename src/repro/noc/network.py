@@ -61,10 +61,15 @@ class Network:
     VNET_DATA = 1
 
     def __init__(self, mesh: Mesh, config: MachineConfig,
-                 faults: Optional[NetworkFaultModel] = None):
+                 faults: Optional[NetworkFaultModel] = None,
+                 audit=None):
         self.mesh = mesh
         self.config = config
         self.faults = faults
+        # Optional repro.validate.NetworkAudit: strict validation attaches
+        # one so route-shape and link-monotonicity invariants are checked
+        # inline, where the per-message evidence still exists.
+        self.audit = audit
         self.link_free: List[List[float]] = [
             [0.0] * mesh.num_links for _ in range(self.NUM_VNETS)]
         self._routes: Dict[Tuple[int, int], List[int]] = {}
@@ -98,6 +103,9 @@ class Network:
         hop_latency = self.config.hop_latency
         link_free = self.link_free[vnet]
         links = self.route(src, dst, depart)
+        audit = self.audit
+        if audit is not None:
+            audit.check_message(src, dst, links)
         faults = self.faults
         degraded = faults is not None and faults.degrades
         for link in links:
@@ -108,6 +116,8 @@ class Network:
             hold = flits
             if degraded:
                 hold = flits * faults.degradation(link, t)
+            if audit is not None and t + hold < free_at:
+                audit.link_regression(link, free_at, t + hold)
             link_free[link] = t + hold
             t += hop_latency
         # Critical-word-first: the receiver proceeds as soon as the

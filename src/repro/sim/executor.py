@@ -97,7 +97,8 @@ def grid_settings(axes: Mapping[str, Iterable]) -> List[Dict[str, object]]:
 def point_specs(program: Program, base_config: MachineConfig,
                 settings: Mapping[str, object],
                 fault_plan: Optional[FaultPlan] = None,
-                seed: int = 0) -> Tuple[RunSpec, RunSpec]:
+                seed: int = 0,
+                validate: str = "off") -> Tuple[RunSpec, RunSpec]:
     """The baseline/optimized :class:`RunSpec` pair for one grid point.
 
     This is the single source of truth for what a sweep point *means*;
@@ -110,7 +111,8 @@ def point_specs(program: Program, base_config: MachineConfig,
     mapping = resolve_mapping(config, str(settings.get("mapping", "M1")))
     specs = tuple(
         RunSpec(program=program, config=config, mapping=mapping,
-                optimized=optimized, fault_plan=fault_plan, seed=seed)
+                optimized=optimized, fault_plan=fault_plan, seed=seed,
+                validate=validate)
         for optimized in (False, True))
     return specs[0], specs[1]
 
@@ -129,6 +131,7 @@ class PointTask:
     settings: Tuple[Tuple[str, object], ...]
     fault_plan: Optional[FaultPlan] = None
     seed: int = 0
+    validate: str = "off"
     hardened: bool = False
     harness: Optional[object] = None  # HarnessConfig; typed loosely to
     # keep this module import-cycle-free with repro.sim.harness
@@ -159,7 +162,7 @@ def run_point(task: PointTask) -> PointOutcome:
     settings = dict(task.settings)
     base_spec, opt_spec = point_specs(task.program, task.base_config,
                                       settings, task.fault_plan,
-                                      task.seed)
+                                      task.seed, task.validate)
     key = point_key((base_spec, opt_spec))
     if task.hardened:
         from repro.sim.harness import run_hardened

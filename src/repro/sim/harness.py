@@ -206,7 +206,8 @@ class HardenedSweep:
                  checkpoint: Optional[str] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  seed: int = 0,
-                 workers: int = 1):
+                 workers: int = 1,
+                 validate: str = "off"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -215,6 +216,7 @@ class HardenedSweep:
         self.fault_plan = fault_plan
         self.seed = seed
         self.workers = workers
+        self.validate = validate
         self._done: Dict[str, Dict[str, object]] = {}
         if self.checkpoint is not None and self.checkpoint.exists():
             payload = json.loads(self.checkpoint.read_text())
@@ -287,6 +289,7 @@ class HardenedSweep:
                            base_config=self.base_config,
                            settings=tuple(sorted(settings.items())),
                            fault_plan=self.fault_plan, seed=self.seed,
+                           validate=self.validate,
                            hardened=True, harness=self.harness)
                  for _, settings in batch],
                 workers=self.workers)

@@ -62,6 +62,11 @@ class RunMetrics:
     link_detours: int = 0       # messages rerouted around dead links
     detour_extra_hops: int = 0  # extra links traversed by those detours
     bank_remaps: int = 0        # requests redirected off dead banks
+    # invariant-sanitizer accounting (nonzero only when RunSpec.validate
+    # is not "off"): how many checkers ran and how many violations they
+    # recorded before the run either passed or raised ValidationError
+    validation_checks: int = 0
+    validation_violations: int = 0
     # per-nest accounting, populated when config.track_phases is set
     phase_cycles: Dict[str, float] = field(default_factory=dict)
     phase_accesses: Dict[str, int] = field(default_factory=dict)

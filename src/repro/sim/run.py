@@ -44,6 +44,8 @@ from repro.program.ir import Program
 from repro.program.trace import generate_traces
 from repro.sim.metrics import Comparison, RunMetrics
 from repro.sim.system import SystemSimulator, build_streams
+from repro.validate import (NetworkAudit, RunAudit, VALIDATE_LEVELS,
+                            validate_run)
 
 PAGE_POLICIES = ("auto", "default", "mc_aware", "first_touch")
 
@@ -104,10 +106,20 @@ class RunSpec:
     # races) so any run -- healthy or faulted -- is bit-reproducible.
     fault_plan: Optional[FaultPlan] = None
     seed: int = 0
+    # Invariant-sanitizer level (repro.validate): "off" costs nothing,
+    # "metrics" checks the RunMetrics accounting identities, "strict"
+    # audits every layer (compiler/OS/NoC/memsys/metrics).  An audit
+    # knob, not a simulation input: it is deliberately excluded from
+    # key(), so validated and unvalidated runs share cache identity.
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         if self.page_policy not in PAGE_POLICIES:
             raise ValueError(f"unknown page policy {self.page_policy!r}")
+        if self.validate not in VALIDATE_LEVELS:
+            raise ValueError(f"unknown validation level "
+                             f"{self.validate!r}; levels: "
+                             f"{', '.join(VALIDATE_LEVELS)}")
 
     def resolved_mapping(self) -> L2ToMCMapping:
         return self.mapping or self.config.default_mapping()
@@ -161,6 +173,9 @@ class RunResult:
     metrics: RunMetrics
     transformation: Optional[TransformationResult] = None
     page_fallbacks: int = 0
+    # The RunAudit assembled when spec.validate != "off" (None otherwise);
+    # kept on the result so tests and the doctor can re-check artifacts.
+    audit: Optional[RunAudit] = None
 
 
 def _make_policy(spec: RunSpec, mapping: L2ToMCMapping,
@@ -232,17 +247,33 @@ def run_simulation(spec: RunSpec) -> RunResult:
     streams = build_streams(config, thread_cores, vtraces, ptraces, gaps,
                             writes=[t.writes for t in traces],
                             segments=[t.segments for t in traces])
+    network_audit = (NetworkAudit(mapping.mesh)
+                     if spec.validate == "strict" else None)
     simulator = SystemSimulator(
         config, mapping, optimal=spec.optimal,
         miss_overlap=config.effective_overlap(spec.program.mlp_demand),
-        fault_plan=spec.fault_plan)
+        fault_plan=spec.fault_plan, network_audit=network_audit)
     overhead = config.transform_overhead if transformed else 0.0
     metrics = simulator.run(streams, transform_overhead=overhead,
                             name=spec.label())
     metrics.page_fallbacks = getattr(policy, "fallbacks", 0)
+
+    audit: Optional[RunAudit] = None
+    if spec.validate != "off":
+        audit = RunAudit(
+            spec=spec, config=config, mapping=mapping,
+            transformation=transformation, layouts=dict(layouts),
+            page_table=table, memory=memory, policy=policy,
+            metrics=metrics, network_audit=network_audit)
+        report = validate_run(audit, spec.validate)
+        metrics.validation_checks = report.checks_run
+        metrics.validation_violations = len(report.violations)
+        report.raise_if_failed(label=spec.label())
+
     return RunResult(spec=spec, metrics=metrics,
                      transformation=transformation,
-                     page_fallbacks=metrics.page_fallbacks)
+                     page_fallbacks=metrics.page_fallbacks,
+                     audit=audit)
 
 
 def run_pair(program: Program, config: MachineConfig,

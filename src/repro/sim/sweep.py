@@ -71,7 +71,8 @@ class Sweep:
                  base_config: Optional[MachineConfig] = None,
                  workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 validate: str = "off"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(
@@ -79,6 +80,7 @@ class Sweep:
         self.workers = workers
         self.fault_plan = fault_plan
         self.seed = seed
+        self.validate = validate
         self._cache: Dict[str, Comparison] = {}
 
     def _key(self, settings: Dict[str, object]) -> str:
@@ -90,7 +92,8 @@ class Sweep:
         return PointTask(program=self.program,
                          base_config=self.base_config,
                          settings=tuple(sorted(settings.items())),
-                         fault_plan=self.fault_plan, seed=self.seed)
+                         fault_plan=self.fault_plan, seed=self.seed,
+                         validate=self.validate)
 
     def run(self, **axes: Iterable) -> List[SweepPoint]:
         """Run the cartesian product of the given axes."""

@@ -133,7 +133,8 @@ class SystemSimulator:
     def __init__(self, config: MachineConfig, mapping: L2ToMCMapping,
                  optimal: bool = False,
                  miss_overlap: Optional[float] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 network_audit=None):
         self.config = config
         self.mapping = mapping
         self.optimal = optimal
@@ -149,7 +150,8 @@ class SystemSimulator:
                 self._mc_faults = ControllerFaultModel(
                     fault_plan, len(mapping.mc_nodes),
                     config.banks_per_mc)
-        self.network = Network(self.mesh, config, faults=net_faults)
+        self.network = Network(self.mesh, config, faults=net_faults,
+                               audit=network_audit)
         self.mc_nodes = mapping.mc_nodes
         self.controllers = [MemoryController(config, node, optimal=optimal,
                                              faults=self._mc_faults,

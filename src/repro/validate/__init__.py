@@ -1,0 +1,49 @@
+"""Cross-layer invariant sanitizer for the reproduction.
+
+``repro.validate`` holds a registry of cheap, composable invariant
+checkers spanning every layer of the pipeline -- compiler (unimodular
+transforms, layout bijectivity, Table-2 weight accounting), OS model
+(page-table single mapping, MC-aware placement accounting), NoC
+(minimal-route and monotone-link invariants via the inline
+:class:`NetworkAudit`), memory system (per-controller conservation
+reconciled with injected faults), and metrics (access and latency
+accounting identities).
+
+Runs opt in through ``RunSpec.validate`` (``"off"`` | ``"metrics"`` |
+``"strict"``); violations surface as structured
+:class:`~repro.errors.ValidationError`.  The companion modules
+:mod:`repro.validate.doctor` (installation/config/workload self-check
+behind ``repro-cli doctor``) and :mod:`repro.validate.fuzz` (frontend
+never-crash fuzz harness behind ``repro-cli fuzz``) are *not* imported
+here: doctor pulls in the simulator, which itself imports this package.
+"""
+
+from repro.validate.audit import NetworkAudit, RunAudit
+from repro.validate.registry import (
+    CHECKERS,
+    LAYERS,
+    VALIDATE_LEVELS,
+    Checker,
+    ValidationReport,
+    Violation,
+    checkers_for,
+    register,
+    validate_run,
+)
+
+# Importing the checkers module populates the registry.
+import repro.validate.checkers  # noqa: E402,F401  (registration side-effect)
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "LAYERS",
+    "NetworkAudit",
+    "RunAudit",
+    "VALIDATE_LEVELS",
+    "ValidationReport",
+    "Violation",
+    "checkers_for",
+    "register",
+    "validate_run",
+]

@@ -1,0 +1,90 @@
+"""Audit containers: the artifacts a validated run exposes to checkers.
+
+:class:`RunAudit` is assembled by :func:`repro.sim.run.run_simulation`
+when ``RunSpec.validate`` is not ``"off"``: it references (never
+copies) the layer artifacts of one run -- the transformation result,
+the per-array layouts, the page table and physical memory, the
+allocation policy, the metrics, and (under strict validation) the
+inline :class:`NetworkAudit`.  Checkers read it duck-typed, so this
+module depends on nothing heavier than the mesh -- keeping
+``repro.validate`` import-cycle-free with the simulator that calls it.
+
+:class:`NetworkAudit` is the one *inline* monitor: NoC invariants
+(hops >= Manhattan distance, acyclic routes, monotone link busy-until
+times) are properties of individual message deliveries that leave no
+per-message artifact behind, so the network records breaches as they
+happen and the ``noc.invariants`` checker reads them afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class NetworkAudit:
+    """Inline NoC invariant monitor, attached to a live Network.
+
+    The network calls :meth:`check_message` once per non-local message
+    (after the route is chosen) and :meth:`link_regression` when a link's
+    busy-until time would move backwards.  Violation messages are capped
+    so a systematically broken model cannot flood memory; the counters
+    keep exact totals regardless.
+    """
+
+    MAX_VIOLATIONS = 25
+
+    def __init__(self, mesh):
+        self.mesh = mesh
+        self.messages = 0
+        self.violation_count = 0
+        self.violations: List[str] = []
+
+    def _record(self, message: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.MAX_VIOLATIONS:
+            self.violations.append(message)
+
+    def check_message(self, src: int, dst: int,
+                      links: Sequence[int]) -> None:
+        """Route-shape invariants for one delivered message."""
+        self.messages += 1
+        hops = len(links)
+        distance = self.mesh.distance(src, dst)
+        if hops < distance:
+            self._record(
+                f"message {src}->{dst} delivered over {hops} link(s), "
+                f"below the Manhattan distance {distance}")
+        if len(set(links)) != hops:
+            # XY routes are minimal and turn-model detours never revisit
+            # a directed link; a repeat means the route loops.
+            self._record(
+                f"route {src}->{dst} traverses a link twice "
+                f"(cyclic detour): {list(links)}")
+
+    def link_regression(self, link: int, was: float, now: float) -> None:
+        """A link's busy-until horizon moved backwards in time."""
+        self._record(
+            f"link {link} busy-until regressed from {was:g} to {now:g}")
+
+
+@dataclass
+class RunAudit:
+    """Everything one run exposes for invariant checking.
+
+    Fields are filled in as the run produces them; checkers must
+    tolerate ``None`` for artifacts their run did not create (e.g. no
+    transformation on a baseline run, no page table under cache-line
+    interleaving, no network audit below strict level).
+    """
+
+    spec: object
+    config: object
+    mapping: object
+    transformation: Optional[object] = None
+    layouts: Dict[str, object] = field(default_factory=dict)
+    page_table: Optional[object] = None
+    memory: Optional[object] = None
+    policy: Optional[object] = None
+    metrics: Optional[object] = None
+    network_audit: Optional[NetworkAudit] = None

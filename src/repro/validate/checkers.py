@@ -1,0 +1,349 @@
+"""The built-in cross-layer invariant checkers.
+
+Each checker guards an exact property the paper's reasoning (or PR 1's
+fault semantics) depends on:
+
+* ``compiler.unimodular`` -- every Data-to-Core transform ``U`` has
+  ``|det U| == 1`` and carries its partition row (Section 5.2).
+* ``compiler.layout_bijective`` -- every layout is injective on the
+  array's index space and stays inside its declared footprint
+  (Section 5.3: layout transformation is "a kind of renaming").
+* ``compiler.weight_accounting`` -- Table 2's weight sums reconcile
+  with the program's dynamic reference weights.
+* ``osmodel.page_table`` -- each virtual page maps to exactly one live
+  frame, inside its owning controller's (possibly fault-shrunken) pool.
+* ``osmodel.mc_aware`` -- the MC-aware allocator placed a page off its
+  hinted controller exactly as often as it recorded a fallback.
+* ``noc.invariants`` -- delivered hop counts, route acyclicity, and
+  link busy-until monotonicity, recorded inline by
+  :class:`~repro.validate.audit.NetworkAudit`.
+* ``memsys.conservation`` -- every off-chip access was serviced by
+  exactly one controller, reconciled with the FaultPlan's event
+  counters.
+* ``metrics.access_conservation`` / ``metrics.latency_consistency`` --
+  the headline accounting identities over
+  :class:`~repro.sim.metrics.RunMetrics` (these two also run at the
+  cheap ``metrics`` level).
+
+Checkers are pure readers: they never mutate the audit, and they are
+cheap -- the most expensive (layout bijectivity) samples a bounded
+number of coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from collections import Counter
+from typing import List
+
+import numpy as np
+
+from repro.core import linalg
+from repro.osmodel.allocation import MCAwarePolicy
+from repro.validate.registry import register
+
+#: Full index-space enumeration below this many elements; sampling above.
+FULL_CHECK_LIMIT = 4096
+#: Random coordinates sampled per array when the space is too large.
+SAMPLE_COORDS = 2048
+
+
+# ---------------------------------------------------------------------------
+# compiler layer
+
+@register("compiler.unimodular", layer="compiler",
+          description="every Data-to-Core transform U has |det U| == 1")
+def check_unimodular(audit) -> List[str]:
+    result = audit.transformation
+    if result is None:
+        return []
+    out: List[str] = []
+    for name, plan in result.plans.items():
+        mr = plan.mapping_result
+        if mr is not None and mr.transform is not None:
+            det = linalg.determinant(mr.transform)
+            if det not in (1, -1):
+                out.append(f"array {name}: transform determinant is "
+                           f"{det}, not +/-1")
+            elif mr.partition_row is not None and \
+                    list(map(int, mr.transform[0])) != \
+                    list(map(int, mr.partition_row)):
+                out.append(f"array {name}: transform row 0 "
+                           f"{list(mr.transform[0])} is not the "
+                           f"partition row {list(mr.partition_row)}")
+        u = getattr(plan.layout, "u", None)
+        if u is not None and not linalg.is_unimodular(u):
+            out.append(f"array {name}: layout matrix "
+                       f"{[list(r) for r in u]} is not unimodular")
+    return out
+
+
+def _sample_coords(dims, seed: int) -> np.ndarray:
+    """Deterministic ``(rank, K)`` coordinate sample of the index space:
+    the full space when small, otherwise seeded random points plus the
+    corners (where stride bugs bite), deduplicated."""
+    total = 1
+    for d in dims:
+        total *= d
+    if total <= 0:
+        return np.zeros((len(dims), 0), dtype=np.int64)
+    if total <= FULL_CHECK_LIMIT:
+        return np.indices(dims).reshape(len(dims), -1).astype(np.int64)
+    rng = np.random.default_rng(seed)
+    coords = np.stack([rng.integers(0, d, size=SAMPLE_COORDS)
+                       for d in dims]).astype(np.int64)
+    corners = np.array([[0] * len(dims),
+                        [d - 1 for d in dims]], dtype=np.int64).T
+    coords = np.concatenate([coords, corners], axis=1)
+    return np.unique(coords, axis=1)
+
+
+@register("compiler.layout_bijective", layer="compiler",
+          description="layouts are injective and stay inside their "
+                      "footprint (sampled permutation check)")
+def check_layout_bijective(audit) -> List[str]:
+    out: List[str] = []
+    base_seed = int(getattr(audit.spec, "seed", 0) or 0)
+    for name, layout in sorted(audit.layouts.items()):
+        dims = layout.array.dims
+        coords = _sample_coords(
+            dims, base_seed ^ zlib.crc32(name.encode("utf-8")))
+        if coords.shape[1] == 0:
+            continue
+        offsets = layout.element_offsets(coords)
+        size = layout.size_elements
+        low = int(offsets.min())
+        high = int(offsets.max())
+        if low < 0 or high >= size:
+            out.append(f"array {name}: offsets [{low}, {high}] escape "
+                       f"the footprint [0, {size})")
+        distinct = len(np.unique(offsets))
+        if distinct != coords.shape[1]:
+            out.append(f"array {name}: layout aliases "
+                       f"{coords.shape[1] - distinct} of "
+                       f"{coords.shape[1]} sampled coordinates "
+                       f"(not injective)")
+    return out
+
+
+@register("compiler.weight_accounting", layer="compiler",
+          description="Table-2 weight sums reconcile with the "
+                      "program's reference weights")
+def check_weight_accounting(audit) -> List[str]:
+    result = audit.transformation
+    if result is None:
+        return []
+    out: List[str] = []
+    program = result.program
+    for name, plan in result.plans.items():
+        if not 0 <= plan.satisfied_weight <= plan.total_weight:
+            out.append(f"array {name}: satisfied weight "
+                       f"{plan.satisfied_weight} outside "
+                       f"[0, total weight {plan.total_weight}]")
+            continue
+        if plan.error is not None:
+            continue  # degraded plans legitimately report zero weight
+        expected = sum(nest.trip_weight
+                       for nest, _ in program.references_to(plan.array))
+        if plan.total_weight != expected:
+            out.append(f"array {name}: total weight {plan.total_weight} "
+                       f"!= sum of reference weights {expected}")
+    for label, value in (("arrays optimized",
+                          result.pct_arrays_optimized),
+                         ("references satisfied",
+                          result.pct_refs_satisfied)):
+        if not 0.0 <= value <= 1.0:
+            out.append(f"Table-2 fraction '{label}' is {value}, "
+                       f"outside [0, 1]")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# OS model layer
+
+@register("osmodel.page_table", layer="osmodel",
+          description="each virtual page maps to exactly one live "
+                      "frame inside its controller's pool")
+def check_page_table(audit) -> List[str]:
+    table = audit.page_table
+    if table is None or not table.entries:
+        return []
+    out: List[str] = []
+    ppns = list(table.entries.values())
+    duplicates = [ppn for ppn, n in Counter(ppns).items() if n > 1]
+    if duplicates:
+        out.append(f"{len(duplicates)} physical frame(s) are mapped by "
+                   f"more than one virtual page (e.g. frame "
+                   f"{duplicates[0]})")
+    memory = audit.memory
+    if memory is not None:
+        for vpn, ppn in table.entries.items():
+            mc = ppn % memory.num_mcs
+            idx = ppn // memory.num_mcs
+            if ppn < 0 or idx >= memory.capacities[mc]:
+                out.append(f"vpn {vpn} maps to frame {ppn}, outside MC "
+                           f"{mc}'s pool of {memory.capacities[mc]} "
+                           f"frame(s)")
+                break  # one example suffices; the pool bound is global
+    return out
+
+
+@register("osmodel.mc_aware", layer="osmodel",
+          description="the MC-aware allocator's off-hint placements "
+                      "match its fallback count")
+def check_mc_aware(audit) -> List[str]:
+    policy = audit.policy
+    table = audit.page_table
+    if not isinstance(policy, MCAwarePolicy) or table is None \
+            or audit.memory is None:
+        return []
+    num_mcs = audit.memory.num_mcs
+    mismatched = sum(
+        1 for vpn, desired in policy.hints.items()
+        if vpn in table.entries and table.entries[vpn] % num_mcs != desired)
+    if mismatched != policy.fallbacks:
+        return [f"{mismatched} hinted page(s) sit off their desired "
+                f"controller but the allocator recorded "
+                f"{policy.fallbacks} fallback(s)"]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# NoC layer
+
+@register("noc.invariants", layer="noc",
+          description="hop counts >= Manhattan distance, acyclic "
+                      "detours, monotone link busy-until times")
+def check_noc(audit) -> List[str]:
+    net = audit.network_audit
+    if net is None:
+        return []
+    out = list(net.violations)
+    overflow = net.violation_count - len(net.violations)
+    if overflow > 0:
+        out.append(f"... and {overflow} further NoC violation(s) "
+                   f"(recording capped)")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# memory system layer
+
+@register("memsys.conservation", layer="memsys",
+          description="every off-chip access serviced by exactly one "
+                      "controller, reconciled with fault events")
+def check_memsys_conservation(audit) -> List[str]:
+    m = audit.metrics
+    if m is None:
+        return []
+    out: List[str] = []
+    serviced = sum(m.mc_requests)
+    if serviced != m.offchip:
+        out.append(f"controllers serviced {serviced} request(s) but "
+                   f"{m.offchip} access(es) went off-chip")
+    if m.mc_node_requests is not None and \
+            int(m.mc_node_requests.sum()) != m.offchip:
+        out.append(f"per-(MC, node) request map sums to "
+                   f"{int(m.mc_node_requests.sum())}, not the "
+                   f"{m.offchip} off-chip access(es)")
+    for mc, (requests, row_hits) in enumerate(zip(m.mc_requests,
+                                                  m.mc_row_hits)):
+        if requests < 0 or not 0 <= row_hits <= requests:
+            out.append(f"MC {mc}: {row_hits} row hit(s) out of "
+                       f"{requests} request(s)")
+    for mc, wait in enumerate(m.mc_queue_wait):
+        if wait < 0 or not math.isfinite(wait):
+            out.append(f"MC {mc}: negative or non-finite queue wait "
+                       f"{wait}")
+    # Fault-event reconciliation: degradation counters may be nonzero
+    # only when the fault plan actually injects that fault class.
+    plan = getattr(audit.spec, "fault_plan", None)
+    classes = (
+        ("mc_failovers", m.mc_failovers,
+         bool(plan is not None and plan.mc_faults)),
+        ("mc_offline_waits", m.mc_offline_waits,
+         bool(plan is not None and plan.mc_faults)),
+        ("link_detours", m.link_detours,
+         bool(plan is not None and plan.link_faults)),
+        ("bank_remaps", m.bank_remaps,
+         bool(plan is not None and plan.bank_faults)),
+    )
+    for label, count, allowed in classes:
+        if count < 0:
+            out.append(f"negative fault counter {label} = {count}")
+        elif count > 0 and not allowed:
+            out.append(f"{count} {label} event(s) recorded without a "
+                       f"matching fault in the plan")
+    if m.link_detours > m.detour_extra_hops:
+        out.append(f"{m.link_detours} detour(s) recorded but only "
+                   f"{m.detour_extra_hops} extra hop(s) -- every "
+                   f"detour must cost at least one")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# metrics layer (also runs at the cheap "metrics" level)
+
+@register("metrics.access_conservation", layer="metrics", level="metrics",
+          description="total accesses == L1 + L2 + on-chip remote + "
+                      "off-chip, hop histograms included")
+def check_access_conservation(audit) -> List[str]:
+    m = audit.metrics
+    if m is None:
+        return []
+    out: List[str] = []
+    counts = {"total_accesses": m.total_accesses, "l1_hits": m.l1_hits,
+              "l2_hits": m.l2_hits, "onchip_remote": m.onchip_remote,
+              "offchip": m.offchip}
+    for label, value in counts.items():
+        if value < 0:
+            out.append(f"negative counter {label} = {value}")
+    served = m.l1_hits + m.l2_hits + m.onchip_remote + m.offchip
+    if served != m.total_accesses:
+        out.append(f"total_accesses {m.total_accesses} != l1_hits "
+                   f"{m.l1_hits} + l2_hits {m.l2_hits} + onchip_remote "
+                   f"{m.onchip_remote} + offchip {m.offchip} "
+                   f"(= {served})")
+    offchip_histogram = sum(m.offchip_hops.values())
+    if offchip_histogram != m.offchip:
+        out.append(f"off-chip hop histogram counts "
+                   f"{offchip_histogram} request(s), not {m.offchip}")
+    onchip_histogram = sum(m.onchip_hops.values())
+    if onchip_histogram != m.onchip_remote:
+        out.append(f"on-chip hop histogram counts {onchip_histogram} "
+                   f"request(s), not {m.onchip_remote}")
+    return out
+
+
+@register("metrics.latency_consistency", layer="metrics", level="metrics",
+          description="latency sums non-negative/finite and the "
+                      "execution time is the slowest thread")
+def check_latency_consistency(audit) -> List[str]:
+    m = audit.metrics
+    if m is None:
+        return []
+    out: List[str] = []
+    for label in ("onchip_net_sum", "offchip_net_sum", "offchip_mem_sum",
+                  "offchip_queue_sum", "net_wait_cycles", "exec_time"):
+        value = getattr(m, label)
+        if value < 0 or not math.isfinite(value):
+            out.append(f"negative or non-finite latency sum "
+                       f"{label} = {value}")
+    if m.onchip_remote == 0 and m.onchip_net_sum != 0:
+        out.append(f"on-chip network latency {m.onchip_net_sum} "
+                   f"accumulated with zero on-chip remote accesses")
+    if m.offchip == 0 and (m.offchip_net_sum != 0
+                           or m.offchip_mem_sum != 0):
+        out.append("off-chip latency accumulated with zero off-chip "
+                   "accesses")
+    if m.thread_finish:
+        slowest = max(m.thread_finish)
+        if min(m.thread_finish) < 0:
+            out.append(f"negative thread finish time "
+                       f"{min(m.thread_finish)}")
+        if not math.isclose(slowest, m.exec_time,
+                            rel_tol=1e-9, abs_tol=1e-6):
+            out.append(f"exec_time {m.exec_time} is not the slowest "
+                       f"thread's finish time {slowest}")
+    return out

@@ -1,0 +1,293 @@
+"""Seeded frontend fuzz harness: the never-crash contract, enforced.
+
+The frontend promises that *any* input source either
+
+1. compiles to a :class:`~repro.program.ir.Program`,
+2. is rejected with a typed :class:`~repro.errors.FrontendError`
+   (which every lexer/parser/lowering error now is), or
+3. -- once compiled and fed to the layout pass -- degrades per-array to
+   the identity layout with a structured diagnostic on its plan,
+
+and never escapes as an unhandled exception.  This module generates
+mutated kernel sources from a seed corpus (character-, token- and
+structure-level mutators, all driven by one ``random.Random(seed)``
+stream, so every campaign is reproducible by its seed) and records
+which of the three contract outcomes each case hit.  Any other outcome
+is a *crash* and fails the campaign.
+
+Used by ``repro-cli fuzz`` and the CI fuzz smoke; the test suite runs a
+200-case campaign as an acceptance gate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import FrontendError
+from repro.frontend.lower import compile_kernel
+
+#: Built-in seed corpus: small kernels covering the language surface
+#: (stencils, transposition, strides, imperfect-nest bait, multi-nest).
+BUILTIN_CORPUS: Tuple[str, ...] = (
+    """
+    let N = 24;
+    array Z[N][N] elem 8;
+    parallel for (i = 1; i < N - 1; i++) work 8 {
+      for (j = 1; j < N - 1; j++) {
+        Z[i][j] = Z[i-1][j] + Z[i][j] + Z[i+1][j];
+      }
+    }
+    """,
+    """
+    let N = 16;
+    array A[N][N] elem 8;
+    array B[N][N] elem 8;
+    parallel for (i = 0; i < N; i++) work 4 {
+      for (j = 0; j < N; j++) {
+        B[j][i] = A[i][j];
+      }
+    }
+    """,
+    """
+    let N = 32;
+    array U[N] elem 4;
+    array V[N] elem 4;
+    parallel for (i = 0; i < N; i += 2) work 2 {
+      V[i] = U[i] * 3 + 1;
+    }
+    for (k = 1; k < N; k++) repeat 2 {
+      U[k] += V[k - 1];
+    }
+    """,
+    """
+    let M = 12;
+    let K = 10;
+    array C[M][K][2] elem 8;
+    parallel for (a = 0; a < M; a++) work 6 {
+      for (b = 0; b < K; b++) {
+        for (c = 0; c < 2; c++) {
+          C[a][b][c] = C[a][b][c] + (a + b) * 2 - c;
+        }
+      }
+    }
+    """,
+)
+
+#: Characters the character-level mutators draw from: a mix of language
+#: punctuation, digits, identifier characters, and genuine junk.
+ALPHABET = "[](){};=+-*/<>,_ \n\t0123456789abzNZ@$\\\"'~?.:&|^!"
+
+MAX_MUTATIONS = 3
+#: Skip the layout pass for mutated programs whose shape explodes the
+#: 2^rank corner enumeration of ``transformed_bounds``.
+MAX_RANK_FOR_PASS = 8
+
+
+@dataclass
+class FuzzCase:
+    """One mutated input and what the contract did with it."""
+
+    index: int
+    source: str
+    mutations: List[str]
+    outcome: str       # "compiled" | "rejected" | "degraded" | "crash"
+    detail: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Outcome counts of one fuzz campaign (reproducible by its seed)."""
+
+    seed: int
+    cases: int = 0
+    compiled: int = 0
+    rejected: int = 0
+    degraded: int = 0
+    crashes: List[FuzzCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes
+
+    def summary(self) -> str:
+        return (f"fuzz(seed={self.seed}): {self.cases} cases -- "
+                f"{self.compiled} compiled ({self.degraded} degraded in "
+                f"the pass), {self.rejected} rejected with typed "
+                f"errors, {len(self.crashes)} crash(es)")
+
+
+# ---------------------------------------------------------------------------
+# mutators: (name, source, rng) -> source
+
+def _delete_char(source: str, rng: random.Random) -> str:
+    if not source:
+        return source
+    i = rng.randrange(len(source))
+    return source[:i] + source[i + 1:]
+
+
+def _insert_char(source: str, rng: random.Random) -> str:
+    i = rng.randrange(len(source) + 1)
+    return source[:i] + rng.choice(ALPHABET) + source[i:]
+
+
+def _replace_char(source: str, rng: random.Random) -> str:
+    if not source:
+        return source
+    i = rng.randrange(len(source))
+    return source[:i] + rng.choice(ALPHABET) + source[i + 1:]
+
+
+def _swap_tokens(source: str, rng: random.Random) -> str:
+    words = source.split(" ")
+    if len(words) < 2:
+        return source
+    i, j = rng.randrange(len(words)), rng.randrange(len(words))
+    words[i], words[j] = words[j], words[i]
+    return " ".join(words)
+
+
+def _delete_line(source: str, rng: random.Random) -> str:
+    lines = source.splitlines()
+    if not lines:
+        return source
+    del lines[rng.randrange(len(lines))]
+    return "\n".join(lines)
+
+
+def _duplicate_line(source: str, rng: random.Random) -> str:
+    lines = source.splitlines()
+    if not lines:
+        return source
+    i = rng.randrange(len(lines))
+    return "\n".join(lines[:i + 1] + [lines[i]] + lines[i + 1:])
+
+
+def _perturb_number(source: str, rng: random.Random) -> str:
+    digits = [i for i, ch in enumerate(source) if ch.isdigit()]
+    if not digits:
+        return source
+    i = rng.choice(digits)
+    replacement = rng.choice(["0", "1", "7", "99", "4096", "999999"])
+    return source[:i] + replacement + source[i + 1:]
+
+
+def _rename_identifier(source: str, rng: random.Random) -> str:
+    names = sorted({w for w in source.replace("[", " ").replace("]", " ")
+                    .split() if w.isidentifier() and len(w) <= 2})
+    if not names:
+        return source
+    old = rng.choice(names)
+    new = rng.choice(["i", "j", "k", "q", "zz", "N", "M"])
+    return source.replace(old, new)
+
+
+def _truncate(source: str, rng: random.Random) -> str:
+    if not source:
+        return source
+    return source[:rng.randrange(len(source))]
+
+
+MUTATORS: Tuple[Tuple[str, Callable[[str, random.Random], str]], ...] = (
+    ("delete_char", _delete_char),
+    ("insert_char", _insert_char),
+    ("replace_char", _replace_char),
+    ("swap_tokens", _swap_tokens),
+    ("delete_line", _delete_line),
+    ("duplicate_line", _duplicate_line),
+    ("perturb_number", _perturb_number),
+    ("rename_identifier", _rename_identifier),
+    ("truncate", _truncate),
+)
+
+
+def mutate(source: str, rng: random.Random) -> Tuple[str, List[str]]:
+    """Apply 1..MAX_MUTATIONS random mutators; returns (source, names)."""
+    applied: List[str] = []
+    for _ in range(rng.randint(1, MAX_MUTATIONS)):
+        name, mutator = MUTATORS[rng.randrange(len(MUTATORS))]
+        source = mutator(source, rng)
+        applied.append(name)
+    return source, applied
+
+
+def load_corpus(extra_paths: Sequence[str] = ()) -> List[str]:
+    """The built-in corpus plus any readable ``.krn`` files given."""
+    corpus = list(BUILTIN_CORPUS)
+    for path in extra_paths:
+        p = Path(path)
+        if p.is_dir():
+            corpus.extend(f.read_text() for f in sorted(p.glob("*.krn")))
+        elif p.is_file():
+            corpus.append(p.read_text())
+    return corpus
+
+
+def _run_layout_pass(program) -> Tuple[bool, str]:
+    """Feed a fuzz-compiled program to the layout pass; returns
+    ``(degraded, detail)``.  The pass itself must uphold the per-array
+    degradation contract -- any exception out of it is a crash."""
+    from repro.arch.config import MachineConfig
+    from repro.core.pipeline import LayoutTransformer
+
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    result = LayoutTransformer(config).run(program)
+    degraded = result.degraded_arrays
+    if degraded:
+        return True, f"degraded arrays: {', '.join(degraded)}"
+    return False, ""
+
+
+def fuzz_frontend(cases: int = 200, seed: int = 0,
+                  corpus: Optional[Sequence[str]] = None,
+                  run_pass: bool = True) -> FuzzReport:
+    """Run a fuzz campaign of ``cases`` mutated kernels.
+
+    Every case must land in one of the contract outcomes (compiled /
+    rejected / degraded); anything else is recorded as a crash with the
+    offending source.  ``run_pass`` additionally drives each compiled
+    program through the layout pass (the degradation half of the
+    contract).  Deterministic for a fixed ``(cases, seed, corpus)``.
+    """
+    sources = list(BUILTIN_CORPUS) if corpus is None else list(corpus)
+    if not sources:
+        raise ValueError("fuzz corpus is empty")
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed)
+    for index in range(cases):
+        base = sources[rng.randrange(len(sources))]
+        source, applied = mutate(base, rng)
+        report.cases += 1
+        case = FuzzCase(index=index, source=source, mutations=applied,
+                        outcome="crash")
+        try:
+            program = compile_kernel(source, name=f"fuzz{index}")
+        except FrontendError as err:
+            case.outcome = "rejected"
+            case.detail = str(err)
+            report.rejected += 1
+            continue
+        except Exception as exc:  # contract breach
+            case.detail = f"{type(exc).__name__}: {exc}"
+            report.crashes.append(case)
+            continue
+        case.outcome = "compiled"
+        report.compiled += 1
+        if run_pass and program.arrays and \
+                max(a.rank for a in program.arrays) <= MAX_RANK_FOR_PASS:
+            try:
+                degraded, detail = _run_layout_pass(program)
+            except Exception as exc:  # contract breach in the pass
+                case.outcome = "crash"
+                case.detail = f"layout pass: {type(exc).__name__}: {exc}"
+                report.crashes.append(case)
+                continue
+            if degraded:
+                case.outcome = "degraded"
+                case.detail = detail
+                report.degraded += 1
+    return report

@@ -1,0 +1,166 @@
+"""Checker registry: named, layer-tagged invariant checks over a run.
+
+A *checker* is a cheap pure function from a :class:`~repro.validate.
+audit.RunAudit` to a list of violation messages (empty when the
+invariant holds).  Checkers register themselves by name with a layer
+tag (``compiler``, ``osmodel``, ``noc``, ``memsys``, ``metrics``) and a
+minimum validation level:
+
+* ``off`` -- no checkers run (the default; validation costs nothing),
+* ``metrics`` -- only checkers tagged ``level="metrics"`` run: pure
+  accounting identities over :class:`~repro.sim.metrics.RunMetrics`
+  that need no compiler/OS artifacts,
+* ``strict`` -- every registered checker runs.
+
+:func:`validate_run` executes the applicable checkers and returns a
+:class:`ValidationReport`; ``report.raise_if_failed()`` converts a
+dirty report into a structured
+:class:`~repro.errors.ValidationError` that names the failing checker,
+so violations travel through the error taxonomy (and the hardened
+harness's failure rows) like any other diagnosed failure.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ValidationError
+
+#: The three validation levels, in increasing coverage order.
+VALIDATE_LEVELS = ("off", "metrics", "strict")
+
+#: The layers a checker may claim.
+LAYERS = ("compiler", "osmodel", "noc", "memsys", "metrics")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which checker, which layer, what happened."""
+
+    checker: str
+    layer: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.checker}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered invariant check."""
+
+    name: str
+    layer: str
+    level: str          # minimum RunSpec.validate level that runs it
+    description: str
+    func: Callable[[object], Optional[Iterable[str]]]
+
+
+#: All registered checkers by name, in registration order.
+CHECKERS: Dict[str, Checker] = {}
+
+
+def register(name: str, layer: str, level: str = "strict",
+             description: str = ""):
+    """Decorator: register ``func`` as the checker ``name``.
+
+    ``layer`` must be one of :data:`LAYERS`; ``level`` is the minimum
+    validation level at which the checker runs (``"metrics"`` checkers
+    also run under ``"strict"``).
+    """
+    if layer not in LAYERS:
+        raise ValueError(f"unknown checker layer {layer!r}; "
+                         f"layers: {', '.join(LAYERS)}")
+    if level not in ("metrics", "strict"):
+        raise ValueError(f"checker level must be 'metrics' or 'strict', "
+                         f"got {level!r}")
+
+    def deco(func):
+        if name in CHECKERS:
+            raise ValueError(f"checker {name!r} already registered")
+        CHECKERS[name] = Checker(name=name, layer=layer, level=level,
+                                 description=description
+                                 or (func.__doc__ or "").strip()
+                                 .split("\n")[0],
+                                 func=func)
+        return func
+    return deco
+
+
+def checkers_for(level: str) -> List[Checker]:
+    """The checkers that run at ``level``, in registration order."""
+    if level not in VALIDATE_LEVELS:
+        raise ValueError(f"unknown validation level {level!r}; "
+                         f"levels: {', '.join(VALIDATE_LEVELS)}")
+    if level == "off":
+        return []
+    if level == "metrics":
+        return [c for c in CHECKERS.values() if c.level == "metrics"]
+    return list(CHECKERS.values())
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass over a run."""
+
+    level: str
+    checkers: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def checks_run(self) -> int:
+        return len(self.checkers)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"validation ({self.level}): {self.checks_run} "
+                    f"checks, all invariants hold")
+        return (f"validation ({self.level}): {len(self.violations)} "
+                f"violation(s) across "
+                f"{len({v.checker for v in self.violations})} checker(s)")
+
+    def raise_if_failed(self, label: str = "") -> None:
+        """Raise a :class:`~repro.errors.ValidationError` naming the
+        first failing checker (and carrying every violation) when the
+        report is dirty; no-op when clean."""
+        if self.ok:
+            return
+        first = self.violations[0]
+        where = f" in run {label!r}" if label else ""
+        raise ValidationError(
+            f"checker {first.checker!r} ({first.layer} layer) failed"
+            f"{where}: {first.message}"
+            + (f" (+{len(self.violations) - 1} more violation(s))"
+               if len(self.violations) > 1 else ""),
+            checker=first.checker,
+            violations=[str(v) for v in self.violations])
+
+
+def validate_run(audit, level: str = "strict") -> ValidationReport:
+    """Run every checker applicable at ``level`` over ``audit``.
+
+    Checkers never abort the pass: a checker that itself crashes is
+    recorded as a violation of that checker (a sanitizer that dies on
+    the operating table is a failed check, not a skipped one).
+    """
+    report = ValidationReport(level=level)
+    for checker in checkers_for(level):
+        report.checkers.append(checker.name)
+        try:
+            problems = list(checker.func(audit) or [])
+        except Exception as exc:
+            report.violations.append(Violation(
+                checker.name, checker.layer,
+                f"checker crashed: {type(exc).__name__}: {exc}\n"
+                + _traceback.format_exc()))
+            continue
+        for message in problems:
+            report.violations.append(Violation(
+                checker.name, checker.layer, str(message)))
+    return report

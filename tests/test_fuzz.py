@@ -1,0 +1,123 @@
+"""The frontend never-crash contract (repro.validate.fuzz).
+
+Acceptance gate: a 200-case mutated-kernel campaign completes with zero
+unhandled exceptions -- every input either compiles, degrades per-array
+in the layout pass with a structured diagnostic, or is rejected with a
+typed FrontendError.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import FrontendError, ReproError
+from repro.frontend.lexer import LexerError
+from repro.frontend.lower import LoweringError, compile_kernel
+from repro.frontend.parser import ParseError
+from repro.validate.fuzz import (BUILTIN_CORPUS, MUTATORS, FuzzReport,
+                                 fuzz_frontend, load_corpus, mutate)
+
+
+class TestNeverCrashContract:
+    def test_200_case_campaign_has_zero_crashes(self):
+        report = fuzz_frontend(cases=200, seed=0)
+        assert report.cases == 200
+        assert report.ok, report.crashes[0].detail
+        # Every case landed in a contract outcome, and the campaign
+        # genuinely exercised both halves of the contract.
+        assert report.compiled + report.rejected == 200
+        assert report.compiled > 0 and report.rejected > 0
+
+    def test_campaigns_are_reproducible(self):
+        a = fuzz_frontend(cases=60, seed=42)
+        b = fuzz_frontend(cases=60, seed=42)
+        assert (a.compiled, a.rejected, a.degraded) == \
+            (b.compiled, b.rejected, b.degraded)
+
+    def test_different_seeds_differ(self):
+        outcomes = {(r.compiled, r.rejected)
+                    for r in (fuzz_frontend(cases=60, seed=s,
+                                            run_pass=False)
+                              for s in range(4))}
+        assert len(outcomes) > 1
+
+    def test_corpus_itself_compiles(self):
+        for source in BUILTIN_CORPUS:
+            program = compile_kernel(source)
+            assert program.arrays and program.nests
+
+    def test_extra_corpus_loading(self, tmp_path):
+        path = tmp_path / "tiny.krn"
+        path.write_text(BUILTIN_CORPUS[0])
+        corpus = load_corpus([str(path), str(tmp_path)])
+        assert len(corpus) == len(BUILTIN_CORPUS) + 2  # file + dir glob
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="corpus is empty"):
+            fuzz_frontend(cases=1, corpus=[])
+
+
+class TestMutators:
+    def test_every_mutator_returns_a_string(self):
+        rng = random.Random(7)
+        for name, mutator in MUTATORS:
+            out = mutator(BUILTIN_CORPUS[0], rng)
+            assert isinstance(out, str), name
+
+    def test_mutate_records_applied_names(self):
+        rng = random.Random(1)
+        source, applied = mutate(BUILTIN_CORPUS[1], rng)
+        assert 1 <= len(applied) <= 3
+        known = {name for name, _ in MUTATORS}
+        assert set(applied) <= known
+
+    def test_mutators_tolerate_empty_source(self):
+        rng = random.Random(2)
+        for name, mutator in MUTATORS:
+            assert isinstance(mutator("", rng), str), name
+
+
+class TestTypedErrors:
+    """The rejection half of the contract: typed, catchable, located."""
+
+    def test_lexer_junk_is_frontend_error(self):
+        with pytest.raises(FrontendError):
+            compile_kernel("let N = @;")
+        with pytest.raises(LexerError):  # precise type preserved
+            compile_kernel("let N = @;")
+
+    def test_parse_error_is_frontend_error(self):
+        with pytest.raises(ParseError):
+            compile_kernel("for for for")
+        assert issubclass(ParseError, FrontendError)
+
+    def test_lowering_error_is_frontend_error(self):
+        source = """
+        let N = 8;
+        array A[N] elem 4;
+        parallel for (i = 0; i < N; i++) work 1 {
+          A[i + j] = A[i];
+        }
+        """
+        with pytest.raises(FrontendError):
+            compile_kernel(source)
+        assert issubclass(LoweringError, FrontendError)
+
+    def test_back_compat_value_error_ancestry(self):
+        for cls in (LexerError, ParseError, LoweringError):
+            assert issubclass(cls, ValueError)
+            assert issubclass(cls, ReproError)
+
+    def test_frontend_errors_carry_source_lines(self):
+        with pytest.raises(FrontendError, match="line 2"):
+            compile_kernel("let N = 4;\nlet M = ;")
+
+    def test_recursion_bomb_is_rejected_not_crashed(self):
+        bomb = "let N = " + "(" * 4000 + "1" + ")" * 4000 + ";"
+        with pytest.raises(FrontendError):
+            compile_kernel(bomb)
+
+    def test_report_summary_mentions_crashes(self):
+        report = FuzzReport(seed=5, cases=3, compiled=2, rejected=1)
+        assert "0 crash(es)" in report.summary()
+        assert report.ok

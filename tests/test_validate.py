@@ -1,0 +1,366 @@
+"""The cross-layer invariant sanitizer (repro.validate).
+
+Three families of acceptance checks:
+
+* *clean bill of health*: every workload -- healthy or running under
+  the PR-1 acceptance fault plan -- passes strict validation;
+* *chaos*: seeded corruption of a layout matrix, a transform, a
+  page-table entry, and metrics counters is flagged by exactly the
+  right checker;
+* *plumbing*: the validate level threads through RunSpec, the sweep
+  engines, the api facade and the CLI, and a violation surfaces as a
+  structured, non-retryable ValidationError.
+"""
+
+import dataclasses
+import inspect
+import io
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (FaultPlan, LinkFault, MCFault, MachineConfig, RunSpec,
+                   ValidationError, run_simulation)
+from repro.cli import main as cli_main
+from repro.core import linalg
+from repro.sim.harness import HardenedSweep
+from repro.sim.sweep import Sweep
+from repro.validate import (CHECKERS, LAYERS, NetworkAudit, RunAudit,
+                            checkers_for, register, validate_run)
+from repro.validate.doctor import run_doctor
+from repro.workloads import SUITE_ORDER, build_workload
+
+SCALE = 0.1
+
+# The PR-1 acceptance plan: one dead link plus MC0 offline mid-run.
+FAULT_PLAN = FaultPlan(
+    seed=11, name="acceptance",
+    link_faults=[LinkFault(0, 1)],
+    mc_faults=[MCFault(0, "offline", start=5000.0)])
+
+
+@pytest.fixture(scope="module")
+def config():
+    # Page interleaving so the OS-model checkers have a page table.
+    return MachineConfig.scaled_default()
+
+
+@pytest.fixture(scope="module")
+def swim_audit(config):
+    """One strict-validated optimized run's audit (shared, read-only:
+    chaos tests deep-copy what they corrupt)."""
+    result = run_simulation(RunSpec(
+        program=build_workload("swim", SCALE), config=config,
+        optimized=True, validate="strict"))
+    return result.audit
+
+
+def checker_names(report):
+    return {v.checker for v in report.violations}
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("app", SUITE_ORDER)
+    def test_every_workload_validates_strict(self, app, config):
+        result = run_simulation(RunSpec(
+            program=build_workload(app, SCALE), config=config,
+            optimized=True, validate="strict"))
+        assert result.metrics.validation_checks == len(CHECKERS)
+        assert result.metrics.validation_violations == 0
+        assert result.audit is not None
+
+    def test_baseline_and_cache_line_validate(self, config):
+        program = build_workload("swim", SCALE)
+        for cfg in (config, config.with_(interleaving="cache_line")):
+            for optimized in (False, True):
+                result = run_simulation(RunSpec(
+                    program=program, config=cfg, optimized=optimized,
+                    validate="strict"))
+                assert result.metrics.validation_violations == 0
+
+    @pytest.mark.parametrize("app", ["swim", "fma3d"])
+    def test_faulted_runs_validate_strict(self, app, config):
+        """Graceful degradation must remain *internally consistent*."""
+        result = run_simulation(RunSpec(
+            program=build_workload(app, SCALE),
+            config=config.with_(interleaving="cache_line"),
+            optimized=True, fault_plan=FAULT_PLAN, seed=11,
+            validate="strict"))
+        assert result.metrics.fault_events > 0
+        assert result.metrics.validation_violations == 0
+
+    def test_metrics_level_runs_fewer_checks(self, config):
+        program = build_workload("swim", SCALE)
+        result = run_simulation(RunSpec(
+            program=program, config=config, validate="metrics"))
+        assert 0 < result.metrics.validation_checks < len(CHECKERS)
+        assert result.metrics.validation_checks == \
+            len(checkers_for("metrics"))
+
+    def test_off_is_free(self, config):
+        result = run_simulation(RunSpec(
+            program=build_workload("swim", SCALE), config=config))
+        assert result.metrics.validation_checks == 0
+        assert result.audit is None
+
+
+class TestChaos:
+    """Seeded corruption must be flagged by the right checker."""
+
+    def test_corrupt_layout_matrix_flags_bijectivity(self, swim_audit):
+        audit = dataclasses.replace(swim_audit,
+                                    layouts=dict(swim_audit.layouts))
+        name, layout = next((n, lay) for n, lay
+                            in sorted(audit.layouts.items())
+                            if hasattr(lay, "_u_np")
+                            and lay.array.num_elements > 1)
+        broken = type(layout).__new__(type(layout))
+        broken.__dict__.update(layout.__dict__)
+        # Zeroing the applied transform collapses every coordinate onto
+        # one point: maximal aliasing, exactly what the sampled
+        # permutation check exists to catch.
+        broken._u_np = np.zeros_like(layout._u_np)
+        audit.layouts[name] = broken
+        report = validate_run(audit, "strict")
+        assert "compiler.layout_bijective" in checker_names(report)
+        assert any(name in str(v) for v in report.violations)
+
+    def test_corrupt_transform_flags_unimodular(self, swim_audit):
+        plan = next(p for p in swim_audit.transformation.plans.values()
+                    if p.mapping_result is not None
+                    and p.mapping_result.transform is not None)
+        original = [list(row) for row in plan.mapping_result.transform]
+        # Doubling a row makes |det| = 2: no longer a bijective
+        # relabeling of the data space.
+        plan.mapping_result.transform[-1] = [
+            2 * x for x in plan.mapping_result.transform[-1]]
+        try:
+            report = validate_run(swim_audit, "strict")
+        finally:
+            for i, row in enumerate(original):
+                plan.mapping_result.transform[i] = row
+        assert "compiler.unimodular" in checker_names(report)
+
+    def test_corrupt_page_table_flags_os_layer(self, swim_audit):
+        table = swim_audit.page_table
+        assert table is not None and len(table.entries) > 1
+        vpns = sorted(table.entries)
+        saved = table.entries[vpns[0]]
+        # Two virtual pages sharing one frame: silent data corruption
+        # in a real system, an invariant breach here.
+        table.entries[vpns[0]] = table.entries[vpns[1]]
+        try:
+            report = validate_run(swim_audit, "strict")
+        finally:
+            table.entries[vpns[0]] = saved
+        assert "osmodel.page_table" in checker_names(report)
+
+    def test_corrupt_access_counter_flags_metrics(self, swim_audit):
+        m = swim_audit.metrics
+        m.l1_hits += 1
+        try:
+            report = validate_run(swim_audit, "metrics")
+        finally:
+            m.l1_hits -= 1
+        assert "metrics.access_conservation" in checker_names(report)
+
+    def test_corrupt_exec_time_flags_latency(self, swim_audit):
+        m = swim_audit.metrics
+        saved = m.exec_time
+        m.exec_time = saved * 2 + 1
+        try:
+            report = validate_run(swim_audit, "metrics")
+        finally:
+            m.exec_time = saved
+        assert "metrics.latency_consistency" in checker_names(report)
+
+    def test_corrupt_mc_requests_flags_memsys(self, swim_audit):
+        m = swim_audit.metrics
+        m.mc_requests[0] += 7
+        try:
+            report = validate_run(swim_audit, "strict")
+        finally:
+            m.mc_requests[0] -= 7
+        assert "memsys.conservation" in checker_names(report)
+
+    def test_crashing_checker_is_a_violation(self, swim_audit):
+        @register("test.crasher", layer="metrics", level="metrics",
+                  description="always crashes")
+        def crasher(audit):
+            raise RuntimeError("checker bug")
+        try:
+            report = validate_run(swim_audit, "metrics")
+        finally:
+            del CHECKERS["test.crasher"]
+        assert "test.crasher" in checker_names(report)
+        assert any("checker crashed" in str(v) for v in report.violations)
+
+
+class TestValidationError:
+    def test_violation_raises_structured_error(self, config):
+        @register("test.alwaysfail", layer="metrics", level="metrics",
+                  description="always fails")
+        def alwaysfail(audit):
+            return ["synthetic violation"]
+        try:
+            with pytest.raises(ValidationError) as exc_info:
+                run_simulation(RunSpec(
+                    program=build_workload("swim", SCALE),
+                    config=config, validate="metrics"))
+        finally:
+            del CHECKERS["test.alwaysfail"]
+        err = exc_info.value
+        assert err.kind == "validation"
+        assert err.checker == "test.alwaysfail"
+        assert any("synthetic violation" in v for v in err.violations)
+        assert not err.transient  # the harness must never retry these
+        assert err.context()["checker"] == "test.alwaysfail"
+
+    def test_hardened_harness_records_validation_failures(self, config):
+        @register("test.alwaysfail2", layer="metrics", level="metrics",
+                  description="always fails")
+        def alwaysfail(audit):
+            return ["synthetic violation"]
+        try:
+            report = repro.sweep(build_workload("swim", SCALE),
+                                 config=config, hardened=True,
+                                 validate="metrics", mapping=["M1"])
+        finally:
+            del CHECKERS["test.alwaysfail2"]
+        assert not report.rows
+        assert report.failures
+        assert "validation" in report.failures[0]["error"]
+
+
+class TestPlumbing:
+    def test_unknown_level_rejected(self, config):
+        with pytest.raises(ValueError, match="validation level"):
+            RunSpec(program=build_workload("swim", SCALE),
+                    config=config, validate="paranoid")
+
+    def test_validate_does_not_change_run_key(self, config):
+        program = build_workload("swim", SCALE)
+        keys = {RunSpec(program=program, config=config,
+                        validate=level).key()
+                for level in ("off", "metrics", "strict")}
+        assert len(keys) == 1  # audit knob, not a simulation input
+
+    def test_sweep_engines_thread_validate(self, config):
+        program = build_workload("swim", SCALE)
+        points = Sweep(program, config, validate="strict").run(
+            mapping=["M1"])
+        assert points and points[0].comparison.base.exec_time > 0
+        report = HardenedSweep(program, config,
+                               validate="strict").run(mapping=["M1"])
+        assert report.rows and not report.failures
+
+    def test_api_sweep_accepts_validate(self, config):
+        report = repro.sweep(build_workload("swim", SCALE),
+                             config=config, validate="metrics",
+                             mapping=["M1"])
+        assert report.rows
+
+    def test_registry_shape(self):
+        assert {c.layer for c in CHECKERS.values()} == set(LAYERS)
+        assert checkers_for("off") == []
+        with pytest.raises(ValueError, match="unknown validation level"):
+            checkers_for("bogus")
+        with pytest.raises(ValueError, match="already registered"):
+            register("compiler.unimodular", layer="compiler")(lambda a: [])
+
+    def test_network_audit_flags_bad_routes(self):
+        mesh = MachineConfig.scaled_default().mesh()
+        audit = NetworkAudit(mesh)
+        full = mesh.route(0, 3)
+        audit.check_message(0, 3, full)          # genuine XY route: ok
+        assert audit.violation_count == 0
+        audit.check_message(0, 3, full[:-1])     # short-circuited
+        audit.check_message(0, 3, full + [full[0]])  # cyclic
+        audit.link_regression(5, 10.0, 3.0)
+        assert audit.violation_count == 3
+        report = validate_run(
+            RunAudit(spec=None, config=None, mapping=None,
+                     network_audit=audit), "strict")
+        assert "noc.invariants" in checker_names(report)
+
+    def test_network_audit_caps_recording(self):
+        mesh = MachineConfig.scaled_default().mesh()
+        audit = NetworkAudit(mesh)
+        for _ in range(audit.MAX_VIOLATIONS + 10):
+            audit.link_regression(0, 2.0, 1.0)
+        assert len(audit.violations) == audit.MAX_VIOLATIONS
+        assert audit.violation_count == audit.MAX_VIOLATIONS + 10
+        report = validate_run(
+            RunAudit(spec=None, config=None, mapping=None,
+                     network_audit=audit), "strict")
+        assert any("recording capped" in str(v)
+                   for v in report.violations)
+
+
+class TestDoctor:
+    def test_static_checks_pass(self):
+        report = run_doctor(smoke=False)
+        assert report.ok, [c.detail for c in report.failures]
+        assert {c.name for c in report.checks} >= \
+            {"install", "configs", "registry", "kernels"}
+
+    def test_one_smoke_app(self):
+        report = run_doctor(scale=SCALE, apps=["swim"], smoke=True)
+        assert report.ok, [c.detail for c in report.failures]
+        assert any(c.name == "smoke:swim" for c in report.checks)
+
+
+class TestCli:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = cli_main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_run_with_strict_validation(self):
+        code, text = self.run_cli(
+            ["run", "--app", "swim", "--scale", str(SCALE),
+             "--optimized", "--validate", "strict"])
+        assert code == 0
+        assert "all invariants hold" in text
+
+    def test_doctor_static(self):
+        code, text = self.run_cli(["doctor", "--skip-runs"])
+        assert code == 0
+        assert "healthy" in text
+
+    def test_fuzz_smoke(self):
+        code, text = self.run_cli(["fuzz", "--cases", "30", "--seed",
+                                   "3", "--no-pass"])
+        assert code == 0
+        assert "0 crash(es)" in text
+
+
+class TestSatellites:
+    def test_linalg_postconditions_survive_optimization(self):
+        # The completion postconditions must be raises, not asserts,
+        # so they still fire under ``python -O``.
+        source = inspect.getsource(linalg.complete_to_unimodular)
+        assert "assert " not in source
+        assert "SolverError" in source
+        # And the happy path still completes correctly.
+        w = linalg.complete_to_unimodular([2, 3, 5], row=1)
+        assert w[1] == [2, 3, 5]
+        assert linalg.is_unimodular(w)
+
+    def test_pipeline_degradation_captures_traceback(self, config,
+                                                     monkeypatch):
+        import repro.core.pipeline as pipeline
+
+        def boom(systems):
+            raise RuntimeError("injected solver bug")
+        monkeypatch.setattr(pipeline, "data_to_core_mapping", boom)
+        program = build_workload("swim", SCALE)
+        result = pipeline.LayoutTransformer(
+            config.with_(interleaving="cache_line")).run(program)
+        assert result.degraded_arrays
+        plan = result.plans[result.degraded_arrays[0]]
+        assert plan.error is not None
+        assert plan.error.traceback is not None
+        assert "injected solver bug" in plan.error.traceback
+        assert "traceback" in plan.error.context()
