@@ -1,0 +1,100 @@
+"""Observability overhead: obs=off vs spans vs full.
+
+Standalone script (not a pytest benchmark): times repeated optimized
+runs of one workload at each observability level and records the
+relative overheads to ``BENCH_obs.json`` at the repo root.  The
+headline number is ``off_overhead_pct`` -- the cost of merely *having*
+the instrumentation compiled in with observation disabled, which must
+stay under ``OFF_BUDGET_PCT``: the disabled path is one context-var
+read per instrumented phase boundary and one ``is not None`` test per
+MC/NoC event, so it should be indistinguishable from noise.
+
+Baseline and off samples are interleaved (alternating runs) so slow
+clock drift or thermal throttling hits both pools equally instead of
+biasing the comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    REPRO_BENCH_SCALE=0.3 PYTHONPATH=src \
+        python benchmarks/bench_obs_overhead.py
+"""
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import MachineConfig, RunSpec, run_simulation
+from repro.workloads import build_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "9"))
+APP = os.environ.get("REPRO_BENCH_APP", "swim")
+OUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: Tolerated obs=off overhead (the ISSUE acceptance bound).
+OFF_BUDGET_PCT = 1.0
+
+
+def one_run(program, config, level):
+    spec = RunSpec(program=program, config=config, optimized=True,
+                   obs=level)
+    start = time.perf_counter()
+    run_simulation(spec)
+    return time.perf_counter() - start
+
+
+def timed_runs(program, config, level):
+    return statistics.median(one_run(program, config, level)
+                             for _ in range(REPEATS))
+
+
+def main():
+    program = build_workload(APP, SCALE)
+    config = MachineConfig.scaled_default()
+    for _ in range(2):  # warm the allocator and code paths
+        one_run(program, config, "off")
+
+    # Interleaved baseline/off samples: pool A and pool B are both
+    # obs=off, drawn alternately; their difference is the noise floor
+    # the off-overhead claim is judged against.
+    pool_a, pool_b = [], []
+    for _ in range(REPEATS):
+        pool_a.append(one_run(program, config, "off"))
+        pool_b.append(one_run(program, config, "off"))
+    baseline = statistics.median(pool_a)
+    off = statistics.median(pool_b)
+    spans = timed_runs(program, config, "spans")
+    full = timed_runs(program, config, "full")
+
+    def pct(level_s):
+        return round(100.0 * (level_s - baseline) / baseline, 2)
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "app": APP,
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "baseline_seconds": round(baseline, 4),
+        "off_seconds": round(off, 4),
+        "spans_seconds": round(spans, 4),
+        "full_seconds": round(full, 4),
+        "off_overhead_pct": pct(off),
+        "spans_overhead_pct": pct(spans),
+        "full_overhead_pct": pct(full),
+        "off_budget_pct": OFF_BUDGET_PCT,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if payload["off_overhead_pct"] > OFF_BUDGET_PCT:
+        print(f"FAIL: obs=off costs {payload['off_overhead_pct']}% "
+              f"(> {OFF_BUDGET_PCT}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ serial run.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import MachineConfig
@@ -79,6 +79,8 @@ def run(experiment: Optional[Experiment] = None, *,
     ``validate="metrics"`` / ``validate="strict"`` runs the
     :mod:`repro.validate` invariant sanitizer over the finished run and
     raises :class:`~repro.errors.ValidationError` on any breach.
+    ``obs="spans"`` / ``obs="full"`` observes the run (:mod:`repro.obs`)
+    and attaches the resulting bundle as ``result.obs``.
     """
     if experiment is not None:
         if program is not None or config is not None or spec_kw:
@@ -117,6 +119,8 @@ def sweep(program: Program, *,
           fault_plan: Optional[FaultPlan] = None,
           seed: int = 0,
           validate: str = "off",
+          obs: str = "off",
+          progress: Optional[Callable] = None,
           max_points: Optional[int] = None,
           **axes: Iterable) -> SweepResult:
     """Run a cartesian configuration sweep and return its
@@ -135,6 +139,14 @@ def sweep(program: Program, *,
     ``validate`` applies the :mod:`repro.validate` level to every run in
     the sweep; under the hardened engine a validation breach becomes a
     failure row (kind ``validation``) instead of aborting the sweep.
+
+    ``obs`` applies the :mod:`repro.obs` level to every run; everything
+    observed comes back merged as ``result.obs``, ready for the
+    exporters (one Chrome trace with per-run lanes).  ``progress`` is
+    the periodic reporting hook: under the hardened engine it receives
+    ``(wave_index, done, failed, total)`` after every checkpoint wave,
+    under the plain engine each completed
+    :class:`~repro.sim.executor.PointOutcome`.
     """
     hardened = (hardened or checkpoint is not None
                 or harness is not None or max_points is not None)
@@ -142,10 +154,12 @@ def sweep(program: Program, *,
         return HardenedSweep(program, config, harness=harness,
                              checkpoint=checkpoint, fault_plan=fault_plan,
                              seed=seed, workers=workers,
-                             validate=validate
-                             ).run(max_points=max_points, **axes)
+                             validate=validate, obs=obs
+                             ).run(max_points=max_points,
+                                   progress=progress, **axes)
     engine = Sweep(program, config, workers=workers,
-                   fault_plan=fault_plan, seed=seed, validate=validate)
-    points = engine.run(**axes)
+                   fault_plan=fault_plan, seed=seed, validate=validate,
+                   obs=obs)
+    points = engine.run(progress=progress, **axes)
     return SweepResult(rows=[point.row() for point in points],
-                       points=list(points))
+                       points=list(points), obs=engine.collected_obs())

@@ -62,6 +62,14 @@ class Mesh:
             out.append(self.node_at(x, y - 1))
         return out
 
+    def links(self) -> List[Tuple[int, int]]:
+        """Every directed link as ``(src, dst)``, ordered by link id --
+        the inverse of :meth:`link_id`, for per-link telemetry export."""
+        out: List[Tuple[int, int]] = [(-1, -1)] * self.num_links
+        for endpoints, link in self._link_ids.items():
+            out[link] = endpoints
+        return out
+
     def link_id(self, src: int, dst: int) -> int:
         """Id of the directed link between two adjacent nodes."""
         try:

@@ -10,6 +10,9 @@ Subcommands::
     repro-cli sweep --app swim --axis mapping=M1,M2 --workers 4
                                           # parallel CSV design sweep
     repro-cli trace --app swim --output t.npz         # save traces
+    repro-cli trace matmul --out trace.json
+                                          # observed run -> Chrome trace
+    repro-cli profile matmul              # where the time goes (spans)
     repro-cli report --output report.md   # markdown suite report
     repro-cli list                        # available workload models
     repro-cli doctor                      # install/config/model self-check
@@ -17,7 +20,17 @@ Subcommands::
 
 ``run`` and ``sweep`` additionally take ``--validate
 {off,metrics,strict}`` to run the :mod:`repro.validate` invariant
-sanitizer over every simulation.
+sanitizer over every simulation.  ``sweep`` takes ``--progress``
+(periodic progress lines on stderr) or ``--quiet`` (suppress the final
+summary line).
+
+``trace`` and ``profile`` accept a positional workload resolved in
+order: suite application name, ``.krn`` kernel file path, then built-in
+demo kernel (``matmul``).  ``trace WORKLOAD --out trace.json`` runs one
+observed simulation (``obs=full``) and writes a Chrome ``trace_event``
+file loadable in ``chrome://tracing`` / Perfetto; ``--heatmap`` /
+``--timeline`` additionally print the ASCII NoC-link heatmap and per-MC
+queue-occupancy timeline.
 
 All simulation-facing commands share the machine flags:
 ``--interleaving {cache_line,page}``, ``--shared-l2``, ``--mapping
@@ -28,7 +41,9 @@ All simulation-facing commands share the machine flags:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro import MachineConfig
@@ -82,6 +97,36 @@ def _load_program(args: argparse.Namespace):
         source = handle.read()
     return compile_kernel(source, name=args.kernel.rsplit("/", 1)[-1]
                           .split(".")[0])
+
+
+def _resolve_program(args: argparse.Namespace):
+    """Load the program for verbs taking a positional ``workload``:
+    suite application name, then kernel file path, then demo kernel."""
+    token = getattr(args, "workload", None)
+    if not token:
+        if getattr(args, "app", None) or getattr(args, "kernel", None):
+            return _load_program(args)
+        raise SystemExit(f"repro-cli {args.command}: name a workload "
+                         f"(positionally, or via --app/--kernel)")
+    if getattr(args, "app", None) or getattr(args, "kernel", None):
+        raise SystemExit(f"repro-cli {args.command}: pass either a "
+                         f"positional workload or --app/--kernel, "
+                         f"not both")
+    from repro.workloads import (DEMO_KERNELS, WORKLOADS,
+                                 build_demo_kernel)
+    if token in WORKLOADS:
+        return build_workload(token, args.scale)
+    if os.path.exists(token):
+        with open(token) as handle:
+            source = handle.read()
+        return compile_kernel(source, name=token.rsplit("/", 1)[-1]
+                              .split(".")[0])
+    if token in DEMO_KERNELS:
+        return build_demo_kernel(token, args.scale)
+    raise SystemExit(
+        f"repro-cli {args.command}: unknown workload {token!r} -- not "
+        f"a suite application ({', '.join(WORKLOADS)}), not a kernel "
+        f"file, and not a demo kernel ({', '.join(DEMO_KERNELS)})")
 
 
 def _print_metrics(metrics, out) -> None:
@@ -257,36 +302,85 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     sweep = Sweep(program, _config(args), workers=workers,
                   validate=args.validate)
     axes = _parse_axes(args.axis)
+    progress = None
+    state = {"done": 0, "failed": 0, "started": time.monotonic()}
+    if args.progress:
+        from repro.sim.executor import grid_settings, validate_axes
+        validate_axes(axes)
+        total = len(grid_settings(axes))
+
+        def progress(outcome):
+            state["done"] += 1
+            if not getattr(outcome, "ok", True):
+                state["failed"] += 1
+            wave = (state["done"] - 1) // max(workers, 1)
+            print(f"[sweep] wave {wave}: {state['done']}/{total} "
+                  f"points done, {state['failed']} failed",
+                  file=sys.stderr)
     try:
-        points = sweep.run(**axes)
+        points = sweep.run(progress=progress, **axes)
     except ValidationError as err:
         raise SystemExit(f"repro-cli sweep: validation failed: {err}")
     except ValueError as err:  # e.g. unknown mapping preset value
         raise SystemExit(f"repro-cli sweep: {err}")
+    if not args.quiet:
+        elapsed = time.monotonic() - state["started"]
+        print(f"[sweep] {len(points)} points ({state['done']} "
+              f"simulated) in {elapsed:.1f}s", file=sys.stderr)
     print(to_csv(points), end="", file=out)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace, out) -> int:
-    program = _load_program(args)
+    program = _resolve_program(args)
     config = _config(args)
     mapping = _mapping(config, args.mapping)
-    if args.optimized:
-        transformer = LayoutTransformer(config, mapping)
-        layouts = transformer.run(program).layouts
-    else:
-        from repro.core.pipeline import original_layouts
-        layouts = original_layouts(program)
-    bases = AddressSpace(config).place_all(layouts)
-    threads = config.num_cores * config.threads_per_core
-    traces = generate_traces(program, layouts, bases, threads)
-    save_traces(args.output, traces,
-                metadata={"program": program.name,
-                          "optimized": args.optimized,
-                          "threads": threads})
-    total = sum(t.num_accesses for t in traces)
-    print(f"wrote {total:,} accesses over {threads} threads to "
-          f"{args.output}", file=out)
+    if not args.out and not args.output:
+        raise SystemExit("repro-cli trace: pass --out trace.json "
+                         "(Chrome trace) and/or --output traces.npz")
+    if args.output:
+        if args.optimized:
+            transformer = LayoutTransformer(config, mapping)
+            layouts = transformer.run(program).layouts
+        else:
+            from repro.core.pipeline import original_layouts
+            layouts = original_layouts(program)
+        bases = AddressSpace(config).place_all(layouts)
+        threads = config.num_cores * config.threads_per_core
+        traces = generate_traces(program, layouts, bases, threads)
+        save_traces(args.output, traces,
+                    metadata={"program": program.name,
+                              "optimized": args.optimized,
+                              "threads": threads})
+        total = sum(t.num_accesses for t in traces)
+        print(f"wrote {total:,} accesses over {threads} threads to "
+              f"{args.output}", file=out)
+    if args.out:
+        from repro.obs import (link_heatmap, mc_timeline,
+                               write_chrome_trace)
+        spec = RunSpec(program=program, config=config, mapping=mapping,
+                       optimized=args.optimized, obs="full")
+        result = run_simulation(spec)
+        count = write_chrome_trace(args.out, result.obs)
+        print(f"wrote Chrome trace ({len(result.obs.spans)} spans, "
+              f"{count} events) to {args.out} -- load it in "
+              f"chrome://tracing or Perfetto", file=out)
+        if args.heatmap:
+            print(link_heatmap(result.obs), file=out)
+        if args.timeline:
+            print(mc_timeline(result.obs), file=out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:
+    program = _resolve_program(args)
+    config = _config(args)
+    mapping = _mapping(config, args.mapping)
+    spec = RunSpec(program=program, config=config, mapping=mapping,
+                   optimized=args.optimized, obs=args.obs)
+    result = run_simulation(spec)
+    from repro.obs import profile_table
+    print(profile_table(result.obs, top=args.top), file=out)
     return 0
 
 
@@ -406,17 +500,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", default="off",
                    choices=["off", "metrics", "strict"],
                    help="invariant-sanitizer level for every run")
+    verbosity = p.add_mutually_exclusive_group()
+    verbosity.add_argument("--progress", action="store_true",
+                           help="periodic progress lines on stderr "
+                                "(wave index, points done/failed)")
+    verbosity.add_argument("--quiet", action="store_true",
+                           help="suppress the final summary line")
     _machine_flags(p)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("trace", help="generate and save access traces")
-    target = p.add_mutually_exclusive_group(required=True)
+    p = sub.add_parser("trace", help="save access traces (--output "
+                                     ".npz) and/or record an observed "
+                                     "run as a Chrome trace (--out)")
+    p.add_argument("workload", nargs="?", default="",
+                   help="suite app, kernel file, or demo kernel "
+                        "(e.g. matmul)")
+    target = p.add_mutually_exclusive_group()
     target.add_argument("--app", choices=list(SUITE_ORDER))
     target.add_argument("--kernel")
-    p.add_argument("--output", required=True, help="output .npz path")
+    p.add_argument("--output", default="", help="output .npz path "
+                                                "(raw access traces)")
+    p.add_argument("--out", default="",
+                   help="Chrome trace_event JSON path (obs=full run; "
+                        "open in chrome://tracing / Perfetto)")
+    p.add_argument("--heatmap", action="store_true",
+                   help="also print the ASCII NoC-link heatmap")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the per-MC occupancy timeline")
     p.add_argument("--optimized", action="store_true")
     _machine_flags(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("profile", help="run one observed simulation "
+                                       "and print where the time goes")
+    p.add_argument("workload", nargs="?", default="matmul",
+                   help="suite app, kernel file, or demo kernel "
+                        "(default: matmul)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows in the span table")
+    p.add_argument("--obs", default="full", choices=["spans", "full"],
+                   help="observation level for the run")
+    p.add_argument("--optimized", action="store_true")
+    _machine_flags(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("report", help="markdown suite report")
     p.add_argument("--apps", default="",

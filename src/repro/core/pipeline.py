@@ -32,6 +32,7 @@ from repro.core.indexed import (AffineApproximation, DEFAULT_ERROR_GATE,
                                 approximate_indexed)
 from repro.core.layout import Layout, RowMajorLayout
 from repro.errors import LayoutError, ReproError, SolverError
+from repro.obs.tracer import obs_span
 from repro.program.ir import (AffineRef, ArrayDecl, IndexedRef, Program)
 
 
@@ -219,7 +220,9 @@ class LayoutTransformer:
                              approximations=approximations)
 
         try:
-            result = data_to_core_mapping(systems)
+            with obs_span("pipeline.solve", cat="compile",
+                          array=array.name, systems=len(systems)):
+                result = data_to_core_mapping(systems)
         except ReproError as exc:
             message = getattr(exc, "message", str(exc))
             raise SolverError(f"Data-to-Core solver failed: {message}",
@@ -238,7 +241,9 @@ class LayoutTransformer:
                              approximations=approximations)
 
         try:
-            layout = self._customize(array, result)
+            with obs_span("pipeline.customize", cat="compile",
+                          array=array.name):
+                layout = self._customize(array, result)
         except ReproError as exc:
             message = getattr(exc, "message", str(exc))
             raise LayoutError(f"layout customization failed: {message}",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FrontendError
+from repro.obs.tracer import obs_span
 from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
                                 AssignNode, KernelModule, LoopNode)
 from repro.frontend.parser import ParseError, parse_kernel
@@ -147,10 +148,12 @@ def _lower_nest(loop: LoopNode, arrays: Dict[str, ArrayDecl],
 
 def lower_module(module: KernelModule, name: str = "kernel") -> Program:
     """Lower a parsed module to a :class:`~repro.program.ir.Program`."""
-    arrays = _lower_arrays(module)
-    nests = [_lower_nest(loop, arrays, i)
-             for i, loop in enumerate(module.loops)]
-    return Program(name, list(arrays.values()), nests)
+    with obs_span("frontend.lower", cat="compile",
+                  nests=len(module.loops)):
+        arrays = _lower_arrays(module)
+        nests = [_lower_nest(loop, arrays, i)
+                 for i, loop in enumerate(module.loops)]
+        return Program(name, list(arrays.values()), nests)
 
 
 def compile_kernel(source: str, name: str = "kernel") -> Program:

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.errors import FrontendError
+from repro.obs.tracer import obs_span
 from repro.frontend.ast import (Affine, ArrayDeclNode, ArrayRefNode,
                                 AssignNode, KernelModule, LoopNode)
 from repro.frontend.lexer import Token, tokenize
@@ -309,4 +310,8 @@ class Parser:
 
 def parse_kernel(source: str) -> KernelModule:
     """Parse a kernel module from source text."""
-    return Parser(source).parse()
+    with obs_span("frontend.lex", cat="compile", chars=len(source)):
+        parser = Parser(source)          # __init__ tokenizes
+    with obs_span("frontend.parse", cat="compile",
+                  tokens=len(parser.tokens)):
+        return parser.parse()

@@ -45,6 +45,7 @@ class ControllerStats:
     row_hits: int = 0
     queue_wait_total: float = 0.0
     busy_total: float = 0.0
+    first_arrival: float = math.inf
     last_finish: float = 0.0
     bank_remaps: int = 0        # requests redirected off a dead bank
     offline_waits: int = 0      # requests that stalled for an offline MC
@@ -54,10 +55,31 @@ class ControllerStats:
     def row_hit_rate(self) -> float:
         return self.row_hits / self.requests if self.requests else 0.0
 
+    @property
+    def busy_elapsed(self) -> float:
+        """The window this controller actually had work: first request
+        arrival to last request finish (0 with no requests)."""
+        if not self.requests or math.isinf(self.first_arrival):
+            return 0.0
+        return max(0.0, self.last_finish - self.first_arrival)
+
     def queue_occupancy(self, elapsed: float) -> float:
         """Mean number of requests waiting in the bank queues (Little's
-        law on the accumulated waiting time)."""
+        law on the accumulated waiting time), over the *whole* run.
+
+        This dilutes the occupancy of a controller that sat idle for
+        most of the run; :meth:`queue_occupancy_busy` normalizes by the
+        controller's own active window instead.  Figure 18 wants the
+        run-wide average (system-level pressure); diagnosing a single
+        hot controller wants the busy-window one.  Report both.
+        """
         return self.queue_wait_total / elapsed if elapsed > 0 else 0.0
+
+    def queue_occupancy_busy(self) -> float:
+        """Mean waiting requests over this controller's busy window
+        (first arrival to last finish) -- undiluted by idle time."""
+        busy = self.busy_elapsed
+        return self.queue_wait_total / busy if busy > 0 else 0.0
 
 
 class MemoryController:
@@ -66,7 +88,8 @@ class MemoryController:
     def __init__(self, config: MachineConfig, node: int,
                  optimal: bool = False,
                  faults: Optional[ControllerFaultModel] = None,
-                 mc_index: int = 0):
+                 mc_index: int = 0,
+                 telemetry=None):
         self.config = config
         self.node = node
         self.optimal = optimal
@@ -80,6 +103,19 @@ class MemoryController:
         self._recent_rows: List[List[int]] = [[] for _ in range(banks)]
         self._recent_times: List[List[float]] = [[] for _ in range(banks)]
         self.stats = ControllerStats()
+        # Optional repro.obs telemetry (obs=full): per-MC queue-wait and
+        # row-hit streams over simulated time, plus a run-wide queue-wait
+        # histogram.  None keeps the hot path free of any publishing.
+        self._ts_wait = self._ts_hit = self._hist_wait = None
+        if telemetry is not None:
+            self._ts_wait = telemetry.series(
+                f"mc.{mc_index}.queue_wait")
+            self._ts_hit = telemetry.series(f"mc.{mc_index}.row_hit")
+            self._hist_wait = telemetry.histogram("mc.queue_wait_cycles")
+            self._tel_requests = telemetry.counter(
+                f"mc.{mc_index}.requests")
+            self._tel_row_hits = telemetry.counter(
+                f"mc.{mc_index}.row_hits")
 
     def _is_row_hit(self, bank: int, row: int, now: float) -> bool:
         """Open-row hit, or a row still inside the FR-FCFS batching
@@ -117,11 +153,15 @@ class MemoryController:
         """
         stats = self.stats
         stats.requests += 1
+        if arrival < stats.first_arrival:
+            stats.first_arrival = arrival
         if self.optimal:
             finish = arrival + self.config.row_hit_cycles
             stats.row_hits += 1
             stats.busy_total += self.config.row_hit_cycles
             stats.last_finish = max(stats.last_finish, finish)
+            if self._ts_wait is not None:
+                self._publish(arrival, 0.0, True)
             return finish, 0.0, True
 
         faults = self.faults
@@ -162,4 +202,16 @@ class MemoryController:
         stats.queue_wait_total += wait
         stats.busy_total += latency
         stats.last_finish = max(stats.last_finish, finish)
+        if self._ts_wait is not None:
+            self._publish(start, wait, hit)
         return finish, wait, hit
+
+    def _publish(self, when: float, wait: float, hit: bool) -> None:
+        """Fold one serviced request into the run's telemetry (only
+        wired when the run observes at ``obs=full``)."""
+        self._ts_wait.record(when, wait)
+        self._ts_hit.record(when, 1.0 if hit else 0.0)
+        self._hist_wait.observe(wait)
+        self._tel_requests.inc()
+        if hit:
+            self._tel_row_hits.inc()

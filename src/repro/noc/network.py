@@ -62,7 +62,7 @@ class Network:
 
     def __init__(self, mesh: Mesh, config: MachineConfig,
                  faults: Optional[NetworkFaultModel] = None,
-                 audit=None):
+                 audit=None, telemetry=None):
         self.mesh = mesh
         self.config = config
         self.faults = faults
@@ -74,6 +74,16 @@ class Network:
             [0.0] * mesh.num_links for _ in range(self.NUM_VNETS)]
         self._routes: Dict[Tuple[int, int], List[int]] = {}
         self.stats = NetworkStats()
+        # Optional repro.obs telemetry (obs=full): per-link flit
+        # occupancy totals plus a time-resolved traffic series.  The
+        # per-link vector stays a plain list on the hot path and is
+        # published into the registry by publish_telemetry().
+        self._telemetry = telemetry
+        self._link_flits: Optional[List[float]] = None
+        self._ts_traffic = None
+        if telemetry is not None:
+            self._link_flits = [0.0] * mesh.num_links
+            self._ts_traffic = telemetry.series("noc.flit_hops")
 
     def route(self, src: int, dst: int, now: float = 0.0) -> List[int]:
         if self.faults is not None:
@@ -126,7 +136,26 @@ class Network:
         hops = len(links)
         stats.total_hops += hops
         stats.flit_hops += hops * flits
+        link_flits = self._link_flits
+        if link_flits is not None:
+            for link in links:
+                link_flits[link] += flits
+            self._ts_traffic.record(depart, hops * flits)
         return t, hops
+
+    def publish_telemetry(self) -> None:
+        """Flush accumulated per-link occupancy and aggregate traffic
+        stats into the attached registry (no-op without one)."""
+        registry = self._telemetry
+        if registry is None:
+            return
+        for link, flits in enumerate(self._link_flits):
+            if flits:
+                registry.counter(f"noc.link.{link}.flits").inc(flits)
+        registry.counter("noc.messages").inc(self.stats.messages)
+        registry.counter("noc.total_hops").inc(self.stats.total_hops)
+        registry.counter("noc.wait_cycles").inc(self.stats.wait_cycles)
+        registry.counter("noc.detours").inc(self.stats.detoured)
 
     def latency_estimate(self, src: int, dst: int, flits: int) -> float:
         """Zero-load latency (no contention), for analyses and tests."""

@@ -1,0 +1,40 @@
+"""repro.obs: span tracing, telemetry, and trace/heatmap export.
+
+The observability subsystem behind ``RunSpec.obs``:
+
+* :mod:`repro.obs.tracer` -- nested wall-clock spans with counters,
+  context-manager and decorator APIs, thread- and process-safe.
+* :mod:`repro.obs.telemetry` -- counters, gauges, exponential-bucket
+  histograms and simulated-time series the NoC, memory controllers,
+  page table and caches publish into.
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON, JSONL,
+  Prometheus text, ASCII/CSV NoC link heatmaps and per-MC occupancy
+  timelines.
+
+Levels (:data:`OBS_LEVELS`): ``off`` (default -- measurably free, see
+``benchmarks/bench_obs_overhead.py``), ``spans`` (wall-clock phase
+tracing), ``full`` (spans + hardware telemetry).  Like
+``RunSpec.validate``, the level is an observation knob, not a
+simulation input: it is excluded from :meth:`RunSpec.key`, so observed
+and unobserved runs share cache identity.
+"""
+
+from repro.obs.data import OBS_LEVELS, ObsData
+from repro.obs.export import (chrome_trace, jsonl_events, link_heatmap,
+                              link_heatmap_csv, mc_timeline,
+                              mc_timeline_csv, profile_table,
+                              prometheus_text, write_chrome_trace)
+from repro.obs.telemetry import (Counter, Gauge, Histogram,
+                                 TelemetryRegistry, TimeSeries)
+from repro.obs.tracer import (SpanRecord, Tracer, activate,
+                              current_tracer, obs_instant, obs_span,
+                              traced)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "OBS_LEVELS", "ObsData",
+    "SpanRecord", "TelemetryRegistry", "TimeSeries", "Tracer",
+    "activate", "chrome_trace", "current_tracer", "jsonl_events",
+    "link_heatmap", "link_heatmap_csv", "mc_timeline",
+    "mc_timeline_csv", "obs_instant", "obs_span", "profile_table",
+    "prometheus_text", "traced", "write_chrome_trace",
+]

@@ -1,0 +1,325 @@
+"""Telemetry registry: counters, gauges, histograms, time series.
+
+Where the tracer answers "where did the wall-clock go", telemetry
+answers "what did the simulated hardware do over simulated time": how
+many flits crossed each mesh link, how deep each memory controller's
+bank queues ran, how the row-hit rate evolved.  Publishers (the NoC,
+the memory controllers, the page table, the caches) create metrics in
+one :class:`TelemetryRegistry` per run and update them inline; the
+registry is a plain picklable object, so per-worker registries from a
+parallel sweep travel back to the parent and merge.
+
+Metric types:
+
+* :class:`Counter` -- a monotone total (``noc.messages``).
+* :class:`Gauge` -- a last-written value with min/max (``mem.pages``).
+* :class:`Histogram` -- exponential buckets (powers of ``base``); one
+  ``observe`` per sample, O(1), for long-tailed quantities like queue
+  waits.
+* :class:`TimeSeries` -- values bucketed over *simulated* cycles
+  (sum/count/max per bucket), the shape behind per-MC queue-depth
+  timelines and row-hit-rate streams.  Buckets are a dict, so a sparse
+  run costs memory proportional to activity, not to duration.
+
+Everything here is deliberately dependency-free and single-writer per
+run: a run's simulator owns its registry exclusively (the isolation the
+multiprogram tests assert), and cross-run aggregation goes through
+:meth:`TelemetryRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "TelemetryRegistry",
+           "TimeSeries"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    # Plain __slots__ classes need explicit pickle support.
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+
+
+class Gauge:
+    """A last-written value, with the min/max ever written."""
+
+    kind = "gauge"
+    __slots__ = ("value", "min", "max", "writes")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.writes = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.writes += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Gauge") -> None:
+        if other.writes:
+            self.value = other.value
+            self.writes += other.writes
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value,
+                "min": (None if math.isinf(self.min) else self.min),
+                "max": (None if math.isinf(self.max) else self.max)}
+
+    def __getstate__(self):
+        return (self.value, self.min, self.max, self.writes)
+
+    def __setstate__(self, state):
+        self.value, self.min, self.max, self.writes = state
+
+
+class Histogram:
+    """Exponential-bucket histogram: bucket ``i`` counts samples with
+    ``base**(i-1) < v <= base**i`` (bucket 0 holds ``v <= 1``)."""
+
+    kind = "histogram"
+    __slots__ = ("base", "buckets", "count", "sum")
+
+    def __init__(self, base: float = 2.0):
+        if base <= 1.0:
+            raise ValueError("histogram base must be > 1")
+        self.base = base
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value <= 1.0:
+            index = 0
+        else:
+            index = int(math.ceil(math.log(value, self.base) - 1e-12))
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def upper_bound(self, index: int) -> float:
+        return self.base ** index
+
+    def merge(self, other: "Histogram") -> None:
+        if other.base != self.base:
+            raise ValueError(
+                f"cannot merge histograms with bases {self.base} "
+                f"and {other.base}")
+        self.count += other.count
+        self.sum += other.sum
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per occupied bucket, in
+        bound order -- the Prometheus ``le`` series."""
+        running = 0
+        out = []
+        for index in sorted(self.buckets):
+            running += self.buckets[index]
+            out.append((self.upper_bound(index), running))
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "base": self.base,
+                "count": self.count, "sum": self.sum,
+                "buckets": {str(self.upper_bound(i)): c
+                            for i, c in sorted(self.buckets.items())}}
+
+    def __getstate__(self):
+        return (self.base, self.buckets, self.count, self.sum)
+
+    def __setstate__(self, state):
+        self.base, self.buckets, self.count, self.sum = state
+
+
+class TimeSeries:
+    """Values bucketed over simulated time: ``record(t, v)`` folds the
+    sample into bucket ``int(t // bucket_cycles)`` (sum, count, max)."""
+
+    kind = "series"
+    __slots__ = ("bucket_cycles", "buckets", "count", "sum")
+
+    def __init__(self, bucket_cycles: float = 1000.0):
+        if bucket_cycles <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_cycles = bucket_cycles
+        # bucket index -> [sum, count, max]
+        self.buckets: Dict[int, List[float]] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def record(self, t: float, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        index = int(t // self.bucket_cycles)
+        slot = self.buckets.get(index)
+        if slot is None:
+            self.buckets[index] = [value, 1.0, value]
+        else:
+            slot[0] += value
+            slot[1] += 1.0
+            if value > slot[2]:
+                slot[2] = value
+
+    def merge(self, other: "TimeSeries") -> None:
+        if other.bucket_cycles != self.bucket_cycles:
+            raise ValueError(
+                f"cannot merge series with bucket widths "
+                f"{self.bucket_cycles} and {other.bucket_cycles}")
+        self.count += other.count
+        self.sum += other.sum
+        for index, (vsum, vcount, vmax) in other.buckets.items():
+            slot = self.buckets.get(index)
+            if slot is None:
+                self.buckets[index] = [vsum, vcount, vmax]
+            else:
+                slot[0] += vsum
+                slot[1] += vcount
+                if vmax > slot[2]:
+                    slot[2] = vmax
+
+    def points(self) -> Iterator[Tuple[float, float, int, float]]:
+        """``(bucket_start_cycle, mean, count, max)`` in time order."""
+        for index in sorted(self.buckets):
+            vsum, vcount, vmax = self.buckets[index]
+            yield (index * self.bucket_cycles, vsum / vcount,
+                   int(vcount), vmax)
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """First and one-past-last cycle covered by any bucket."""
+        if not self.buckets:
+            return 0.0, 0.0
+        lo = min(self.buckets) * self.bucket_cycles
+        hi = (max(self.buckets) + 1) * self.bucket_cycles
+        return lo, hi
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "bucket_cycles": self.bucket_cycles,
+                "count": self.count, "sum": self.sum,
+                "points": [[t, mean, count, vmax]
+                           for t, mean, count, vmax in self.points()]}
+
+    def __getstate__(self):
+        return (self.bucket_cycles, self.buckets, self.count, self.sum)
+
+    def __setstate__(self, state):
+        (self.bucket_cycles, self.buckets,
+         self.count, self.sum) = state
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "series": TimeSeries}
+
+
+class TelemetryRegistry:
+    """One run's metrics by name.  Accessors are get-or-create, so a
+    publisher never has to know whether another layer already claimed
+    the name -- but a name's type is fixed on first use."""
+
+    def __init__(self) -> None:
+        self.metrics: Dict[str, object] = {}
+
+    # -- get-or-create accessors --------------------------------------------
+    def _get(self, name: str, kind: str, factory):
+        metric = self.metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self.metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"telemetry metric {name!r} is a {metric.kind}, "
+                f"not a {kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter", Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge", Gauge)
+
+    def histogram(self, name: str, base: float = 2.0) -> Histogram:
+        return self._get(name, "histogram", lambda: Histogram(base))
+
+    def series(self, name: str,
+               bucket_cycles: float = 1000.0) -> TimeSeries:
+        return self._get(name, "series",
+                         lambda: TimeSeries(bucket_cycles))
+
+    # -- reading ------------------------------------------------------------
+    def get(self, name: str):
+        return self.metrics.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self.metrics if n.startswith(prefix))
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar view of a metric: counter/gauge value, histogram and
+        series sum.  Missing metrics read as ``default``."""
+        metric = self.metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        return metric.sum
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable snapshot of every metric."""
+        return {name: metric.as_dict()
+                for name, metric in sorted(self.metrics.items())}
+
+    # -- aggregation --------------------------------------------------------
+    def merge(self, other: "TelemetryRegistry") -> "TelemetryRegistry":
+        """Fold another registry into this one (same-named metrics must
+        have the same type); returns self."""
+        for name, metric in other.metrics.items():
+            mine = self.metrics.get(name)
+            if mine is None:
+                self.metrics[name] = self._clone(metric)
+            elif mine.kind != metric.kind:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: {mine.kind} "
+                    f"vs {metric.kind}")
+            else:
+                mine.merge(metric)
+        return self
+
+    @staticmethod
+    def _clone(metric):
+        fresh = _TYPES[metric.kind].__new__(_TYPES[metric.kind])
+        fresh.__setstate__(metric.__getstate__())
+        # Deep-copy mutable bucket state so merges never alias.
+        if isinstance(fresh, Histogram):
+            fresh.buckets = dict(fresh.buckets)
+        elif isinstance(fresh, TimeSeries):
+            fresh.buckets = {k: list(v) for k, v in fresh.buckets.items()}
+        return fresh

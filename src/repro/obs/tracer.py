@@ -1,0 +1,233 @@
+"""Zero-dependency span tracer: where wall-clock time goes, nested.
+
+A *span* is one timed region of work -- a compiler phase, a simulator
+stage, a harness attempt -- with a name, a category, optional counters,
+and the thread it ran on.  :class:`Tracer` collects spans into
+per-thread buffers (appends never contend across threads) and merges
+them on demand, so instrumented code can run under the parallel sweep
+executor or a multi-threaded harness without locks on the hot path.
+
+Instrumented code never holds a tracer reference.  It calls
+:func:`obs_span` (or decorates with :func:`traced`), which looks up the
+*active* tracer in a :class:`contextvars.ContextVar`: one lookup, and a
+shared no-op context manager when tracing is off.  Context variables
+are inherited per thread and per task, so two runs traced concurrently
+-- co-scheduled workloads, parallel sweep points -- each see only their
+own tracer and can never interleave spans (the isolation
+``tests/test_obs.py`` asserts).
+
+The clock is :func:`time.perf_counter`; span records carry absolute
+values and the exporters normalize per tracer, so merging tracers from
+one process keeps true relative timing while cross-process merges
+simply share an origin.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["SpanRecord", "Tracer", "activate", "current_tracer",
+           "obs_instant", "obs_span", "traced"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: a named, timed region on one thread."""
+
+    name: str
+    cat: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    tid: int = 0
+    run: str = ""
+    args: Optional[Dict[str, object]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _SpanHandle:
+    """Context manager for one open span (also usable re-entrantly)."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self._record = record
+
+    def add(self, **counters: object) -> "_SpanHandle":
+        """Attach counters/attributes to the span (e.g. retries=2)."""
+        record = self._record
+        if record.args is None:
+            record.args = {}
+        record.args.update(counters)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._record.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        record = self._record
+        record.end = time.perf_counter()
+        record.tid = threading.get_ident()
+        self._tracer._append(record)
+
+
+class _NullSpan:
+    """The shared no-op span: what :func:`obs_span` returns when no
+    tracer is active.  Every method is a no-op so instrumented code
+    never branches on whether tracing is on."""
+
+    __slots__ = ()
+
+    def add(self, **counters: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into per-thread buffers; merged by :meth:`spans`.
+
+    ``label`` names the run the spans belong to (stamped on every
+    record, so merged traces from many runs stay attributable).
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.epoch = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._buffers: List[List[SpanRecord]] = []
+        self._absorbed: List[SpanRecord] = []
+
+    # -- recording ----------------------------------------------------------
+    def _buffer(self) -> List[SpanRecord]:
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = []
+            self._local.buf = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
+    def _append(self, record: SpanRecord) -> None:
+        self._buffer().append(record)
+
+    def span(self, name: str, cat: str = "",
+             **args: object) -> _SpanHandle:
+        """A context manager timing one region::
+
+            with tracer.span("pipeline.solve", array="Z"):
+                ...
+        """
+        record = SpanRecord(name=name, cat=cat, run=self.label,
+                            args=dict(args) if args else None)
+        return _SpanHandle(self, record)
+
+    def instant(self, name: str, cat: str = "", **args: object) -> None:
+        """Record a zero-duration event (e.g. a fault activation)."""
+        now = time.perf_counter()
+        self._append(SpanRecord(
+            name=name, cat=cat, start=now, end=now,
+            tid=threading.get_ident(), run=self.label,
+            args=dict(args) if args else None))
+
+    # -- collection ---------------------------------------------------------
+    def spans(self) -> List[SpanRecord]:
+        """All completed spans, merged across threads, by start time."""
+        with self._lock:
+            merged = [record for buf in self._buffers for record in buf]
+            merged.extend(self._absorbed)
+        merged.sort(key=lambda r: (r.start, r.end))
+        return merged
+
+    def absorb(self, records: Iterable[SpanRecord]) -> None:
+        """Adopt finished spans from another tracer (e.g. a per-run
+        tracer reporting up to a CLI-level collector)."""
+        records = list(records)
+        with self._lock:
+            self._absorbed.extend(records)
+
+    def activate(self) -> "_Activation":
+        """Make this the tracer :func:`obs_span` resolves to, within
+        the ``with`` block (per thread / per context)."""
+        return _Activation(self)
+
+
+_ACTIVE: contextvars.ContextVar[Optional[Tracer]] = contextvars.ContextVar(
+    "repro_obs_tracer", default=None)
+
+
+class _Activation:
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: Optional[Tracer]):
+        self._tracer = tracer
+        self._token = None
+
+    def __enter__(self) -> Optional[Tracer]:
+        self._token = _ACTIVE.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.reset(self._token)
+
+
+def activate(tracer: Optional[Tracer]) -> _Activation:
+    """Context manager installing ``tracer`` as the active tracer
+    (``None`` deactivates tracing within the block)."""
+    return _Activation(tracer)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer :func:`obs_span` would record into, or ``None``."""
+    return _ACTIVE.get()
+
+
+def obs_span(name: str, cat: str = "", **args: object):
+    """Span on the active tracer -- the one call instrumented code
+    makes.  With no active tracer this returns the shared no-op span,
+    so the disabled cost is one context-variable read."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def obs_instant(name: str, cat: str = "", **args: object) -> None:
+    """Instant event on the active tracer (no-op when tracing is off)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+def traced(name: Optional[str] = None, cat: str = ""):
+    """Decorator form of :func:`obs_span`::
+
+        @traced("analysis.report")
+        def build_report(...): ...
+    """
+    def deco(func):
+        span_name = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with obs_span(span_name, cat):
+                return func(*args, **kwargs)
+        return wrapper
+    return deco

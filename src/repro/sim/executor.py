@@ -32,7 +32,8 @@ import itertools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.arch.clustering import (balanced_mapping, grid_mapping,
                                    mapping_m1, mapping_m2)
@@ -98,7 +99,8 @@ def point_specs(program: Program, base_config: MachineConfig,
                 settings: Mapping[str, object],
                 fault_plan: Optional[FaultPlan] = None,
                 seed: int = 0,
-                validate: str = "off") -> Tuple[RunSpec, RunSpec]:
+                validate: str = "off",
+                obs: str = "off") -> Tuple[RunSpec, RunSpec]:
     """The baseline/optimized :class:`RunSpec` pair for one grid point.
 
     This is the single source of truth for what a sweep point *means*;
@@ -112,7 +114,7 @@ def point_specs(program: Program, base_config: MachineConfig,
     specs = tuple(
         RunSpec(program=program, config=config, mapping=mapping,
                 optimized=optimized, fault_plan=fault_plan, seed=seed,
-                validate=validate)
+                validate=validate, obs=obs)
         for optimized in (False, True))
     return specs[0], specs[1]
 
@@ -132,6 +134,7 @@ class PointTask:
     fault_plan: Optional[FaultPlan] = None
     seed: int = 0
     validate: str = "off"
+    obs: str = "off"
     hardened: bool = False
     harness: Optional[object] = None  # HarnessConfig; typed loosely to
     # keep this module import-cycle-free with repro.sim.harness
@@ -146,6 +149,9 @@ class PointOutcome:
     row: Optional[Dict[str, object]] = None
     comparison: Optional[Comparison] = None
     error: Optional[str] = None
+    # Per-run ObsData bundles (baseline then optimized) when the task
+    # requested obs != "off"; picklable, so they survive the pool.
+    obs: List[object] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -162,8 +168,9 @@ def run_point(task: PointTask) -> PointOutcome:
     settings = dict(task.settings)
     base_spec, opt_spec = point_specs(task.program, task.base_config,
                                       settings, task.fault_plan,
-                                      task.seed, task.validate)
+                                      task.seed, task.validate, task.obs)
     key = point_key((base_spec, opt_spec))
+    obs_parts: List[object] = []
     if task.hardened:
         from repro.sim.harness import run_hardened
         metrics = []
@@ -176,14 +183,17 @@ def run_point(task: PointTask) -> PointOutcome:
                            f"{outcome.error} "
                            f"(after {outcome.attempts} attempts)"))
             metrics.append(outcome.result.metrics)
+            if outcome.result.obs is not None:
+                obs_parts.append(outcome.result.obs)
         comparison = Comparison(metrics[0], metrics[1])
     else:
         base = run_simulation(base_spec)
         opt = run_simulation(opt_spec)
         comparison = Comparison(base.metrics, opt.metrics)
+        obs_parts = [r.obs for r in (base, opt) if r.obs is not None]
     return PointOutcome(settings=settings, key=key,
                         row=comparison_row(settings, comparison),
-                        comparison=comparison)
+                        comparison=comparison, obs=obs_parts)
 
 
 def default_workers() -> int:
@@ -201,7 +211,9 @@ def default_chunksize(num_tasks: int, workers: int) -> int:
 
 
 def execute_points(tasks: Sequence[PointTask], workers: int = 1,
-                   chunksize: Optional[int] = None) -> List[PointOutcome]:
+                   chunksize: Optional[int] = None,
+                   progress: Optional[Callable[[PointOutcome], None]]
+                   = None) -> List[PointOutcome]:
     """Run grid points, preserving submission order.
 
     ``workers=None`` means :func:`default_workers`.  With one worker
@@ -210,14 +222,29 @@ def execute_points(tasks: Sequence[PointTask], workers: int = 1,
     debuggable path.  Worker processes inherit nothing stochastic: all
     seeding travels inside each task, so the fan-out is bit-identical
     to the serial loop.
+
+    ``progress`` (optional) is called in the *parent* process with each
+    outcome as it is collected, in submission order -- the hook behind
+    ``repro-cli sweep --progress``.  It never rides into workers, so it
+    need not be picklable.
     """
     tasks = list(tasks)
     if workers is None:
         workers = default_workers()
     workers = max(1, min(int(workers), len(tasks) or 1))
+    outcomes: List[PointOutcome] = []
     if workers == 1:
-        return [run_point(task) for task in tasks]
+        for task in tasks:
+            outcome = run_point(task)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return outcomes
     if chunksize is None:
         chunksize = default_chunksize(len(tasks), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_point, tasks, chunksize=chunksize))
+        for outcome in pool.map(run_point, tasks, chunksize=chunksize):
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return outcomes

@@ -33,6 +33,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.arch.config import MachineConfig
 from repro.errors import ReproError, SimulationTimeout
 from repro.faults.plan import FaultPlan
+from repro.obs.data import ObsData
+from repro.obs.tracer import obs_instant, obs_span
 from repro.program.ir import Program
 from repro.sim.executor import (PointTask, execute_points, grid_settings,
                                 point_key, point_specs, validate_axes)
@@ -118,13 +120,18 @@ def run_hardened(spec: RunSpec,
     while True:
         outcome.attempts = attempt + 1
         try:
-            outcome.result = _attempt(spec, harness.timeout)
+            with obs_span("harness.attempt", cat="harness",
+                          label=outcome.label, attempt=attempt + 1):
+                outcome.result = _attempt(spec, harness.timeout)
             break
         except ReproError as err:
             outcome.error = str(err)
             outcome.error_kind = err.kind
             if not (err.transient and attempt < harness.max_retries):
                 break
+            obs_instant("harness.retry", cat="harness",
+                        label=outcome.label, attempt=attempt + 1,
+                        kind=err.kind)
             harness.sleep(harness.backoff(attempt))
         except Exception as exc:  # deterministic failure: no retry
             outcome.error = f"{type(exc).__name__}: {exc}"
@@ -168,6 +175,9 @@ class SweepReport:
     resumed: int = 0
     #: Populated by the plain-sweep path of :func:`repro.api.sweep`.
     points: List[object] = field(default_factory=list)
+    #: Merged :class:`~repro.obs.data.ObsData` over every freshly
+    #: simulated run, when the sweep requested ``obs != "off"``.
+    obs: Optional[ObsData] = None
 
     @property
     def completed(self) -> int:
@@ -207,7 +217,8 @@ class HardenedSweep:
                  fault_plan: Optional[FaultPlan] = None,
                  seed: int = 0,
                  workers: int = 1,
-                 validate: str = "off"):
+                 validate: str = "off",
+                 obs: str = "off"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -217,6 +228,7 @@ class HardenedSweep:
         self.seed = seed
         self.workers = workers
         self.validate = validate
+        self.obs = obs
         self._done: Dict[str, Dict[str, object]] = {}
         if self.checkpoint is not None and self.checkpoint.exists():
             payload = json.loads(self.checkpoint.read_text())
@@ -249,12 +261,19 @@ class HardenedSweep:
                                      self.seed))
 
     def run(self, max_points: Optional[int] = None,
+            progress: Optional[Callable[[int, int, int, int], None]]
+            = None,
             **axes: Iterable) -> SweepReport:
         """Run the cartesian product of the axes, resuming from the
         checkpoint.  ``max_points`` bounds the number of *newly
         simulated* points (smoke runs; also how the resume tests model
         a killed sweep) -- remaining points are simply left for the
-        next invocation."""
+        next invocation.
+
+        ``progress`` (optional) is called after every completed wave
+        with ``(wave_index, points_done, points_failed, total_fresh)``
+        -- the hook behind ``repro-cli sweep --progress``.
+        """
         validate_axes(axes)
         report = SweepReport()
         pending: List[Tuple[str, Dict[str, object]]] = []
@@ -281,6 +300,8 @@ class HardenedSweep:
         # wave, bounding both checkpoint-write frequency and the work a
         # kill can lose.
         done = set(self._done)
+        obs_parts: List[object] = []
+        completed = 0
         wave = max(1, self.workers) * 2
         for start in range(0, len(pending), wave):
             batch = pending[start:start + wave]
@@ -289,15 +310,17 @@ class HardenedSweep:
                            base_config=self.base_config,
                            settings=tuple(sorted(settings.items())),
                            fault_plan=self.fault_plan, seed=self.seed,
-                           validate=self.validate,
+                           validate=self.validate, obs=self.obs,
                            hardened=True, harness=self.harness)
                  for _, settings in batch],
                 workers=self.workers)
             for (key, settings), outcome in zip(batch, outcomes):
+                obs_parts.extend(outcome.obs)
                 if not outcome.ok:
                     report.failures.append(
                         {**settings, "error": outcome.error})
                     continue
+                completed += 1
                 self._done[key] = outcome.row
                 for slot in slots[key]:
                     # Each slot keeps its own axis values; the metrics
@@ -305,6 +328,12 @@ class HardenedSweep:
                     report.rows[slot] = comparison_row(
                         report.rows[slot], outcome.comparison)
             self._save()
+            if progress is not None:
+                progress(start // wave, completed,
+                         len(report.failures), len(pending))
+        if obs_parts:
+            report.obs = ObsData.merged(
+                obs_parts, label=f"{self.program.name}/sweep")
         # Drop placeholders for failed (or max_points-skipped) points.
         report.rows = [row for row in report.rows
                        if not (isinstance(row, dict)

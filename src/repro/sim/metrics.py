@@ -52,6 +52,9 @@ class RunMetrics:
     mc_requests: List[int] = field(default_factory=list)
     mc_row_hits: List[int] = field(default_factory=list)
     mc_queue_wait: List[float] = field(default_factory=list)
+    # per-MC active window (first request arrival to last finish); the
+    # denominator for the undiluted occupancy of mostly-idle controllers
+    mc_busy_elapsed: List[float] = field(default_factory=list)
 
     net_wait_cycles: float = 0.0
     page_fallbacks: int = 0
@@ -111,10 +114,25 @@ class RunMetrics:
 
     def bank_queue_occupancy(self) -> float:
         """Mean waiting requests across controllers (Figure 18's metric),
-        by Little's law over the run's span."""
+        by Little's law over the run's span.
+
+        Dilutes controllers that sat idle for most of the run; see
+        :meth:`bank_queue_occupancy_busy` for the undiluted view.
+        """
         if self.exec_time <= 0:
             return 0.0
         return sum(self.mc_queue_wait) / self.exec_time
+
+    def bank_queue_occupancy_busy(self) -> float:
+        """Mean waiting requests over the controllers' own busy windows
+        (first arrival to last finish, per MC) -- the occupancy a hot
+        controller actually experienced, undiluted by run-wide idle
+        time.  Falls back to :meth:`bank_queue_occupancy` when busy
+        windows were not recorded (older serialized results)."""
+        busy = sum(self.mc_busy_elapsed)
+        if busy <= 0:
+            return self.bank_queue_occupancy()
+        return sum(self.mc_queue_wait) / busy
 
     def hop_cdf(self, kind: str = "offchip") -> Dict[int, float]:
         """CDF of links traversed per request (Figure 15).

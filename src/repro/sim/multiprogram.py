@@ -24,6 +24,9 @@ import numpy as np
 from repro.arch.clustering import L2ToMCMapping, partial_grid_mapping
 from repro.arch.config import MachineConfig
 from repro.core.pipeline import LayoutTransformer, original_layouts
+from repro.obs.data import OBS_LEVELS, ObsData
+from repro.obs.telemetry import TelemetryRegistry
+from repro.obs.tracer import Tracer
 from repro.program.address_space import AddressSpace
 from repro.program.ir import Program
 from repro.program.trace import generate_traces
@@ -85,7 +88,9 @@ def _compile_app(program: Program, config: MachineConfig,
 
 def _simulate(config: MachineConfig, full_mapping: L2ToMCMapping,
               apps: Sequence[AppPlacement],
-              overheads: Sequence[float]) -> List[float]:
+              overheads: Sequence[float],
+              telemetry: Optional[TelemetryRegistry] = None
+              ) -> List[float]:
     """Co-run all apps; returns each app's completion time."""
     thread_nodes: List[int] = []
     vtraces: List[np.ndarray] = []
@@ -99,12 +104,39 @@ def _simulate(config: MachineConfig, full_mapping: L2ToMCMapping,
         spans.append((start, len(thread_nodes)))
     # Multiprogrammed runs use cache-line interleaving (identity V2P).
     streams = build_streams(config, thread_nodes, vtraces, vtraces, gaps)
-    simulator = SystemSimulator(config, full_mapping)
+    simulator = SystemSimulator(config, full_mapping,
+                                telemetry=telemetry)
     metrics = simulator.run(streams)
     times = []
     for (lo, hi), overhead in zip(spans, overheads):
         finish = max(metrics.thread_finish[lo:hi], default=0.0)
         times.append(finish * (1.0 + overhead))
+    return times
+
+
+def _observed_simulate(label: str, obs: str, config: MachineConfig,
+                       full_mapping: L2ToMCMapping,
+                       apps: Sequence[AppPlacement],
+                       overheads: Sequence[float],
+                       collected: Dict[str, ObsData]) -> List[float]:
+    """One co-run under its own tracer/registry: runs observed back to
+    back each get an isolated bundle (spans and telemetry can never
+    bleed between the alone/shared or original/optimized runs)."""
+    if obs == "off":
+        return _simulate(config, full_mapping, apps, overheads)
+    tracer = Tracer(label=label)
+    telemetry = TelemetryRegistry() if obs == "full" else None
+    with tracer.activate():
+        with tracer.span("multiprogram.simulate", cat="sim",
+                         apps=len(apps)):
+            times = _simulate(config, full_mapping, apps, overheads,
+                              telemetry=telemetry)
+    collected[label] = ObsData(
+        level=obs, label=label, spans=tracer.spans(),
+        telemetry=telemetry,
+        meta={"mesh": (config.mesh_width, config.mesh_height),
+              "apps": [app.program.name for app in apps],
+              "exec_time": max(times, default=0.0)})
     return times
 
 
@@ -117,6 +149,10 @@ class WeightedSpeedupResult:
     alone_optimized: List[float]
     shared_original: List[float]
     shared_optimized: List[float]
+    # One isolated ObsData per constituent co-run (keys like
+    # "shared/original", "alone/0.swim/optimized"), populated when
+    # run_multiprogram() was called with obs != "off".
+    obs: Optional[Dict[str, ObsData]] = None
 
     @property
     def ws_original(self) -> float:
@@ -137,10 +173,17 @@ class WeightedSpeedupResult:
 
 
 def run_multiprogram(programs: Sequence[Program], config: MachineConfig,
-                     clusters_per_app: int = 2) -> WeightedSpeedupResult:
+                     clusters_per_app: int = 2,
+                     obs: str = "off") -> WeightedSpeedupResult:
     """Co-run ``programs`` (2 or 4) and compare layouts via weighted
     speedup.  ``T_alone`` runs each app by itself on its own region (the
-    standard weighted-speedup baseline)."""
+    standard weighted-speedup baseline).
+
+    ``obs`` observes every constituent co-run (each under its own
+    tracer and registry -- see ``result.obs``)."""
+    if obs not in OBS_LEVELS:
+        raise ValueError(f"unknown observability level {obs!r}; "
+                         f"levels: {', '.join(OBS_LEVELS)}")
     regions = split_regions(config, len(programs))
     mesh = config.mesh()
     mc_nodes = config.mc_nodes(mesh)
@@ -165,18 +208,28 @@ def run_multiprogram(programs: Sequence[Program], config: MachineConfig,
     base_apps, base_over = placements(False)
     opt_apps, opt_over = placements(True)
 
+    collected: Dict[str, ObsData] = {}
     alone_original = [
-        _simulate(config, full_mapping, [app], [over])[0]
-        for app, over in zip(base_apps, base_over)]
+        _observed_simulate(f"alone/{i}.{app.program.name}/original",
+                           obs, config, full_mapping, [app], [over],
+                           collected)[0]
+        for i, (app, over) in enumerate(zip(base_apps, base_over))]
     alone_optimized = [
-        _simulate(config, full_mapping, [app], [over])[0]
-        for app, over in zip(opt_apps, opt_over)]
-    shared_original = _simulate(config, full_mapping, base_apps, base_over)
-    shared_optimized = _simulate(config, full_mapping, opt_apps, opt_over)
+        _observed_simulate(f"alone/{i}.{app.program.name}/optimized",
+                           obs, config, full_mapping, [app], [over],
+                           collected)[0]
+        for i, (app, over) in enumerate(zip(opt_apps, opt_over))]
+    shared_original = _observed_simulate(
+        "shared/original", obs, config, full_mapping, base_apps,
+        base_over, collected)
+    shared_optimized = _observed_simulate(
+        "shared/optimized", obs, config, full_mapping, opt_apps,
+        opt_over, collected)
 
     return WeightedSpeedupResult(
         workload=tuple(p.name for p in programs),
         alone_original=alone_original,
         alone_optimized=alone_optimized,
         shared_original=shared_original,
-        shared_optimized=shared_optimized)
+        shared_optimized=shared_optimized,
+        obs=collected or None)

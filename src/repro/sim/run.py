@@ -35,6 +35,9 @@ from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
 from repro.core.pipeline import (LayoutTransformer, TransformationResult,
                                  original_layouts)
 from repro.faults.plan import FaultPlan
+from repro.obs.data import OBS_LEVELS, ObsData
+from repro.obs.telemetry import TelemetryRegistry
+from repro.obs.tracer import Tracer, current_tracer, obs_instant, obs_span
 from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
                                       MCAwarePolicy, PhysicalMemory,
                                       SequentialPolicy)
@@ -112,6 +115,11 @@ class RunSpec:
     # knob, not a simulation input: it is deliberately excluded from
     # key(), so validated and unvalidated runs share cache identity.
     validate: str = "off"
+    # Observability level (repro.obs): "off" costs nothing, "spans"
+    # traces wall-clock phases, "full" additionally collects hardware
+    # telemetry (per-link flit occupancy, per-MC queue series).  Like
+    # ``validate``, an observation knob excluded from key().
+    obs: str = "off"
 
     def __post_init__(self) -> None:
         if self.page_policy not in PAGE_POLICIES:
@@ -120,6 +128,10 @@ class RunSpec:
             raise ValueError(f"unknown validation level "
                              f"{self.validate!r}; levels: "
                              f"{', '.join(VALIDATE_LEVELS)}")
+        if self.obs not in OBS_LEVELS:
+            raise ValueError(f"unknown observability level "
+                             f"{self.obs!r}; levels: "
+                             f"{', '.join(OBS_LEVELS)}")
 
     def resolved_mapping(self) -> L2ToMCMapping:
         return self.mapping or self.config.default_mapping()
@@ -176,6 +188,9 @@ class RunResult:
     # The RunAudit assembled when spec.validate != "off" (None otherwise);
     # kept on the result so tests and the doctor can re-check artifacts.
     audit: Optional[RunAudit] = None
+    # The observability bundle when spec.obs != "off" (None otherwise):
+    # phase spans, telemetry registry (full level), and exporter metadata.
+    obs: Optional[ObsData] = None
 
 
 def _make_policy(spec: RunSpec, mapping: L2ToMCMapping,
@@ -193,26 +208,85 @@ def _make_policy(spec: RunSpec, mapping: L2ToMCMapping,
     return MCAwarePolicy(hints, mapping)
 
 
+def _fault_windows(plan: FaultPlan) -> List[Dict[str, object]]:
+    """The plan's activation windows as plain dicts, for trace export
+    (Chrome fault-lane events) and the per-run ``ObsData.meta``."""
+    windows: List[Dict[str, object]] = []
+    for fault in plan.link_faults:
+        windows.append({"kind": "link_dead",
+                        "what": f"link {fault.a}-{fault.b}",
+                        "start": fault.start, "end": fault.end})
+    for deg in plan.link_degradations:
+        windows.append({"kind": "link_degraded",
+                        "what": f"link {deg.a}-{deg.b} x{deg.factor:g}",
+                        "start": deg.start, "end": deg.end})
+    for fault in plan.mc_faults:
+        what = f"mc {fault.mc} {fault.kind}"
+        if fault.kind == "slow":
+            what += f" x{fault.factor:g}"
+        windows.append({"kind": f"mc_{fault.kind}", "what": what,
+                        "start": fault.start, "end": fault.end})
+    for fault in plan.bank_faults:
+        windows.append({"kind": "bank_dead",
+                        "what": f"mc {fault.mc} bank {fault.bank}",
+                        "start": 0.0, "end": None})
+    return windows
+
+
 def run_simulation(spec: RunSpec) -> RunResult:
-    """Execute one :class:`RunSpec` end to end."""
+    """Execute one :class:`RunSpec` end to end.
+
+    With ``spec.obs != "off"`` the run is observed: a fresh per-run
+    :class:`~repro.obs.tracer.Tracer` is activated for the duration (so
+    concurrently observed runs never interleave spans), the bundle is
+    attached as ``result.obs``, and -- when a tracer was already active
+    in this context (e.g. the CLI profiling a whole sweep) -- the
+    finished spans are also absorbed into it.
+    """
+    if spec.obs == "off":
+        return _execute(spec, None)
+    obs = ObsData(level=spec.obs, label=spec.label(),
+                  telemetry=(TelemetryRegistry()
+                             if spec.obs == "full" else None))
+    tracer = Tracer(label=spec.label())
+    outer = current_tracer()
+    with tracer.activate():
+        with tracer.span("run", cat="run", key=spec.key()):
+            result = _execute(spec, obs)
+    obs.spans = tracer.spans()
+    result.obs = obs
+    if outer is not None:
+        outer.absorb(obs.spans)
+    return result
+
+
+def _execute(spec: RunSpec, obs: Optional[ObsData]) -> RunResult:
+    """The simulation flow proper, instrumented with phase spans."""
     config = spec.config
     mapping = spec.resolved_mapping()
     num_threads = config.num_cores * config.threads_per_core
+    telemetry = obs.telemetry if obs is not None else None
 
     transformation: Optional[TransformationResult] = None
     if spec.optimized:
-        transformer = LayoutTransformer(
-            config, mapping, localize_offchip=spec.localize_offchip)
-        transformation = transformer.run(spec.program)
+        with obs_span("compile.transform", cat="compile"):
+            transformer = LayoutTransformer(
+                config, mapping, localize_offchip=spec.localize_offchip)
+            transformation = transformer.run(spec.program)
         layouts = transformation.layouts
         transformed = transformation.any_transformed
     else:
         layouts = original_layouts(spec.program)
         transformed = False
 
-    space = AddressSpace(config)
-    bases = space.place_all(layouts)
-    traces = generate_traces(spec.program, layouts, bases, num_threads)
+    with obs_span("os.place", cat="os", arrays=len(layouts)):
+        space = AddressSpace(config)
+        bases = space.place_all(layouts)
+    with obs_span("trace.generate", cat="trace",
+                  threads=num_threads) as span:
+        traces = generate_traces(spec.program, layouts, bases,
+                                 num_threads)
+        span.add(accesses=sum(len(t.vaddrs) for t in traces))
     vtraces = [t.vaddrs for t in traces]
     gaps = [t.gaps for t in traces]
 
@@ -241,39 +315,57 @@ def run_simulation(spec: RunSpec) -> RunResult:
     if isinstance(policy, IdentityPolicy):
         ptraces = vtraces  # ppn == vpn: skip the table walk entirely
     else:
-        ptraces = translate_traces(vtraces, table, thread_cores,
-                                   seed=spec.seed)
+        with obs_span("os.translate", cat="os"):
+            ptraces = translate_traces(vtraces, table, thread_cores,
+                                       seed=spec.seed)
 
-    streams = build_streams(config, thread_cores, vtraces, ptraces, gaps,
-                            writes=[t.writes for t in traces],
-                            segments=[t.segments for t in traces])
+    with obs_span("sim.build_streams", cat="sim"):
+        streams = build_streams(config, thread_cores, vtraces, ptraces,
+                                gaps,
+                                writes=[t.writes for t in traces],
+                                segments=[t.segments for t in traces])
     network_audit = (NetworkAudit(mapping.mesh)
                      if spec.validate == "strict" else None)
     simulator = SystemSimulator(
         config, mapping, optimal=spec.optimal,
         miss_overlap=config.effective_overlap(spec.program.mlp_demand),
-        fault_plan=spec.fault_plan, network_audit=network_audit)
+        fault_plan=spec.fault_plan, network_audit=network_audit,
+        telemetry=telemetry)
+    if obs is not None and spec.fault_plan is not None \
+            and not spec.fault_plan.empty:
+        windows = _fault_windows(spec.fault_plan)
+        obs.meta["fault_windows"] = windows
+        for window in windows:
+            obs_instant("fault.activate", cat="fault", **window)
     overhead = config.transform_overhead if transformed else 0.0
-    metrics = simulator.run(streams, transform_overhead=overhead,
-                            name=spec.label())
+    with obs_span("sim.system", cat="sim"):
+        metrics = simulator.run(streams, transform_overhead=overhead,
+                                name=spec.label())
     metrics.page_fallbacks = getattr(policy, "fallbacks", 0)
+    if obs is not None:
+        obs.meta["mesh"] = (mapping.mesh.width, mapping.mesh.height)
+        obs.meta["exec_time"] = metrics.exec_time
+        if telemetry is not None:
+            telemetry.counter("os.page_fallbacks").inc(
+                metrics.page_fallbacks)
 
     audit: Optional[RunAudit] = None
     if spec.validate != "off":
-        audit = RunAudit(
-            spec=spec, config=config, mapping=mapping,
-            transformation=transformation, layouts=dict(layouts),
-            page_table=table, memory=memory, policy=policy,
-            metrics=metrics, network_audit=network_audit)
-        report = validate_run(audit, spec.validate)
-        metrics.validation_checks = report.checks_run
-        metrics.validation_violations = len(report.violations)
-        report.raise_if_failed(label=spec.label())
+        with obs_span("validate", cat="validate", level=spec.validate):
+            audit = RunAudit(
+                spec=spec, config=config, mapping=mapping,
+                transformation=transformation, layouts=dict(layouts),
+                page_table=table, memory=memory, policy=policy,
+                metrics=metrics, network_audit=network_audit, obs=obs)
+            report = validate_run(audit, spec.validate)
+            metrics.validation_checks = report.checks_run
+            metrics.validation_violations = len(report.violations)
+            report.raise_if_failed(label=spec.label())
 
     return RunResult(spec=spec, metrics=metrics,
                      transformation=transformation,
                      page_fallbacks=metrics.page_fallbacks,
-                     audit=audit)
+                     audit=audit, obs=obs)
 
 
 def run_pair(program: Program, config: MachineConfig,

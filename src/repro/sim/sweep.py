@@ -19,10 +19,11 @@ the shared serializer (:mod:`repro.sim.serialize`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.arch.config import MachineConfig
 from repro.faults.plan import FaultPlan
+from repro.obs.data import ObsData
 # Re-exported for backward compatibility: these historically lived here.
 from repro.sim.executor import (CONFIG_AXES, MAPPING_PRESETS, PointTask,
                                 execute_points, grid_settings, point_key,
@@ -72,7 +73,8 @@ class Sweep:
                  workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
                  seed: int = 0,
-                 validate: str = "off"):
+                 validate: str = "off",
+                 obs: str = "off"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(
@@ -81,7 +83,9 @@ class Sweep:
         self.fault_plan = fault_plan
         self.seed = seed
         self.validate = validate
+        self.obs = obs
         self._cache: Dict[str, Comparison] = {}
+        self._obs_parts: List[ObsData] = []
 
     def _key(self, settings: Dict[str, object]) -> str:
         return point_key(point_specs(self.program, self.base_config,
@@ -93,10 +97,15 @@ class Sweep:
                          base_config=self.base_config,
                          settings=tuple(sorted(settings.items())),
                          fault_plan=self.fault_plan, seed=self.seed,
-                         validate=self.validate)
+                         validate=self.validate, obs=self.obs)
 
-    def run(self, **axes: Iterable) -> List[SweepPoint]:
-        """Run the cartesian product of the given axes."""
+    def run(self, progress: Optional[Callable] = None,
+            **axes: Iterable) -> List[SweepPoint]:
+        """Run the cartesian product of the given axes.
+
+        ``progress`` (optional) receives each freshly simulated
+        :class:`~repro.sim.executor.PointOutcome` as it completes.
+        """
         validate_axes(axes)
         grid = grid_settings(axes)
         keys = [self._key(settings) for settings in grid]
@@ -106,13 +115,25 @@ class Sweep:
             if key not in self._cache and key not in claimed:
                 claimed.add(key)
                 pending.append((key, settings))
+        # progress is only forwarded when set, so test doubles that
+        # stand in for execute_points keep their minimal signature.
+        extra = {"progress": progress} if progress is not None else {}
         outcomes = execute_points([self._task(s) for _, s in pending],
-                                  workers=self.workers)
+                                  workers=self.workers, **extra)
         for (key, _), outcome in zip(pending, outcomes):
             self._cache[key] = outcome.comparison
+            self._obs_parts.extend(outcome.obs)
         return [SweepPoint(tuple(sorted(settings.items())),
                            self._cache[key])
                 for settings, key in zip(grid, keys)]
+
+    def collected_obs(self) -> Optional[ObsData]:
+        """Everything the sweep's runs observed so far, merged into one
+        bundle (``None`` when nothing was observed)."""
+        if not self._obs_parts:
+            return None
+        return ObsData.merged(self._obs_parts,
+                              label=f"{self.program.name}/sweep")
 
 
 def to_csv(points: List[SweepPoint]) -> str:

@@ -48,6 +48,7 @@ from repro.faults.plan import FaultPlan
 from repro.memsys.address import AddressMap
 from repro.memsys.controller import MemoryController
 from repro.noc.network import Network
+from repro.obs.tracer import obs_span
 from repro.sim.metrics import RunMetrics
 
 # Cycles the directory / home-bank controller spends deciding.
@@ -134,10 +135,14 @@ class SystemSimulator:
                  optimal: bool = False,
                  miss_overlap: Optional[float] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 network_audit=None):
+                 network_audit=None, telemetry=None):
         self.config = config
         self.mapping = mapping
         self.optimal = optimal
+        # Optional repro.obs registry (obs=full): the NoC and the MCs
+        # publish into it inline; caches and aggregates flush at the
+        # end of run().  None (obs off) keeps every hot path untouched.
+        self.telemetry = telemetry
         if miss_overlap is None:
             miss_overlap = config.miss_overlap
         self.mesh = mapping.mesh
@@ -151,11 +156,12 @@ class SystemSimulator:
                     fault_plan, len(mapping.mc_nodes),
                     config.banks_per_mc)
         self.network = Network(self.mesh, config, faults=net_faults,
-                               audit=network_audit)
+                               audit=network_audit, telemetry=telemetry)
         self.mc_nodes = mapping.mc_nodes
         self.controllers = [MemoryController(config, node, optimal=optimal,
                                              faults=self._mc_faults,
-                                             mc_index=j)
+                                             mc_index=j,
+                                             telemetry=telemetry)
                             for j, node in enumerate(self.mc_nodes)]
         self._failover_order = self._build_failover_order()
         self.l1 = [SetAssociativeCache(config.l1_size, config.l1_line,
@@ -243,6 +249,9 @@ class SystemSimulator:
         step = (self._step_shared if self.config.shared_l2
                 else self._step_private)
 
+        events_span = obs_span("sim.events", cat="sim",
+                               threads=len(streams))
+        events_span.__enter__()
         while heap:
             t0, tid = heapq.heappop(heap)
             stream = streams[tid]
@@ -259,6 +268,8 @@ class SystemSimulator:
             if i + 1 < stream.length:
                 heapq.heappush(heap, (t, tid))
 
+        events_span.add(accesses=m.total_accesses).__exit__()
+
         m.thread_finish = [f * (1.0 + transform_overhead)
                            for f in finish_times]
         m.exec_time = max(finish_times, default=0.0) \
@@ -267,11 +278,40 @@ class SystemSimulator:
         m.mc_row_hits = [c.stats.row_hits for c in self.controllers]
         m.mc_queue_wait = [c.stats.queue_wait_total
                            for c in self.controllers]
+        m.mc_busy_elapsed = [c.stats.busy_elapsed
+                             for c in self.controllers]
         m.net_wait_cycles = self.network.stats.wait_cycles
         m.link_detours = self.network.stats.detoured
         m.detour_extra_hops = self.network.stats.detour_extra_hops
         m.bank_remaps = sum(c.stats.bank_remaps for c in self.controllers)
+        if self.telemetry is not None:
+            self._publish_telemetry(m)
         return m
+
+    def _publish_telemetry(self, m: RunMetrics) -> None:
+        """End-of-run flush into the obs=full registry: per-link NoC
+        occupancy, per-node cache totals, access-class counters, and
+        the graceful-degradation event counts."""
+        registry = self.telemetry
+        self.network.publish_telemetry()
+        for node, (l1, l2) in enumerate(zip(self.l1, self.l2)):
+            registry.counter(f"cache.l1.{node}.hits").inc(l1.hits)
+            registry.counter(f"cache.l1.{node}.misses").inc(l1.misses)
+            registry.counter(f"cache.l2.{node}.hits").inc(l2.hits)
+            registry.counter(f"cache.l2.{node}.misses").inc(l2.misses)
+        registry.counter("sim.accesses").inc(m.total_accesses)
+        registry.counter("sim.l1_hits").inc(m.l1_hits)
+        registry.counter("sim.l2_hits").inc(m.l2_hits)
+        registry.counter("sim.onchip_remote").inc(m.onchip_remote)
+        registry.counter("sim.offchip").inc(m.offchip)
+        registry.gauge("sim.exec_time").set(m.exec_time)
+        for name, value in (("faults.mc_failovers", m.mc_failovers),
+                            ("faults.mc_offline_waits",
+                             m.mc_offline_waits),
+                            ("faults.link_detours", m.link_detours),
+                            ("faults.bank_remaps", m.bank_remaps)):
+            if value:
+                registry.counter(name).inc(value)
 
     # ------------------------------------------------------------------
     def _step_private(self, s: ThreadStream, i: int, t: float,

@@ -88,3 +88,7 @@ class RunAudit:
     policy: Optional[object] = None
     metrics: Optional[object] = None
     network_audit: Optional[NetworkAudit] = None
+    # The run's repro.obs bundle when observed (telemetry populated at
+    # obs="full"); the obs_telemetry checker cross-checks its counters
+    # against the metrics.  Spans may still be open while checkers run.
+    obs: Optional[object] = None

@@ -347,3 +347,71 @@ def check_latency_consistency(audit) -> List[str]:
             out.append(f"exec_time {m.exec_time} is not the slowest "
                        f"thread's finish time {slowest}")
     return out
+
+
+# ---------------------------------------------------------------------------
+# observability layer
+
+@register("obs_telemetry", layer="obs",
+          description="obs=full telemetry totals reconcile with "
+                      "RunMetrics (accesses, per-MC streams, NoC)")
+def check_obs_telemetry(audit) -> List[str]:
+    """Cross-check the :mod:`repro.obs` telemetry registry against the
+    run's :class:`~repro.sim.metrics.RunMetrics`.
+
+    The telemetry path accumulates independently of the metrics path
+    (per-event publishing in the MCs/NoC vs end-of-run aggregation), so
+    agreement here is a real two-ledger reconciliation, not a tautology.
+    Only runs when the spec observed at ``obs=full``; spans may still be
+    open while checkers execute, so this checker reads telemetry only.
+    """
+    obs = audit.obs
+    m = audit.metrics
+    if obs is None or getattr(obs, "telemetry", None) is None \
+            or m is None:
+        return []
+    tel = obs.telemetry
+    out: List[str] = []
+    exact = (
+        ("sim.accesses", m.total_accesses),
+        ("sim.l1_hits", m.l1_hits),
+        ("sim.l2_hits", m.l2_hits),
+        ("sim.onchip_remote", m.onchip_remote),
+        ("sim.offchip", m.offchip),
+    )
+    for name, expected in exact:
+        got = tel.value(name)
+        if int(got) != expected:
+            out.append(f"telemetry {name} = {got:g} but metrics say "
+                       f"{expected}")
+    for mc, (requests, row_hits, wait) in enumerate(
+            zip(m.mc_requests, m.mc_row_hits, m.mc_queue_wait)):
+        if int(tel.value(f"mc.{mc}.requests")) != requests:
+            out.append(f"telemetry mc.{mc}.requests = "
+                       f"{tel.value(f'mc.{mc}.requests'):g} but the "
+                       f"controller serviced {requests}")
+        if int(tel.value(f"mc.{mc}.row_hits")) != row_hits:
+            out.append(f"telemetry mc.{mc}.row_hits = "
+                       f"{tel.value(f'mc.{mc}.row_hits'):g} but the "
+                       f"controller recorded {row_hits}")
+        series = tel.get(f"mc.{mc}.queue_wait")
+        if series is not None and not math.isclose(
+                series.sum, wait, rel_tol=1e-6, abs_tol=1e-6):
+            out.append(f"mc.{mc}.queue_wait series sums to "
+                       f"{series.sum:g} cycles but metrics accumulated "
+                       f"{wait:g}")
+    hist = tel.get("mc.queue_wait_cycles")
+    if hist is not None and hist.count != sum(m.mc_requests):
+        out.append(f"queue-wait histogram holds {hist.count} "
+                   f"observation(s) but the controllers serviced "
+                   f"{sum(m.mc_requests)} request(s)")
+    detours = tel.get("noc.detours")
+    if detours is not None and int(detours.value) != m.link_detours:
+        out.append(f"telemetry noc.detours = {detours.value:g} but "
+                   f"metrics counted {m.link_detours} detour(s)")
+    gauge = tel.get("sim.exec_time")
+    if gauge is not None and not math.isclose(
+            gauge.value, m.exec_time, rel_tol=1e-9, abs_tol=1e-6):
+        out.append(f"telemetry sim.exec_time = {gauge.value} but "
+                   f"metrics say {m.exec_time}")
+    return out

@@ -32,7 +32,7 @@ from repro.errors import ValidationError
 VALIDATE_LEVELS = ("off", "metrics", "strict")
 
 #: The layers a checker may claim.
-LAYERS = ("compiler", "osmodel", "noc", "memsys", "metrics")
+LAYERS = ("compiler", "osmodel", "noc", "memsys", "metrics", "obs")
 
 
 @dataclass(frozen=True)

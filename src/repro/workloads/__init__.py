@@ -1,10 +1,11 @@
 """The 13-application workload suite and registry."""
 
-from repro.workloads.suite import (FIRST_TOUCH_FRIENDLY, HIGH_MLP,
-                                   SUITE_ORDER, WORKLOADS, build_suite,
+from repro.workloads.suite import (DEMO_KERNELS, FIRST_TOUCH_FRIENDLY,
+                                   HIGH_MLP, SUITE_ORDER, WORKLOADS,
+                                   build_demo_kernel, build_suite,
                                    build_workload)
 
 __all__ = [
-    "FIRST_TOUCH_FRIENDLY", "HIGH_MLP", "SUITE_ORDER", "WORKLOADS",
-    "build_suite", "build_workload",
+    "DEMO_KERNELS", "FIRST_TOUCH_FRIENDLY", "HIGH_MLP", "SUITE_ORDER",
+    "WORKLOADS", "build_demo_kernel", "build_suite", "build_workload",
 ]

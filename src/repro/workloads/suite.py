@@ -526,6 +526,47 @@ def build_workload(name: str, scale: float = 1.0,
     return with_work_scale(builder(scale), work_scale)
 
 
+# ---------------------------------------------------------------------------
+# Demo kernels: small source-level programs the CLI accepts by name
+# (``repro-cli trace matmul``) without a .krn file on disk.  The same
+# matmul source ships as ``examples/kernels/matmul.krn``.
+# ---------------------------------------------------------------------------
+
+_MATMUL_SRC = """\
+# Dense matrix multiply: one parallel row of C per thread; A is swept
+# row-wise (localizable), B column-wise (the hard operand).
+let N = {n};
+array A[N][N] elem 64;
+array B[N][N] elem 64;
+array C[N][N] elem 64;
+
+parallel for (i = 0; i < N; i++) work 8 {{
+  for (j = 0; j < N; j++) {{
+    for (k = 0; k < N; k++) {{
+      C[i][j] = C[i][j] + A[i][k] * B[k][j];
+    }}
+  }}
+}}
+"""
+
+#: Demo kernel sources by name, with an ``{n}`` problem-size slot.
+DEMO_KERNELS: Dict[str, Tuple[str, int]] = {
+    "matmul": (_MATMUL_SRC, 48),
+}
+
+
+def build_demo_kernel(name: str, scale: float = 1.0) -> Program:
+    """Compile a demo kernel by name, scaling its problem size."""
+    try:
+        source, base_n = DEMO_KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown demo kernel {name!r}; choose from "
+                       f"{sorted(DEMO_KERNELS)}")
+    from repro.frontend import compile_kernel
+    n = max(16, int(round(base_n * scale)))
+    return compile_kernel(source.format(n=n), name=name)
+
+
 def build_suite(scale: float = 1.0,
                 work_scale: float = 1.0) -> List[Program]:
     """All 13 applications, in the paper's presentation order."""
