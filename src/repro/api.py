@@ -81,6 +81,9 @@ def run(experiment: Optional[Experiment] = None, *,
     raises :class:`~repro.errors.ValidationError` on any breach.
     ``obs="spans"`` / ``obs="full"`` observes the run (:mod:`repro.obs`)
     and attaches the resulting bundle as ``result.obs``.
+    ``engine="reference"`` selects the original every-access event loop
+    instead of the default hit-filtered fast loop; the two are
+    bit-identical (see docs/performance.md).
     """
     if experiment is not None:
         if program is not None or config is not None or spec_kw:
@@ -120,6 +123,7 @@ def sweep(program: Program, *,
           seed: int = 0,
           validate: str = "off",
           obs: str = "off",
+          engine: str = "fast",
           progress: Optional[Callable] = None,
           max_points: Optional[int] = None,
           **axes: Iterable) -> SweepResult:
@@ -147,6 +151,10 @@ def sweep(program: Program, *,
     ``(wave_index, done, failed, total)`` after every checkpoint wave,
     under the plain engine each completed
     :class:`~repro.sim.executor.PointOutcome`.
+
+    ``engine`` selects the event-loop implementation for every run
+    (``"fast"``, the default, or ``"reference"``); results are
+    bit-identical either way.
     """
     hardened = (hardened or checkpoint is not None
                 or harness is not None or max_points is not None)
@@ -154,12 +162,12 @@ def sweep(program: Program, *,
         return HardenedSweep(program, config, harness=harness,
                              checkpoint=checkpoint, fault_plan=fault_plan,
                              seed=seed, workers=workers,
-                             validate=validate, obs=obs
+                             validate=validate, obs=obs, engine=engine
                              ).run(max_points=max_points,
                                    progress=progress, **axes)
-    engine = Sweep(program, config, workers=workers,
+    runner = Sweep(program, config, workers=workers,
                    fault_plan=fault_plan, seed=seed, validate=validate,
-                   obs=obs)
-    points = engine.run(progress=progress, **axes)
+                   obs=obs, engine=engine)
+    points = runner.run(progress=progress, **axes)
     return SweepResult(rows=[point.row() for point in points],
-                       points=list(points), obs=engine.collected_obs())
+                       points=list(points), obs=runner.collected_obs())

@@ -8,7 +8,38 @@ caller divides by the line size once, in bulk.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+#: Fibonacci-hash multiplier (2^32 / golden ratio) shared by the scalar
+#: :meth:`SetAssociativeCache.set_index` and the bulk
+#: :func:`set_indices` helper -- one definition so the two can never
+#: drift apart.
+HASH_MULT = 0x9E3779B1
+
+#: Above this line address the vectorized int64 multiply in
+#: :func:`set_indices` could overflow; exact Python big-int arithmetic
+#: takes over.
+_MAX_HASHABLE_LINE = (2 ** 62) // HASH_MULT
+
+
+def set_indices(lines: Sequence[int], num_sets: int,
+                arr=None) -> List[int]:
+    """Hashed set index for a whole stream of line addresses at once.
+
+    Bit-identical to calling :meth:`SetAssociativeCache.set_index` per
+    address: the NumPy int64 path computes the same
+    ``((line * HASH_MULT) >> 13) % num_sets`` and falls back to exact
+    Python arithmetic whenever the multiply could overflow int64.
+    ``arr`` optionally supplies the addresses as a ready int64 array to
+    skip the conversion.
+    """
+    import numpy as np
+    if arr is None:
+        arr = np.asarray(lines, dtype=np.int64)
+    if arr.size and (int(arr.max()) > _MAX_HASHABLE_LINE
+                     or int(arr.min()) < 0):
+        return [((line * HASH_MULT) >> 13) % num_sets for line in lines]
+    return (((arr * HASH_MULT) >> 13) % num_sets).tolist()
 
 
 class SetAssociativeCache:
@@ -25,7 +56,7 @@ class SetAssociativeCache:
 
     __slots__ = ("num_sets", "ways", "line", "sets", "hits", "misses")
 
-    _HASH_MULT = 0x9E3779B1  # 2^32 / golden ratio
+    _HASH_MULT = HASH_MULT
 
     def __init__(self, size: int, line: int, ways: int):
         if size < line * ways:

@@ -198,7 +198,7 @@ def cmd_run(args: argparse.Namespace, out) -> int:
                    mapping=_mapping(config, args.mapping),
                    optimized=args.optimized, optimal=args.optimal,
                    fault_plan=plan, seed=args.seed,
-                   validate=args.validate)
+                   validate=args.validate, engine=args.engine)
     try:
         result = run_simulation(spec)
     except ValidationError as err:
@@ -300,7 +300,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         raise SystemExit(f"repro-cli sweep: --workers must be >= 1, "
                          f"got {workers}")
     sweep = Sweep(program, _config(args), workers=workers,
-                  validate=args.validate)
+                  validate=args.validate, engine=args.engine)
     axes = _parse_axes(args.axis)
     progress = None
     state = {"done": 0, "failed": 0, "started": time.monotonic()}
@@ -479,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["off", "metrics", "strict"],
                            help="invariant-sanitizer level "
                                 "(repro.validate)")
+            p.add_argument("--engine", default="fast",
+                           choices=["fast", "reference"],
+                           help="event-loop engine (bit-identical; "
+                                "'fast' filters cache hits out of the "
+                                "global heap)")
         _machine_flags(p)
         p.set_defaults(func=func)
 
@@ -500,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", default="off",
                    choices=["off", "metrics", "strict"],
                    help="invariant-sanitizer level for every run")
+    p.add_argument("--engine", default="fast",
+                   choices=["fast", "reference"],
+                   help="event-loop engine for every run "
+                        "(bit-identical)")
     verbosity = p.add_mutually_exclusive_group()
     verbosity.add_argument("--progress", action="store_true",
                            help="periodic progress lines on stderr "

@@ -86,6 +86,15 @@ class Network:
             self._ts_traffic = telemetry.series("noc.flit_hops")
 
     def route(self, src: int, dst: int, now: float = 0.0) -> List[int]:
+        """The link sequence a message takes from ``src`` to ``dst``.
+
+        Fault-free routes are deterministic XY paths, so they are
+        computed once per ``(src, dst)`` pair and memoized in
+        :attr:`_routes` for the lifetime of the network; a simulation
+        re-sends along the same few hundred pairs tens of thousands of
+        times.  With a fault model attached routes are time-dependent
+        (detours around dead links) and are never cached.
+        """
         if self.faults is not None:
             links, extra = self.faults.route(src, dst, now)
             if extra:
@@ -142,6 +151,62 @@ class Network:
                 link_flits[link] += flits
             self._ts_traffic.record(depart, hops * flits)
         return t, hops
+
+    def warm_routes(self, pairs=None) -> int:
+        """Populate the route memo ahead of the event loop.
+
+        ``pairs`` is an iterable of ``(src, dst)`` node pairs; ``None``
+        warms every ordered pair in the mesh.  Returns the number of
+        routes now cached.  A no-op when a fault model is attached
+        (routes are time-dependent and uncacheable).  Warming is never
+        required for correctness -- :meth:`route` fills the memo lazily
+        -- but lets callers that know their traffic matrix (e.g. the
+        fast engine's node->MC pairs) pay the route construction cost
+        outside the timed region.
+        """
+        if self.faults is not None:
+            return 0
+        routes = self._routes
+        mesh_route = self.mesh.route
+        if pairs is None:
+            n = self.mesh.num_nodes
+            pairs = ((s, d) for s in range(n) for d in range(n) if s != d)
+        for key in pairs:
+            if key not in routes:
+                routes[key] = mesh_route(*key)
+        return len(routes)
+
+    def route_table(self) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+        """A snapshot of the memoized fault-free routes, as immutable
+        tuples keyed by ``(src, dst)``.  Analysis-facing: the internal
+        memo stays lists of link ids because the send loop iterates
+        them directly."""
+        return {key: tuple(links) for key, links in self._routes.items()}
+
+    def link_occupancy(self, vnet: Optional[int] = None) -> "np.ndarray":
+        """Busy-until times per directed link as a float64 array.
+
+        ``vnet`` selects one virtual network; ``None`` returns a
+        ``(NUM_VNETS, num_links)`` matrix.  This is an *export* helper
+        for analyses and plots: internally :attr:`link_free` stays
+        nested Python lists because the send loop touches one scalar
+        slot per hop, and CPython list indexing beats NumPy scalar
+        indexing 2-3x at that granularity (measured; see
+        docs/performance.md).  The returned array is a copy -- mutating
+        it does not perturb the simulation.
+        """
+        import numpy as np
+        if vnet is not None:
+            return np.asarray(self.link_free[vnet], dtype=np.float64)
+        return np.asarray(self.link_free, dtype=np.float64)
+
+    def link_flit_totals(self) -> "np.ndarray":
+        """Per-link flit totals as a float64 array (zeros when telemetry
+        is off and the per-link accumulator was never allocated)."""
+        import numpy as np
+        if self._link_flits is None:
+            return np.zeros(self.mesh.num_links, dtype=np.float64)
+        return np.asarray(self._link_flits, dtype=np.float64)
 
     def publish_telemetry(self) -> None:
         """Flush accumulated per-link occupancy and aggregate traffic

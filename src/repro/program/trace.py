@@ -15,7 +15,7 @@ the execution-time model can charge it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -57,10 +57,20 @@ class _PreparedNest:
     every call), the per-iteration write-flag template, and the
     per-access work gap are identical across threads, so they are
     computed once per nest instead of once per (nest, thread).
+
+    The reference/layout evaluation itself is hoisted the same way: the
+    nest's references are evaluated over the *full* iteration space once
+    (:meth:`_prepare_addresses`), and each thread's stream is a slice of
+    the result.  A thread's OpenMP-static chunk restricts only the
+    parallel loop level, so in row-major iteration order its points are
+    the full-space points filtered by ``lo <= parallel coord < hi`` --
+    lexicographic order restricted to a sub-box is preserved -- and all
+    reference/layout maps are independent per iteration column, making
+    the slice bit-identical to evaluating the thread's own meshgrid.
     """
 
     __slots__ = ("nest", "has_indexed", "indexed_coords", "write_template",
-                 "per_access_work")
+                 "per_access_work", "_full_rows", "_par_coords")
 
     def __init__(self, nest: LoopNest):
         self.nest = nest
@@ -72,6 +82,27 @@ class _PreparedNest:
                                        dtype=bool)
         self.per_access_work = max(
             0, nest.work_per_iteration // len(nest.refs))
+        self._full_rows: Optional[np.ndarray] = None
+        self._par_coords: Optional[np.ndarray] = None
+
+    def _prepare_addresses(self, layouts: Mapping[str, Layout],
+                           bases: Mapping[str, int]) -> None:
+        """Evaluate every reference over the full iteration space, once:
+        an ``(iterations, refs)`` matrix of byte addresses, iteration-
+        major with references interleaved in program order."""
+        nest = self.nest
+        pts = nest.iteration_points()
+        columns = []
+        for i, ref in enumerate(nest.refs):
+            if isinstance(ref, AffineRef):
+                coords = ref.apply(pts)
+            else:
+                coords = self.indexed_coords[i]
+            layout = layouts[ref.array.name]
+            offsets = layout.byte_offsets(coords)
+            columns.append(offsets + bases[ref.array.name])
+        self._full_rows = np.stack(columns, axis=1)  # (K, R)
+        self._par_coords = pts[nest.parallel_dim]
 
     def thread_addresses(self, thread: int, num_threads: int,
                          layouts: Mapping[str, Layout],
@@ -79,23 +110,22 @@ class _PreparedNest:
         """Addresses one thread generates for one pass over the nest,
         iteration-major with references interleaved in program order."""
         nest = self.nest
-        pts = nest.thread_iteration_points(thread, num_threads)
-        if pts is None:
+        chunk = nest.thread_chunk(thread, num_threads)
+        if chunk is None:
             return np.zeros(0, dtype=np.int64)
-        mask = None
-        columns = []
-        for i, ref in enumerate(nest.refs):
-            if isinstance(ref, AffineRef):
-                coords = ref.apply(pts)
-            else:
-                if mask is None:
-                    mask = nest.thread_iteration_mask(thread, num_threads)
-                coords = self.indexed_coords[i][:, mask]
-            layout = layouts[ref.array.name]
-            offsets = layout.byte_offsets(coords)
-            columns.append(offsets + bases[ref.array.name])
-        stacked = np.stack(columns, axis=1)      # (K, R): iteration-major
-        return stacked.reshape(-1)
+        if self._full_rows is None:
+            self._prepare_addresses(layouts, bases)
+        if nest.parallel_dim == 0:
+            # Outermost-parallel nests (the common case): the chunk's
+            # iterations are one contiguous row-major range.
+            lo, hi = nest.bounds[0]
+            inner = self._full_rows.shape[0] // (hi - lo)
+            rows = self._full_rows[(chunk[0] - lo) * inner:
+                                   (chunk[1] - lo) * inner]
+        else:
+            par = self._par_coords
+            rows = self._full_rows[(par >= chunk[0]) & (par < chunk[1])]
+        return rows.reshape(-1)
 
     def write_flags(self, count: int) -> np.ndarray:
         """Per-access write flags matching the iteration-major

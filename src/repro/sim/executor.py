@@ -100,7 +100,8 @@ def point_specs(program: Program, base_config: MachineConfig,
                 fault_plan: Optional[FaultPlan] = None,
                 seed: int = 0,
                 validate: str = "off",
-                obs: str = "off") -> Tuple[RunSpec, RunSpec]:
+                obs: str = "off",
+                engine: str = "fast") -> Tuple[RunSpec, RunSpec]:
     """The baseline/optimized :class:`RunSpec` pair for one grid point.
 
     This is the single source of truth for what a sweep point *means*;
@@ -114,7 +115,7 @@ def point_specs(program: Program, base_config: MachineConfig,
     specs = tuple(
         RunSpec(program=program, config=config, mapping=mapping,
                 optimized=optimized, fault_plan=fault_plan, seed=seed,
-                validate=validate, obs=obs)
+                validate=validate, obs=obs, engine=engine)
         for optimized in (False, True))
     return specs[0], specs[1]
 
@@ -135,6 +136,9 @@ class PointTask:
     seed: int = 0
     validate: str = "off"
     obs: str = "off"
+    # Event-loop engine for both runs ("fast" or "reference"); not part
+    # of the point key -- the engines are bit-identical by contract.
+    engine: str = "fast"
     hardened: bool = False
     harness: Optional[object] = None  # HarnessConfig; typed loosely to
     # keep this module import-cycle-free with repro.sim.harness
@@ -168,7 +172,8 @@ def run_point(task: PointTask) -> PointOutcome:
     settings = dict(task.settings)
     base_spec, opt_spec = point_specs(task.program, task.base_config,
                                       settings, task.fault_plan,
-                                      task.seed, task.validate, task.obs)
+                                      task.seed, task.validate, task.obs,
+                                      task.engine)
     key = point_key((base_spec, opt_spec))
     obs_parts: List[object] = []
     if task.hardened:

@@ -1,0 +1,447 @@
+"""The hit-filtered fast event loop: bit-identical, miss-only heap.
+
+The reference loop in :mod:`repro.sim.system` pushes *every* access of
+every thread through the global heap, although L1 and L2 hits touch no
+global state at all: with private L2s, one thread per node, no write
+invalidations and no phase tracking, a hit's outcome (LRU movement,
+counters, latency) depends only on the thread's own earlier accesses.
+This module exploits that:
+
+1. **Replay** each thread's stream once against its real L1/L2 cache
+   objects (same LRU lists, same counters), classifying every access as
+   L1 hit / L2 hit / L2 miss and recording, per miss, the L2 line and
+   the line the fill evicted.
+2. **Aggregate** the time each thread spends in the hits *between*
+   consecutive misses.  When every latency in play is integer-valued
+   (the common case -- ``effective_overlap == 0`` and no fractional
+   fault factors), simulated times are integer-valued doubles, IEEE-754
+   addition over them is exact and associative, and the per-access
+   advance chain collapses into an int64 prefix sum that is
+   bit-identical to the reference's sequential adds.  Otherwise a
+   general mode replays the reference's exact per-access floating-point
+   operation chain in a tight loop -- still far cheaper than a heap
+   event per access.
+3. **Simulate only the misses** on the global heap.  The miss
+   subsequence pops in the same ``(time, tid)`` order as in the
+   reference loop (events execute in global time order and hits of
+   other threads mutate nothing shared), so links, banks, the directory
+   and every float accumulator evolve through the identical sequence of
+   operations -- the resulting :class:`~repro.sim.metrics.RunMetrics`
+   is equal bit for bit, which ``tests/test_fastpath_equivalence.py``
+   asserts across mappings, interleavings, fault plans, and validation/
+   observability levels.
+
+Network sends are inlined (route table + busy-until link updates on the
+:class:`~repro.noc.network.Network`'s own state) when no fault model,
+audit, or telemetry is attached; otherwise the regular ``send`` method
+runs so detours, audits and telemetry stay bit-identical too.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import RunMetrics
+
+from repro.cache.cache import set_indices as _set_indices_bulk
+
+
+def eligible(sim, streams: Sequence) -> bool:
+    """Whether the fast loop is exact for this simulator + streams.
+
+    The per-thread replay requires that hits are thread-local: private
+    L2s (a shared L2 routes L1 misses over the NoC), no write
+    invalidations (a remote write could invalidate lines mid-stream),
+    no per-access phase accounting (charged per heap event in the
+    reference loop), and at most one active thread per node (two
+    threads sharing caches interleave in global time order).  Anything
+    else -- fault plans, the optimal scheme, audits, telemetry, either
+    interleaving -- is supported exactly.
+    """
+    config = sim.config
+    if config.shared_l2 or config.model_writes:
+        return False
+    if sim.directory is None:
+        return False
+    nodes = [s.node for s in streams if s.length]
+    if len(nodes) != len(set(nodes)):
+        return False
+    if any(s.phases is not None for s in streams):
+        return False
+    return True
+
+
+def _integer_times(sim) -> bool:
+    """Whether every simulated timestamp stays an integer-valued double,
+    making float addition exact and the hit-advance chain collapsible
+    into an int64 prefix sum (see the module docstring)."""
+    config = sim.config
+    if sim._keep != 1.0:
+        return False
+    latencies = (config.l1_latency, config.l2_latency,
+                 config.hop_latency, config.thread_stagger,
+                 config.row_hit_cycles, config.row_miss_cycles,
+                 config.channel_cycles)
+    if any(not float(x).is_integer() for x in latencies):
+        return False
+    plan = sim._fault_plan
+    if plan is not None and not plan.empty:
+        for deg in plan.link_degradations:
+            if not float(deg.factor).is_integer():
+                return False
+        for fault in plan.mc_faults:
+            if fault.kind == "slow" \
+                    and not float(fault.factor).is_integer():
+                return False
+            for edge in (fault.start, fault.end):
+                if not (math.isinf(edge) or float(edge).is_integer()):
+                    return False
+    return True
+
+
+def _set_indices(lines: List[int], arr: Optional[np.ndarray],
+                 num_sets: int) -> List[int]:
+    """Hashed set index per line address, in bulk (the shared helper
+    next to the scalar hash in :mod:`repro.cache.cache`)."""
+    return _set_indices_bulk(lines, num_sets, arr=arr)
+
+
+class _ThreadRecord:
+    """One thread's replayed miss schedule."""
+
+    __slots__ = ("stream", "pos", "line2s", "evicted", "nmiss", "k",
+                 "deltas", "tail", "cls")
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.pos: List[int] = []
+        self.line2s: List[int] = []
+        self.evicted: List[Optional[int]] = []
+        self.nmiss = 0
+        self.k = 0
+        self.deltas: Optional[List[int]] = None  # exact mode only
+        self.tail = 0
+        self.cls: Optional[bytearray] = None     # general mode only
+
+
+def _replay_thread(sim, stream, m: RunMetrics) -> _ThreadRecord:
+    """Classify one thread's accesses against its real caches.
+
+    Runs the same LRU list operations ``SetAssociativeCache`` performs
+    (inlined -- this loop visits every access), so final cache state and
+    hit/miss counters match the reference exactly.  Directory updates
+    are deliberately *not* applied here: they read/write global state
+    and are replayed in heap order by :func:`run_events`.
+    """
+    rec = _ThreadRecord(stream)
+    node = stream.node
+    l1 = sim.l1[node]
+    l2 = sim.l2[node]
+    l1_lines = stream.l1_lines
+    l2_lines = stream.l2_lines
+    n = stream.length
+    idx1 = _set_indices(l1_lines, stream.np_l1, l1.num_sets)
+    idx2 = _set_indices(l2_lines, stream.np_l2, l2.num_sets)
+    sets1, ways1 = l1.sets, l1.ways
+    sets2, ways2 = l2.sets, l2.ways
+    cls = bytearray(n)
+    pos_append = rec.pos.append
+    line_append = rec.line2s.append
+    evict_append = rec.evicted.append
+    h1 = h2 = 0
+    for i in range(n):
+        a1 = l1_lines[i]
+        w1 = sets1[idx1[i]]
+        if a1 in w1:
+            if w1[0] != a1:
+                w1.remove(a1)
+                w1.insert(0, a1)
+            h1 += 1
+            continue
+        a2 = l2_lines[i]
+        w2 = sets2[idx2[i]]
+        if a2 in w2:
+            if w2[0] != a2:
+                w2.remove(a2)
+                w2.insert(0, a2)
+            h2 += 1
+            cls[i] = 1
+        else:
+            cls[i] = 2
+            pos_append(i)
+            line_append(a2)
+            w2.insert(0, a2)
+            evict_append(w2.pop() if len(w2) > ways2 else None)
+        w1.insert(0, a1)
+        if len(w1) > ways1:
+            w1.pop()
+    l1.hits += h1
+    l1.misses += n - h1
+    l2.hits += h2
+    l2.misses += len(rec.pos)
+    m.total_accesses += n
+    m.l1_hits += h1
+    m.l2_hits += h2
+    rec.nmiss = len(rec.pos)
+    rec.cls = cls
+    return rec
+
+
+def _advance(t: float, gaps: List[int], cls: bytearray, lo: int, hi: int,
+             l1_latency, l2_latency, keep: float) -> float:
+    """General-mode timing: replicate the reference loop's per-access
+    floating-point operation chain over hit accesses ``[lo, hi)``."""
+    for i in range(lo, hi):
+        ta = t + gaps[i]
+        if cls[i] == 0:
+            t = ta + l1_latency
+        else:
+            tb = ta + l1_latency
+            issue = tb - l1_latency
+            finish = tb + l2_latency
+            t = issue + keep * (finish - issue)
+    return t
+
+
+def run_events(sim, streams: Sequence, m: RunMetrics) -> List[float]:
+    """Replay all threads, then simulate only the misses on the heap.
+
+    Mutates the simulator's caches, directory, network and controllers
+    exactly as the reference loop would; returns per-thread finish
+    times.  Callers must have checked :func:`eligible` first.
+    """
+    config = sim.config
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+    exact = _integer_times(sim)
+    keep = sim._keep
+    stagger = config.thread_stagger
+
+    finish_times = [0.0] * len(streams)
+    recs: List[Optional[_ThreadRecord]] = [None] * len(streams)
+    heap = []
+    for tid, stream in enumerate(streams):
+        if not stream.length:
+            continue
+        rec = _replay_thread(sim, stream, m)
+        recs[tid] = rec
+        t0 = float(tid * stagger)
+        cls = rec.cls
+        n = stream.length
+        if exact:
+            gaps_arr = stream.np_gaps
+            if gaps_arr is None:
+                gaps_arr = np.asarray(stream.gaps, dtype=np.int64)
+            c = np.frombuffer(cls, dtype=np.uint8)
+            adv = gaps_arr + l1_latency + (c == 1) * l2_latency
+            adv[c == 2] = 0
+            cum = np.cumsum(adv)
+            if rec.nmiss:
+                marks = cum[rec.pos]
+                rec.deltas = np.diff(marks).tolist()
+                rec.tail = int(cum[-1] - marks[-1])
+                heap.append((t0 + int(marks[0]), tid))
+            else:
+                finish_times[tid] = t0 + int(cum[-1])
+            rec.cls = None  # timing fully folded into deltas
+        else:
+            gaps = stream.gaps
+            if rec.nmiss:
+                heap.append((_advance(t0, gaps, cls, 0, rec.pos[0],
+                                      l1_latency, l2_latency, keep), tid))
+            else:
+                finish_times[tid] = _advance(t0, gaps, cls, 0, n,
+                                             l1_latency, l2_latency, keep)
+    heapq.heapify(heap)
+    if not heap:
+        return finish_times
+
+    # -- locals for the miss loop --------------------------------------
+    directory = sim.directory
+    find_sharer = directory.find_sharer
+    add_sharer = directory.add_sharer
+    remove_sharer = directory.remove_sharer
+    controllers = sim.controllers
+    mc_nodes = sim.mc_nodes
+    nearest = sim._nearest_mc
+    optimal = sim.optimal
+    mc_faults = sim._mc_faults
+    route_mc = sim._route_mc
+    control_flits = config.control_flits
+    data_flits = config.data_flits
+    # Imported here (not at module top) to avoid a circular import:
+    # repro.sim.system pulls this module in lazily from run().
+    from repro.sim.system import DIRECTORY_LATENCY
+
+    net = sim.network
+    inline = (net.faults is None and net.audit is None
+              and net._telemetry is None)
+    if inline:
+        # Inlined Network.send over the network's own route table and
+        # busy-until state: same operations in the same order, minus
+        # the per-message attribute lookups and fault/audit/telemetry
+        # branches (all statically absent here).
+        routes = net._routes
+        mesh_route = net.mesh.route
+        lf_control = net.link_free[net.VNET_CONTROL]
+        lf_data = net.link_free[net.VNET_DATA]
+        stats = net.stats
+        messages = stats.messages
+        total_hops = stats.total_hops
+        flit_hops = stats.flit_hops
+        wait_cycles = stats.wait_cycles
+        hop_latency = config.hop_latency
+        tail_control = min(control_flits, config.critical_word_flits)
+        tail_data = min(data_flits, config.critical_word_flits)
+
+        def send_control(src, dst, depart):
+            nonlocal messages, total_hops, flit_hops, wait_cycles
+            messages += 1
+            if src == dst:
+                return depart, 0
+            t = depart
+            links = routes.get((src, dst))
+            if links is None:
+                links = routes[(src, dst)] = mesh_route(src, dst)
+            for link in links:
+                free_at = lf_control[link]
+                if free_at > t:
+                    wait_cycles += free_at - t
+                    t = free_at
+                lf_control[link] = t + control_flits
+                t += hop_latency
+            hops = len(links)
+            total_hops += hops
+            flit_hops += hops * control_flits
+            return t + tail_control, hops
+
+        def send_data(src, dst, depart):
+            nonlocal messages, total_hops, flit_hops, wait_cycles
+            messages += 1
+            if src == dst:
+                return depart, 0
+            t = depart
+            links = routes.get((src, dst))
+            if links is None:
+                links = routes[(src, dst)] = mesh_route(src, dst)
+            for link in links:
+                free_at = lf_data[link]
+                if free_at > t:
+                    wait_cycles += free_at - t
+                    t = free_at
+                lf_data[link] = t + data_flits
+                t += hop_latency
+            hops = len(links)
+            total_hops += hops
+            flit_hops += hops * data_flits
+            return t + tail_data, hops
+    else:
+        net_send = net.send
+
+        def send_control(src, dst, depart):
+            return net_send(src, dst, control_flits, depart, vnet=0)
+
+        def send_data(src, dst, depart):
+            return net_send(src, dst, data_flits, depart)
+
+    onchip_hops = m.onchip_hops
+    offchip_hops = m.offchip_hops
+    mc_node_requests = m.mc_node_requests
+    onchip_net_sum = m.onchip_net_sum
+    offchip_net_sum = m.offchip_net_sum
+    offchip_mem_sum = m.offchip_mem_sum
+    offchip_queue_sum = m.offchip_queue_sum
+    onchip_remote = m.onchip_remote
+    offchip = m.offchip
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+
+    # -- the miss-only event loop --------------------------------------
+    # Each handler is the reference _step_private from the L2-miss
+    # branch on, operation for operation (the accumulator op order
+    # matters for float bit-identity).
+    while heap:
+        t0, tid = heappop(heap)
+        rec = recs[tid]
+        stream = rec.stream
+        k = rec.k
+        i = rec.pos[k]
+        node = stream.node
+        t = t0 + stream.gaps[i]
+        t += l1_latency
+        issue = t - l1_latency
+        t += l2_latency
+        line2 = rec.line2s[k]
+
+        mc = nearest[node] if optimal else stream.mcs[i]
+        if mc_faults is not None:
+            mc = route_mc(mc, t, m)
+        mc_node = mc_nodes[mc]
+        t1, h1 = send_control(node, mc_node, t)
+        t1 += DIRECTORY_LATENCY
+
+        owner = find_sharer(line2, node)
+        if owner is not None:
+            t2, h2 = send_control(mc_node, owner, t1)
+            t2 += l2_latency
+            t3, h3 = send_data(owner, node, t2)
+            onchip_remote += 1
+            net_cycles = (t1 - DIRECTORY_LATENCY - t) \
+                + (t2 - l2_latency - t1) + (t3 - t2)
+            onchip_net_sum += net_cycles
+            onchip_hops[h1 + h2 + h3] += 1
+            finish = t3
+        else:
+            finish_mc, wait, _ = controllers[mc].service(
+                stream.banks[i], stream.rows[i], t1)
+            t3, h3 = send_data(mc_node, node, finish_mc)
+            offchip += 1
+            offchip_net_sum += (t1 - DIRECTORY_LATENCY - t) \
+                + (t3 - finish_mc)
+            offchip_mem_sum += finish_mc - t1
+            offchip_queue_sum += wait
+            offchip_hops[h1 + h3] += 1
+            mc_node_requests[mc, node] += 1
+            finish = t3
+
+        evicted = rec.evicted[k]
+        if evicted is not None:
+            remove_sharer(evicted, node)
+        add_sharer(line2, node)
+        ret = issue + keep * (finish - issue)
+
+        k += 1
+        rec.k = k
+        if k < rec.nmiss:
+            if rec.deltas is not None:
+                heappush(heap, (ret + rec.deltas[k - 1], tid))
+            else:
+                heappush(heap, (_advance(ret, stream.gaps, rec.cls,
+                                         i + 1, rec.pos[k],
+                                         l1_latency, l2_latency, keep),
+                                tid))
+        else:
+            if rec.deltas is not None:
+                finish_times[tid] = ret + rec.tail
+            else:
+                finish_times[tid] = _advance(ret, stream.gaps, rec.cls,
+                                             i + 1, stream.length,
+                                             l1_latency, l2_latency,
+                                             keep)
+
+    m.onchip_net_sum = onchip_net_sum
+    m.offchip_net_sum = offchip_net_sum
+    m.offchip_mem_sum = offchip_mem_sum
+    m.offchip_queue_sum = offchip_queue_sum
+    m.onchip_remote = onchip_remote
+    m.offchip = offchip
+    if inline:
+        stats.messages = messages
+        stats.total_hops = total_hops
+        stats.flit_hops = flit_hops
+        stats.wait_cycles = wait_cycles
+    return finish_times

@@ -218,7 +218,8 @@ class HardenedSweep:
                  seed: int = 0,
                  workers: int = 1,
                  validate: str = "off",
-                 obs: str = "off"):
+                 obs: str = "off",
+                 engine: str = "fast"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -229,6 +230,9 @@ class HardenedSweep:
         self.workers = workers
         self.validate = validate
         self.obs = obs
+        # Not part of the point key or the checkpoint: engines are
+        # bit-identical, so resumed rows are engine-agnostic.
+        self.engine = engine
         self._done: Dict[str, Dict[str, object]] = {}
         if self.checkpoint is not None and self.checkpoint.exists():
             payload = json.loads(self.checkpoint.read_text())
@@ -311,6 +315,7 @@ class HardenedSweep:
                            settings=tuple(sorted(settings.items())),
                            fault_plan=self.fault_plan, seed=self.seed,
                            validate=self.validate, obs=self.obs,
+                           engine=self.engine,
                            hardened=True, harness=self.harness)
                  for _, settings in batch],
                 workers=self.workers)

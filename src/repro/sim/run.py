@@ -32,8 +32,7 @@ import numpy as np
 
 from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import CACHE_LINE_INTERLEAVING, MachineConfig
-from repro.core.pipeline import (LayoutTransformer, TransformationResult,
-                                 original_layouts)
+from repro.core.pipeline import TransformationResult
 from repro.faults.plan import FaultPlan
 from repro.obs.data import OBS_LEVELS, ObsData
 from repro.obs.telemetry import TelemetryRegistry
@@ -42,15 +41,15 @@ from repro.osmodel.allocation import (FirstTouchPolicy, IdentityPolicy,
                                       MCAwarePolicy, PhysicalMemory,
                                       SequentialPolicy)
 from repro.osmodel.page_table import PageTable, translate_traces
-from repro.program.address_space import AddressSpace
 from repro.program.ir import Program
-from repro.program.trace import generate_traces
+from repro.sim import memo
 from repro.sim.metrics import Comparison, RunMetrics
 from repro.sim.system import SystemSimulator, build_streams
 from repro.validate import (NetworkAudit, RunAudit, VALIDATE_LEVELS,
                             validate_run)
 
 PAGE_POLICIES = ("auto", "default", "mc_aware", "first_touch")
+ENGINES = ("fast", "reference")
 
 
 def _program_token(program: Program) -> Dict[str, object]:
@@ -120,10 +119,20 @@ class RunSpec:
     # telemetry (per-link flit occupancy, per-MC queue series).  Like
     # ``validate``, an observation knob excluded from key().
     obs: str = "off"
+    # Event-loop engine: "fast" (default) runs the hit-filtered loop of
+    # repro.sim.fastpath whenever the run is eligible (silently falling
+    # back to the reference loop otherwise), "reference" always runs
+    # the original per-access loop.  The two are bit-identical -- the
+    # equivalence suite proves it -- so like ``validate``/``obs`` the
+    # engine is excluded from key(): both engines share cache identity.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.page_policy not in PAGE_POLICIES:
             raise ValueError(f"unknown page policy {self.page_policy!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"engines: {', '.join(ENGINES)}")
         if self.validate not in VALIDATE_LEVELS:
             raise ValueError(f"unknown validation level "
                              f"{self.validate!r}; levels: "
@@ -267,26 +276,12 @@ def _execute(spec: RunSpec, obs: Optional[ObsData]) -> RunResult:
     num_threads = config.num_cores * config.threads_per_core
     telemetry = obs.telemetry if obs is not None else None
 
-    transformation: Optional[TransformationResult] = None
-    if spec.optimized:
-        with obs_span("compile.transform", cat="compile"):
-            transformer = LayoutTransformer(
-                config, mapping, localize_offchip=spec.localize_offchip)
-            transformation = transformer.run(spec.program)
-        layouts = transformation.layouts
-        transformed = transformation.any_transformed
-    else:
-        layouts = original_layouts(spec.program)
-        transformed = False
-
-    with obs_span("os.place", cat="os", arrays=len(layouts)):
-        space = AddressSpace(config)
-        bases = space.place_all(layouts)
-    with obs_span("trace.generate", cat="trace",
-                  threads=num_threads) as span:
-        traces = generate_traces(spec.program, layouts, bases,
-                                 num_threads)
-        span.add(accesses=sum(len(t.vaddrs) for t in traces))
+    # Compile and trace artifacts are memoized across runs sharing the
+    # same content identity (repro.sim.memo): an optimal pair, a seed or
+    # fault-plan axis, and every baseline across a mapping axis reuse
+    # the transformation/placement/traces instead of recomputing them.
+    transformation, layouts, transformed = memo.compiled(spec)
+    space, bases, traces = memo.placed_traces(spec, layouts)
     vtraces = [t.vaddrs for t in traces]
     gaps = [t.gaps for t in traces]
 
@@ -338,9 +333,9 @@ def _execute(spec: RunSpec, obs: Optional[ObsData]) -> RunResult:
         for window in windows:
             obs_instant("fault.activate", cat="fault", **window)
     overhead = config.transform_overhead if transformed else 0.0
-    with obs_span("sim.system", cat="sim"):
+    with obs_span("sim.system", cat="sim", engine=spec.engine):
         metrics = simulator.run(streams, transform_overhead=overhead,
-                                name=spec.label())
+                                name=spec.label(), engine=spec.engine)
     metrics.page_fallbacks = getattr(policy, "fallbacks", 0)
     if obs is not None:
         obs.meta["mesh"] = (mapping.mesh.width, mapping.mesh.height)

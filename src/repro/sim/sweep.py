@@ -74,7 +74,8 @@ class Sweep:
                  fault_plan: Optional[FaultPlan] = None,
                  seed: int = 0,
                  validate: str = "off",
-                 obs: str = "off"):
+                 obs: str = "off",
+                 engine: str = "fast"):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(
@@ -84,6 +85,10 @@ class Sweep:
         self.seed = seed
         self.validate = validate
         self.obs = obs
+        # Engine is deliberately absent from the point key: the fast
+        # and reference loops are bit-identical, so cached comparisons
+        # are engine-agnostic.
+        self.engine = engine
         self._cache: Dict[str, Comparison] = {}
         self._obs_parts: List[ObsData] = []
 
@@ -97,7 +102,8 @@ class Sweep:
                          base_config=self.base_config,
                          settings=tuple(sorted(settings.items())),
                          fault_plan=self.fault_plan, seed=self.seed,
-                         validate=self.validate, obs=self.obs)
+                         validate=self.validate, obs=self.obs,
+                         engine=self.engine)
 
     def run(self, progress: Optional[Callable] = None,
             **axes: Iterable) -> List[SweepPoint]:

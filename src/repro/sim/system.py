@@ -57,16 +57,26 @@ DIRECTORY_LATENCY = 2
 
 class ThreadStream:
     """One thread's precomputed access stream (all plain Python lists --
-    the hot loop avoids NumPy scalar overhead)."""
+    the hot loop avoids NumPy scalar overhead).
+
+    ``np_l1``/``np_l2``/``np_gaps`` optionally carry the same data as
+    int64 arrays.  :func:`build_streams` has the arrays in hand anyway,
+    and the fast engine (:mod:`repro.sim.fastpath`) consumes them
+    vectorized; the reference event loop never touches them.
+    """
 
     __slots__ = ("node", "l1_lines", "l2_lines", "gaps", "mcs", "banks",
-                 "rows", "homes", "writes", "phases", "length")
+                 "rows", "homes", "writes", "phases", "length",
+                 "np_l1", "np_l2", "np_gaps")
 
     def __init__(self, node: int, l1_lines: List[int], l2_lines: List[int],
                  gaps: List[int], mcs: List[int], banks: List[int],
                  rows: List[int], homes: Optional[List[int]],
                  writes: Optional[List[bool]] = None,
-                 phases: Optional[List[str]] = None):
+                 phases: Optional[List[str]] = None,
+                 np_l1: Optional[np.ndarray] = None,
+                 np_l2: Optional[np.ndarray] = None,
+                 np_gaps: Optional[np.ndarray] = None):
         self.node = node
         self.l1_lines = l1_lines
         self.l2_lines = l2_lines
@@ -79,6 +89,9 @@ class ThreadStream:
             else [False] * len(l1_lines)
         self.phases = phases
         self.length = len(l1_lines)
+        self.np_l1 = np_l1
+        self.np_l2 = np_l2
+        self.np_gaps = np_gaps
 
 
 def build_streams(config: MachineConfig, thread_nodes: Sequence[int],
@@ -114,17 +127,23 @@ def build_streams(config: MachineConfig, thread_nodes: Sequence[int],
             for name, start, end in segments[tid]:
                 for idx in range(start, end):
                     phases[idx] = name
+        np_l1 = v // config.l1_line
+        np_l2 = v // config.l2_line
+        np_gaps = np.asarray(gap, dtype=np.int64)
         streams.append(ThreadStream(
             node=node,
-            l1_lines=(v // config.l1_line).tolist(),
-            l2_lines=(v // config.l2_line).tolist(),
-            gaps=np.asarray(gap, dtype=np.int64).tolist(),
+            l1_lines=np_l1.tolist(),
+            l2_lines=np_l2.tolist(),
+            gaps=np_gaps.tolist(),
             mcs=amap.mc_of(p).tolist(),
             banks=amap.bank_of(p).tolist(),
             rows=amap.row_of(p).tolist(),
             homes=homes,
             writes=wr,
-            phases=phases))
+            phases=phases,
+            np_l1=np_l1,
+            np_l2=np_l2,
+            np_gaps=np_gaps))
     return streams
 
 
@@ -146,6 +165,9 @@ class SystemSimulator:
         if miss_overlap is None:
             miss_overlap = config.miss_overlap
         self.mesh = mapping.mesh
+        # Kept for the fast engine's exact-integer-time eligibility test
+        # (fractional degradation factors force the general timing mode).
+        self._fault_plan = fault_plan
         net_faults: Optional[NetworkFaultModel] = None
         self._mc_faults: Optional[ControllerFaultModel] = None
         if fault_plan is not None and not fault_plan.empty:
@@ -234,40 +256,33 @@ class SystemSimulator:
     # ------------------------------------------------------------------
     def run(self, streams: Sequence[ThreadStream],
             transform_overhead: float = 0.0,
-            name: str = "") -> RunMetrics:
-        """Simulate all threads to completion."""
+            name: str = "", engine: str = "fast") -> RunMetrics:
+        """Simulate all threads to completion.
+
+        ``engine`` selects the event loop: ``"fast"`` (default) uses the
+        hit-filtered loop of :mod:`repro.sim.fastpath` when the run is
+        eligible -- bit-identical metrics, only L2 misses enter the
+        global heap -- and falls back to the reference loop otherwise;
+        ``"reference"`` always runs the original per-access loop.
+        """
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"engines: fast, reference")
         m = RunMetrics(name=name)
         m.mc_node_requests = np.zeros(
             (len(self.controllers), self.config.num_cores), dtype=np.int64)
 
-        stagger = self.config.thread_stagger
-        heap = [(float(tid * stagger), tid)
-                for tid, s in enumerate(streams) if s.length]
-        heapq.heapify(heap)
-        positions = [0] * len(streams)
-        finish_times = [0.0] * len(streams)
-        step = (self._step_shared if self.config.shared_l2
-                else self._step_private)
-
         events_span = obs_span("sim.events", cat="sim",
                                threads=len(streams))
         events_span.__enter__()
-        while heap:
-            t0, tid = heapq.heappop(heap)
-            stream = streams[tid]
-            i = positions[tid]
-            t = step(stream, i, t0, m)
-            if stream.phases is not None:
-                name = stream.phases[i]
-                m.phase_cycles[name] = m.phase_cycles.get(name, 0.0) \
-                    + (t - t0)
-                m.phase_accesses[name] = \
-                    m.phase_accesses.get(name, 0) + 1
-            positions[tid] = i + 1
-            finish_times[tid] = t
-            if i + 1 < stream.length:
-                heapq.heappush(heap, (t, tid))
-
+        use_fast = False
+        if engine == "fast":
+            from repro.sim import fastpath
+            use_fast = fastpath.eligible(self, streams)
+        if use_fast:
+            finish_times = fastpath.run_events(self, streams, m)
+        else:
+            finish_times = self._run_reference(streams, m)
         events_span.add(accesses=m.total_accesses).__exit__()
 
         m.thread_finish = [f * (1.0 + transform_overhead)
@@ -287,6 +302,35 @@ class SystemSimulator:
         if self.telemetry is not None:
             self._publish_telemetry(m)
         return m
+
+    def _run_reference(self, streams: Sequence[ThreadStream],
+                       m: RunMetrics) -> List[float]:
+        """The original event loop: every access is a heap event."""
+        stagger = self.config.thread_stagger
+        heap = [(float(tid * stagger), tid)
+                for tid, s in enumerate(streams) if s.length]
+        heapq.heapify(heap)
+        positions = [0] * len(streams)
+        finish_times = [0.0] * len(streams)
+        step = (self._step_shared if self.config.shared_l2
+                else self._step_private)
+
+        while heap:
+            t0, tid = heapq.heappop(heap)
+            stream = streams[tid]
+            i = positions[tid]
+            t = step(stream, i, t0, m)
+            if stream.phases is not None:
+                name = stream.phases[i]
+                m.phase_cycles[name] = m.phase_cycles.get(name, 0.0) \
+                    + (t - t0)
+                m.phase_accesses[name] = \
+                    m.phase_accesses.get(name, 0) + 1
+            positions[tid] = i + 1
+            finish_times[tid] = t
+            if i + 1 < stream.length:
+                heapq.heappush(heap, (t, tid))
+        return finish_times
 
     def _publish_telemetry(self, m: RunMetrics) -> None:
         """End-of-run flush into the obs=full registry: per-link NoC

@@ -1,0 +1,202 @@
+"""Engine equivalence: the fast event loop is bit-identical.
+
+The ``engine="fast"`` hit-filtered loop (repro.sim.fastpath) promises
+*bit-identical* results to the reference every-access loop -- not
+"close", identical, down to float accumulators.  These tests pin that
+contract across the dimensions that exercise different code paths:
+mappings, interleavings, the optimal scheme, page policies, fault
+plans (integer-valued and fractional, which selects the general
+floating-point timing mode), strict validation (audit-wrapped sends),
+full observability (telemetry-wrapped sends), and the configurations
+where the fast loop must decline and fall back to the reference
+(shared L2, write modeling, phase tracking).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.faults.plan import (BankFault, FaultPlan, LinkDegradation,
+                               LinkFault, MCFault)
+from repro.sim.executor import point_specs, resolve_mapping, run_point, \
+    PointTask
+from repro.sim.run import ENGINES, RunSpec, run_simulation
+from repro.sim.serialize import comparison_row
+from repro.sim.metrics import Comparison
+from repro.workloads import build_workload
+
+SCALE = 0.2
+
+
+def _config(**kw):
+    base = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    return base.with_(**kw) if kw else base
+
+
+def _metrics_pair(program, config, **spec_kw):
+    results = []
+    for engine in ENGINES:
+        spec = RunSpec(program=program, config=config, engine=engine,
+                       **spec_kw)
+        results.append(run_simulation(spec).metrics)
+    return results
+
+
+def _assert_identical(a, b):
+    """Field-by-field bit-identity of two RunMetrics."""
+    va, vb = vars(a), vars(b)
+    assert va.keys() == vb.keys()
+    for name, x in va.items():
+        y = vb[name]
+        if isinstance(x, np.ndarray):
+            assert np.array_equal(x, y), name
+        else:
+            assert x == y, name
+
+
+@pytest.mark.parametrize("optimized", [False, True])
+@pytest.mark.parametrize("mapping_name", ["M1", "M2"])
+def test_mappings_bit_identical(optimized, mapping_name):
+    program = build_workload("swim", SCALE)
+    config = _config()
+    mapping = resolve_mapping(config, mapping_name)
+    fast, ref = _metrics_pair(program, config, mapping=mapping,
+                              optimized=optimized)
+    _assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("interleaving", ["cache_line", "page"])
+def test_interleavings_bit_identical(interleaving):
+    program = build_workload("mgrid", SCALE)
+    config = _config(interleaving=interleaving)
+    fast, ref = _metrics_pair(program, config, optimized=True)
+    _assert_identical(fast, ref)
+
+
+def test_optimal_scheme_bit_identical():
+    program = build_workload("swim", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimal=True)
+    _assert_identical(fast, ref)
+
+
+def test_first_touch_seeded_bit_identical():
+    program = build_workload("applu", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True,
+                              page_policy="first_touch", seed=7)
+    _assert_identical(fast, ref)
+
+
+def test_integer_fault_plan_bit_identical():
+    # Every window edge and factor integral: the fast loop stays in
+    # its exact int64 prefix-sum timing mode.
+    plan = FaultPlan(link_faults=(LinkFault(0, 1),),
+                     link_degradations=(LinkDegradation(2, 3, 2.0),),
+                     mc_faults=(MCFault(1, "slow", 2.0, 0, 50_000),),
+                     bank_faults=(BankFault(0, 0),))
+    program = build_workload("swim", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True,
+                              fault_plan=plan)
+    _assert_identical(fast, ref)
+
+
+def test_fractional_fault_plan_bit_identical():
+    # Fractional factors and window edges force the general
+    # floating-point timing mode; identity must survive that too.
+    plan = FaultPlan(
+        link_degradations=(LinkDegradation(0, 1, 1.5),),
+        mc_faults=(MCFault(2, "slow", 1.7, 100.5, 60_000.25),))
+    program = build_workload("swim", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True,
+                              fault_plan=plan)
+    _assert_identical(fast, ref)
+
+
+def test_fractional_overlap_bit_identical():
+    # art's MLP demand drives effective_overlap above zero, so keep < 1
+    # and simulated times go fractional (general timing mode).
+    program = build_workload("art", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True)
+    _assert_identical(fast, ref)
+
+
+def test_strict_validation_bit_identical():
+    # Strict validation attaches a NetworkAudit, which routes the fast
+    # loop through the regular send method; the audit must also pass.
+    program = build_workload("swim", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True,
+                              validate="strict")
+    _assert_identical(fast, ref)
+
+
+def test_obs_full_bit_identical():
+    program = build_workload("swim", SCALE)
+    fast, ref = _metrics_pair(program, _config(), optimized=True,
+                              obs="full")
+    _assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("knob", [{"shared_l2": True},
+                                  {"model_writes": True},
+                                  {"track_phases": True}])
+def test_fallback_configs_still_identical(knob):
+    # Configurations outside the fast loop's eligibility envelope fall
+    # back to the reference loop under engine="fast"; results are
+    # (trivially) identical and nothing crashes.
+    program = build_workload("swim", SCALE)
+    config = _config(**knob)
+    fast, ref = _metrics_pair(program, config, optimized=True)
+    _assert_identical(fast, ref)
+
+
+def test_csv_rows_bit_identical():
+    # The end-to-end artifact sweeps emit: identical CSV rows, both
+    # engines, through the shared point executor.
+    program = build_workload("swim", SCALE)
+    config = _config()
+    settings = {"mapping": "M2", "num_mcs": 4}
+    rows = []
+    for engine in ENGINES:
+        base_spec, opt_spec = point_specs(program, config, settings,
+                                          engine=engine)
+        base = run_simulation(base_spec)
+        opt = run_simulation(opt_spec)
+        rows.append(comparison_row(
+            settings, Comparison(base.metrics, opt.metrics)))
+    assert rows[0] == rows[1]
+
+
+def test_point_task_threads_engine():
+    program = build_workload("swim", SCALE)
+    config = _config()
+    outcomes = [run_point(PointTask(program=program, base_config=config,
+                                    settings=(("mapping", "M1"),),
+                                    engine=engine))
+                for engine in ENGINES]
+    assert outcomes[0].row == outcomes[1].row
+
+
+def test_engine_excluded_from_key():
+    # The engines are bit-identical by contract, so cached results are
+    # engine-agnostic: the canonical run key must not depend on it.
+    program = build_workload("swim", SCALE)
+    config = _config()
+    keys = {RunSpec(program=program, config=config, optimized=True,
+                    engine=engine).key() for engine in ENGINES}
+    assert len(keys) == 1
+
+
+def test_unknown_engine_rejected():
+    program = build_workload("swim", SCALE)
+    with pytest.raises(ValueError):
+        RunSpec(program=program, config=_config(), engine="warp")
+
+
+def test_run_metrics_not_none_fields():
+    # Smoke guard: the fast loop fills every accumulator it bypasses
+    # the heap for (a forgotten assignment would leave zeros).
+    program = build_workload("swim", SCALE)
+    fast, _ = _metrics_pair(program, _config(), optimized=True)
+    assert fast.total_accesses > 0
+    assert fast.l1_hits > 0 and fast.l2_hits > 0
+    assert fast.exec_time > 0

@@ -1,0 +1,191 @@
+"""Compile/trace memoization: sharing, invalidation, bit-identity.
+
+The memo (repro.sim.memo) may only ever be a *pure* cache: two runs
+share an artifact exactly when recomputing it would produce the same
+value.  These tests pin the invalidation semantics (a key-relevant
+change recomputes, an irrelevant one shares), the bit-identity of
+memo-on vs memo-off runs, the read-only protection on cached trace
+arrays, and the LRU/configure plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.sim import memo
+from repro.sim.run import RunSpec, run_simulation
+from repro.workloads import build_workload
+
+SCALE = 0.2
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts from an empty, enabled, default-sized memo."""
+    memo.configure(enabled=True, capacity=8)
+    yield
+    memo.configure(enabled=True, capacity=8)
+
+
+def _spec(program, config, **kw):
+    return RunSpec(program=program, config=config, **kw)
+
+
+def _metrics_equal(a, b):
+    for name, x in vars(a).items():
+        y = getattr(b, name)
+        if isinstance(x, np.ndarray):
+            if not np.array_equal(x, y):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def test_repeat_run_hits_cache_and_is_identical():
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    spec = _spec(program, config, optimized=True)
+    first = run_simulation(spec).metrics
+    hits_before = memo.cache.hits
+    second = run_simulation(spec).metrics
+    assert memo.cache.hits >= hits_before + 2  # compile + trace
+    assert _metrics_equal(first, second)
+
+
+def test_memo_off_bit_identical():
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    spec = _spec(program, config, optimized=True)
+    warm = run_simulation(spec).metrics
+    cached = run_simulation(spec).metrics        # memo hit
+    memo.configure(enabled=False)
+    cold = run_simulation(spec).metrics          # recomputed
+    assert _metrics_equal(warm, cached)
+    assert _metrics_equal(warm, cold)
+
+
+def test_baseline_shared_across_mapping_axis():
+    # Original layouts never depend on the mapping: two baseline runs
+    # differing only in mapping share both compile and trace artifacts.
+    from repro.sim.executor import resolve_mapping
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    keys = set()
+    for name in ("M1", "M2"):
+        spec = _spec(program, config,
+                     mapping=resolve_mapping(config, name),
+                     optimized=False)
+        keys.add((memo.compile_key(spec), memo.trace_key(spec)))
+    assert len(keys) == 1
+
+
+def test_optimized_mapping_change_recomputes():
+    from repro.sim.executor import resolve_mapping
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    keys = {memo.compile_key(_spec(program, config,
+                                   mapping=resolve_mapping(config, name),
+                                   optimized=True))
+            for name in ("M1", "M2")}
+    assert len(keys) == 2
+
+
+def test_irrelevant_config_field_shares_baseline_traces():
+    # hop_latency is not read by placement or trace generation: two
+    # baseline runs differing only in it share one trace set.
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    a = _spec(program, config, optimized=False)
+    b = _spec(program, config.with_(hop_latency=config.hop_latency + 1),
+              optimized=False)
+    assert memo.trace_key(a) == memo.trace_key(b)
+
+
+@pytest.mark.parametrize("field, value", [
+    ("interleaving", "page"),
+    ("num_mcs", 8),
+    ("threads_per_core", 2),
+])
+def test_trace_relevant_field_invalidates(field, value):
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    a = _spec(program, config, optimized=False)
+    b = _spec(program, config.with_(**{field: value}), optimized=False)
+    assert memo.trace_key(a) != memo.trace_key(b)
+
+
+def test_program_change_invalidates():
+    config = MachineConfig.scaled_default()
+    a = _spec(build_workload("swim", SCALE), config, optimized=False)
+    b = _spec(build_workload("mgrid", SCALE), config, optimized=False)
+    assert memo.compile_key(a) != memo.compile_key(b)
+    assert memo.trace_key(a) != memo.trace_key(b)
+
+
+def test_cached_trace_arrays_are_read_only():
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    spec = _spec(program, config, optimized=True)
+    run_simulation(spec)
+    _, layouts, _ = memo.compiled(spec)
+    _, _, traces = memo.placed_traces(spec, layouts)
+    with pytest.raises(ValueError):
+        traces[0].vaddrs[0] = 0
+
+
+def test_seed_and_fault_axes_share_artifacts():
+    # Seeds and fault plans act downstream of trace generation: every
+    # seed of one grid point reuses the same compile+trace entries.
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    run_simulation(_spec(program, config, optimized=True, seed=0,
+                         page_policy="first_touch"))
+    hits_before = memo.cache.hits
+    m1 = run_simulation(_spec(program, config, optimized=True, seed=1,
+                              page_policy="first_touch")).metrics
+    assert memo.cache.hits >= hits_before + 2
+    memo.configure(enabled=False)
+    m2 = run_simulation(_spec(program, config, optimized=True, seed=1,
+                              page_policy="first_touch")).metrics
+    assert _metrics_equal(m1, m2)
+
+
+def test_lru_eviction_bounds_entries():
+    memo.configure(capacity=2)
+    config = MachineConfig.scaled_default()
+    for app in ("swim", "mgrid", "applu"):
+        run_simulation(_spec(build_workload(app, SCALE), config,
+                             optimized=False))
+    assert len(memo.cache) <= 2
+
+
+def test_configure_clears_and_disables():
+    program = build_workload("swim", SCALE)
+    config = MachineConfig.scaled_default()
+    run_simulation(_spec(program, config, optimized=True))
+    assert len(memo.cache) > 0
+    memo.configure(enabled=False)
+    assert len(memo.cache) == 0
+    assert not memo.enabled()
+    run_simulation(_spec(program, config, optimized=True))
+    assert len(memo.cache) == 0  # disabled: nothing stored
+    memo.configure(enabled=True)
+    assert memo.enabled()
+
+
+def test_obs_spans_present_on_hit_path():
+    # tests/test_obs.py pins the span names a run must emit; a memo
+    # hit must keep emitting them (marked memo="hit") or observability
+    # silently loses its trace.generate/os.place lanes.
+    import repro.api as api
+    program = build_workload("swim", SCALE)
+    api.run(program=program, optimized=True, obs="full")
+    result = api.run(program=program, optimized=True, obs="full")
+    names = {span.name for span in result.obs.spans}
+    assert {"run", "os.place", "trace.generate", "sim.system",
+            "sim.events"} <= names
+    hit_spans = [span for span in result.obs.spans
+                 if (span.args or {}).get("memo") == "hit"]
+    assert hit_spans
