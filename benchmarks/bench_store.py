@@ -1,0 +1,199 @@
+"""Persistent result store: write overhead and warm-replay speedup.
+
+Standalone script (not a pytest benchmark): records the cost model of
+:mod:`repro.store` to ``BENCH_store.json`` at the repo root.
+
+* ``put_overhead`` -- a cold sweep with ``store=`` vs without.  Every
+  grid point pays one durable record write (fsync file + dir), so this
+  is the price of crash-safety on first execution.  The bound is loose
+  (``PUT_OVERHEAD_BOUND``): the write must stay small next to the
+  simulation itself.
+* ``warm_speedup`` -- the same sweep again over the now-populated
+  store.  Every point replays from a record instead of simulating, so
+  this is the headline payoff; the acceptance bound is
+  ``WARM_SPEEDUP_BOUND``.
+* ``single_replay`` -- one optimized ``api.run`` cold vs warm, the
+  store-backed analogue of the memo fast path but durable across
+  processes.
+
+Cold/warm rows and metrics are cross-checked for bit-identity as a
+cheap tripwire (tests/test_store.py pins the full contract).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+    REPRO_BENCH_SCALE=0.5 REPRO_BENCH_REPEATS=3 PYTHONPATH=src \
+        python benchmarks/bench_store.py
+"""
+
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro import MachineConfig
+from repro.sim import memo
+from repro.store import reset_instances
+from repro.workloads import build_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+APP = os.environ.get("REPRO_BENCH_APP", "swim")
+OUT = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+AXES = {"mapping": ["M1", "M2"], "num_mcs": [4, 8]}
+
+#: Acceptance bounds: durable writes must cost < 50% extra on a cold
+#: sweep at bench scale, and a fully warm store must replay the sweep
+#: at least 3x faster than re-simulating it.
+PUT_OVERHEAD_BOUND = 1.5
+WARM_SPEEDUP_BOUND = 3.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _fresh(root=None):
+    """Store reads replace simulation, so the memo must not hide the
+    simulation cost we compare against; clear both between trials."""
+    memo.configure(enabled=True)
+    reset_instances()
+    if root is not None:
+        import shutil
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _metrics_equal(a, b):
+    for name, x in vars(a).items():
+        y = getattr(b, name)
+        if isinstance(x, np.ndarray):
+            if not np.array_equal(x, y):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def bench_sweep(program, config, workdir):
+    root = str(Path(workdir) / "sweep-store")
+
+    def cold_plain():
+        _fresh()
+        return repro.sweep(program, config=config, **AXES)
+
+    def cold_store():
+        _fresh(root)
+        return repro.sweep(program, config=config, store=root, **AXES)
+
+    def warm_store():
+        memo.configure(enabled=True)
+        reset_instances()
+        return repro.sweep(program, config=config, store=root, **AXES)
+
+    cold_plain(); cold_store(); warm_store()  # warmup all three paths
+    plain_pool, cold_pool, warm_pool = [], [], []
+    rows = {}
+    for _ in range(REPEATS):
+        seconds, result = _timed(cold_plain)
+        plain_pool.append(seconds)
+        rows["plain"] = result.to_csv()
+        seconds, result = _timed(cold_store)
+        cold_pool.append(seconds)
+        rows["cold"] = result.to_csv()
+        if result.store_hits != 0:
+            raise SystemExit("cold sweep unexpectedly hit the store")
+        seconds, result = _timed(warm_store)
+        warm_pool.append(seconds)
+        rows["warm"] = result.to_csv()
+        if result.store_misses != 0:
+            raise SystemExit("warm sweep missed a populated store")
+    if not (rows["plain"] == rows["cold"] == rows["warm"]):
+        raise SystemExit("sweep CSVs diverged across store modes")
+    return (statistics.median(plain_pool),
+            statistics.median(cold_pool),
+            statistics.median(warm_pool))
+
+
+def bench_single(program, config, workdir):
+    root = str(Path(workdir) / "run-store")
+
+    def cold():
+        _fresh(root)
+        return repro.run(program=program, config=config, optimized=True,
+                         store=root)
+
+    def warm():
+        memo.configure(enabled=True)
+        reset_instances()
+        return repro.run(program=program, config=config, optimized=True,
+                         store=root)
+
+    cold(); warm()  # warmup
+    cold_pool, warm_pool = [], []
+    for _ in range(REPEATS):
+        seconds, cold_result = _timed(cold)
+        cold_pool.append(seconds)
+        seconds, warm_result = _timed(warm)
+        warm_pool.append(seconds)
+        if not _metrics_equal(cold_result.metrics, warm_result.metrics):
+            raise SystemExit("warm replay metrics diverged from cold run")
+    return statistics.median(cold_pool), statistics.median(warm_pool)
+
+
+def main():
+    config = MachineConfig.scaled_default().with_(
+        interleaving="cache_line")
+    program = build_workload(APP, SCALE)
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as workdir:
+        plain, cold, warm = bench_sweep(program, config, workdir)
+        single_cold, single_warm = bench_single(program, config, workdir)
+    reset_instances()  # drop handles into the deleted tempdir
+
+    payload = {
+        "benchmark": "store",
+        "app": APP,
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "sweep": {
+            "axes": "mapping=M1,M2 x num_mcs=4,8",
+            "plain_seconds": round(plain, 4),
+            "cold_store_seconds": round(cold, 4),
+            "warm_store_seconds": round(warm, 4),
+            "put_overhead": round(cold / plain, 2),
+            "warm_speedup": round(plain / warm, 2),
+        },
+        "single_run": {
+            "cold_seconds": round(single_cold, 4),
+            "warm_seconds": round(single_warm, 4),
+            "warm_speedup": round(single_cold / single_warm, 2),
+        },
+        "put_overhead_bound": PUT_OVERHEAD_BOUND,
+        "warm_speedup_bound": WARM_SPEEDUP_BOUND,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    failed = False
+    if payload["sweep"]["put_overhead"] > PUT_OVERHEAD_BOUND:
+        print(f"FAIL: store put overhead "
+              f"{payload['sweep']['put_overhead']}x "
+              f"(> {PUT_OVERHEAD_BOUND}x)", file=sys.stderr)
+        failed = True
+    if payload["sweep"]["warm_speedup"] < WARM_SPEEDUP_BOUND:
+        print(f"FAIL: warm sweep speedup "
+              f"{payload['sweep']['warm_speedup']}x "
+              f"(< {WARM_SPEEDUP_BOUND}x)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,10 @@ def run(experiment: Optional[Experiment] = None, *,
     ``engine="reference"`` selects the original every-access event loop
     instead of the default hit-filtered fast loop; the two are
     bit-identical (see docs/performance.md).
+    ``store="dir"`` consults the persistent result store
+    (:mod:`repro.store`) before simulating and persists the result
+    after; a warm hit replays bit-identical metrics with zero
+    simulation work (see docs/robustness.md).
     """
     if experiment is not None:
         if program is not None or config is not None or spec_kw:
@@ -124,6 +128,7 @@ def sweep(program: Program, *,
           validate: str = "off",
           obs: str = "off",
           engine: str = "fast",
+          store: Optional[str] = None,
           progress: Optional[Callable] = None,
           max_points: Optional[int] = None,
           **axes: Iterable) -> SweepResult:
@@ -155,6 +160,14 @@ def sweep(program: Program, *,
     ``engine`` selects the event-loop implementation for every run
     (``"fast"``, the default, or ``"reference"``); results are
     bit-identical either way.
+
+    ``store`` names a persistent result-store directory
+    (:mod:`repro.store`): every run in the sweep replays from it when
+    a record exists and persists its result otherwise, and hardened
+    sweeps additionally resume completed rows from it across
+    processes.  Results are bit-identical with the store on or off;
+    ``result.store_hits`` / ``result.store_misses`` report the
+    traffic.
     """
     hardened = (hardened or checkpoint is not None
                 or harness is not None or max_points is not None)
@@ -162,12 +175,15 @@ def sweep(program: Program, *,
         return HardenedSweep(program, config, harness=harness,
                              checkpoint=checkpoint, fault_plan=fault_plan,
                              seed=seed, workers=workers,
-                             validate=validate, obs=obs, engine=engine
+                             validate=validate, obs=obs, engine=engine,
+                             store=store
                              ).run(max_points=max_points,
                                    progress=progress, **axes)
     runner = Sweep(program, config, workers=workers,
                    fault_plan=fault_plan, seed=seed, validate=validate,
-                   obs=obs, engine=engine)
+                   obs=obs, engine=engine, store=store)
     points = runner.run(progress=progress, **axes)
     return SweepResult(rows=[point.row() for point in points],
-                       points=list(points), obs=runner.collected_obs())
+                       points=list(points), obs=runner.collected_obs(),
+                       store_hits=runner.store_hits,
+                       store_misses=runner.store_misses)

@@ -17,6 +17,13 @@ Subcommands::
     repro-cli list                        # available workload models
     repro-cli doctor                      # install/config/model self-check
     repro-cli fuzz --cases 200            # frontend never-crash fuzzing
+    repro-cli store stats results/        # result-store inventory
+    repro-cli store verify results/       # re-checksum every record
+    repro-cli store gc results/           # drop quarantine + temp debris
+
+``run`` and ``sweep`` take ``--store DIR`` to replay/persist results
+through the crash-safe store (:mod:`repro.store`); ``sweep --store``
+prints a ``[store] hits=... misses=...`` summary on stderr.
 
 ``run`` and ``sweep`` additionally take ``--validate
 {off,metrics,strict}`` to run the :mod:`repro.validate` invariant
@@ -198,7 +205,8 @@ def cmd_run(args: argparse.Namespace, out) -> int:
                    mapping=_mapping(config, args.mapping),
                    optimized=args.optimized, optimal=args.optimal,
                    fault_plan=plan, seed=args.seed,
-                   validate=args.validate, engine=args.engine)
+                   validate=args.validate, engine=args.engine,
+                   store=args.store or None)
     try:
         result = run_simulation(spec)
     except ValidationError as err:
@@ -300,7 +308,8 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         raise SystemExit(f"repro-cli sweep: --workers must be >= 1, "
                          f"got {workers}")
     sweep = Sweep(program, _config(args), workers=workers,
-                  validate=args.validate, engine=args.engine)
+                  validate=args.validate, engine=args.engine,
+                  store=args.store or None)
     axes = _parse_axes(args.axis)
     progress = None
     state = {"done": 0, "failed": 0, "started": time.monotonic()}
@@ -327,6 +336,12 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         elapsed = time.monotonic() - state["started"]
         print(f"[sweep] {len(points)} points ({state['done']} "
               f"simulated) in {elapsed:.1f}s", file=sys.stderr)
+        if args.store:
+            # The CI smoke job greps this line to prove a shared store
+            # actually served records across processes.
+            print(f"[store] hits={sweep.store_hits} "
+                  f"misses={sweep.store_misses} dir={args.store}",
+                  file=sys.stderr)
     print(to_csv(points), end="", file=out)
     return 0
 
@@ -431,6 +446,36 @@ def cmd_fuzz(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_store(args: argparse.Namespace, out) -> int:
+    from repro.store import DiskStore, FallbackStore, open_store
+    store = open_store(args.dir)
+    backend = store.primary if isinstance(store, FallbackStore) \
+        else store
+    if not isinstance(backend, DiskStore):
+        raise SystemExit(f"repro-cli store: {args.dir!r} is not a "
+                         f"usable store directory "
+                         f"({store.description})")
+    if args.action == "stats":
+        summary = backend.stats_summary()
+        print(f"store {summary['root']} (format v{summary['version']})",
+              file=out)
+        for kind, count in sorted(summary["records"].items()):
+            print(f"  {kind + ' records:':<20} {count}", file=out)
+        print(f"  {'bytes:':<20} {summary['bytes']:,}", file=out)
+        print(f"  {'quarantined:':<20} {summary['quarantined']}",
+              file=out)
+        return 0
+    if args.action == "verify":
+        report = backend.verify()
+        print(f"checked {report['checked']} records: "
+              f"{report['bad']} bad (quarantined)", file=out)
+        return 1 if report["bad"] else 0
+    report = backend.gc()
+    print(f"removed {report['removed']} quarantined/orphaned files "
+          f"({report['bytes']:,} bytes)", file=out)
+    return 0
+
+
 def cmd_list(args: argparse.Namespace, out) -> int:
     for app in SUITE_ORDER:
         program = build_workload(app, 0.2)
@@ -484,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="event-loop engine (bit-identical; "
                                 "'fast' filters cache hits out of the "
                                 "global heap)")
+            p.add_argument("--store", default="",
+                           help="persistent result-store directory "
+                                "(replay hits, persist misses; "
+                                "bit-identical either way)")
         _machine_flags(p)
         p.set_defaults(func=func)
 
@@ -509,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["fast", "reference"],
                    help="event-loop engine for every run "
                         "(bit-identical)")
+    p.add_argument("--store", default="",
+                   help="persistent result-store directory shared "
+                        "across processes (replay hits, persist "
+                        "misses)")
     verbosity = p.add_mutually_exclusive_group()
     verbosity.add_argument("--progress", action="store_true",
                            help="periodic progress lines on stderr "
@@ -586,6 +639,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compile only; skip the layout-pass "
                         "degradation check")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("store", help="inspect/maintain a persistent "
+                                     "result store directory")
+    p.add_argument("action", choices=["stats", "verify", "gc"],
+                   help="stats: inventory; verify: re-checksum every "
+                        "record (damaged ones are quarantined); gc: "
+                        "drop quarantined records and orphaned temp "
+                        "files")
+    p.add_argument("dir", help="store root directory")
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("list", help="list workload models")
     p.set_defaults(func=cmd_list)

@@ -115,6 +115,30 @@ class SimulationError(ReproError):
     kind = "simulation"
 
 
+class StoreError(ReproError):
+    """The persistent result store (:mod:`repro.store`) hit an
+    operational problem -- an unusable root, a foreign format marker, a
+    wedged advisory lock.  Data corruption is deliberately *not* raised
+    as an error: corrupted records are quarantined and read as misses.
+    Lock timeouts are flagged transient; the degradation ladder reacts
+    by downgrading to the in-memory backend either way.
+    """
+
+    kind = "store"
+
+
+class WorkerLostError(SimulationError):
+    """A sweep worker process died (or hung) and the supervisor's
+    retry budget for its grid points is exhausted.
+
+    Raised by :func:`repro.sim.executor.execute_points` only after the
+    lost points have been re-enqueued ``retry_budget`` times -- the
+    loud failure at the end of the quiet recovery path.  Not transient:
+    the harness retrying the same budget-exhausted points again would
+    just burn another budget.
+    """
+
+
 class ValidationError(ReproError):
     """An invariant checker rejected a run as internally inconsistent.
 

@@ -275,6 +275,11 @@ class TelemetryRegistry:
         return self._get(name, "series",
                          lambda: TimeSeries(bucket_cycles))
 
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Bump the counter ``name`` -- the one-liner for event-shaped
+        publishers (store corruption/recovery counts, degradations)."""
+        self.counter(name).inc(amount)
+
     # -- reading ------------------------------------------------------------
     def get(self, name: str):
         return self.metrics.get(name)

@@ -29,8 +29,14 @@ which the sweep front-ends re-export.
 from __future__ import annotations
 
 import itertools
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import random
+import signal
+import time
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
@@ -38,11 +44,14 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
 from repro.arch.clustering import (balanced_mapping, grid_mapping,
                                    mapping_m1, mapping_m2)
 from repro.arch.config import MachineConfig
+from repro.errors import WorkerLostError
 from repro.faults.plan import FaultPlan
+from repro.obs.tracer import obs_instant
 from repro.program.ir import Program
 from repro.sim.metrics import Comparison
 from repro.sim.run import RunSpec, run_simulation
 from repro.sim.serialize import comparison_row, point_key
+from repro.store import base as store_backends
 
 #: Sweep axes that map onto :class:`MachineConfig` fields.  ``mapping``
 #: rides alongside as the one non-config axis.
@@ -101,7 +110,8 @@ def point_specs(program: Program, base_config: MachineConfig,
                 seed: int = 0,
                 validate: str = "off",
                 obs: str = "off",
-                engine: str = "fast") -> Tuple[RunSpec, RunSpec]:
+                engine: str = "fast",
+                store: Optional[str] = None) -> Tuple[RunSpec, RunSpec]:
     """The baseline/optimized :class:`RunSpec` pair for one grid point.
 
     This is the single source of truth for what a sweep point *means*;
@@ -115,7 +125,7 @@ def point_specs(program: Program, base_config: MachineConfig,
     specs = tuple(
         RunSpec(program=program, config=config, mapping=mapping,
                 optimized=optimized, fault_plan=fault_plan, seed=seed,
-                validate=validate, obs=obs, engine=engine)
+                validate=validate, obs=obs, engine=engine, store=store)
         for optimized in (False, True))
     return specs[0], specs[1]
 
@@ -139,6 +149,11 @@ class PointTask:
     # Event-loop engine for both runs ("fast" or "reference"); not part
     # of the point key -- the engines are bit-identical by contract.
     engine: str = "fast"
+    # Persistent result store directory (repro.store); like the engine
+    # it names where results live, not what they are, so it is not part
+    # of the point key.  Each worker process opens its own handle on
+    # the shared directory.
+    store: Optional[str] = None
     hardened: bool = False
     harness: Optional[object] = None  # HarnessConfig; typed loosely to
     # keep this module import-cycle-free with repro.sim.harness
@@ -156,10 +171,36 @@ class PointOutcome:
     # Per-run ObsData bundles (baseline then optimized) when the task
     # requested obs != "off"; picklable, so they survive the pool.
     obs: List[object] = field(default_factory=list)
+    # Result-store traffic this point generated (0/0 without a store);
+    # summed by the sweeps so a parent process can report hits that
+    # happened inside pool workers.
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return self.row is not None
+
+
+def _chaos_maybe_die() -> None:
+    """Fault-injection seam for the chaos harness (tests/test_chaos.py).
+
+    When ``REPRO_CHAOS_DIR`` names a directory containing a
+    ``kill-worker`` token, the first pool worker to claim the token
+    (an atomic rename, so exactly one claimant wins) SIGKILLs itself --
+    a *real* dead worker, not a mock, which the supervision layer must
+    then recover from.  Never fires in the parent process, and costs
+    one ``os.environ`` lookup when the variable is unset.
+    """
+    root = os.environ.get("REPRO_CHAOS_DIR")
+    if not root or multiprocessing.parent_process() is None:
+        return
+    token = os.path.join(root, "kill-worker")
+    try:
+        os.rename(token, token + ".consumed")
+    except OSError:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def run_point(task: PointTask) -> PointOutcome:
@@ -169,12 +210,15 @@ def run_point(task: PointTask) -> PointOutcome:
     the in-process fallback, so serial and parallel sweeps share every
     line of per-point logic.
     """
+    _chaos_maybe_die()
     settings = dict(task.settings)
     base_spec, opt_spec = point_specs(task.program, task.base_config,
                                       settings, task.fault_plan,
                                       task.seed, task.validate, task.obs,
-                                      task.engine)
+                                      task.engine, task.store)
     key = point_key((base_spec, opt_spec))
+    store = store_backends.resolve(task.store)
+    stats_before = store.stats.snapshot() if store is not None else None
     obs_parts: List[object] = []
     if task.hardened:
         from repro.sim.harness import run_hardened
@@ -196,9 +240,14 @@ def run_point(task: PointTask) -> PointOutcome:
         opt = run_simulation(opt_spec)
         comparison = Comparison(base.metrics, opt.metrics)
         obs_parts = [r.obs for r in (base, opt) if r.obs is not None]
-    return PointOutcome(settings=settings, key=key,
-                        row=comparison_row(settings, comparison),
-                        comparison=comparison, obs=obs_parts)
+    outcome = PointOutcome(settings=settings, key=key,
+                           row=comparison_row(settings, comparison),
+                           comparison=comparison, obs=obs_parts)
+    if stats_before is not None:
+        after = store.stats.snapshot()
+        outcome.store_hits = after["hits"] - stats_before["hits"]
+        outcome.store_misses = after["misses"] - stats_before["misses"]
+    return outcome
 
 
 def default_workers() -> int:
@@ -215,10 +264,72 @@ def default_chunksize(num_tasks: int, workers: int) -> int:
     return max(1, num_tasks // (workers * 4))
 
 
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the parent reacts when pool workers die or hang.
+
+    A worker that disappears (OOM-killed, segfaulted, ``kill -9``)
+    breaks the pool; the supervisor rebuilds it and re-enqueues every
+    point the crash took down, up to ``retry_budget`` re-enqueues per
+    point, sleeping a jittered exponential backoff between rebuilds
+    (the jitter keeps several supervising processes sharing a machine
+    from herding their restarts).  ``task_timeout`` arms the hang
+    detector: if no point completes for that many seconds, the pool is
+    presumed wedged, its workers are killed, and the in-flight points
+    are re-enqueued on the same budget.  Only when a point's budget is
+    exhausted does the sweep fail, loudly, with
+    :class:`~repro.errors.WorkerLostError` -- silent partial loss is
+    the one outcome the supervisor exists to prevent.
+    """
+
+    retry_budget: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    task_timeout: Optional[float] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, restart: int, rng: random.Random) -> float:
+        span = self.backoff_base * (self.backoff_factor ** restart)
+        return span * (1.0 + self.backoff_jitter * rng.random())
+
+
+#: Process-wide supervision counters (tests and the CLI summary read
+#: them; reset with :func:`reset_supervision_stats`).
+_SUPERVISION = {"worker_restarts": 0, "points_reenqueued": 0,
+                "hangs_detected": 0}
+
+
+def supervision_stats() -> Dict[str, int]:
+    return dict(_SUPERVISION)
+
+
+def reset_supervision_stats() -> None:
+    for key in _SUPERVISION:
+        _SUPERVISION[key] = 0
+
+
+def _kill_pool_workers(pool) -> None:
+    """Forcibly stop a wedged pool's workers (terminate, then kill) so
+    shutdown cannot block on a hung task."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except OSError:
+            pass
+
+
 def execute_points(tasks: Sequence[PointTask], workers: int = 1,
                    chunksize: Optional[int] = None,
                    progress: Optional[Callable[[PointOutcome], None]]
-                   = None) -> List[PointOutcome]:
+                   = None,
+                   supervision: Optional[SupervisionPolicy] = None
+                   ) -> List[PointOutcome]:
     """Run grid points, preserving submission order.
 
     ``workers=None`` means :func:`default_workers`.  With one worker
@@ -227,6 +338,13 @@ def execute_points(tasks: Sequence[PointTask], workers: int = 1,
     debuggable path.  Worker processes inherit nothing stochastic: all
     seeding travels inside each task, so the fan-out is bit-identical
     to the serial loop.
+
+    The parallel path is *supervised* (see :class:`SupervisionPolicy`):
+    a worker death or hang re-enqueues the lost points on a fresh pool
+    instead of aborting the sweep, and only an exhausted retry budget
+    raises.  ``chunksize`` is accepted for backward compatibility but
+    unused -- supervised scheduling is per-task, so a crash's blast
+    radius is exactly the points that were in flight.
 
     ``progress`` (optional) is called in the *parent* process with each
     outcome as it is collected, in submission order -- the hook behind
@@ -237,19 +355,88 @@ def execute_points(tasks: Sequence[PointTask], workers: int = 1,
     if workers is None:
         workers = default_workers()
     workers = max(1, min(int(workers), len(tasks) or 1))
-    outcomes: List[PointOutcome] = []
     if workers == 1:
+        outcomes_serial: List[PointOutcome] = []
         for task in tasks:
             outcome = run_point(task)
-            outcomes.append(outcome)
+            outcomes_serial.append(outcome)
             if progress is not None:
                 progress(outcome)
-        return outcomes
-    if chunksize is None:
-        chunksize = default_chunksize(len(tasks), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for outcome in pool.map(run_point, tasks, chunksize=chunksize):
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
-    return outcomes
+        return outcomes_serial
+
+    policy = supervision or SupervisionPolicy()
+    outcomes: List[Optional[PointOutcome]] = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(range(len(tasks)))
+    reported = 0
+    restarts = 0
+    rng = random.Random()  # jitter shapes wall-clock only, never results
+
+    def flush_progress() -> None:
+        nonlocal reported
+        if progress is None:
+            return
+        while reported < len(outcomes) and \
+                outcomes[reported] is not None:
+            progress(outcomes[reported])
+            reported += 1
+
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=max(1, min(workers, len(pending))))
+        lost: List[int] = []
+        hung = False
+        try:
+            index_of = {}
+            for i in pending:
+                attempts[i] += 1
+                try:
+                    index_of[pool.submit(run_point, tasks[i])] = i
+                except BrokenProcessPool:
+                    # A worker died while we were still submitting;
+                    # everything not yet in flight re-enqueues.
+                    lost.append(i)
+            waiting = set(index_of)
+            while waiting:
+                done, waiting = wait(waiting,
+                                     timeout=policy.task_timeout,
+                                     return_when=FIRST_COMPLETED)
+                if not done:
+                    hung = True  # nothing finished within the window
+                    break
+                for future in done:
+                    try:
+                        outcomes[index_of[future]] = future.result()
+                    except BrokenProcessPool:
+                        lost.append(index_of[future])
+                flush_progress()
+            if hung:
+                lost.extend(index_of[future] for future in waiting)
+        finally:
+            if hung:
+                _kill_pool_workers(pool)
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+        pending = []
+        if not lost:
+            break
+        exhausted = [i for i in lost
+                     if attempts[i] > policy.retry_budget]
+        if exhausted:
+            raise WorkerLostError(
+                f"{len(exhausted)} grid point(s) lost to "
+                f"{'hung' if hung else 'dead'} workers after "
+                f"{policy.retry_budget} re-enqueue(s) each; first "
+                f"lost settings: {dict(tasks[exhausted[0]].settings)}")
+        restarts += 1
+        _SUPERVISION["worker_restarts"] += 1
+        _SUPERVISION["points_reenqueued"] += len(lost)
+        if hung:
+            _SUPERVISION["hangs_detected"] += 1
+        obs_instant("executor.worker_lost", cat="executor",
+                    points=len(lost), restart=restarts, hung=hung)
+        policy.sleep(policy.backoff(restarts - 1, rng))
+        pending = sorted(lost)
+
+    flush_progress()
+    return outcomes  # type: ignore[return-value]

@@ -21,9 +21,9 @@ grid point costs one row, not the night's sweep.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import random
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
@@ -40,12 +40,18 @@ from repro.sim.executor import (PointTask, execute_points, grid_settings,
                                 point_key, point_specs, validate_axes)
 from repro.sim.run import RunResult, RunSpec, run_simulation
 from repro.sim.serialize import comparison_row, rows_to_csv
+from repro.store import ROW_KIND, atomic_write_json
+from repro.store import base as store_backends
 
 #: Checkpoint schema version.  Version 2 keys entries by the canonical
 #: :meth:`RunSpec.key`-derived point key (shared with sweep
 #: memoization); version-1 checkpoints used an ad-hoc settings JSON and
 #: are not resumed (their points simply re-run).
 CHECKPOINT_VERSION = 2
+
+#: Schema version for sweep rows persisted in the result store (kind
+#: ``"row"``); drifted payloads read as misses, so the point re-runs.
+ROW_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -65,10 +71,20 @@ class HarnessConfig:
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
+    #: Fractional jitter on every backoff: the wait is scaled by a
+    #: uniform draw from ``[1, 1 + backoff_jitter]``.  Parallel workers
+    #: that fail together (one overloaded machine, one fault window)
+    #: would otherwise retry in lockstep and re-overload the machine in
+    #: synchronized waves.  Kept below the backoff factor's growth so
+    #: successive waits still lengthen strictly.
+    backoff_jitter: float = 0.25
     sleep: Callable[[float], None] = time.sleep
 
     def backoff(self, attempt: int) -> float:
-        return self.backoff_base * (self.backoff_factor ** attempt)
+        span = self.backoff_base * (self.backoff_factor ** attempt)
+        if self.backoff_jitter <= 0:
+            return span
+        return span * (1.0 + self.backoff_jitter * random.random())
 
 
 @dataclass
@@ -150,19 +166,17 @@ def run_hardened(spec: RunSpec,
 
 
 def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                               prefix=path.name, suffix=".tmp")
-    try:
-        # No sort_keys: row dicts must round-trip in insertion order so
-        # a resumed sweep's CSV has the same columns as a fresh one
-        # (the points list is already sorted deterministically).
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=1)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    # One tested write-then-rename implementation for the whole repo:
+    # the store's atomic writer, which also fsyncs the file and its
+    # directory so a checkpoint survives power loss, not just SIGKILL.
+    # (No sort_keys: row dicts must round-trip in insertion order so a
+    # resumed sweep's CSV has the same columns as a fresh one.)
+    atomic_write_json(path, payload)
+
+
+class CheckpointCorruptWarning(UserWarning):
+    """A sweep checkpoint failed to parse and was quarantined; the
+    affected points simply re-run (or resume from the result store)."""
 
 
 @dataclass
@@ -178,6 +192,11 @@ class SweepReport:
     #: Merged :class:`~repro.obs.data.ObsData` over every freshly
     #: simulated run, when the sweep requested ``obs != "off"``.
     obs: Optional[ObsData] = None
+    #: Persistent-store traffic (zero without a store): run-level
+    #: record hits/misses summed across every point, including hits
+    #: that happened inside pool workers.
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def completed(self) -> int:
@@ -219,7 +238,8 @@ class HardenedSweep:
                  workers: int = 1,
                  validate: str = "off",
                  obs: str = "off",
-                 engine: str = "fast"):
+                 engine: str = "fast",
+                 store: Optional[str] = None):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -233,17 +253,68 @@ class HardenedSweep:
         # Not part of the point key or the checkpoint: engines are
         # bit-identical, so resumed rows are engine-agnostic.
         self.engine = engine
+        # Like ``engine``, the store is operational context, not
+        # identity: rows resume from it by the same canonical point key
+        # the checkpoint uses, and results are bit-identical either way.
+        self.store = store
+        self._store = store_backends.resolve(store)
         self._done: Dict[str, Dict[str, object]] = {}
         if self.checkpoint is not None and self.checkpoint.exists():
-            payload = json.loads(self.checkpoint.read_text())
+            payload = self._load_checkpoint()
+            if payload is None:
+                return
             if payload.get("program") not in ("", self.program.name):
                 raise ValueError(
                     f"checkpoint {self.checkpoint} belongs to program "
                     f"{payload.get('program')!r}, not "
                     f"{self.program.name!r}")
             if payload.get("version") == CHECKPOINT_VERSION:
-                for entry in payload.get("points", []):
-                    self._done[entry["key"]] = entry["row"]
+                try:
+                    for entry in payload.get("points", []):
+                        self._done[entry["key"]] = entry["row"]
+                except (KeyError, TypeError) as err:
+                    self._done = {}
+                    self._quarantine_checkpoint(err)
+
+    def _load_checkpoint(self) -> Optional[Dict[str, object]]:
+        """Parse the checkpoint, quarantining it on corruption.
+
+        A checkpoint that fails to parse -- truncated by a crash that
+        beat the atomic writer (e.g. a pre-rename temp file restored by
+        hand), flipped bits, or plain garbage -- is renamed aside with a
+        :class:`CheckpointCorruptWarning` and the sweep starts fresh;
+        the points re-run (or resume from the result store).  A
+        checkpoint that parses but belongs to a *different program* is
+        still a hard :class:`ValueError`: that is a caller mistake, not
+        damage.
+        """
+        try:
+            payload = json.loads(self.checkpoint.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint root is not a JSON object")
+        except (OSError, ValueError) as err:
+            self._quarantine_checkpoint(err)
+            return None
+        return payload
+
+    def _quarantine_checkpoint(self, err: BaseException) -> None:
+        aside = self.checkpoint.with_name(self.checkpoint.name
+                                          + ".corrupt")
+        try:
+            self.checkpoint.replace(aside)
+            moved = str(aside)
+        except OSError:
+            try:
+                self.checkpoint.unlink()
+            except OSError:
+                pass
+            moved = "<removed>"
+        obs_instant("harness.checkpoint_corrupt", cat="harness",
+                    checkpoint=str(self.checkpoint), error=str(err))
+        warnings.warn(
+            f"checkpoint {self.checkpoint} is corrupt ({err}); "
+            f"quarantined to {moved} and starting fresh",
+            CheckpointCorruptWarning, stacklevel=3)
 
     def _save(self) -> None:
         if self.checkpoint is None:
@@ -263,6 +334,36 @@ class HardenedSweep:
         return point_key(point_specs(self.program, self.base_config,
                                      settings, self.fault_plan,
                                      self.seed))
+
+    def _store_row(self, key: str,
+                   report: "SweepReport") -> Optional[Dict[str, object]]:
+        """A completed row for ``key`` from the result store, if any --
+        the cross-process resume channel beside the checkpoint.
+        Validated sweeps skip it: their points must actually audit a
+        simulation, not replay a row."""
+        if self._store is None or self.validate != "off":
+            return None
+        payload = self._store.get(key, ROW_KIND)
+        # Rows travel as [key, value] pairs: the store canonicalizes
+        # record bytes with sorted JSON keys, but CSV column order is
+        # the row dict's insertion order, which must survive the round
+        # trip.
+        try:
+            if payload is None or payload["format"] != ROW_FORMAT:
+                raise KeyError("format")
+            row = {str(k): v for k, v in payload["row"]}
+        except (KeyError, TypeError, ValueError):
+            report.store_misses += 1
+            return None
+        report.store_hits += 1
+        return row
+
+    def _store_put_row(self, key: str, row: Dict[str, object]) -> None:
+        if self._store is not None:
+            self._store.put(key,
+                            {"format": ROW_FORMAT,
+                             "row": [[k, v] for k, v in row.items()]},
+                            ROW_KIND)
 
     def run(self, max_points: Optional[int] = None,
             progress: Optional[Callable[[int, int, int, int], None]]
@@ -285,6 +386,10 @@ class HardenedSweep:
         fresh = 0
         for settings in grid_settings(axes):
             key = self._key(settings)
+            if key not in self._done:
+                row = self._store_row(key, report)
+                if row is not None:
+                    self._done[key] = row
             if key in self._done:
                 report.rows.append(dict(self._done[key]))
                 report.resumed += 1
@@ -315,18 +420,21 @@ class HardenedSweep:
                            settings=tuple(sorted(settings.items())),
                            fault_plan=self.fault_plan, seed=self.seed,
                            validate=self.validate, obs=self.obs,
-                           engine=self.engine,
+                           engine=self.engine, store=self.store,
                            hardened=True, harness=self.harness)
                  for _, settings in batch],
                 workers=self.workers)
             for (key, settings), outcome in zip(batch, outcomes):
                 obs_parts.extend(outcome.obs)
+                report.store_hits += outcome.store_hits
+                report.store_misses += outcome.store_misses
                 if not outcome.ok:
                     report.failures.append(
                         {**settings, "error": outcome.error})
                     continue
                 completed += 1
                 self._done[key] = outcome.row
+                self._store_put_row(key, outcome.row)
                 for slot in slots[key]:
                     # Each slot keeps its own axis values; the metrics
                     # come from the one shared simulation.

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import asdict
 from typing import Dict, Optional, Tuple
@@ -52,45 +53,60 @@ TRACE_CONFIG_FIELDS = ("mesh_width", "mesh_height", "threads_per_core",
 
 
 class ArtifactCache:
-    """A small LRU of pipeline artifacts with hit/miss counters."""
+    """A small LRU of pipeline artifacts with hit/miss counters.
+
+    Thread-safe: the hardened harness drives timed runs through worker
+    threads (and the parallel executor's serial fallback shares one
+    process), so lookups, insertions, and the LRU reordering all happen
+    under one lock.  The cached *values* are shared across threads too
+    -- that is safe because every artifact is treated as read-only
+    (trace arrays are literally write-protected).
+    """
 
     def __init__(self, capacity: int = 8):
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 #: The process-global cache `run_simulation` uses.
 cache = ArtifactCache()
 
 _enabled = True
+_configure_lock = threading.Lock()
 
 
 def enabled() -> bool:
@@ -101,13 +117,19 @@ def configure(enabled: Optional[bool] = None,
               capacity: Optional[int] = None) -> None:
     """Adjust the global memo: ``configure(enabled=False)`` bypasses it
     (benches measuring cold-start costs), ``capacity=N`` resizes the
-    LRU.  The cache is cleared whenever either knob changes."""
+    LRU.  The cache is cleared whenever either knob changes.
+
+    Serialized under a lock so two threads reconfiguring concurrently
+    cannot interleave the flag flip, the resize, and the clear into an
+    inconsistent state (e.g. a stale oversized cache with the new
+    capacity)."""
     global _enabled
-    if enabled is not None:
-        _enabled = enabled
-    if capacity is not None:
-        cache.capacity = capacity
-    cache.clear()
+    with _configure_lock:
+        if enabled is not None:
+            _enabled = enabled
+        if capacity is not None:
+            cache.capacity = capacity
+        cache.clear()
 
 
 def _digest(payload: Dict[str, object]) -> str:

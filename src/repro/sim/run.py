@@ -44,6 +44,8 @@ from repro.osmodel.page_table import PageTable, translate_traces
 from repro.program.ir import Program
 from repro.sim import memo
 from repro.sim.metrics import Comparison, RunMetrics
+from repro.store import base as store_backends
+from repro.store import records as store_records
 from repro.sim.system import SystemSimulator, build_streams
 from repro.validate import (NetworkAudit, RunAudit, VALIDATE_LEVELS,
                             validate_run)
@@ -126,6 +128,13 @@ class RunSpec:
     # equivalence suite proves it -- so like ``validate``/``obs`` the
     # engine is excluded from key(): both engines share cache identity.
     engine: str = "fast"
+    # Persistent result store (repro.store): a directory path makes the
+    # run consult the crash-safe content-addressed store before
+    # simulating and persist its metrics after -- a warm hit replays
+    # bit-identical RunMetrics with zero simulation work.  Where the
+    # results live, not what they are: excluded from key(), and results
+    # are bit-identical with the store on or off.
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.page_policy not in PAGE_POLICIES:
@@ -242,18 +251,66 @@ def _fault_windows(plan: FaultPlan) -> List[Dict[str, object]]:
     return windows
 
 
+def _store_fetch(spec: RunSpec, store, obs: Optional[ObsData]
+                 ) -> Optional[RunResult]:
+    """Replay ``spec`` from the result store, or ``None`` on a miss.
+
+    Validated runs never read the store: a replayed record carries only
+    metrics, and ``validate != "off"`` needs the run's artifacts to
+    audit.  Corruption inside the store is already a quarantined miss
+    by the time it gets here; stats deltas (hits, misses, quarantines,
+    degradations) land in the run's telemetry as ``store.*`` counters.
+    """
+    if store is None or spec.validate != "off":
+        return None
+    before = store.stats.snapshot()
+    with obs_span("store.get", cat="store", backend=store.description) \
+            as span:
+        result = store_records.load_result(store, spec)
+        span.add(hit=result is not None)
+    if obs is not None and obs.telemetry is not None:
+        store_backends.publish_stats(obs.telemetry, before,
+                                     store.stats.snapshot())
+    if result is not None:
+        result.obs = obs
+    return result
+
+
+def _store_save(spec: RunSpec, store, result: RunResult,
+                obs: Optional[ObsData]) -> None:
+    """Persist a freshly simulated run; never raises (the degradation
+    ladder inside the store absorbs environmental failure)."""
+    if store is None:
+        return
+    before = store.stats.snapshot()
+    with obs_span("store.put", cat="store", backend=store.description):
+        store_records.store_result(store, spec, result)
+    if obs is not None and obs.telemetry is not None:
+        store_backends.publish_stats(obs.telemetry, before,
+                                     store.stats.snapshot())
+
+
 def run_simulation(spec: RunSpec) -> RunResult:
     """Execute one :class:`RunSpec` end to end.
 
-    With ``spec.obs != "off"`` the run is observed: a fresh per-run
-    :class:`~repro.obs.tracer.Tracer` is activated for the duration (so
-    concurrently observed runs never interleave spans), the bundle is
-    attached as ``result.obs``, and -- when a tracer was already active
-    in this context (e.g. the CLI profiling a whole sweep) -- the
-    finished spans are also absorbed into it.
+    With ``spec.store`` set, the persistent result store is consulted
+    first: a warm hit replays bit-identical metrics without touching
+    the simulator (zero simulation spans), a miss simulates and then
+    persists.  With ``spec.obs != "off"`` the run is observed: a fresh
+    per-run :class:`~repro.obs.tracer.Tracer` is activated for the
+    duration (so concurrently observed runs never interleave spans),
+    the bundle is attached as ``result.obs``, and -- when a tracer was
+    already active in this context (e.g. the CLI profiling a whole
+    sweep) -- the finished spans are also absorbed into it.
     """
+    store = store_backends.resolve(spec.store)
     if spec.obs == "off":
-        return _execute(spec, None)
+        result = _store_fetch(spec, store, None)
+        if result is not None:
+            return result
+        result = _execute(spec, None)
+        _store_save(spec, store, result, None)
+        return result
     obs = ObsData(level=spec.obs, label=spec.label(),
                   telemetry=(TelemetryRegistry()
                              if spec.obs == "full" else None))
@@ -261,7 +318,10 @@ def run_simulation(spec: RunSpec) -> RunResult:
     outer = current_tracer()
     with tracer.activate():
         with tracer.span("run", cat="run", key=spec.key()):
-            result = _execute(spec, obs)
+            result = _store_fetch(spec, store, obs)
+            if result is None:
+                result = _execute(spec, obs)
+                _store_save(spec, store, result, obs)
     obs.spans = tracer.spans()
     result.obs = obs
     if outer is not None:

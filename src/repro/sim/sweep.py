@@ -75,7 +75,8 @@ class Sweep:
                  seed: int = 0,
                  validate: str = "off",
                  obs: str = "off",
-                 engine: str = "fast"):
+                 engine: str = "fast",
+                 store: Optional[str] = None):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(
@@ -87,10 +88,16 @@ class Sweep:
         self.obs = obs
         # Engine is deliberately absent from the point key: the fast
         # and reference loops are bit-identical, so cached comparisons
-        # are engine-agnostic.
+        # are engine-agnostic.  The store rides along the same way:
+        # operational context, not identity.
         self.engine = engine
+        self.store = store
         self._cache: Dict[str, Comparison] = {}
         self._obs_parts: List[ObsData] = []
+        #: Persistent-store record traffic summed over every executed
+        #: point (zero when no store is configured).
+        self.store_hits = 0
+        self.store_misses = 0
 
     def _key(self, settings: Dict[str, object]) -> str:
         return point_key(point_specs(self.program, self.base_config,
@@ -103,7 +110,7 @@ class Sweep:
                          settings=tuple(sorted(settings.items())),
                          fault_plan=self.fault_plan, seed=self.seed,
                          validate=self.validate, obs=self.obs,
-                         engine=self.engine)
+                         engine=self.engine, store=self.store)
 
     def run(self, progress: Optional[Callable] = None,
             **axes: Iterable) -> List[SweepPoint]:
@@ -129,6 +136,8 @@ class Sweep:
         for (key, _), outcome in zip(pending, outcomes):
             self._cache[key] = outcome.comparison
             self._obs_parts.extend(outcome.obs)
+            self.store_hits += outcome.store_hits
+            self.store_misses += outcome.store_misses
         return [SweepPoint(tuple(sorted(settings.items())),
                            self._cache[key])
                 for settings, key in zip(grid, keys)]

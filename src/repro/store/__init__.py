@@ -1,0 +1,31 @@
+"""``repro.store``: the crash-safe, content-addressed result store.
+
+The durable layer underneath checkpoint/resume, cross-process result
+reuse, and the experiment-service direction: results keyed by the
+canonical :meth:`repro.sim.run.RunSpec.key`, stored as checksummed
+single-record files with atomic commits, corruption quarantined into a
+miss (never a crash), and environmental failure (full disk, read-only
+path, wedged lock) degrading to the in-memory backend with one warning.
+See ``docs/robustness.md``.
+"""
+
+from repro.store.atomic import (atomic_write_bytes, atomic_write_json,
+                                fsync_dir)
+from repro.store.base import (RESULT_KIND, ROW_KIND, FallbackStore,
+                              MemoryStore, ResultStore,
+                              StoreDegradedWarning, StoreStats,
+                              open_store, publish_stats, reset_instances,
+                              resolve)
+from repro.store.disk import STORE_VERSION, DiskStore
+from repro.store.records import (RECORD_FORMAT, load_result,
+                                 metrics_from_doc, metrics_to_doc,
+                                 result_payload, store_result)
+
+__all__ = [
+    "RESULT_KIND", "ROW_KIND", "RECORD_FORMAT", "STORE_VERSION",
+    "DiskStore", "FallbackStore", "MemoryStore", "ResultStore",
+    "StoreDegradedWarning", "StoreStats", "atomic_write_bytes",
+    "atomic_write_json", "fsync_dir", "load_result", "metrics_from_doc",
+    "metrics_to_doc", "open_store", "publish_stats", "reset_instances",
+    "resolve", "result_payload", "store_result",
+]

@@ -1,0 +1,82 @@
+"""Crash-safe file commits: the one atomic writer everything shares.
+
+A torn write must never be observable: either the old content (or no
+file) survives, or the complete new content does.  The recipe is the
+standard one -- write to a temporary file in the *same directory*,
+flush, ``fsync`` the file, ``os.replace`` over the destination, then
+``fsync`` the directory so the rename itself is durable.  Skipping the
+directory fsync is the classic bug: after a power cut the rename may
+simply not have happened, and before this module existed the harness's
+checkpoint writer skipped both fsyncs.
+
+Everything that commits bytes to disk -- the result store's records,
+the harness's sweep checkpoints -- goes through
+:func:`atomic_write_bytes`, so there is exactly one tested
+implementation of the recipe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush a directory's metadata (new names, renames) to disk.
+
+    Best-effort: some filesystems refuse ``open(O_RDONLY)`` on
+    directories; durability degrades gracefully there instead of
+    failing the commit that already landed.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes,
+                       durable: bool = True) -> None:
+    """Atomically commit ``data`` to ``path`` (write, fsync, rename,
+    fsync dir).
+
+    ``durable=False`` skips the fsyncs (still atomic against concurrent
+    readers, not against power loss) -- for callers that explicitly
+    trade durability for speed.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_json(path: Union[str, Path], payload: Dict[str, object],
+                      durable: bool = True, indent: int = 1) -> None:
+    """Atomically commit a JSON document.
+
+    No ``sort_keys``: callers rely on insertion-ordered round-trips
+    (checkpoint rows must replay with the same CSV columns).
+    """
+    atomic_write_bytes(path,
+                       json.dumps(payload, indent=indent).encode("utf-8"),
+                       durable=durable)

@@ -1,0 +1,291 @@
+"""The durable backend: sharded, checksummed, crash-safe record files.
+
+Layout under the store root::
+
+    <root>/STORE_FORMAT          format marker (version + backend)
+    <root>/store.lock            advisory write lock (flock)
+    <root>/objects/<kind>/<k[:2]>/<key>.rec
+    <root>/quarantine/           corrupted records, moved aside
+
+One record per file keeps every failure domain a single key wide: a
+torn write, a flipped bit, or a truncated tail damages exactly one
+record, and commit is the plain atomic write-then-rename (with file
+*and* directory fsync) from :mod:`repro.store.atomic` -- no shared
+index or journal to corrupt.  Each record carries a JSON header line
+with the SHA-256 of its payload; :meth:`DiskStore.get` re-hashes on
+every read, and anything that fails -- unparsable header, wrong magic,
+short payload, checksum mismatch -- is *quarantined* (moved into
+``quarantine/``, counted, reported via :func:`~repro.obs.tracer.
+obs_instant`) and returned as a miss.  Corruption is a data-loss event,
+never a crash.
+
+Writers additionally take an advisory ``flock`` on ``store.lock`` so
+concurrent sweep processes sharing one store serialize their commits;
+a lock that cannot be acquired within ``lock_timeout`` raises a
+transient :class:`~repro.errors.StoreError`, which the degradation
+ladder in :mod:`repro.store.base` turns into a memory-backed run
+rather than a failure.  Readers never lock: rename atomicity plus the
+checksum make a read either consistent or a (counted) miss.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+from repro.obs.tracer import obs_instant
+from repro.store.atomic import atomic_write_bytes, fsync_dir
+from repro.store.base import (RESULT_KIND, ROW_KIND, ResultStore,
+                              StoreStats)
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: locking degrades to a no-op
+    fcntl = None  # type: ignore[assignment]
+
+#: Bumped when the record layout changes; a mismatched marker means a
+#: foreign/newer store, which is safer to leave untouched.
+STORE_VERSION = 1
+
+_MAGIC = "repro-store"
+_KINDS = (RESULT_KIND, ROW_KIND)
+
+
+def _safe_key(key: str) -> str:
+    if not key or any(c in key for c in "/\\\0") or key.startswith("."):
+        raise StoreError(f"unusable store key {key!r}")
+    return key
+
+
+class DiskStore(ResultStore):
+    """Sharded-file store; see the module docstring for the format."""
+
+    def __init__(self, root: str, lock_timeout: float = 5.0,
+                 stats: Optional[StoreStats] = None):
+        super().__init__(stats)
+        self.root = Path(root)
+        self.lock_timeout = lock_timeout
+        self.description = f"disk:{self.root}"
+        self._quarantine = self.root / "quarantine"
+        self._lock_path = self.root / "store.lock"
+        marker = self.root / "STORE_FORMAT"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._quarantine.mkdir(exist_ok=True)
+        (self.root / "objects").mkdir(exist_ok=True)
+        if marker.exists():
+            try:
+                version = int(marker.read_text().split()[0])
+            except (ValueError, IndexError):
+                version = -1
+            if version != STORE_VERSION:
+                raise StoreError(
+                    f"store at {self.root} has format {version!r}, "
+                    f"this build reads {STORE_VERSION}")
+        else:
+            atomic_write_bytes(marker,
+                               f"{STORE_VERSION} sharded-files\n"
+                               .encode("ascii"))
+
+    # -- paths ---------------------------------------------------------------
+    def _path(self, key: str, kind: str) -> Path:
+        key = _safe_key(key)
+        return self.root / "objects" / kind / key[:2] / f"{key}.rec"
+
+    # -- advisory lock -------------------------------------------------------
+    def _acquire_lock(self):
+        """Take the store-wide write lock, or raise a transient
+        :class:`StoreError` after ``lock_timeout`` -- a wedged lock
+        (e.g. a stopped sibling process) must degrade, not hang the
+        sweep."""
+        if fcntl is None:
+            return None
+        handle = open(self._lock_path, "a+b")
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return handle
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    raise StoreError(
+                        f"store lock {self._lock_path} wedged for "
+                        f">{self.lock_timeout:g}s", transient=True)
+                time.sleep(0.01)
+
+    @staticmethod
+    def _release_lock(handle) -> None:
+        if handle is None:
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    # -- record codec --------------------------------------------------------
+    @staticmethod
+    def _encode(key: str, kind: str, payload: dict) -> bytes:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        header = json.dumps({
+            "magic": _MAGIC, "version": STORE_VERSION, "key": key,
+            "kind": kind, "sha256": hashlib.sha256(body).hexdigest(),
+            "size": len(body), "created": time.time(),
+        }, sort_keys=True).encode("ascii")
+        return header + b"\n" + body
+
+    @staticmethod
+    def _decode(data: bytes) -> dict:
+        """Parse + integrity-check one record; raises ``ValueError`` on
+        any damage (the caller quarantines)."""
+        head, sep, body = data.partition(b"\n")
+        if not sep:
+            raise ValueError("record has no header/payload separator")
+        header = json.loads(head.decode("ascii"))
+        if header.get("magic") != _MAGIC:
+            raise ValueError("bad record magic")
+        if len(body) != header.get("size"):
+            raise ValueError(f"record truncated: {len(body)} of "
+                             f"{header.get('size')} payload bytes")
+        digest = hashlib.sha256(body).hexdigest()
+        if digest != header.get("sha256"):
+            raise ValueError("record checksum mismatch")
+        return json.loads(body.decode("utf-8"))
+
+    # -- corruption path -----------------------------------------------------
+    def _quarantine_record(self, path: Path, reason: str) -> None:
+        self.stats.inc("corrupt")
+        target = self._quarantine / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self._quarantine / f"{path.name}.{n}"
+        try:
+            os.replace(path, target)
+            self.stats.inc("quarantined")
+        except OSError:
+            try:  # cannot even move it aside: drop it
+                os.unlink(path)
+                self.stats.inc("quarantined")
+            except OSError:
+                pass
+        obs_instant("store.quarantine", cat="store",
+                    record=path.name, reason=reason)
+
+    # -- ResultStore ---------------------------------------------------------
+    def get(self, key: str, kind: str = RESULT_KIND) -> Optional[dict]:
+        self.stats.inc("gets")
+        path = self._path(key, kind)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.inc("misses")
+            return None
+        except OSError as err:
+            if err.errno in (errno.EISDIR, errno.ENOTDIR):
+                self.stats.inc("misses")
+                return None
+            raise  # environmental: the fallback ladder handles it
+        try:
+            payload = self._decode(data)
+        except (ValueError, UnicodeDecodeError) as err:
+            self._quarantine_record(path, str(err))
+            self.stats.inc("misses")
+            return None
+        self.stats.inc("hits")
+        return payload
+
+    def put(self, key: str, payload: dict,
+            kind: str = RESULT_KIND) -> bool:
+        path = self._path(key, kind)
+        if path.exists():
+            # Content-addressed: same key, same simulation inputs, same
+            # result -- rewriting would only churn the disk.
+            self.stats.inc("put_skipped")
+            return False
+        data = self._encode(key, kind, payload)
+        lock = self._acquire_lock()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, data)
+        finally:
+            self._release_lock(lock)
+        self.stats.inc("puts")
+        return True
+
+    def contains(self, key: str, kind: str = RESULT_KIND) -> bool:
+        return self._path(key, kind).exists()
+
+    def keys(self, kind: str = RESULT_KIND) -> List[str]:
+        base = self.root / "objects" / kind
+        if not base.is_dir():
+            return []
+        return sorted(p.stem for p in base.glob("*/*.rec"))
+
+    # -- maintenance ---------------------------------------------------------
+    def record_path(self, key: str, kind: str = RESULT_KIND) -> Path:
+        """Where a record lives -- for inspection and the chaos tests
+        that damage records on purpose."""
+        return self._path(key, kind)
+
+    def verify(self) -> Dict[str, int]:
+        """Re-hash every record; damaged ones are quarantined exactly
+        as a read would.  ``repro-cli store verify``'s engine."""
+        checked = bad = 0
+        for kind in _KINDS:
+            for key in self.keys(kind):
+                checked += 1
+                path = self._path(key, kind)
+                try:
+                    self._decode(path.read_bytes())
+                except FileNotFoundError:
+                    continue
+                except (ValueError, UnicodeDecodeError) as err:
+                    bad += 1
+                    self._quarantine_record(path, str(err))
+        return {"checked": checked, "bad": bad, "quarantined": bad}
+
+    def gc(self) -> Dict[str, int]:
+        """Remove quarantined records and orphaned temp files left by
+        interrupted commits."""
+        removed = 0
+        freed = 0
+        lock = self._acquire_lock()
+        try:
+            debris = list(self._quarantine.iterdir()) if \
+                self._quarantine.is_dir() else []
+            debris.extend(self.root.glob("objects/*/*/*.tmp*"))
+            for path in debris:
+                try:
+                    freed += path.stat().st_size
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            fsync_dir(self._quarantine)
+        finally:
+            self._release_lock(lock)
+        return {"removed": removed, "bytes": freed}
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Static inventory (record/quarantine counts, bytes) for the
+        CLI -- unlike :attr:`stats`, this reads the directory, so it
+        reflects every process that ever used the store."""
+        records = {kind: len(self.keys(kind)) for kind in _KINDS}
+        size = 0
+        for path in self.root.glob("objects/*/*/*.rec"):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+        quarantined = len(list(self._quarantine.iterdir())) if \
+            self._quarantine.is_dir() else 0
+        return {"root": str(self.root), "records": records,
+                "bytes": size, "quarantined": quarantined,
+                "version": STORE_VERSION}

@@ -1,0 +1,126 @@
+"""Result records: a lossless JSON codec for :class:`RunMetrics`.
+
+The store's acceptance bar is *bit-identical* replay: a warm hit must
+hand back exactly the :class:`~repro.sim.metrics.RunMetrics` the
+simulation would recompute.  JSON gets us there losslessly -- Python's
+``float`` repr round-trips every finite double, ints are exact -- with
+two containers needing explicit tags: :class:`collections.Counter`
+fields (hop histograms; integer keys, which JSON objects would
+stringify) and the optional ``mc_node_requests`` :class:`numpy.ndarray`
+(dtype + shape + nested lists).  The codec walks the dataclass fields
+generically, so new metric fields serialize without touching this
+module, and decoding ignores unknown fields / defaults missing ones, so
+records survive schema drift in both directions.
+
+:func:`store_result` / :func:`load_result` are the two calls
+:func:`repro.sim.run.run_simulation` makes; everything else is
+plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.metrics import RunMetrics
+from repro.store.base import RESULT_KIND, ResultStore
+
+#: Bump when the record schema changes incompatibly; older payloads are
+#: treated as misses rather than decoded wrongly.
+RECORD_FORMAT = 1
+
+
+def _encode_value(value):
+    if isinstance(value, Counter):
+        return {"__counter__": sorted([int(k), int(v)]
+                                      for k, v in value.items())}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": {"dtype": str(value.dtype),
+                                "shape": list(value.shape),
+                                "data": value.ravel().tolist()}}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if "__counter__" in value:
+            return Counter({int(k): int(v)
+                            for k, v in value["__counter__"]})
+        if "__ndarray__" in value:
+            spec = value["__ndarray__"]
+            return np.array(spec["data"],
+                            dtype=np.dtype(spec["dtype"])) \
+                .reshape(spec["shape"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def metrics_to_doc(metrics: RunMetrics) -> dict:
+    """A JSON-serializable document capturing every metrics field."""
+    return {name: _encode_value(getattr(metrics, name))
+            for name in (f.name for f in dataclasses.fields(RunMetrics))}
+
+
+def metrics_from_doc(doc: dict) -> RunMetrics:
+    """Rebuild metrics from a document; unknown keys are dropped and
+    missing ones take the dataclass defaults (schema drift is a
+    degraded read, not a crash)."""
+    known = {f.name for f in dataclasses.fields(RunMetrics)}
+    return RunMetrics(**{name: _decode_value(value)
+                         for name, value in doc.items()
+                         if name in known})
+
+
+def result_payload(result) -> dict:
+    """The store payload for one finished run.
+
+    Audit-knob residue is normalized out: ``validate`` is excluded from
+    the cache key, so a record written by a validated run must replay
+    exactly what a fresh ``validate="off"`` run would produce -- the
+    validation counters are stored as zero (a replayed run audits
+    nothing).
+    """
+    doc = metrics_to_doc(result.metrics)
+    doc["validation_checks"] = 0
+    doc["validation_violations"] = 0
+    return {"format": RECORD_FORMAT,
+            "label": result.spec.label(),
+            "page_fallbacks": result.page_fallbacks,
+            "metrics": doc}
+
+
+def load_result(store: ResultStore, spec) -> Optional[object]:
+    """Replay a stored run for ``spec``, or ``None`` on a miss (which
+    includes quarantined corruption and format drift)."""
+    from repro.sim.run import RunResult
+    payload = store.get(spec.key(), RESULT_KIND)
+    if payload is None or payload.get("format") != RECORD_FORMAT:
+        return None
+    try:
+        metrics = metrics_from_doc(payload["metrics"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    # The display name rides on the spec (and spec.name is excluded
+    # from key()), so the replay takes this spec's label, exactly as a
+    # fresh simulation would.
+    metrics.name = spec.label()
+    return RunResult(spec=spec, metrics=metrics,
+                     page_fallbacks=int(payload.get("page_fallbacks", 0)))
+
+
+def store_result(store: ResultStore, spec, result) -> bool:
+    """Persist one finished run under its canonical key."""
+    return store.put(spec.key(), result_payload(result), RESULT_KIND)

@@ -7,7 +7,8 @@ import pytest
 import repro.sim.harness as harness_mod
 from repro import MachineConfig
 from repro.errors import SimulationError, SimulationTimeout
-from repro.sim.harness import (HardenedSweep, HarnessConfig, run_hardened)
+from repro.sim.harness import (CheckpointCorruptWarning, HardenedSweep,
+                               HarnessConfig, run_hardened)
 from repro.sim.run import RunSpec, run_simulation
 from repro.workloads import build_workload
 
@@ -187,3 +188,99 @@ class TestHardenedSweep:
         assert len(report.failures) == 1
         assert report.failures[0]["mapping"] == "M2"
         assert "injected failure" in report.failures[0]["error"]
+
+
+class TestBackoffJitter:
+    def test_jitter_scales_within_one_band(self):
+        config = HarnessConfig(backoff_base=0.1, backoff_factor=2.0,
+                               backoff_jitter=0.25)
+        for attempt in range(4):
+            span = 0.1 * (2.0 ** attempt)
+            for _ in range(50):
+                wait = config.backoff(attempt)
+                assert span <= wait <= span * 1.25
+
+    def test_jitter_zero_is_deterministic(self):
+        config = HarnessConfig(backoff_base=0.1, backoff_jitter=0.0)
+        assert config.backoff(2) == pytest.approx(0.4)
+
+    def test_jittered_waits_still_strictly_increase(self):
+        # The default jitter (25%) stays under the factor-2 growth, so
+        # successive waits lengthen even in the worst draw.
+        config = HarnessConfig()
+        for _ in range(50):
+            waits = [config.backoff(attempt) for attempt in range(4)]
+            assert waits == sorted(waits)
+            assert all(b > a for a, b in zip(waits, waits[1:]))
+
+
+class TestCheckpointCorruption:
+    AXES = dict(mapping=["M1", "M2"])
+
+    def _full(self, program, config):
+        return HardenedSweep(program, config).run(**self.AXES)
+
+    def test_garbage_checkpoint_quarantined_and_rerun(self, program,
+                                                      config, tmp_path):
+        full = self._full(program, config)
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_bytes(b"\x00\xffnot json at all")
+        with pytest.warns(CheckpointCorruptWarning):
+            sweep = HardenedSweep(program, config, checkpoint=str(ckpt))
+        report = sweep.run(**self.AXES)
+        assert report.resumed == 0
+        assert report.rows == full.rows
+        assert (tmp_path / "sweep.json.corrupt").exists()
+        # The rewritten checkpoint is healthy again: a fresh resume
+        # replays every point.
+        resumed = HardenedSweep(program, config,
+                                checkpoint=str(ckpt)).run(**self.AXES)
+        assert resumed.resumed == 2
+        assert resumed.rows == full.rows
+
+    def test_truncated_checkpoint_quarantined_and_rerun(self, program,
+                                                        config,
+                                                        tmp_path):
+        full = self._full(program, config)
+        ckpt = tmp_path / "sweep.json"
+        HardenedSweep(program, config,
+                      checkpoint=str(ckpt)).run(**self.AXES)
+        ckpt.write_bytes(ckpt.read_bytes()[:-40])  # torn mid-record
+        with pytest.warns(CheckpointCorruptWarning):
+            sweep = HardenedSweep(program, config, checkpoint=str(ckpt))
+        report = sweep.run(**self.AXES)
+        assert report.resumed == 0
+        assert report.rows == full.rows
+
+    def test_malformed_entries_quarantined(self, program, config,
+                                           tmp_path):
+        from repro.sim.harness import CHECKPOINT_VERSION
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_text(json.dumps({
+            "version": CHECKPOINT_VERSION, "program": program.name,
+            "points": [{"row": {"exec_time": 1}}],  # no "key"
+        }))
+        with pytest.warns(CheckpointCorruptWarning):
+            sweep = HardenedSweep(program, config, checkpoint=str(ckpt))
+        report = sweep.run(**self.AXES)
+        assert report.resumed == 0
+        assert report.completed == 2
+
+    def test_non_object_root_quarantined(self, program, config,
+                                         tmp_path):
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.warns(CheckpointCorruptWarning):
+            HardenedSweep(program, config, checkpoint=str(ckpt))
+        assert (tmp_path / "sweep.json.corrupt").exists()
+
+    def test_program_mismatch_is_still_a_hard_error(self, program,
+                                                    config, tmp_path):
+        # A *parsable* checkpoint for a different program is a caller
+        # mistake, not damage: no quarantine, loud failure.
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_text(json.dumps({"program": "other", "points": []}))
+        with pytest.raises(ValueError, match="belongs to program"):
+            HardenedSweep(program, config, checkpoint=str(ckpt))
+        assert ckpt.exists()
+        assert not (tmp_path / "sweep.json.corrupt").exists()

@@ -189,3 +189,38 @@ def test_obs_spans_present_on_hit_path():
     hit_spans = [span for span in result.obs.spans
                  if (span.args or {}).get("memo") == "hit"]
     assert hit_spans
+
+
+def test_cache_is_thread_safe_under_concurrent_mutation():
+    # ArtifactCache serves parallel hardened sweeps from one process;
+    # hammer it from several threads (gets, puts, configure/clear) and
+    # require no exception and an intact size invariant at the end.
+    import threading
+
+    memo.configure(enabled=True, capacity=16)
+    errors = []
+    start = threading.Barrier(8)
+
+    def worker(slot):
+        try:
+            start.wait()
+            for i in range(300):
+                key = ("k", slot % 4, i % 8)
+                memo.cache.put(key, (slot, i))
+                got = memo.cache.get(key)
+                assert got is None or got[0] in range(8)
+                key in memo.cache
+                len(memo.cache)
+                if i % 97 == 0:
+                    memo.configure(enabled=True, capacity=16)
+        except Exception as err:  # pragma: no cover - failure path
+            errors.append(err)
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(memo.cache) <= 16

@@ -1,0 +1,374 @@
+"""The crash-safe persistent result store (:mod:`repro.store`):
+backends, codec, corruption quarantine, degradation ladder, and the
+run-level replay contract (bit-identical, zero simulation work)."""
+
+import dataclasses
+import errno
+import json
+import warnings
+from collections import Counter
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import StoreError
+from repro.sim.run import RunSpec
+from repro.store import (RESULT_KIND, ROW_KIND, DiskStore, FallbackStore,
+                         MemoryStore, StoreDegradedWarning, StoreStats,
+                         atomic_write_bytes, atomic_write_json,
+                         metrics_from_doc, metrics_to_doc, open_store,
+                         reset_instances, resolve)
+from repro.store import disk as disk_mod
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", 0.12)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_instances():
+    reset_instances()
+    yield
+    reset_instances()
+
+
+def same_metrics(a, b):
+    for f in dataclasses.fields(type(a)):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, np.ndarray) or isinstance(y, np.ndarray):
+            if x is None or y is None or not np.array_equal(x, y):
+                return False
+            if np.asarray(x).dtype != np.asarray(y).dtype:
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+class TestAtomicWrite:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "x.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+        atomic_write_bytes(path, b"replaced")
+        assert path.read_bytes() == b"replaced"
+
+    def test_no_temp_debris_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.bin"]
+
+    def test_failure_leaves_old_content_and_no_debris(self, tmp_path,
+                                                      monkeypatch):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"v": 1})
+
+        def explode(src, dst):
+            raise OSError(errno.ENOSPC, "no space")
+
+        import repro.store.atomic as atomic_mod
+        monkeypatch.setattr(atomic_mod.os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+    def test_json_preserves_insertion_order(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"zz": 1, "aa": 2})
+        assert list(json.loads(path.read_text())) == ["zz", "aa"]
+
+
+class TestMemoryStore:
+    def test_roundtrip_and_miss(self):
+        store = MemoryStore()
+        assert store.get("k1") is None
+        assert store.put("k1", {"v": 1})
+        assert store.get("k1") == {"v": 1}
+        assert store.stats.snapshot()["hits"] == 1
+        assert store.stats.snapshot()["misses"] == 1
+
+    def test_content_addressed_put_skips_existing(self):
+        store = MemoryStore()
+        assert store.put("k1", {"v": 1})
+        assert not store.put("k1", {"v": 2})
+        assert store.get("k1") == {"v": 1}
+        assert store.stats.snapshot()["put_skipped"] == 1
+
+    def test_kinds_are_separate_namespaces(self):
+        store = MemoryStore()
+        store.put("k", {"v": "result"}, RESULT_KIND)
+        store.put("k", {"v": "row"}, ROW_KIND)
+        assert store.get("k", RESULT_KIND) == {"v": "result"}
+        assert store.get("k", ROW_KIND) == {"v": "row"}
+        assert store.keys(RESULT_KIND) == ["k"]
+
+
+class TestDiskStore:
+    def test_roundtrip_persists_across_instances(self, tmp_path):
+        root = str(tmp_path / "store")
+        DiskStore(root).put("abcdef", {"x": [1, 2, 3]})
+        assert DiskStore(root).get("abcdef") == {"x": [1, 2, 3]}
+
+    def test_records_are_sharded_by_key_prefix(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("abcdef", {"v": 1})
+        assert (tmp_path / "objects" / RESULT_KIND / "ab"
+                / "abcdef.rec").is_file()
+
+    def test_unusable_keys_rejected(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        for key in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(StoreError):
+                store.put(key, {})
+
+    def test_foreign_format_marker_refused(self, tmp_path):
+        DiskStore(str(tmp_path))
+        (tmp_path / "STORE_FORMAT").write_text("999 future\n")
+        with pytest.raises(StoreError, match="format"):
+            DiskStore(str(tmp_path))
+
+    def test_bit_flip_quarantined_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("abcdef", {"v": 1})
+        path = store.record_path("abcdef")
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.get("abcdef") is None       # miss, not a crash
+        assert not path.exists()                 # moved aside
+        assert list((tmp_path / "quarantine").iterdir())
+        snap = store.stats.snapshot()
+        assert snap["corrupt"] == 1 and snap["quarantined"] == 1
+        # The key is writable again after quarantine.
+        assert store.put("abcdef", {"v": 1})
+        assert store.get("abcdef") == {"v": 1}
+
+    def test_truncation_quarantined_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("abcdef", {"v": list(range(100))})
+        path = store.record_path("abcdef")
+        path.write_bytes(path.read_bytes()[:-20])
+        assert store.get("abcdef") is None
+        assert store.stats.snapshot()["corrupt"] == 1
+
+    def test_garbage_record_quarantined_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("abcdef", {"v": 1})
+        store.record_path("abcdef").write_bytes(b"\x00\xff not a record")
+        assert store.get("abcdef") is None
+        assert store.stats.snapshot()["corrupt"] == 1
+
+    def test_verify_quarantines_damage(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("aaaa", {"v": 1})
+        store.put("bbbb", {"v": 2})
+        path = store.record_path("bbbb")
+        path.write_bytes(path.read_bytes()[:-4])
+        report = store.verify()
+        assert report == {"checked": 2, "bad": 1, "quarantined": 1}
+        assert store.verify() == {"checked": 1, "bad": 0,
+                                  "quarantined": 0}
+
+    def test_gc_drops_quarantine_and_temp_debris(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("aaaa", {"v": 1})
+        path = store.record_path("aaaa")
+        path.write_bytes(b"garbage")
+        assert store.get("aaaa") is None
+        (path.parent / "aaaa.rec.tmp123").write_bytes(b"orphan")
+        report = store.gc()
+        assert report["removed"] == 2
+        assert not list((tmp_path / "quarantine").iterdir())
+
+    def test_stats_summary_inventories_directory(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("aaaa", {"v": 1})
+        store.put("bbbb", {"v": 2}, ROW_KIND)
+        summary = store.stats_summary()
+        assert summary["records"] == {RESULT_KIND: 1, ROW_KIND: 1}
+        assert summary["bytes"] > 0
+        assert summary["quarantined"] == 0
+
+
+class TestDegradationLadder:
+    def test_enospc_degrades_once_with_single_warning(self, tmp_path,
+                                                      monkeypatch):
+        store = open_store(str(tmp_path))
+        assert isinstance(store, FallbackStore)
+
+        def no_space(path, data, durable=True):
+            raise OSError(errno.ENOSPC, "disk full")
+
+        monkeypatch.setattr(disk_mod, "atomic_write_bytes", no_space)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.put("aaaa", {"v": 1})
+            store.put("bbbb", {"v": 2})
+        degraded = [w for w in caught
+                    if issubclass(w.category, StoreDegradedWarning)]
+        assert len(degraded) == 1
+        # The memory understudy serves both records from here on.
+        assert store.get("aaaa") == {"v": 1}
+        assert store.get("bbbb") == {"v": 2}
+        assert store.stats.snapshot()["degraded"] == 1
+        assert "degraded" in store.description
+
+    def test_wedged_lock_degrades_instead_of_hanging(self, tmp_path,
+                                                     monkeypatch):
+        store = open_store(str(tmp_path))
+
+        def wedged(self):
+            raise StoreError("store lock wedged", transient=True)
+
+        monkeypatch.setattr(disk_mod.DiskStore, "_acquire_lock", wedged)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.put("aaaa", {"v": 1})
+        assert any(issubclass(w.category, StoreDegradedWarning)
+                   for w in caught)
+        assert store.get("aaaa") == {"v": 1}
+
+    def test_unopenable_root_degrades_at_open(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = open_store(str(blocker / "store"))
+            store.put("aaaa", {"v": 1})
+        assert any(issubclass(w.category, StoreDegradedWarning)
+                   for w in caught)
+        assert store.get("aaaa") == {"v": 1}
+
+    def test_open_store_none_is_memory(self):
+        assert isinstance(open_store(None), MemoryStore)
+
+    def test_resolve_caches_one_instance_per_path(self, tmp_path):
+        root = str(tmp_path)
+        assert resolve(root) is resolve(root)
+        assert resolve(None) is None
+        reset_instances()
+        assert resolve(root) is not None
+
+
+class TestMetricsCodec:
+    def test_counter_and_ndarray_survive_json(self, program):
+        result = repro.run(program=program, optimized=True)
+        doc = json.loads(json.dumps(metrics_to_doc(result.metrics)))
+        decoded = metrics_from_doc(doc)
+        assert same_metrics(decoded, result.metrics)
+        assert isinstance(decoded.onchip_hops, Counter)
+        if result.metrics.mc_node_requests is not None:
+            assert isinstance(decoded.mc_node_requests, np.ndarray)
+
+    def test_floats_roundtrip_exactly(self):
+        from repro.sim.metrics import RunMetrics
+        metrics = RunMetrics(name="x")
+        metrics.exec_time = 0.1 + 0.2  # not representable "nicely"
+        doc = json.loads(json.dumps(metrics_to_doc(metrics)))
+        assert metrics_from_doc(doc).exec_time == metrics.exec_time
+
+    def test_unknown_fields_dropped_missing_defaulted(self):
+        from repro.sim.metrics import RunMetrics
+        doc = metrics_to_doc(RunMetrics(name="x"))
+        doc["from_the_future"] = 123
+        del doc["exec_time"]
+        decoded = metrics_from_doc(doc)
+        assert decoded.name == "x"
+        assert decoded.exec_time == RunMetrics(name="y").exec_time
+
+
+class TestRunReplay:
+    def test_cold_then_warm_bit_identical(self, program, tmp_path):
+        root = str(tmp_path / "results")
+        cold = repro.run(program=program, optimized=True, store=root)
+        reset_instances()
+        warm = repro.run(program=program, optimized=True, store=root)
+        assert same_metrics(cold.metrics, warm.metrics)
+        nostore = repro.run(program=program, optimized=True)
+        assert same_metrics(cold.metrics, nostore.metrics)
+
+    def test_warm_hit_runs_zero_simulation_spans(self, program,
+                                                 tmp_path):
+        root = str(tmp_path / "results")
+        repro.run(program=program, optimized=True, store=root)
+        reset_instances()
+        warm = repro.run(program=program, optimized=True, store=root,
+                         obs="spans")
+        names = [s.name for s in warm.obs.spans]
+        assert "store.get" in names
+        assert not [n for n in names
+                    if n.startswith(("sim.", "compile.", "trace.",
+                                     "os."))]
+
+    def test_store_key_excludes_store_and_name(self, program):
+        spec = RunSpec(program=program, config=repro.MachineConfig
+                       .scaled_default(), optimized=True)
+        assert spec.key() == dataclasses.replace(
+            spec, store="/elsewhere", name="renamed").key()
+
+    def test_validated_runs_bypass_store_reads(self, program, tmp_path):
+        root = str(tmp_path / "results")
+        repro.run(program=program, optimized=True, store=root)
+        reset_instances()
+        validated = repro.run(program=program, optimized=True,
+                              store=root, validate="metrics")
+        assert validated.metrics.validation_checks > 0
+        # ... and a warm unvalidated replay still matches a fresh
+        # unvalidated run (stored validation counters are normalized).
+        reset_instances()
+        warm = repro.run(program=program, optimized=True, store=root)
+        fresh = repro.run(program=program, optimized=True)
+        assert same_metrics(warm.metrics, fresh.metrics)
+
+    def test_corruption_counters_visible_in_obs_telemetry(self, program,
+                                                          tmp_path):
+        root = str(tmp_path / "results")
+        first = repro.run(program=program, optimized=True, store=root)
+        store = resolve(root)
+        path = store.primary.record_path(first.spec.key())
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        reset_instances()
+        rerun = repro.run(program=program, optimized=True, store=root,
+                          obs="full")
+        telemetry = rerun.obs.telemetry
+        assert telemetry.value("store.corrupt") >= 1
+        assert telemetry.value("store.quarantined") >= 1
+        assert telemetry.value("store.puts") >= 1  # re-persisted
+        assert same_metrics(rerun.metrics, first.metrics)
+
+
+class TestSweepStore:
+    AXES = dict(mapping=["M1", "M2"])
+
+    def test_plain_sweep_replays_with_hit_counts(self, program,
+                                                 tmp_path):
+        root = str(tmp_path / "results")
+        first = repro.sweep(program, store=root, **self.AXES)
+        assert first.store_hits == 0
+        reset_instances()
+        second = repro.sweep(program, store=root, **self.AXES)
+        assert second.to_csv() == first.to_csv()
+        assert second.store_hits == 4        # 2 points x (base + opt)
+        assert second.store_misses == 0
+        assert repro.sweep(program, **self.AXES).to_csv() \
+            == first.to_csv()
+
+    def test_hardened_sweep_resumes_rows_across_processes(self, program,
+                                                          tmp_path):
+        root = str(tmp_path / "results")
+        first = repro.sweep(program, hardened=True, store=root,
+                            **self.AXES)
+        reset_instances()
+        # New checkpoint (a "different process"): rows come back from
+        # the shared store without simulating.
+        resumed = repro.sweep(
+            program, hardened=True, store=root,
+            checkpoint=str(tmp_path / "ck.json"), **self.AXES)
+        assert resumed.to_csv() == first.to_csv()
+        assert resumed.resumed == 2
+        assert resumed.store_hits >= 2
