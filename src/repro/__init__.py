@@ -31,7 +31,8 @@ from repro.arch.topology import Mesh
 from repro.core.pipeline import (ArrayPlan, LayoutTransformer,
                                  TransformationResult, original_layouts)
 from repro.errors import (FrontendError, LayoutError, ReproError,
-                          SimulationError, SimulationTimeout, SolverError,
+                          RequestError, SimulationError,
+                          SimulationTimeout, SolverError, StoreError,
                           ValidationError)
 from repro.faults import (BankFault, FaultPlan, LinkDegradation, LinkFault,
                           MCFault, PagePressure)
@@ -45,8 +46,8 @@ from repro.sim.harness import (HardenedSweep, HarnessConfig, RunOutcome,
 from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
                            run_simulation)
 from repro.sim.sweep import Sweep
-from repro.api import (Experiment, Result, SweepResult, compare, run,
-                       sweep)
+from repro.api import (CompareRequest, Experiment, Result, RunRequest,
+                       SweepRequest, SweepResult, compare, run, sweep)
 from repro import api
 from repro import validate
 
@@ -54,14 +55,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AffineRef", "ArrayDecl", "ArrayPlan", "BankFault",
-    "CACHE_LINE_INTERLEAVING", "Cluster", "Comparison", "Experiment",
-    "FaultPlan", "FrontendError", "HardenedSweep", "HarnessConfig",
-    "IndexedRef", "L2ToMCMapping", "LayoutError", "LayoutTransformer",
-    "LinkDegradation", "LinkFault", "LoopNest", "MCFault",
-    "MachineConfig", "Mesh", "PAGE_INTERLEAVING", "PagePressure",
-    "Program", "ReproError", "Result", "RunMetrics", "RunOutcome",
-    "RunResult", "RunSpec", "SimulationError", "SimulationTimeout",
-    "SolverError", "Sweep", "SweepReport", "SweepResult",
+    "CACHE_LINE_INTERLEAVING", "Cluster", "Comparison",
+    "CompareRequest", "Experiment", "FaultPlan", "FrontendError",
+    "HardenedSweep", "HarnessConfig", "IndexedRef", "L2ToMCMapping",
+    "LayoutError", "LayoutTransformer", "LinkDegradation", "LinkFault",
+    "LoopNest", "MCFault", "MachineConfig", "Mesh", "PAGE_INTERLEAVING",
+    "PagePressure", "Program", "ReproError", "RequestError", "Result",
+    "RunMetrics", "RunOutcome", "RunRequest", "RunResult", "RunSpec",
+    "SimulationError", "SimulationTimeout", "SolverError", "StoreError",
+    "Sweep", "SweepReport", "SweepRequest", "SweepResult",
     "TransformationResult", "ValidationError", "WeightedSpeedupResult",
     "api",
     "compare", "compile_kernel", "grid_mapping",

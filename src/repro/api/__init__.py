@@ -7,6 +7,16 @@ Historically the public entry points were scattered --
 own conventions.  This module is the stable, documented surface over
 all of them; the old import paths keep working as thin aliases.
 
+Since the service PR, every entry point is a thin shim over the typed
+request objects in :mod:`repro.api.requests`: the keyword call
+``repro.run(program=p, optimized=True)``, the CLI verbs, and the wire
+protocol of :mod:`repro.serve` all build the same
+:class:`~repro.api.requests.RunRequest` /
+:class:`~repro.api.requests.SweepRequest` /
+:class:`~repro.api.requests.CompareRequest` dataclasses, so one
+request means the same experiment -- with the same memo/store key --
+no matter which door it came through.
+
 Naming scheme
 -------------
 * :class:`Experiment` (= :class:`repro.sim.run.RunSpec`) -- everything
@@ -39,19 +49,21 @@ serial run.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, Optional
 
+from repro.api.requests import (CompareRequest, RunRequest,
+                                SweepRequest, request_from_wire)
 from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import MachineConfig
 from repro.faults.plan import FaultPlan
 from repro.program.ir import Program
-from repro.sim.harness import HardenedSweep, HarnessConfig, SweepReport
+from repro.sim.harness import HarnessConfig, SweepReport
 from repro.sim.metrics import Comparison
-from repro.sim.run import (RunResult, RunSpec, run_pair, run_simulation)
-from repro.sim.sweep import Sweep
+from repro.sim.run import RunResult, RunSpec, run_simulation
 
-__all__ = ["Experiment", "Result", "SweepResult", "compare", "run",
-           "sweep"]
+__all__ = ["CompareRequest", "Experiment", "Result", "RunRequest",
+           "SweepRequest", "SweepResult", "compare", "request_from_wire",
+           "run", "sweep"]
 
 #: The documented names for the spec/result pair.
 Experiment = RunSpec
@@ -71,7 +83,9 @@ def run(experiment: Optional[Experiment] = None, *,
 
     Either pass a fully built :class:`Experiment`, or pass ``program=``
     (plus any :class:`Experiment` field as a keyword) and the facade
-    assembles it with the default scaled machine::
+    assembles a :class:`~repro.api.requests.RunRequest` -- the same
+    typed request the CLI and the experiment service build -- with the
+    default scaled machine::
 
         repro.run(repro.Experiment(program=p, config=c, optimized=True))
         repro.run(program=p, optimized=True, seed=3)
@@ -97,9 +111,8 @@ def run(experiment: Optional[Experiment] = None, *,
         return run_simulation(experiment)
     if program is None:
         raise ValueError("run() needs an Experiment or a program=")
-    return run_simulation(Experiment(program=program,
-                                     config=config or _default_config(),
-                                     **spec_kw))
+    return RunRequest.from_objects(program=program, config=config,
+                                   **spec_kw).execute()
 
 
 def compare(program: Program,
@@ -111,10 +124,10 @@ def compare(program: Program,
     every per-application bar of the paper's figures reports.  The two
     underlying :class:`Result`\\ s stay reachable through the returned
     comparison's ``base``/``opt`` metrics."""
-    _, _, comparison = run_pair(program, config or _default_config(),
-                                mapping=mapping, page_policy=page_policy,
-                                localize_offchip=localize_offchip)
-    return comparison
+    return CompareRequest.from_objects(
+        program=program, config=config, mapping=mapping,
+        page_policy=page_policy,
+        localize_offchip=localize_offchip).execute()
 
 
 def sweep(program: Program, *,
@@ -169,21 +182,9 @@ def sweep(program: Program, *,
     ``result.store_hits`` / ``result.store_misses`` report the
     traffic.
     """
-    hardened = (hardened or checkpoint is not None
-                or harness is not None or max_points is not None)
-    if hardened:
-        return HardenedSweep(program, config, harness=harness,
-                             checkpoint=checkpoint, fault_plan=fault_plan,
-                             seed=seed, workers=workers,
-                             validate=validate, obs=obs, engine=engine,
-                             store=store
-                             ).run(max_points=max_points,
-                                   progress=progress, **axes)
-    runner = Sweep(program, config, workers=workers,
-                   fault_plan=fault_plan, seed=seed, validate=validate,
-                   obs=obs, engine=engine, store=store)
-    points = runner.run(progress=progress, **axes)
-    return SweepResult(rows=[point.row() for point in points],
-                       points=list(points), obs=runner.collected_obs(),
-                       store_hits=runner.store_hits,
-                       store_misses=runner.store_misses)
+    request = SweepRequest.from_objects(
+        program=program, config=config, axes=axes, workers=workers,
+        hardened=hardened, fault_plan=fault_plan, seed=seed,
+        validate=validate, obs=obs, engine=engine, store=store)
+    return request.execute(progress=progress, checkpoint=checkpoint,
+                           harness=harness, max_points=max_points)

@@ -20,6 +20,20 @@ Subcommands::
     repro-cli store stats results/        # result-store inventory
     repro-cli store verify results/       # re-checksum every record
     repro-cli store gc results/           # drop quarantine + temp debris
+    repro-cli serve --store results/      # HTTP experiment service
+                                          # (see docs/service.md)
+
+``run``, ``compare`` and ``sweep`` build the same typed request
+objects (:mod:`repro.api.requests`) the Python facade and the
+experiment service use, so an experiment means the same thing -- and
+keys the same store record -- no matter which door it came through.
+
+Exit codes: 0 success, 1 generic failure, 2 argparse usage.  A
+:class:`~repro.errors.ReproError` exits with its family's code from
+:data:`repro.errors.EXIT_CODES` (request 3, frontend 4, solver 5,
+layout 6, simulation 7, validation 8, store 9, other 10), matching
+the service's HTTP status mapping so shell scripts and HTTP clients
+classify the same failure the same way.
 
 ``run`` and ``sweep`` take ``--store DIR`` to replay/persist results
 through the crash-safe store (:mod:`repro.store`); ``sweep --store``
@@ -55,7 +69,8 @@ from typing import List, Optional
 
 from repro import MachineConfig
 from repro.analysis.tables import format_percent_table, improvement_summary
-from repro.errors import ValidationError
+from repro.api.requests import (CompareRequest, RunRequest, SweepRequest)
+from repro.errors import ReproError, ValidationError, exit_code
 from repro.core.dependence import check_program
 from repro.core.pipeline import LayoutTransformer
 from repro.frontend import compile_kernel, emit_program
@@ -63,8 +78,8 @@ from repro.program.address_space import AddressSpace
 from repro.program.trace import generate_traces
 from repro.program.tracefile import save_traces
 from repro.sim.executor import default_workers, resolve_mapping
-from repro.sim.run import RunSpec, run_pair, run_simulation
-from repro.sim.sweep import Sweep, to_csv
+from repro.sim.run import RunSpec, run_simulation
+from repro.sim.sweep import Sweep
 from repro.workloads import SUITE_ORDER, build_workload
 
 METRIC_COLUMNS = ["onchip_net", "offchip_net", "offchip_mem", "exec_time"]
@@ -201,18 +216,13 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     program = _load_program(args)
     config = _config(args)
     plan = _load_fault_plan(args.fault_plan)
-    spec = RunSpec(program=program, config=config,
-                   mapping=_mapping(config, args.mapping),
-                   optimized=args.optimized, optimal=args.optimal,
-                   fault_plan=plan, seed=args.seed,
-                   validate=args.validate, engine=args.engine,
-                   store=args.store or None)
-    try:
-        result = run_simulation(spec)
-    except ValidationError as err:
-        lines = "\n".join(f"  {v}" for v in err.violations)
-        raise SystemExit(f"repro-cli run: validation failed: {err}"
-                         + (f"\n{lines}" if lines else ""))
+    request = RunRequest.from_objects(
+        program=program, config=config,
+        mapping=_mapping(config, args.mapping),
+        optimized=args.optimized, optimal=args.optimal,
+        fault_plan=plan, seed=args.seed, validate=args.validate,
+        engine=args.engine, store=args.store or None)
+    result = request.execute()
     kind = "optimal" if args.optimal else (
         "optimized" if args.optimized else "baseline")
     print(f"{program.name} ({kind}):", file=out)
@@ -233,9 +243,9 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 def cmd_compare(args: argparse.Namespace, out) -> int:
     program = _load_program(args)
     config = _config(args)
-    base, opt, comparison = run_pair(program, config,
-                                     mapping=_mapping(config,
-                                                      args.mapping))
+    comparison = CompareRequest.from_objects(
+        program=program, config=config,
+        mapping=_mapping(config, args.mapping)).execute()
     print(f"{program.name}: baseline vs optimized", file=out)
     labels = {
         "onchip_net": "on-chip network latency",
@@ -255,7 +265,8 @@ def cmd_suite(args: argparse.Namespace, out) -> int:
     rows = {}
     for app in SUITE_ORDER:
         program = build_workload(app, args.scale)
-        _, _, comparison = run_pair(program, config, mapping=mapping)
+        comparison = CompareRequest.from_objects(
+            program=program, config=config, mapping=mapping).execute()
         rows[app] = comparison
         print(f"  {app}: exec {comparison.exec_time_reduction:+.1%}",
               file=out)
@@ -307,9 +318,6 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     if workers < 1:
         raise SystemExit(f"repro-cli sweep: --workers must be >= 1, "
                          f"got {workers}")
-    sweep = Sweep(program, _config(args), workers=workers,
-                  validate=args.validate, engine=args.engine,
-                  store=args.store or None)
     axes = _parse_axes(args.axis)
     progress = None
     state = {"done": 0, "failed": 0, "started": time.monotonic()}
@@ -327,22 +335,26 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                   f"points done, {state['failed']} failed",
                   file=sys.stderr)
     try:
-        points = sweep.run(progress=progress, **axes)
-    except ValidationError as err:
-        raise SystemExit(f"repro-cli sweep: validation failed: {err}")
+        request = SweepRequest.from_objects(
+            program=program, config=_config(args), axes=axes,
+            workers=workers, validate=args.validate,
+            engine=args.engine, store=args.store or None)
+        report = request.execute(progress=progress)
+    except ValidationError:
+        raise  # main() maps it to the validation exit code
     except ValueError as err:  # e.g. unknown mapping preset value
         raise SystemExit(f"repro-cli sweep: {err}")
     if not args.quiet:
         elapsed = time.monotonic() - state["started"]
-        print(f"[sweep] {len(points)} points ({state['done']} "
+        print(f"[sweep] {report.completed} points ({state['done']} "
               f"simulated) in {elapsed:.1f}s", file=sys.stderr)
         if args.store:
             # The CI smoke job greps this line to prove a shared store
             # actually served records across processes.
-            print(f"[store] hits={sweep.store_hits} "
-                  f"misses={sweep.store_misses} dir={args.store}",
+            print(f"[store] hits={report.store_hits} "
+                  f"misses={report.store_misses} dir={args.store}",
                   file=sys.stderr)
-    print(to_csv(points), end="", file=out)
+    print(report.to_csv(), end="", file=out)
     return 0
 
 
@@ -474,6 +486,19 @@ def cmd_store(args: argparse.Namespace, out) -> int:
     print(f"removed {report['removed']} quarantined/orphaned files "
           f"({report['bytes']:,} bytes)", file=out)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+    try:
+        return asyncio.run(serve_forever(
+            host=args.host, port=args.port, store=args.store or None,
+            job_threads=args.job_threads, max_queued=args.max_queued,
+            out=out))
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_list(args: argparse.Namespace, out) -> int:
@@ -650,6 +675,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dir", help="store root directory")
     p.set_defaults(func=cmd_store)
 
+    p = sub.add_parser("serve", help="run the HTTP experiment service "
+                                     "(typed schema-v1 requests; see "
+                                     "docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default: loopback)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 picks an ephemeral port, printed "
+                        "on the listening line")
+    p.add_argument("--store", default="",
+                   help="persistent result-store directory every "
+                        "request dedupes through (strongly "
+                        "recommended; without it only in-flight "
+                        "coalescing dedupes work)")
+    p.add_argument("--job-threads", type=int, default=2,
+                   help="concurrent jobs (each may fan out to the "
+                        "process pool via its request's workers=)")
+    p.add_argument("--max-queued", type=int, default=32,
+                   help="bounded job queue; submissions past this "
+                        "answer HTTP 429")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("list", help="list workload models")
     p.set_defaults(func=cmd_list)
     return parser
@@ -663,6 +709,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except BrokenPipeError:
         # downstream consumer (head, less) closed the pipe: not an error
         return 0
+    except ReproError as err:
+        # One classification for scripts and the service alike: each
+        # error family exits with its repro.errors.EXIT_CODES code,
+        # mirroring the HTTP status mapping of repro.serve.
+        print(f"repro-cli {args.command}: {err}", file=sys.stderr)
+        if isinstance(err, ValidationError):
+            for violation in err.violations:
+                print(f"  {violation}", file=sys.stderr)
+        return exit_code(err)
 
 
 if __name__ == "__main__":

@@ -91,6 +91,22 @@ class ReproError(Exception):
                                                  else "")
 
 
+class RequestError(ReproError, ValueError):
+    """A malformed or unsupported experiment request
+    (:mod:`repro.api.requests`): wrong ``schema_version``, an unknown
+    field, a value outside its vocabulary, or a workload that cannot be
+    resolved.  The caller's input is wrong, not the system -- the wire
+    protocol maps it to HTTP 400 where every other :class:`ReproError`
+    family maps to 422.
+
+    Also a :class:`ValueError`: the facade historically raised
+    ``ValueError`` for bad keyword values, and callers that catch it
+    keep working unchanged.
+    """
+
+    kind = "request"
+
+
 class FrontendError(ReproError):
     """Lexer/parser/lowering failure, located in the kernel source."""
 
@@ -180,3 +196,56 @@ class SimulationTimeout(SimulationError):
     def __init__(self, message: str, **kwargs):
         kwargs.setdefault("transient", True)
         super().__init__(message, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The one failure-mapping table: CLI exit codes and HTTP statuses.
+#
+# ``repro-cli`` and the experiment service (:mod:`repro.serve`) must
+# agree on what each error family means, so a shell script checking
+# ``$?`` and an HTTP client checking the status code classify the same
+# failure the same way.  Exit codes start above 2 (1 is the generic
+# SystemExit code, 2 is argparse usage) and stay stable: append new
+# families, never renumber.
+
+#: CLI exit code per error family (``ReproError.kind``).
+EXIT_CODES: Dict[str, int] = {
+    "error": 10,        # generic ReproError
+    "request": 3,       # malformed/unsupported request (HTTP 400)
+    "frontend": 4,      # kernel would not compile
+    "solver": 5,        # Data-to-Core / affine approximation failed
+    "layout": 6,        # layout customization produced garbage
+    "simulation": 7,    # the simulator could not complete
+    "validation": 8,    # an invariant checker rejected the run
+    "store": 9,         # result-store operational failure
+}
+
+#: HTTP status per error family.  The caller's input is wrong -> 400;
+#: the system could not honour a well-formed request -> 422.
+HTTP_STATUSES: Dict[str, int] = {
+    "error": 422,
+    "request": 400,
+    "frontend": 422,
+    "solver": 422,
+    "layout": 422,
+    "simulation": 422,
+    "validation": 422,
+    "store": 422,
+}
+
+
+def exit_code(err: BaseException) -> int:
+    """The CLI exit code for ``err`` (generic 10 for unknown kinds,
+    1 for non-:class:`ReproError` exceptions)."""
+    if not isinstance(err, ReproError):
+        return 1
+    return EXIT_CODES.get(err.kind, EXIT_CODES["error"])
+
+
+def http_status(err: BaseException) -> int:
+    """The HTTP status the wire protocol maps ``err`` to (500 for
+    non-:class:`ReproError` exceptions -- an internal bug, never the
+    caller's fault)."""
+    if not isinstance(err, ReproError):
+        return 500
+    return HTTP_STATUSES.get(err.kind, HTTP_STATUSES["error"])

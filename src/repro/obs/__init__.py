@@ -22,7 +22,8 @@ and unobserved runs share cache identity.
 from repro.obs.data import OBS_LEVELS, ObsData
 from repro.obs.export import (chrome_trace, jsonl_events, link_heatmap,
                               link_heatmap_csv, mc_timeline,
-                              mc_timeline_csv, profile_table,
+                              mc_timeline_csv, process_obs,
+                              process_registry, profile_table,
                               prometheus_text, write_chrome_trace)
 from repro.obs.telemetry import (Counter, Gauge, Histogram,
                                  TelemetryRegistry, TimeSeries)
@@ -35,6 +36,7 @@ __all__ = [
     "SpanRecord", "TelemetryRegistry", "TimeSeries", "Tracer",
     "activate", "chrome_trace", "current_tracer", "jsonl_events",
     "link_heatmap", "link_heatmap_csv", "mc_timeline",
-    "mc_timeline_csv", "obs_instant", "obs_span", "profile_table",
-    "prometheus_text", "traced", "write_chrome_trace",
+    "mc_timeline_csv", "obs_instant", "obs_span", "process_obs",
+    "process_registry", "profile_table", "prometheus_text", "traced",
+    "write_chrome_trace",
 ]

@@ -163,6 +163,51 @@ def _prom_name(name: str) -> str:
     return f"repro_{safe}"
 
 
+def process_registry() -> "TelemetryRegistry":
+    """Process-wide operational counters as a fresh registry.
+
+    Gathers the state that lives outside any single run's
+    :class:`~repro.obs.data.ObsData`:
+
+    * ``store.*`` -- every live result store's shared
+      :class:`~repro.store.base.StoreStats` (gets/hits/misses/puts,
+      corruption, quarantine, degradations), summed across paths.
+      Every field is published, zeros included, so the exposition set
+      is stable from the first scrape.
+    * ``supervision.*`` -- the pool supervisor's recovery counters
+      (:func:`repro.sim.executor.supervision_stats`: worker restarts,
+      re-enqueued points, hang detections).
+
+    Before this existed these counters only surfaced in the CLI's
+    stderr summary and ``obs=full`` run telemetry; the service's
+    ``GET /metrics`` endpoint merges this registry into its own so a
+    scraper sees them continuously.
+    """
+    from repro.obs.telemetry import TelemetryRegistry
+    from repro.sim.executor import supervision_stats
+    from repro.store import base as store_base
+
+    registry = TelemetryRegistry()
+    from repro.store.base import StoreStats
+    totals = {name: 0 for name in StoreStats.FIELDS}
+    for store in store_base.instances().values():
+        for name, value in store.stats.snapshot().items():
+            totals[name] = totals.get(name, 0) + value
+    for name in StoreStats.FIELDS:
+        registry.counter(f"store.{name}").inc(totals[name])
+    for name, value in supervision_stats().items():
+        registry.counter(f"supervision.{name}").inc(value)
+    return registry
+
+
+def process_obs(label: str = "process") -> ObsData:
+    """:func:`process_registry` wrapped as an :class:`ObsData` part,
+    ready for :func:`prometheus_text` (labelled so process-wide
+    counters stay distinguishable from per-run telemetry)."""
+    return ObsData(level="full", label=label,
+                   telemetry=process_registry())
+
+
 def prometheus_text(obs) -> str:
     """Render telemetry in the Prometheus text exposition format.
     Series flatten to ``_sum``/``_count`` pairs (their time axis is

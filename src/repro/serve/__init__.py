@@ -1,0 +1,24 @@
+"""repro.serve: the concurrent experiment service.
+
+A stdlib-only asyncio HTTP/JSON server over the typed request API
+(:mod:`repro.api.requests`) and the persistent result store
+(:mod:`repro.store`): repeated experiments are O(1) store hits,
+concurrent identical experiments coalesce onto one computation, and
+every sweep any client ever ran enriches the shared cache -- the
+serving analogue of the paper's off-chip dedup insight.
+
+* :class:`~repro.serve.server.ExperimentServer` /
+  :func:`~repro.serve.server.serve_forever` -- the server.
+* :class:`~repro.serve.jobs.JobRegistry` -- single-flight job
+  execution with bounded-queue backpressure.
+* :mod:`repro.serve.wire` -- the minimal HTTP/1.1 layer.
+
+Start one from the CLI: ``repro-cli serve --store results --port 8080``
+(see docs/service.md).
+"""
+
+from repro.serve.jobs import Job, JobRegistry, QueueFullError
+from repro.serve.server import ExperimentServer, serve_forever
+
+__all__ = ["ExperimentServer", "Job", "JobRegistry", "QueueFullError",
+           "serve_forever"]

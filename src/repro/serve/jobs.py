@@ -1,0 +1,252 @@
+"""The job registry: single-flight execution behind the service.
+
+Every POST becomes a :class:`Job`.  Identity is the request's
+canonical key (== the memo/store key, :mod:`repro.api.requests`), and
+the registry enforces the service's two core guarantees around it:
+
+* **Single-flight coalescing** -- while a job for a key is queued or
+  running, further submissions for the same key join it instead of
+  spawning duplicate work.  Combined with the persistent store (which
+  serves everything already *finished*), the simulator executes each
+  distinct experiment at most once no matter how many clients ask.
+* **Backpressure** -- the queue of not-yet-running jobs is bounded;
+  past the bound, :meth:`JobRegistry.submit` raises
+  :class:`QueueFullError` and the wire layer answers 429 instead of
+  accepting unbounded work.
+
+Jobs run on a thread pool.  The simulation itself fans out to the
+process pool via :func:`repro.sim.executor.execute_points` under the
+existing supervision policy, so job threads spend their time waiting,
+not computing -- a small pool goes a long way.
+
+Never-crash contract: a job's failure is captured as a structured
+error document (taxonomy kind + message) on the job, never propagated
+into the server loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.telemetry import TelemetryRegistry
+from repro.sim.run import run_simulation
+from repro.sim.metrics import Comparison
+from repro.store.records import metrics_to_doc
+
+__all__ = ["Job", "JobRegistry", "QueueFullError"]
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class QueueFullError(Exception):
+    """The bounded job queue is at capacity -- backpressure, not a
+    bug.  The wire layer maps this to HTTP 429."""
+
+
+class Job:
+    """One submitted request and everything observable about it."""
+
+    _COUNTER = [0]
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, kind: str, key: str, request):
+        with self._COUNTER_LOCK:
+            self._COUNTER[0] += 1
+            self.id = f"j{self._COUNTER[0]:06d}"
+        self.kind = kind
+        self.key = key
+        self.request = request
+        self.state = QUEUED
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        #: How many extra submissions joined this computation.
+        self.coalesced = 0
+        self.progress_done = 0
+        self.progress_total: Optional[int] = None
+        #: Completed result rows so far (sweeps stream these while
+        #: running; the final list is the report's canonical order).
+        self.rows: List[Dict[str, object]] = []
+        self.result: Optional[Dict[str, object]] = None
+        self.error: Optional[BaseException] = None
+        self.future = None  # concurrent.futures.Future, set on submit
+
+    def snapshot(self, include_rows: bool = True) -> Dict[str, object]:
+        """The job as a JSON-ready document."""
+        doc: Dict[str, object] = {
+            "id": self.id, "kind": self.kind, "key": self.key,
+            "state": self.state, "coalesced": self.coalesced,
+            "progress": {"done": self.progress_done,
+                         "total": self.progress_total},
+        }
+        if include_rows and self.kind == "sweep":
+            doc["rows"] = list(self.rows)
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            kind = (self.error.kind if isinstance(self.error, ReproError)
+                    else "internal")
+            doc["error"] = {"kind": kind, "message": str(self.error)}
+        return doc
+
+
+class JobRegistry:
+    """Submits, coalesces, runs and remembers jobs."""
+
+    def __init__(self, store: Optional[str] = None,
+                 job_threads: int = 2, max_queued: int = 32):
+        self.store = store
+        self.max_queued = max_queued
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        #: (kind, key) -> the queued/running job for that identity.
+        self._inflight: Dict[Tuple[str, str], Job] = {}
+        self._queued = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=job_threads, thread_name_prefix="repro-serve")
+        #: Service counters (``serve.*``), merged into ``GET /metrics``.
+        self.telemetry = TelemetryRegistry()
+        self._closed = False
+
+    # -- counters (TelemetryRegistry.inc is not thread-safe) ----------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self.telemetry.inc(name, amount)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request) -> Tuple[Job, bool]:
+        """Submit a request; returns ``(job, fresh)``.
+
+        ``fresh`` is ``False`` when the request coalesced onto an
+        in-flight job for the same canonical key.  The key is computed
+        before the lock -- it compiles the program, which is the
+        expensive part -- so two racing submissions both pay it, but
+        only one simulates.
+        """
+        if self.store is not None:
+            # The server's store is authoritative: clients do not get
+            # to point the service at arbitrary filesystem paths.
+            request.store = self.store
+        key = request.key()
+        kind = request.KIND
+        self.inc("serve.requests")
+        with self._lock:
+            if self._closed:
+                raise QueueFullError("service is shutting down")
+            existing = self._inflight.get((kind, key))
+            if existing is not None:
+                existing.coalesced += 1
+                self.telemetry.inc("serve.coalesced")
+                return existing, False
+            if self._queued >= self.max_queued:
+                self.telemetry.inc("serve.rejected")
+                raise QueueFullError(
+                    f"job queue full ({self.max_queued} queued)")
+            job = Job(kind, key, request)
+            self._jobs[job.id] = job
+            self._inflight[(kind, key)] = job
+            self._queued += 1
+            self.telemetry.inc("serve.jobs")
+            job.future = self._pool.submit(self._run_job, job)
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    # -- execution (job threads) --------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            self._queued -= 1
+            job.state = RUNNING
+            job.started = time.time()
+        try:
+            job.result = self._execute(job)
+            job.state = DONE
+        except BaseException as err:  # never-crash: capture, classify
+            job.error = err
+            job.state = FAILED
+            self.inc("serve.errors")
+        finally:
+            job.finished = time.time()
+            with self._lock:
+                self._inflight.pop((job.kind, job.key), None)
+
+    def _execute(self, job: Job) -> Dict[str, object]:
+        request = job.request
+        if job.kind == "run":
+            job.progress_total = 1
+            result = request.execute()
+            job.progress_done = 1
+            # A store replay carries metrics only -- no transformation
+            # artifact -- which is exactly the "zero simulation work"
+            # signature the response reports.
+            hit = (request.store is not None
+                   and result.transformation is None)
+            self.inc("serve.store_hits" if hit else "serve.store_misses")
+            return {"kind": "run", "key": job.key,
+                    "metrics": metrics_to_doc(result.metrics),
+                    "page_fallbacks": result.page_fallbacks,
+                    "store_hit": hit}
+        if job.kind == "compare":
+            base_spec, opt_spec = request.specs()
+            job.progress_total = 2
+            hits = 0
+            sides = []
+            for spec in (base_spec, opt_spec):
+                result = run_simulation(spec)
+                hits += int(request.store is not None
+                            and result.transformation is None)
+                sides.append(result)
+                job.progress_done += 1
+            comparison = Comparison(sides[0].metrics, sides[1].metrics)
+            self.inc("serve.store_hits", hits)
+            self.inc("serve.store_misses", 2 - hits)
+            return {"kind": "compare", "key": job.key,
+                    "row": comparison.as_row(),
+                    "base": metrics_to_doc(sides[0].metrics),
+                    "opt": metrics_to_doc(sides[1].metrics),
+                    "store_hits": hits}
+        # sweep
+        job.progress_total = len(request.grid())
+
+        def progress(*args) -> None:
+            if len(args) == 1:  # plain engine: one PointOutcome
+                outcome = args[0]
+                job.progress_done += 1
+                row = getattr(outcome, "row", None)
+                if row:
+                    job.rows.append(dict(row))
+            else:  # hardened engine: (wave, done, failed, total)
+                _, done, failed, total = args
+                job.progress_done = done + failed
+                job.progress_total = total
+
+        report = request.execute(progress=progress)
+        # The streamed rows arrive in completion order; the report's
+        # rows are the canonical grid order every CSV uses.  Replace.
+        job.rows = list(report.rows)
+        job.progress_done = len(report.rows)
+        self.inc("serve.store_hits", report.store_hits)
+        self.inc("serve.store_misses", report.store_misses)
+        return {"kind": "sweep", "key": job.key, "rows": report.rows,
+                "failures": report.failures, "csv": report.to_csv(),
+                "store_hits": report.store_hits,
+                "store_misses": report.store_misses}

@@ -1,0 +1,180 @@
+"""HTTP/1.1 wire layer for the experiment service -- stdlib only.
+
+A deliberately small subset of HTTP: request line, headers,
+``Content-Length`` bodies, one response per connection.  That is
+everything ``curl``, a Prometheus scraper, and the stdlib client need,
+and small enough that the never-crash contract is auditable: every
+malformed input path lands in :class:`WireError` (-> structured 400),
+never in an unhandled exception.
+
+Responses carry ``Connection: close`` -- the service optimizes for
+correctness under many clients, not for connection reuse; the
+expensive part of a request is the simulation, which the store and
+the single-flight registry already dedupe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError, http_status
+
+__all__ = ["HttpRequest", "MAX_BODY_BYTES", "WireError", "error_doc",
+           "error_response", "json_response", "read_request",
+           "text_response"]
+
+#: Upper bound on a request body -- a sweep over every axis is a few
+#: KiB; anything near this limit is abuse, not an experiment.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Upper bound on one header line / the request line.
+MAX_LINE_BYTES = 16 * 1024
+#: Upper bound on the number of header lines.
+MAX_HEADERS = 100
+
+STATUS_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class WireError(Exception):
+    """A request that never made it to the application layer --
+    unparseable request line, oversized body, missing length.  Carries
+    the HTTP status the connection handler must answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[HttpRequest]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (client closed an
+    idle connection); raises :class:`WireError` on anything malformed.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as err:
+        raise WireError(400, f"unreadable request line: {err}") from err
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise WireError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError as err:
+        raise WireError(
+            400, f"malformed request line {line!r}") from err
+    if not version.startswith("HTTP/1."):
+        raise WireError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        raw = await reader.readline()
+        if not raw:
+            raise WireError(400, "connection closed inside headers")
+        if len(raw) > MAX_LINE_BYTES:
+            raise WireError(400, "header line too long")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise WireError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise WireError(400, "too many header lines")
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as err:
+            raise WireError(
+                400, f"bad Content-Length {length_text!r}") from err
+        if length < 0:
+            raise WireError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise WireError(413, f"request body over {MAX_BODY_BYTES} "
+                                 f"bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as err:
+            raise WireError(
+                400, "connection closed inside the body") from err
+    elif headers.get("transfer-encoding"):
+        raise WireError(400, "chunked bodies are not supported; send "
+                             "Content-Length")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(method=method.upper(), path=split.path,
+                       query=query, headers=headers, body=body)
+
+
+def _response(status: int, body: bytes, content_type: str) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, doc) -> bytes:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body, "application/json")
+
+
+def text_response(status: int, text: str,
+                  content_type: str = "text/plain; version=0.0.4"
+                  ) -> bytes:
+    return _response(status, text.encode("utf-8"), content_type)
+
+
+def error_doc(err: BaseException) -> Tuple[int, Dict[str, object]]:
+    """``(status, envelope)`` for any failure: :class:`ReproError`
+    families keep their taxonomy name, wire-level failures their
+    status, everything else is an internal 500 that hides nothing but
+    the traceback."""
+    if isinstance(err, WireError):
+        return err.status, {"error": {"kind": "wire",
+                                      "message": err.message}}
+    status = http_status(err)
+    kind = err.kind if isinstance(err, ReproError) else "internal"
+    doc: Dict[str, object] = {"error": {"kind": kind,
+                                        "message": str(err)}}
+    if isinstance(err, ReproError):
+        context = err.context()
+        context.pop("kind", None)
+        context.pop("traceback", None)
+        if context:
+            doc["error"]["context"] = context
+    return status, doc
+
+
+def error_response(err: BaseException) -> bytes:
+    status, doc = error_doc(err)
+    return json_response(status, doc)

@@ -278,6 +278,15 @@ def resolve(path: Optional[str]) -> Optional[ResultStore]:
         return store
 
 
+def instances() -> Dict[str, ResultStore]:
+    """A snapshot of the per-process store cache, path -> store.  The
+    process-wide observability surface (``repro.obs.export
+    .process_registry``) walks this to expose every live store's
+    counters without knowing which paths the session opened."""
+    with _resolve_lock:
+        return dict(_instances)
+
+
 def reset_instances() -> None:
     """Drop the per-process store cache (tests; also lets a long
     process re-probe a previously degraded path)."""

@@ -1,0 +1,315 @@
+"""Typed, versioned request API (repro.api.requests).
+
+The contract under test: every door into the system -- keyword
+facade, CLI, wire protocol -- builds the same request objects; the
+canonical JSON codec round-trips; the wire key equals the memo/store
+key; and every malformed document is rejected with a precise
+RequestError (which is both a ReproError of kind "request" and a
+ValueError for legacy callers).
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.api.requests import (CompareRequest, RunRequest,
+                                SCHEMA_VERSION, SweepRequest,
+                                request_from_wire)
+from repro.errors import (EXIT_CODES, HTTP_STATUSES, ReproError,
+                          RequestError, exit_code, http_status)
+from repro.workloads import build_workload
+
+SCALE = 0.2
+
+KERNEL = """
+array A[48][48] elem 64;
+array B[48][48] elem 64;
+parallel for (i = 0; i < 48; i++) work 8 {
+  for (j = 0; j < 48; j++) {
+    A[i][j] = B[i][j];
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", SCALE)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (RunRequest, {"workload": "swim", "optimized": True, "seed": 3}),
+        (SweepRequest, {"workload": "swim",
+                        "axes": {"mapping": ["M1", "M2"]}}),
+        (CompareRequest, {"workload": "swim", "page_policy": "auto"}),
+    ])
+    def test_roundtrip(self, cls, kwargs):
+        request = cls(scale=SCALE, **kwargs)
+        doc = request.to_wire()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["kind"] == cls.KIND
+        again = cls.from_wire(doc)
+        assert again == request
+        assert cls.from_json(request.to_json()) == request
+
+    def test_canonical_json_is_stable(self):
+        request = RunRequest(workload="swim", scale=SCALE)
+        assert request.to_json() == request.to_json()
+        # canonical form: sorted keys, no whitespace
+        text = request.to_json()
+        assert ": " not in text
+        assert json.loads(text) == request.to_wire()
+
+    def test_every_wire_field_present(self):
+        doc = RunRequest(workload="swim").to_wire()
+        names = {f.name for f in RunRequest.wire_fields()}
+        assert names <= set(doc)
+
+    def test_attached_objects_never_travel(self, program):
+        request = RunRequest.from_objects(program=program)
+        doc = request.to_wire()
+        assert "program" not in doc and "config_obj" not in doc
+
+    def test_dispatch_by_kind(self):
+        doc = SweepRequest(workload="swim",
+                           axes={"num_mcs": [4]}).to_wire()
+        assert isinstance(request_from_wire(doc), SweepRequest)
+
+    def test_dispatch_rejects_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown request kind"):
+            request_from_wire({"schema_version": 1, "kind": "nope"})
+
+    def test_dispatch_requires_kind(self):
+        with pytest.raises(RequestError, match="missing kind"):
+            request_from_wire({"schema_version": 1})
+
+
+class TestRejections:
+    def base(self, **extra):
+        doc = {"schema_version": SCHEMA_VERSION, "workload": "swim"}
+        doc.update(extra)
+        return doc
+
+    def test_missing_version(self):
+        with pytest.raises(RequestError, match="schema_version"):
+            RunRequest.from_wire({"workload": "swim"})
+
+    def test_wrong_version(self):
+        with pytest.raises(RequestError,
+                           match="unsupported schema_version 2"):
+            RunRequest.from_wire(self.base(schema_version=2))
+
+    def test_kind_mismatch(self):
+        with pytest.raises(RequestError, match="does not match"):
+            RunRequest.from_wire(self.base(kind="sweep"))
+
+    def test_unknown_field_named(self):
+        with pytest.raises(RequestError, match="warp_drive"):
+            RunRequest.from_wire(self.base(warp_drive=9))
+
+    def test_wrong_type_named(self):
+        with pytest.raises(RequestError, match="'seed' must be int"):
+            RunRequest.from_wire(self.base(seed="three"))
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(RequestError, match="got a bool"):
+            RunRequest.from_wire(self.base(seed=True))
+
+    def test_non_object_body(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            RunRequest.from_wire([1, 2, 3])
+
+    def test_malformed_json(self):
+        with pytest.raises(RequestError, match="malformed JSON"):
+            RunRequest.from_json("{nope")
+
+    @pytest.mark.parametrize("field,value,needle", [
+        ("page_policy", "psychic", "page policy"),
+        ("validate", "paranoid", "validation level"),
+        ("obs", "telepathy", "observability level"),
+        ("engine", "warp", "engine"),
+        ("mapping", "M9", "mapping preset"),
+    ])
+    def test_vocabulary_violations(self, field, value, needle):
+        with pytest.raises(RequestError, match=needle):
+            RunRequest.from_wire(self.base(**{field: value}))
+
+    def test_unknown_config_field(self):
+        with pytest.raises(RequestError, match="num_mc"):
+            RunRequest.from_wire(self.base(config={"num_mc": 4}))
+
+    def test_unknown_workload(self):
+        with pytest.raises(RequestError, match="warpsim"):
+            RunRequest(workload="warpsim").to_spec()
+
+    def test_workload_xor_kernel(self):
+        with pytest.raises(RequestError, match="not both"):
+            RunRequest(workload="swim", kernel_source=KERNEL)
+
+    def test_no_workload_at_all(self):
+        with pytest.raises(RequestError, match="names no workload"):
+            RunRequest().to_spec()
+
+    def test_bad_sweep_axis(self):
+        with pytest.raises(RequestError):
+            SweepRequest(workload="swim", axes={"warp": [1]})
+
+    def test_bad_workers(self):
+        with pytest.raises(RequestError, match="workers"):
+            SweepRequest(workload="swim", axes={"num_mcs": [4]},
+                         workers=0)
+
+    def test_request_error_is_value_error_of_kind_request(self):
+        err = pytest.raises(RequestError, RunRequest.from_wire,
+                            [1]).value
+        assert isinstance(err, ValueError)
+        assert isinstance(err, ReproError)
+        assert err.kind == "request"
+
+
+class TestIdentity:
+    def test_wire_key_equals_object_key(self, program):
+        wire = RunRequest(workload="swim", scale=SCALE, optimized=True)
+        inproc = RunRequest.from_objects(program=program,
+                                         optimized=True)
+        assert wire.key() == inproc.key()
+
+    def test_key_survives_json_roundtrip(self):
+        request = RunRequest(workload="swim", scale=SCALE, seed=7)
+        again = RunRequest.from_json(request.to_json())
+        assert again.key() == request.key()
+
+    def test_key_equals_runspec_key(self):
+        request = RunRequest(workload="swim", scale=SCALE)
+        assert request.key() == request.to_spec().key()
+
+    def test_store_field_does_not_change_key(self, tmp_path):
+        a = RunRequest(workload="swim", scale=SCALE)
+        b = RunRequest(workload="swim", scale=SCALE,
+                       store=str(tmp_path / "s"))
+        assert a.key() == b.key()
+
+    def test_facade_run_key_unchanged(self, program):
+        # The facade's default-config identity must survive the
+        # request-object refactor: same spec, same key.
+        from repro.sim.run import RunSpec
+        direct = RunSpec(
+            program=program,
+            config=repro.MachineConfig.scaled_default().with_(
+                interleaving="cache_line"),
+            optimized=True)
+        assert RunRequest.from_objects(
+            program=program, optimized=True).key() == direct.key()
+
+    def test_sweep_point_keys_match_grid(self):
+        request = SweepRequest(workload="swim", scale=SCALE,
+                               axes={"mapping": ["M1", "M2"],
+                                     "num_mcs": [4, 8]})
+        assert len(request.point_keys()) == len(request.grid()) == 4
+
+    def test_sweep_key_depends_on_axes(self):
+        a = SweepRequest(workload="swim", scale=SCALE,
+                         axes={"num_mcs": [4]})
+        b = SweepRequest(workload="swim", scale=SCALE,
+                         axes={"num_mcs": [8]})
+        assert a.key() != b.key()
+
+    def test_compare_key_is_point_key(self, program):
+        from repro.sim.serialize import point_key
+        request = CompareRequest.from_objects(program=program)
+        assert request.key() == point_key(request.specs())
+
+
+class TestExecution:
+    def test_run_matches_facade(self, program):
+        via_request = RunRequest.from_objects(program=program,
+                                              optimized=True).execute()
+        via_facade = repro.run(program=program, optimized=True)
+        assert via_request.metrics.exec_time == \
+            via_facade.metrics.exec_time
+
+    def test_wire_run_matches_inprocess(self, program):
+        wire = RunRequest(workload="swim", scale=SCALE).execute()
+        inproc = repro.run(program=program)
+        assert wire.metrics.exec_time == inproc.metrics.exec_time
+
+    def test_kernel_source_compiles(self):
+        result = RunRequest(kernel_source=KERNEL,
+                            kernel_name="copy2d").execute()
+        assert result.metrics.exec_time > 0
+
+    def test_sweep_matches_facade(self, program):
+        axes = {"mapping": ["M1", "M2"]}
+        via_request = SweepRequest.from_objects(
+            program=program, axes=axes).execute()
+        via_facade = repro.sweep(program, **axes)
+        assert via_request.to_csv() == via_facade.to_csv()
+
+    def test_compare_matches_facade(self, program):
+        via_request = CompareRequest.from_objects(
+            program=program).execute()
+        via_facade = repro.compare(program)
+        assert via_request.as_row() == via_facade.as_row()
+
+    def test_from_objects_rejects_unknown_keyword(self, program):
+        with pytest.raises(TypeError, match="warp"):
+            RunRequest.from_objects(program=program, warp=1)
+
+    def test_fault_plan_doc_resolves(self):
+        request = RunRequest(
+            workload="swim", scale=SCALE,
+            fault_plan={"link_faults": [{"a": 0, "b": 1}]})
+        spec = request.to_spec()
+        assert spec.fault_plan is not None
+        assert spec.fault_plan.link_faults
+
+    def test_bad_fault_plan_doc(self):
+        with pytest.raises(RequestError, match="fault plan"):
+            RunRequest(workload="swim",
+                       fault_plan={"link_faults": [{"bogus": 1}]}
+                       ).to_spec()
+
+
+class TestErrorMapping:
+    def test_tables_cover_the_same_kinds(self):
+        assert set(EXIT_CODES) == set(HTTP_STATUSES)
+
+    def test_exit_codes_are_distinct(self):
+        codes = list(EXIT_CODES.values())
+        assert len(codes) == len(set(codes))
+        assert all(code not in (0, 1, 2) for code in codes)
+
+    def test_request_maps_to_400_everything_else_422(self):
+        assert HTTP_STATUSES["request"] == 400
+        others = {k: v for k, v in HTTP_STATUSES.items()
+                  if k != "request"}
+        assert set(others.values()) == {422}
+
+    def test_exit_code_and_http_status_helpers(self):
+        err = RequestError("nope")
+        assert exit_code(err) == EXIT_CODES["request"] == 3
+        assert http_status(err) == 400
+        assert exit_code(RuntimeError("x")) == 1
+        assert http_status(RuntimeError("x")) == 500
+
+    def test_validation_error_mapping(self):
+        from repro.errors import ValidationError
+        err = ValidationError("bad", checker="metrics")
+        assert exit_code(err) == EXIT_CODES["validation"]
+        assert http_status(err) == 422
+
+
+class TestAliases:
+    def test_old_imports_keep_working(self):
+        from repro.api import (Experiment, Result, SweepResult,  # noqa
+                               compare, run, sweep)
+        from repro.sim.run import RunSpec
+        assert Experiment is RunSpec
+
+    def test_package_exports_requests(self):
+        assert repro.RunRequest is RunRequest
+        assert repro.SweepRequest is SweepRequest
+        assert repro.CompareRequest is CompareRequest
+        assert repro.RequestError is RequestError

@@ -220,3 +220,36 @@ class TestReportCommand:
                               "--scale", "0.3"])
         assert code == 0
         assert "reductions" in text
+
+
+class TestExitCodes:
+    """repro-cli exits with the per-family codes of
+    repro.errors.EXIT_CODES, mirroring the service's HTTP mapping."""
+
+    def test_frontend_error_exits_with_family_code(self, tmp_path,
+                                                   capsys):
+        from repro.errors import EXIT_CODES
+        bad = tmp_path / "broken.krn"
+        bad.write_text("parallel for (i = 0; i <\n")
+        code, _ = run_cli(["run", "--kernel", str(bad)])
+        assert code == EXIT_CODES["frontend"] == 4
+        assert "frontend" in capsys.readouterr().err
+
+    def test_compare_shares_the_mapping(self, tmp_path):
+        from repro.errors import EXIT_CODES
+        bad = tmp_path / "broken.krn"
+        bad.write_text("array A[;\n")
+        code, _ = run_cli(["compare", "--kernel", str(bad)])
+        assert code == EXIT_CODES["frontend"]
+
+    def test_serve_verb_is_wired(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0",
+                                  "--store", "x"])
+        assert args.port == 0 and args.store == "x"
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_exit_codes_stay_off_reserved_values(self):
+        from repro.errors import EXIT_CODES
+        assert all(code not in (0, 1, 2)
+                   for code in EXIT_CODES.values())
