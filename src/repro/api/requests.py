@@ -185,6 +185,19 @@ class _Request:
             raise RequestError("set either workload= or kernel_source=,"
                                " not both")
 
+    def _check_deadline(self) -> None:
+        deadline = getattr(self, "deadline_ms", None)
+        if deadline is None:
+            return
+        if isinstance(deadline, bool) or not isinstance(deadline, int):
+            raise RequestError(
+                f"deadline_ms must be an integer number of "
+                f"milliseconds, got {deadline!r}")
+        if deadline < 1:
+            raise RequestError(
+                f"deadline_ms must be >= 1 millisecond, got "
+                f"{deadline}")
+
     def _build_program(self) -> Program:
         if self.program is not None:
             return self.program
@@ -265,6 +278,10 @@ class RunRequest(_Request):
     obs: str = "off"
     engine: str = "fast"
     store: Optional[str] = None
+    #: End-to-end budget in milliseconds (service requests).  Transport
+    #: policy, not experiment identity: excluded from ``key()`` because
+    #: ``to_spec()`` never sees it.
+    deadline_ms: Optional[int] = None
 
     # In-memory slots (never on the wire): a built Program, a full
     # MachineConfig, a custom mapping, a FaultPlan object.
@@ -292,10 +309,12 @@ class RunRequest(_Request):
         "obs": ((str,), False),
         "engine": ((str,), False),
         "store": ((str,), True),
+        "deadline_ms": ((int,), True),
     }
 
     def __post_init__(self) -> None:
         self._check_workload()
+        self._check_deadline()
         _check_enum("page policy", self.page_policy, PAGE_POLICIES)
         _check_enum("validation level", self.validate, VALIDATE_LEVELS)
         _check_enum("observability level", self.obs, OBS_LEVELS)
@@ -387,6 +406,7 @@ class SweepRequest(_Request):
     obs: str = "off"
     engine: str = "fast"
     store: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     program: Optional[Program] = _attached()
     config_obj: Optional[MachineConfig] = _attached()
@@ -407,10 +427,12 @@ class SweepRequest(_Request):
         "obs": ((str,), False),
         "engine": ((str,), False),
         "store": ((str,), True),
+        "deadline_ms": ((int,), True),
     }
 
     def __post_init__(self) -> None:
         self._check_workload()
+        self._check_deadline()
         _check_enum("validation level", self.validate, VALIDATE_LEVELS)
         _check_enum("observability level", self.obs, OBS_LEVELS)
         _check_enum("engine", self.engine, ENGINES)
@@ -533,6 +555,7 @@ class CompareRequest(_Request):
     localize_offchip: bool = True
     engine: str = "fast"
     store: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     program: Optional[Program] = _attached()
     config_obj: Optional[MachineConfig] = _attached()
@@ -549,10 +572,12 @@ class CompareRequest(_Request):
         "localize_offchip": ((bool,), False),
         "engine": ((str,), False),
         "store": ((str,), True),
+        "deadline_ms": ((int,), True),
     }
 
     def __post_init__(self) -> None:
         self._check_workload()
+        self._check_deadline()
         _check_enum("page policy", self.page_policy, PAGE_POLICIES)
         _check_enum("engine", self.engine, ENGINES)
         _check_config_overrides(self.config)

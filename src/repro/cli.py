@@ -460,6 +460,25 @@ def cmd_fuzz(args: argparse.Namespace, out) -> int:
 
 def cmd_store(args: argparse.Namespace, out) -> int:
     from repro.store import DiskStore, FallbackStore, open_store
+    if args.action == "ping":
+        from repro.errors import EXIT_CODES
+        from repro.store import RemoteStore
+        if not str(args.dir).startswith(("http://", "https://")):
+            raise SystemExit(f"repro-cli store ping: {args.dir!r} is "
+                             f"not a store-server URL "
+                             f"(expected http://host:port)")
+        report = RemoteStore.from_url(args.dir).ping()
+        print(f"url:          {report['url']}", file=out)
+        print(f"reachable:    {'yes' if report['ok'] else 'no'}",
+              file=out)
+        if report.get("latency_ms") is not None:
+            print(f"latency_ms:   {report['latency_ms']:.1f}", file=out)
+        print(f"breaker:      {report['breaker']}", file=out)
+        if "server_store" in report:
+            print(f"server_store: {report['server_store']}", file=out)
+        if "error" in report:
+            print(f"error:        {report['error']}", file=out)
+        return 0 if report["ok"] else EXIT_CODES["store"]
     store = open_store(args.dir)
     backend = store.primary if isinstance(store, FallbackStore) \
         else store
@@ -492,11 +511,17 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     import asyncio
 
     from repro.serve import serve_forever
+    from repro.serve.wire import DEFAULT_READ_TIMEOUT
+    read_timeout = args.read_timeout
+    if read_timeout is None:
+        read_timeout = DEFAULT_READ_TIMEOUT
+    elif read_timeout <= 0:
+        read_timeout = None  # explicit 0 disables the guard
     try:
         return asyncio.run(serve_forever(
             host=args.host, port=args.port, store=args.store or None,
             job_threads=args.job_threads, max_queued=args.max_queued,
-            out=out))
+            read_timeout=read_timeout, out=out))
     except KeyboardInterrupt:
         return 0
 
@@ -555,9 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "'fast' filters cache hits out of the "
                                 "global heap)")
             p.add_argument("--store", default="",
-                           help="persistent result-store directory "
-                                "(replay hits, persist misses; "
-                                "bit-identical either way)")
+                           help="persistent result store: a directory "
+                                "or a store-server URL "
+                                "(http://host:port; replay hits, "
+                                "persist misses; bit-identical either "
+                                "way)")
         _machine_flags(p)
         p.set_defaults(func=func)
 
@@ -584,8 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="event-loop engine for every run "
                         "(bit-identical)")
     p.add_argument("--store", default="",
-                   help="persistent result-store directory shared "
-                        "across processes (replay hits, persist "
+                   help="persistent result store shared across "
+                        "processes: a directory, or a store-server "
+                        "URL (http://host:port) to share one store "
+                        "over the network (replay hits, persist "
                         "misses)")
     verbosity = p.add_mutually_exclusive_group()
     verbosity.add_argument("--progress", action="store_true",
@@ -666,13 +695,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("store", help="inspect/maintain a persistent "
-                                     "result store directory")
-    p.add_argument("action", choices=["stats", "verify", "gc"],
+                                     "result store (directory or "
+                                     "store-server URL)")
+    p.add_argument("action", choices=["stats", "verify", "gc", "ping"],
                    help="stats: inventory; verify: re-checksum every "
                         "record (damaged ones are quarantined); gc: "
                         "drop quarantined records and orphaned temp "
-                        "files")
-    p.add_argument("dir", help="store root directory")
+                        "files; ping: one health round trip to a "
+                        "store-server URL (reports latency and the "
+                        "client circuit-breaker state)")
+    p.add_argument("dir", help="store root directory, or a store-"
+                               "server URL (http://host:port) for "
+                               "ping")
     p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("serve", help="run the HTTP experiment service "
@@ -687,13 +721,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent result-store directory every "
                         "request dedupes through (strongly "
                         "recommended; without it only in-flight "
-                        "coalescing dedupes work)")
+                        "coalescing dedupes work).  Also serves the "
+                        "store over GET/PUT /v1/store/... -- remote "
+                        "workers share it by running with "
+                        "--store http://host:port")
     p.add_argument("--job-threads", type=int, default=2,
                    help="concurrent jobs (each may fan out to the "
                         "process pool via its request's workers=)")
     p.add_argument("--max-queued", type=int, default=32,
                    help="bounded job queue; submissions past this "
                         "answer HTTP 429")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   help="seconds to receive one whole HTTP request "
+                        "before answering 408 (default 30; slow-loris "
+                        "guard)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("list", help="list workload models")

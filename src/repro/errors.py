@@ -185,6 +185,21 @@ class ValidationError(ReproError):
         return out
 
 
+class DeadlineError(ReproError):
+    """The caller's end-to-end deadline (``deadline_ms`` on the
+    request envelope) expired before or while the job ran.
+
+    This is neither the caller's request being malformed (400) nor the
+    system failing (422/500): the work was simply not worth finishing
+    any more.  The wire protocol maps it to HTTP 504 and the job
+    registry records the job in the structured ``expired`` state.  Not
+    transient -- retrying the same expired budget would expire again;
+    the caller must resubmit with a fresh deadline.
+    """
+
+    kind = "deadline"
+
+
 class SimulationTimeout(SimulationError):
     """A run exceeded the harness's per-run timeout.
 
@@ -218,6 +233,7 @@ EXIT_CODES: Dict[str, int] = {
     "simulation": 7,    # the simulator could not complete
     "validation": 8,    # an invariant checker rejected the run
     "store": 9,         # result-store operational failure
+    "deadline": 11,     # the request's deadline_ms expired (HTTP 504)
 }
 
 #: HTTP status per error family.  The caller's input is wrong -> 400;
@@ -231,6 +247,7 @@ HTTP_STATUSES: Dict[str, int] = {
     "simulation": 422,
     "validation": 422,
     "store": 422,
+    "deadline": 504,
 }
 
 

@@ -174,9 +174,18 @@ def process_registry() -> "TelemetryRegistry":
       corruption, quarantine, degradations), summed across paths.
       Every field is published, zeros included, so the exposition set
       is stable from the first scrape.
+    * ``store.remote.*`` -- the network store client's counters
+      (:class:`~repro.store.remote.RemoteStats`: retries, timeouts,
+      breaker transitions), summed across remote stores, plus a
+      ``store.remote.breaker_state`` gauge (0=closed, 1=half-open,
+      2=open; the worst state across clients).
     * ``supervision.*`` -- the pool supervisor's recovery counters
       (:func:`repro.sim.executor.supervision_stats`: worker restarts,
       re-enqueued points, hang detections).
+    * ``harness.abandoned_threads`` (gauge) /
+      ``harness.abandoned_threads_total`` (counter) -- worker threads
+      the hardened harness abandoned on timeout
+      (:func:`repro.sim.harness.abandoned_threads`).
 
     Before this existed these counters only surfaced in the CLI's
     stderr summary and ``obs=full`` run telemetry; the service's
@@ -185,18 +194,36 @@ def process_registry() -> "TelemetryRegistry":
     """
     from repro.obs.telemetry import TelemetryRegistry
     from repro.sim.executor import supervision_stats
+    from repro.sim.harness import abandoned_threads
     from repro.store import base as store_base
+    from repro.store.remote import RemoteStats
 
     registry = TelemetryRegistry()
     from repro.store.base import StoreStats
     totals = {name: 0 for name in StoreStats.FIELDS}
+    remote_totals = {name: 0 for name in RemoteStats.FIELDS}
+    breaker_state = 0
     for store in store_base.instances().values():
         for name, value in store.stats.snapshot().items():
             totals[name] = totals.get(name, 0) + value
+        primary = getattr(store, "primary", store)
+        remote = getattr(primary, "remote_stats", None)
+        if remote is not None:
+            for name, value in remote.snapshot().items():
+                remote_totals[name] = remote_totals.get(name, 0) + value
+            breaker_state = max(breaker_state,
+                                primary.breaker.state_value())
     for name in StoreStats.FIELDS:
         registry.counter(f"store.{name}").inc(totals[name])
+    for name in RemoteStats.FIELDS:
+        registry.counter(f"store.remote.{name}").inc(remote_totals[name])
+    registry.gauge("store.remote.breaker_state").set(breaker_state)
     for name, value in supervision_stats().items():
         registry.counter(f"supervision.{name}").inc(value)
+    strays = abandoned_threads()
+    registry.gauge("harness.abandoned_threads").set(strays["live"])
+    registry.counter("harness.abandoned_threads_total").inc(
+        strays["total"])
     return registry
 
 

@@ -26,26 +26,51 @@ into the server loop.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import DeadlineError, ReproError, SimulationTimeout
 from repro.obs.telemetry import TelemetryRegistry
+from repro.sim.harness import HarnessConfig, _attempt
 from repro.sim.run import run_simulation
 from repro.sim.metrics import Comparison
 from repro.store.records import metrics_to_doc
 
-__all__ = ["Job", "JobRegistry", "QueueFullError"]
+__all__ = ["DeadlineRejectedError", "Job", "JobRegistry",
+           "QueueFullError"]
 
-#: Job lifecycle states.
-QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+#: Job lifecycle states.  ``expired`` is terminal like ``failed``, but
+#: structured: the job's ``deadline_ms`` ran out before (or while) it
+#: executed, and the wire layer answers 504, not 422.
+QUEUED, RUNNING, DONE, FAILED, EXPIRED = (
+    "queued", "running", "done", "failed", "expired")
+
+#: Conservative per-job cost floor (seconds) for admission control
+#: before any job has completed in this process -- even a fully warm
+#: store replay pays this much.  With history, an EWMA of observed job
+#: durations replaces it.
+MIN_JOB_ESTIMATE = 0.05
+#: EWMA weight for the newest completed job's duration.
+JOB_ESTIMATE_ALPHA = 0.2
 
 
 class QueueFullError(Exception):
     """The bounded job queue is at capacity -- backpressure, not a
     bug.  The wire layer maps this to HTTP 429."""
+
+
+class DeadlineRejectedError(QueueFullError):
+    """Admission control: the estimated queue wait already exceeds the
+    request's ``deadline_ms``, so queueing it would only burn a thread
+    slot on work destined to expire.  Maps to 429 with a
+    ``Retry-After`` hint (seconds)."""
+
+    def __init__(self, message: str, retry_after: int):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class Job:
@@ -63,6 +88,13 @@ class Job:
         self.request = request
         self.state = QUEUED
         self.created = time.time()
+        #: End-to-end deadline from the request envelope (absolute
+        #: wall-clock seconds; None = unbounded, the default).
+        self.deadline_ms: Optional[int] = getattr(request,
+                                                  "deadline_ms", None)
+        self.deadline: Optional[float] = (
+            None if self.deadline_ms is None
+            else self.created + self.deadline_ms / 1000.0)
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         #: How many extra submissions joined this computation.
@@ -84,6 +116,8 @@ class Job:
             "progress": {"done": self.progress_done,
                          "total": self.progress_total},
         }
+        if self.deadline_ms is not None:
+            doc["deadline_ms"] = self.deadline_ms
         if include_rows and self.kind == "sweep":
             doc["rows"] = list(self.rows)
         if self.result is not None:
@@ -102,11 +136,14 @@ class JobRegistry:
                  job_threads: int = 2, max_queued: int = 32):
         self.store = store
         self.max_queued = max_queued
+        self.job_threads = max(1, job_threads)
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         #: (kind, key) -> the queued/running job for that identity.
         self._inflight: Dict[Tuple[str, str], Job] = {}
         self._queued = 0
+        #: EWMA of completed-job durations, for admission control.
+        self._avg_job_seconds = 0.0
         self._pool = ThreadPoolExecutor(
             max_workers=job_threads, thread_name_prefix="repro-serve")
         #: Service counters (``serve.*``), merged into ``GET /metrics``.
@@ -118,6 +155,20 @@ class JobRegistry:
     def inc(self, name: str, amount: float = 1.0) -> None:
         with self._lock:
             self.telemetry.inc(name, amount)
+
+    # -- admission control ---------------------------------------------------
+
+    def _estimated_wait_locked(self) -> float:
+        """Estimated seconds a newly queued job waits before starting.
+        Caller holds the lock."""
+        if self._queued <= 0:
+            return 0.0
+        per_job = max(self._avg_job_seconds, MIN_JOB_ESTIMATE)
+        return self._queued * per_job / self.job_threads
+
+    def estimated_wait(self) -> float:
+        with self._lock:
+            return self._estimated_wait_locked()
 
     # -- submission ---------------------------------------------------------
 
@@ -149,6 +200,17 @@ class JobRegistry:
                 self.telemetry.inc("serve.rejected")
                 raise QueueFullError(
                     f"job queue full ({self.max_queued} queued)")
+            deadline_ms = getattr(request, "deadline_ms", None)
+            if deadline_ms is not None:
+                wait_s = self._estimated_wait_locked()
+                if wait_s * 1000.0 >= deadline_ms:
+                    self.telemetry.inc("serve.deadline.rejected")
+                    retry_after = max(1, math.ceil(wait_s))
+                    raise DeadlineRejectedError(
+                        f"estimated queue wait {wait_s * 1000.0:.0f}ms "
+                        f"exceeds deadline_ms={deadline_ms}; retry in "
+                        f"{retry_after}s or raise the deadline",
+                        retry_after=retry_after)
             job = Job(kind, key, request)
             self._jobs[job.id] = job
             self._inflight[(kind, key)] = job
@@ -178,22 +240,65 @@ class JobRegistry:
             job.state = RUNNING
             job.started = time.time()
         try:
+            if job.deadline is not None and time.time() >= job.deadline:
+                waited_ms = (time.time() - job.created) * 1000.0
+                raise DeadlineError(
+                    f"deadline_ms={job.deadline_ms} expired after "
+                    f"{waited_ms:.0f}ms in the queue; the job never "
+                    f"started")
             job.result = self._execute(job)
             job.state = DONE
+        except DeadlineError as err:
+            job.error = err
+            job.state = EXPIRED
+            self.inc("serve.deadline.expired")
         except BaseException as err:  # never-crash: capture, classify
             job.error = err
             job.state = FAILED
             self.inc("serve.errors")
         finally:
             job.finished = time.time()
+            duration = job.finished - job.started
             with self._lock:
                 self._inflight.pop((job.kind, job.key), None)
+                if self._avg_job_seconds <= 0.0:
+                    self._avg_job_seconds = duration
+                else:
+                    self._avg_job_seconds += JOB_ESTIMATE_ALPHA * (
+                        duration - self._avg_job_seconds)
+
+    @staticmethod
+    def _remaining(job: Job) -> Optional[float]:
+        """Seconds left on the job's deadline (None = unbounded).
+        Raises :class:`DeadlineError` when already expired."""
+        if job.deadline is None:
+            return None
+        remaining = job.deadline - time.time()
+        if remaining <= 0:
+            raise DeadlineError(
+                f"deadline_ms={job.deadline_ms} expired mid-job")
+        return max(0.001, remaining)
+
+    def _bounded_run(self, spec, job: Job):
+        """One simulation under the job's remaining deadline budget.
+        The harness's ``_attempt`` enforces the wall-clock bound; its
+        :class:`SimulationTimeout` is reclassified as the structured
+        deadline expiry it actually is."""
+        remaining = self._remaining(job)
+        if remaining is None:
+            return run_simulation(spec)
+        try:
+            return _attempt(spec, remaining)
+        except SimulationTimeout as err:
+            raise DeadlineError(
+                f"deadline_ms={job.deadline_ms} expired while the "
+                f"simulation ran ({err.message})") from err
 
     def _execute(self, job: Job) -> Dict[str, object]:
         request = job.request
         if job.kind == "run":
             job.progress_total = 1
-            result = request.execute()
+            result = self._bounded_run(request.to_spec(), job)
             job.progress_done = 1
             # A store replay carries metrics only -- no transformation
             # artifact -- which is exactly the "zero simulation work"
@@ -211,7 +316,7 @@ class JobRegistry:
             hits = 0
             sides = []
             for spec in (base_spec, opt_spec):
-                result = run_simulation(spec)
+                result = self._bounded_run(spec, job)
                 hits += int(request.store is not None
                             and result.transformation is None)
                 sides.append(result)
@@ -239,7 +344,16 @@ class JobRegistry:
                 job.progress_done = done + failed
                 job.progress_total = total
 
-        report = request.execute(progress=progress)
+        remaining = self._remaining(job)
+        if remaining is None:
+            report = request.execute(progress=progress)
+        else:
+            # The deadline flows into the hardened harness as the
+            # per-point attempt bound: no single point may outlive the
+            # job's remaining budget.
+            report = request.execute(
+                progress=progress,
+                harness=HarnessConfig(timeout=remaining))
         # The streamed rows arrive in completion order; the report's
         # rows are the canonical grid order every CSV uses.  Replace.
         job.rows = list(report.rows)

@@ -23,9 +23,9 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ReproError, http_status
 
-__all__ = ["HttpRequest", "MAX_BODY_BYTES", "WireError", "error_doc",
-           "error_response", "json_response", "read_request",
-           "text_response"]
+__all__ = ["DEFAULT_READ_TIMEOUT", "HttpRequest", "MAX_BODY_BYTES",
+           "WireError", "error_doc", "error_response", "json_response",
+           "read_request", "text_response"]
 
 #: Upper bound on a request body -- a sweep over every axis is a few
 #: KiB; anything near this limit is abuse, not an experiment.
@@ -34,13 +34,18 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_LINE_BYTES = 16 * 1024
 #: Upper bound on the number of header lines.
 MAX_HEADERS = 100
+#: Wall-clock budget for receiving one whole request.  A per-read
+#: timeout would not stop a slow-loris client that trickles one byte
+#: per second (every read "makes progress"); the whole-request
+#: deadline does.  Expiry answers 408.
+DEFAULT_READ_TIMEOUT = 30.0
 
 STATUS_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout",
+    200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 408: "Request Timeout",
     413: "Payload Too Large", 422: "Unprocessable Entity",
     429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
@@ -66,15 +71,37 @@ class HttpRequest:
     body: bytes = b""
 
 
-async def read_request(reader: asyncio.StreamReader
+async def read_request(reader: asyncio.StreamReader,
+                       timeout: Optional[float] = DEFAULT_READ_TIMEOUT
                        ) -> Optional[HttpRequest]:
     """Parse one request off the stream.
 
     Returns ``None`` on a clean EOF before any bytes (client closed an
     idle connection); raises :class:`WireError` on anything malformed.
+    ``timeout`` bounds the *whole* request read -- a stalled or
+    trickling client gets a 408-carrying :class:`WireError` instead of
+    pinning the connection task forever.
     """
+    deadline = None
+    if timeout is not None:
+        deadline = asyncio.get_running_loop().time() + timeout
+
+    async def bounded(coro):
+        if deadline is None:
+            return await coro
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            coro.close()
+            raise WireError(408, f"request not received within "
+                                 f"{timeout:g}s")
+        try:
+            return await asyncio.wait_for(coro, remaining)
+        except asyncio.TimeoutError as err:
+            raise WireError(408, f"request not received within "
+                                 f"{timeout:g}s") from err
+
     try:
-        line = await reader.readline()
+        line = await bounded(reader.readline())
     except (ConnectionError, asyncio.LimitOverrunError) as err:
         raise WireError(400, f"unreadable request line: {err}") from err
     if not line:
@@ -91,7 +118,7 @@ async def read_request(reader: asyncio.StreamReader
 
     headers: Dict[str, str] = {}
     for _ in range(MAX_HEADERS):
-        raw = await reader.readline()
+        raw = await bounded(reader.readline())
         if not raw:
             raise WireError(400, "connection closed inside headers")
         if len(raw) > MAX_LINE_BYTES:
@@ -120,7 +147,7 @@ async def read_request(reader: asyncio.StreamReader
             raise WireError(413, f"request body over {MAX_BODY_BYTES} "
                                  f"bytes")
         try:
-            body = await reader.readexactly(length)
+            body = await bounded(reader.readexactly(length))
         except asyncio.IncompleteReadError as err:
             raise WireError(
                 400, "connection closed inside the body") from err
@@ -134,18 +161,23 @@ async def read_request(reader: asyncio.StreamReader
                        query=query, headers=headers, body=body)
 
 
-def _response(status: int, body: bytes, content_type: str) -> bytes:
+def _response(status: int, body: bytes, content_type: str,
+              headers: Optional[Dict[str, str]] = None) -> bytes:
     reason = STATUS_REASONS.get(status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n")
     return head.encode("latin-1") + body
 
 
-def json_response(status: int, doc) -> bytes:
+def json_response(status: int, doc,
+                  headers: Optional[Dict[str, str]] = None) -> bytes:
     body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-    return _response(status, body, "application/json")
+    return _response(status, body, "application/json", headers)
 
 
 def text_response(status: int, text: str,

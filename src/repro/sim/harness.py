@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -103,6 +104,75 @@ class RunOutcome:
         return self.result is not None
 
 
+class AbandonedThreadWarning(UserWarning):
+    """Too many timed-out runs have left their worker threads alive;
+    the process is leaking capacity."""
+
+
+#: Live abandoned threads past this count trip one
+#: :class:`AbandonedThreadWarning` (re-armed once the count drops back
+#: below by finished stragglers).
+ABANDONED_THREAD_WARN_THRESHOLD = 8
+
+_abandoned_lock = threading.Lock()
+_abandoned_threads: List[threading.Thread] = []
+_abandoned_total = 0
+_abandoned_warned = False
+
+
+def _note_abandoned(executor: ThreadPoolExecutor) -> None:
+    """Account for the worker thread a timed-out run left behind.
+
+    The thread cannot be killed, but it can be *counted*: a gauge of
+    still-alive strays and a monotonic total, so a sweep quietly
+    drowning in stuck runs shows up in ``/metrics`` and (past the
+    threshold) as a warning instead of as unexplained memory growth.
+    """
+    global _abandoned_total, _abandoned_warned
+    strays = [t for t in getattr(executor, "_threads", ()) or ()
+              if t.is_alive()]
+    with _abandoned_lock:
+        _abandoned_total += 1
+        _abandoned_threads.extend(strays)
+        _abandoned_threads[:] = [t for t in _abandoned_threads
+                                 if t.is_alive()]
+        live = len(_abandoned_threads)
+        should_warn = (live >= ABANDONED_THREAD_WARN_THRESHOLD
+                       and not _abandoned_warned)
+        if should_warn:
+            _abandoned_warned = True
+        elif live < ABANDONED_THREAD_WARN_THRESHOLD:
+            _abandoned_warned = False
+    obs_instant("harness.thread_abandoned", cat="harness",
+                live=live, total=_abandoned_total)
+    if should_warn:
+        warnings.warn(
+            f"{live} timed-out simulation threads are still running "
+            f"(threshold {ABANDONED_THREAD_WARN_THRESHOLD}); each holds "
+            f"its run's memory until it finishes -- consider a longer "
+            f"timeout or a smaller workload scale",
+            AbandonedThreadWarning, stacklevel=3)
+
+
+def abandoned_threads() -> Dict[str, int]:
+    """``{"live": ..., "total": ...}`` abandoned-thread accounting for
+    this process (the observability export reads this)."""
+    with _abandoned_lock:
+        _abandoned_threads[:] = [t for t in _abandoned_threads
+                                 if t.is_alive()]
+        return {"live": len(_abandoned_threads),
+                "total": _abandoned_total}
+
+
+def reset_abandoned_threads() -> None:
+    """Forget accounting (tests)."""
+    global _abandoned_total, _abandoned_warned
+    with _abandoned_lock:
+        _abandoned_threads.clear()
+        _abandoned_total = 0
+        _abandoned_warned = False
+
+
 def _attempt(spec: RunSpec, timeout: Optional[float]) -> RunResult:
     if timeout is None:
         return run_simulation(spec)
@@ -116,6 +186,7 @@ def _attempt(spec: RunSpec, timeout: Optional[float]) -> RunResult:
             return future.result(timeout=timeout)
         except FutureTimeout:
             future.cancel()
+            _note_abandoned(executor)
             raise SimulationTimeout(
                 f"run {spec.label()!r} exceeded {timeout:g}s")
     finally:

@@ -20,10 +20,12 @@ from repro.store.disk import STORE_VERSION, DiskStore
 from repro.store.records import (RECORD_FORMAT, load_result,
                                  metrics_from_doc, metrics_to_doc,
                                  result_payload, store_result)
+from repro.store.remote import CircuitBreaker, RemoteStats, RemoteStore
 
 __all__ = [
     "RESULT_KIND", "ROW_KIND", "RECORD_FORMAT", "STORE_VERSION",
-    "DiskStore", "FallbackStore", "MemoryStore", "ResultStore",
+    "CircuitBreaker", "DiskStore", "FallbackStore", "MemoryStore",
+    "RemoteStats", "RemoteStore", "ResultStore",
     "StoreDegradedWarning", "StoreStats", "atomic_write_bytes",
     "atomic_write_json", "fsync_dir", "load_result", "metrics_from_doc",
     "metrics_to_doc", "open_store", "publish_stats", "reset_instances",

@@ -226,15 +226,26 @@ class FallbackStore(ResultStore):
 def open_store(path: Optional[str] = None,
                lock_timeout: float = 5.0) -> ResultStore:
     """Build a store for ``path``: ``None``/empty means the in-memory
-    backend, anything else a :class:`~repro.store.disk.DiskStore`
-    rooted there, wrapped in the degradation ladder.  A directory that
-    cannot even be created degrades immediately (with the warning)
-    instead of failing the run."""
+    backend, an ``http://host:port`` URL the network client
+    (:class:`~repro.store.remote.RemoteStore`), anything else a
+    :class:`~repro.store.disk.DiskStore` rooted there -- each wrapped
+    in the degradation ladder.  A directory that cannot even be
+    created (or an unusable URL) degrades immediately (with the
+    warning) instead of failing the run."""
     if not path:
         return MemoryStore()
+    if path.startswith(("http://", "https://")):
+        from repro.store.remote import RemoteStore
+        try:
+            primary: ResultStore = RemoteStore.from_url(path)
+        except StoreError as err:
+            store = FallbackStore(_BrokenStore(str(path)))
+            store._degrade("open", err)
+            return store
+        return FallbackStore(primary)
     from repro.store.disk import DiskStore
     try:
-        primary: ResultStore = DiskStore(path, lock_timeout=lock_timeout)
+        primary = DiskStore(path, lock_timeout=lock_timeout)
     except (OSError, StoreError) as err:
         store = FallbackStore(_BrokenStore(str(path)))
         store._degrade("open", err)

@@ -1,0 +1,265 @@
+"""A fault-injecting TCP proxy for network-chaos tests.
+
+:class:`ChaosProxy` sits between a store client
+(:class:`repro.store.remote.RemoteStore`) and the experiment server,
+forwarding bytes while misbehaving on demand:
+
+* ``pass``     -- forward faithfully (the control).
+* ``latency``  -- delay each connection before forwarding.
+* ``reset``    -- hard TCP reset (RST) on accept.
+* ``error5xx`` -- swallow the request, answer a canned ``503``.
+* ``truncate`` -- forward the request, then send only half of the
+  upstream's response before closing (torn body).
+* ``trickle``  -- forward the client's request one byte at a time with
+  a delay (a slow-loris as seen by the *server*, whose read deadline
+  should fire and answer 408).
+
+``fail_first=N`` applies the fault only to the first N connections and
+forwards faithfully afterwards -- the recovery half of every chaos
+story.  Counters (``connections``/``faulted``) let tests assert the
+fault actually happened.
+
+Also runnable standalone for CI jobs::
+
+    python tests/netchaos.py --upstream-port 8080 --mode reset \
+        --fail-first 2
+    chaos-proxy listening on 127.0.0.1:PORT mode=reset
+
+Stdlib only, threads only; every connection handler is crash-isolated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import struct
+import sys
+import threading
+import time
+from typing import Optional
+
+MODES = ("pass", "latency", "reset", "error5xx", "truncate", "trickle")
+
+_CANNED_503 = (b"HTTP/1.1 503 Service Unavailable\r\n"
+               b"Content-Type: text/plain\r\n"
+               b"Content-Length: 16\r\n"
+               b"Connection: close\r\n\r\n"
+               b"chaos: injected\n")
+
+
+def _pump(src: socket.socket, dst: socket.socket) -> None:
+    """Copy bytes src -> dst until EOF or either side dies."""
+    try:
+        while True:
+            data = src.recv(65536)
+            if not data:
+                break
+            dst.sendall(data)
+    except OSError:
+        pass
+    finally:
+        try:
+            dst.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+
+class ChaosProxy:
+    """One listening socket forwarding to ``(upstream_host,
+    upstream_port)`` with the configured misbehaviour."""
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 mode: str = "pass",
+                 fail_first: Optional[int] = None,
+                 latency: float = 0.2,
+                 trickle_delay: float = 0.05):
+        if mode not in MODES:
+            raise ValueError(f"unknown chaos mode {mode!r}; one of: "
+                             f"{', '.join(MODES)}")
+        self.upstream = (upstream_host, int(upstream_port))
+        self.mode = mode
+        self.fail_first = fail_first
+        self.latency = latency
+        self.trickle_delay = trickle_delay
+        self._lock = threading.Lock()
+        self.connections = 0
+        self.faulted = 0
+        self._closing = False
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    # -- serving -------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(client,),
+                             daemon=True).start()
+
+    def _handle(self, client: socket.socket) -> None:
+        with self._lock:
+            self.connections += 1
+            number = self.connections
+        fault = (self.mode != "pass"
+                 and (self.fail_first is None
+                      or number <= self.fail_first))
+        if fault:
+            with self._lock:
+                self.faulted += 1
+        try:
+            if not fault:
+                self._forward(client)
+            elif self.mode == "latency":
+                time.sleep(self.latency)
+                self._forward(client)
+            elif self.mode == "reset":
+                self._reset(client)
+            elif self.mode == "error5xx":
+                self._error5xx(client)
+            elif self.mode == "truncate":
+                self._truncate(client)
+            else:  # trickle
+                self._trickle(client)
+        except OSError:
+            pass
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _connect_upstream(self) -> socket.socket:
+        return socket.create_connection(self.upstream, timeout=30)
+
+    def _forward(self, client: socket.socket) -> None:
+        upstream = self._connect_upstream()
+        try:
+            up = threading.Thread(target=_pump,
+                                  args=(client, upstream), daemon=True)
+            up.start()
+            _pump(upstream, client)
+            up.join(30)
+        finally:
+            upstream.close()
+
+    def _reset(self, client: socket.socket) -> None:
+        # SO_LINGER with zero timeout turns close() into a TCP RST.
+        client.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                          struct.pack("ii", 1, 0))
+        client.close()
+
+    def _error5xx(self, client: socket.socket) -> None:
+        client.settimeout(5)
+        try:
+            client.recv(65536)  # swallow (the start of) the request
+        except OSError:
+            pass
+        client.sendall(_CANNED_503)
+
+    def _truncate(self, client: socket.socket) -> None:
+        upstream = self._connect_upstream()
+        try:
+            up = threading.Thread(target=_pump,
+                                  args=(client, upstream), daemon=True)
+            up.start()
+            # gather the whole upstream response (Connection: close),
+            # then deliver only half of it
+            chunks = []
+            try:
+                while True:
+                    data = upstream.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+            except OSError:
+                pass
+            response = b"".join(chunks)
+            client.sendall(response[:max(1, len(response) // 2)])
+        finally:
+            upstream.close()
+
+    def _trickle(self, client: socket.socket) -> None:
+        upstream = self._connect_upstream()
+        try:
+            down = threading.Thread(target=_pump,
+                                    args=(upstream, client),
+                                    daemon=True)
+            down.start()
+            client.settimeout(30)
+            try:
+                while True:
+                    data = client.recv(1)
+                    if not data:
+                        break
+                    upstream.sendall(data)
+                    time.sleep(self.trickle_delay)
+            except OSError:
+                pass
+            try:
+                upstream.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            down.join(30)
+        finally:
+            upstream.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-injecting TCP proxy for network-chaos tests")
+    parser.add_argument("--upstream-host", default="127.0.0.1")
+    parser.add_argument("--upstream-port", type=int, required=True)
+    parser.add_argument("--mode", choices=MODES, default="pass")
+    parser.add_argument("--fail-first", type=int, default=None,
+                        help="apply the fault only to the first N "
+                             "connections, then forward faithfully")
+    parser.add_argument("--latency", type=float, default=0.2)
+    args = parser.parse_args(argv)
+    proxy = ChaosProxy(args.upstream_host, args.upstream_port,
+                       mode=args.mode, fail_first=args.fail_first,
+                       latency=args.latency).start()
+    print(f"chaos-proxy listening on 127.0.0.1:{proxy.port} "
+          f"mode={args.mode}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        proxy.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

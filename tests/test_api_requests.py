@@ -161,6 +161,22 @@ class TestRejections:
             SweepRequest(workload="swim", axes={"num_mcs": [4]},
                          workers=0)
 
+    @pytest.mark.parametrize("cls", [RunRequest, SweepRequest,
+                                     CompareRequest])
+    @pytest.mark.parametrize("value", [0, -5, True, "5s", 1.5])
+    def test_bad_deadline_ms(self, cls, value):
+        kwargs = {"axes": {"num_mcs": [4]}} \
+            if cls is SweepRequest else {}
+        with pytest.raises(RequestError, match="deadline_ms"):
+            doc = {"schema_version": SCHEMA_VERSION, "workload": "swim",
+                   "kind": cls.KIND, "deadline_ms": value, **kwargs}
+            cls.from_wire(doc)
+
+    def test_huge_deadline_ms_is_fine(self):
+        request = RunRequest.from_wire(self.base(
+            deadline_ms=10 ** 12))
+        assert request.deadline_ms == 10 ** 12
+
     def test_request_error_is_value_error_of_kind_request(self):
         err = pytest.raises(RequestError, RunRequest.from_wire,
                             [1]).value
@@ -220,6 +236,31 @@ class TestIdentity:
         from repro.sim.serialize import point_key
         request = CompareRequest.from_objects(program=program)
         assert request.key() == point_key(request.specs())
+
+    def test_deadline_ms_does_not_change_run_key(self):
+        a = RunRequest(workload="swim", scale=SCALE)
+        b = RunRequest(workload="swim", scale=SCALE, deadline_ms=500)
+        assert a.key() == b.key()
+
+    def test_deadline_ms_does_not_change_sweep_key(self):
+        a = SweepRequest(workload="swim", scale=SCALE,
+                         axes={"num_mcs": [4]})
+        b = SweepRequest(workload="swim", scale=SCALE,
+                         axes={"num_mcs": [4]}, deadline_ms=500)
+        assert a.key() == b.key()
+
+    def test_deadline_ms_does_not_change_compare_key(self, program):
+        a = CompareRequest.from_objects(program=program)
+        b = CompareRequest.from_objects(program=program,
+                                        deadline_ms=500)
+        assert a.key() == b.key()
+
+    def test_deadline_ms_survives_roundtrip(self):
+        request = RunRequest(workload="swim", scale=SCALE,
+                             deadline_ms=2500)
+        again = RunRequest.from_json(request.to_json())
+        assert again.deadline_ms == 2500
+        assert again.key() == request.key()
 
 
 class TestExecution:
@@ -282,10 +323,21 @@ class TestErrorMapping:
         assert all(code not in (0, 1, 2) for code in codes)
 
     def test_request_maps_to_400_everything_else_422(self):
+        # Two kinds carry transport semantics of their own: the
+        # caller's input is wrong (400) and the caller's deadline ran
+        # out (504).  Every system-side failure stays 422.
         assert HTTP_STATUSES["request"] == 400
+        assert HTTP_STATUSES["deadline"] == 504
         others = {k: v for k, v in HTTP_STATUSES.items()
-                  if k != "request"}
+                  if k not in ("request", "deadline")}
         assert set(others.values()) == {422}
+
+    def test_deadline_error_mapping(self):
+        from repro.errors import DeadlineError
+        err = DeadlineError("budget ran out")
+        assert exit_code(err) == EXIT_CODES["deadline"] == 11
+        assert http_status(err) == 504
+        assert not err.transient
 
     def test_exit_code_and_http_status_helpers(self):
         err = RequestError("nope")

@@ -121,6 +121,75 @@ class TestRunHardened:
         assert outcome.attempts == 2
 
 
+class TestAbandonedThreadAccounting:
+    def test_timeouts_are_counted_and_warned(self, program, config,
+                                             monkeypatch):
+        import time as _time
+        import warnings as _warnings
+
+        from repro.sim.harness import (AbandonedThreadWarning,
+                                       abandoned_threads,
+                                       reset_abandoned_threads)
+
+        def always_slow(spec):
+            _time.sleep(0.4)
+            return object()
+
+        monkeypatch.setattr(harness_mod, "run_simulation", always_slow)
+        monkeypatch.setattr(harness_mod,
+                            "ABANDONED_THREAD_WARN_THRESHOLD", 1)
+        reset_abandoned_threads()
+        try:
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                outcome = run_hardened(
+                    _spec(program, config),
+                    HarnessConfig(timeout=0.05, max_retries=0,
+                                  sleep=lambda s: None))
+            assert not outcome.ok
+            strays = abandoned_threads()
+            assert strays["total"] == 1
+            assert strays["live"] == 1
+            hits = [w for w in caught
+                    if issubclass(w.category, AbandonedThreadWarning)]
+            assert len(hits) == 1
+            assert "timed-out simulation threads" in str(hits[0].message)
+            # the gauge drains once the stray thread finishes
+            _time.sleep(0.5)
+            strays = abandoned_threads()
+            assert strays["live"] == 0
+            assert strays["total"] == 1  # monotonic
+        finally:
+            reset_abandoned_threads()
+
+    def test_export_surfaces_the_gauge(self, program, config,
+                                       monkeypatch):
+        import time as _time
+
+        from repro.obs.export import process_obs, prometheus_text
+        from repro.sim.harness import reset_abandoned_threads
+
+        def slow(spec):
+            _time.sleep(0.3)
+            return object()
+
+        monkeypatch.setattr(harness_mod, "run_simulation", slow)
+        reset_abandoned_threads()
+        try:
+            run_hardened(_spec(program, config),
+                         HarnessConfig(timeout=0.05, max_retries=0,
+                                       sleep=lambda s: None))
+            text = prometheus_text(process_obs())
+            assert "repro_harness_abandoned_threads" in text
+            total_line = [l for l in text.splitlines()
+                          if l.startswith(
+                              "repro_harness_abandoned_threads_total")]
+            assert total_line and total_line[0].endswith(" 1")
+        finally:
+            reset_abandoned_threads()
+            _time.sleep(0.35)  # let the stray finish before moving on
+
+
 class TestHardenedSweep:
     AXES = dict(mapping=["M1", "M2"], num_mcs=[4, 8])
 

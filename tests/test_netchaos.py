@@ -1,0 +1,343 @@
+"""Network chaos: the remote shared store under real network faults.
+
+The contract under test (docs/robustness.md, network rung): a sweep
+pointed at a store-server URL produces **bit-identical CSVs** no
+matter how the network misbehaves -- latency, hard resets, injected
+5xx, truncated bodies, a slow-loris path -- with the damage visible
+only in counters (retries, breaker transitions, one degradation
+warning), never in results.
+
+Three layers:
+
+* :class:`TestCircuitBreaker` -- the state machine alone, on a fake
+  clock.
+* :class:`TestRemoteStoreUnit` -- the HTTP client against a live
+  server: roundtrips, corruption-is-a-miss, URL parsing, the
+  degradation ladder, ``ping``.
+* :class:`TestNetworkChaos` -- end-to-end sweeps through the
+  fault-injecting proxy (:mod:`tests.netchaos`).
+"""
+
+import io
+import warnings
+
+import pytest
+
+import repro
+from repro.errors import StoreError
+from repro.obs.export import process_obs, prometheus_text
+from repro.store import StoreDegradedWarning, reset_instances, resolve
+from repro.store.base import FallbackStore
+from repro.store.remote import (CircuitBreaker, RemoteStats,
+                                RemoteStore, payload_sha256)
+from repro.workloads import build_workload
+from tests.netchaos import ChaosProxy
+from tests.test_serve import LiveServer, metric_value
+
+SCALE = 0.12
+AXES = dict(mapping=["M1", "M2"], num_mcs=[4, 8])
+
+#: Client tuning for chaos runs: fail fast, keep backoff negligible.
+CLIENT_OPTS = ("?timeout=2&retries=2&breaker_threshold=3"
+               "&backoff_base=0.01&cooldown=5")
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference_csv(program):
+    """The no-store serial sweep every chaos run must reproduce."""
+    return repro.sweep(program, **AXES).to_csv()
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_instances()
+    yield
+    reset_instances()
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = [0.0]
+        stats = RemoteStats()
+        breaker = CircuitBreaker(clock=lambda: clock[0], stats=stats,
+                                 **kw)
+        return breaker, clock, stats
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock, stats = self._breaker(threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert stats.snapshot()["breaker_opened"] == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock, _stats = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 2 consecutive
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock, stats = self._breaker(threshold=1, cooldown=10)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock[0] = 9.9
+        assert not breaker.allow()
+        clock[0] = 10.1
+        assert breaker.allow()  # the one half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # concurrent callers fail fast
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        snap = stats.snapshot()
+        assert snap["breaker_half_opened"] == 1
+        assert snap["breaker_closed"] == 1
+
+    def test_failed_probe_reopens(self):
+        breaker, clock, stats = self._breaker(threshold=1, cooldown=5)
+        breaker.record_failure()
+        clock[0] = 6
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert stats.snapshot()["breaker_opened"] == 2
+        clock[0] = 8  # cooldown restarts from the re-open
+        assert not breaker.allow()
+
+    def test_state_values_for_the_gauge(self):
+        breaker, clock, _stats = self._breaker(threshold=1, cooldown=5)
+        assert breaker.state_value() == 0
+        breaker.record_failure()
+        assert breaker.state_value() == 2
+        clock[0] = 6
+        breaker.allow()
+        assert breaker.state_value() == 1
+
+
+class TestRemoteStoreUnit:
+    def test_from_url_parses_options(self):
+        store = RemoteStore.from_url(
+            "http://10.0.0.5:8080?timeout=2.5&retries=1"
+            "&breaker_threshold=4&cooldown=7")
+        assert (store.host, store.port) == ("10.0.0.5", 8080)
+        assert store.timeout == 2.5
+        assert store.retries == 1
+        assert store.breaker.threshold == 4
+        assert store.breaker.cooldown == 7
+
+    @pytest.mark.parametrize("url,needle", [
+        ("https://h:1", "scheme"),
+        ("http://h:1/path", "path"),
+        ("http://h", "host:port"),
+        ("http://h:1?warp=9", "warp"),
+        ("http://h:1?retries=soon", "retries=" ),
+    ])
+    def test_from_url_rejects_bad_urls(self, url, needle):
+        with pytest.raises(StoreError, match=needle):
+            RemoteStore.from_url(url)
+
+    def test_roundtrip_against_live_server(self, tmp_path):
+        payload = {"format": 1, "value": 42}
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            store = RemoteStore.from_url(
+                f"http://127.0.0.1:{live.port}")
+            assert store.get("k1") is None  # miss
+            assert store.put("k1", payload) is True
+            assert store.put("k1", payload) is False  # already there
+            assert store.get("k1") == payload
+            assert store.keys() == ["k1"]
+            snap = store.stats.snapshot()
+            assert snap["hits"] == 1 and snap["misses"] == 1
+            assert snap["puts"] == 1 and snap["put_skipped"] == 1
+
+    def test_corrupt_response_is_a_miss(self, monkeypatch):
+        store = RemoteStore("127.0.0.1", 1)
+        monkeypatch.setattr(store, "_http",
+                            lambda *a: (200, b"not json at all"))
+        assert store.get("k") is None
+        assert store.stats.snapshot()["corrupt"] == 1
+        assert store.remote_stats.snapshot()["corrupt_responses"] == 1
+
+    def test_checksum_mismatch_is_a_miss(self, monkeypatch):
+        import json as _json
+        doc = {"payload": {"a": 1}, "sha256": "0" * 64}
+        store = RemoteStore("127.0.0.1", 1)
+        monkeypatch.setattr(
+            store, "_http",
+            lambda *a: (200, _json.dumps(doc).encode()))
+        assert store.get("k") is None
+        assert store.stats.snapshot()["corrupt"] == 1
+
+    def test_dead_server_degrades_once_with_breaker_in_reason(self):
+        url = ("http://127.0.0.1:9?timeout=0.2&retries=1"
+               "&breaker_threshold=2&backoff_base=0.0")
+        store = resolve(url)
+        assert isinstance(store, FallbackStore)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.get("k") is None  # memory miss, not a crash
+            store.put("k", {"a": 1})
+            assert store.get("k") == {"a": 1}  # memory took over
+        hits = [w for w in caught
+                if issubclass(w.category, StoreDegradedWarning)]
+        assert len(hits) == 1
+        assert "circuit breaker" in store.degraded_reason
+
+    def test_bad_url_degrades_at_open(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = resolve("http://no-port-here")
+        assert isinstance(store, FallbackStore)
+        assert store.degraded_reason is not None
+        hits = [w for w in caught
+                if issubclass(w.category, StoreDegradedWarning)]
+        assert len(hits) == 1
+
+    def test_ping_live_and_dead(self, tmp_path):
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            report = RemoteStore.from_url(
+                f"http://127.0.0.1:{live.port}").ping()
+            assert report["ok"] is True
+            assert report["latency_ms"] >= 0
+            assert report["breaker"] == "closed"
+            assert report["server_store"] == str(tmp_path / "store")
+        dead = RemoteStore.from_url(
+            "http://127.0.0.1:9?timeout=0.2&retries=0").ping()
+        assert dead["ok"] is False
+        assert "error" in dead
+
+
+class TestStorePingCli:
+    def test_ping_ok_exit_zero(self, tmp_path):
+        from repro.cli import main
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            out = io.StringIO()
+            code = main(["store", "ping",
+                         f"http://127.0.0.1:{live.port}"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "reachable:    yes" in text
+        assert "breaker:      closed" in text
+
+    def test_ping_dead_exits_store_code(self):
+        from repro.cli import main
+        from repro.errors import EXIT_CODES
+        out = io.StringIO()
+        code = main(["store", "ping",
+                     "http://127.0.0.1:9?timeout=0.2&retries=0"],
+                    out=out)
+        assert code == EXIT_CODES["store"]
+        assert "reachable:    no" in out.getvalue()
+
+    def test_ping_requires_a_url(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="not a store-server URL"):
+            main(["store", "ping", str(tmp_path)], out=io.StringIO())
+
+
+class TestNetworkChaos:
+    """End-to-end: sweeps through the fault proxy stay bit-identical."""
+
+    def _sweep_url(self, proxy):
+        return proxy.url + CLIENT_OPTS
+
+    def _run(self, program, url):
+        return repro.sweep(program, store=url, **AXES)
+
+    def test_latency_only_slows_nothing_breaks(self, program,
+                                               reference_csv,
+                                               tmp_path):
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            with ChaosProxy("127.0.0.1", live.port, mode="latency",
+                            latency=0.05) as proxy:
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    cold = self._run(program, self._sweep_url(proxy))
+                    warm = self._run(program, self._sweep_url(proxy))
+        assert cold.to_csv() == reference_csv
+        assert warm.to_csv() == reference_csv
+        assert warm.store_hits >= 4  # the second pass replayed warm
+        assert not [w for w in caught
+                    if issubclass(w.category, StoreDegradedWarning)]
+
+    @pytest.mark.parametrize("mode", ["reset", "error5xx", "truncate"])
+    def test_hard_faults_degrade_once_bit_identically(
+            self, program, reference_csv, tmp_path, mode):
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            with ChaosProxy("127.0.0.1", live.port, mode=mode) as proxy:
+                url = self._sweep_url(proxy)
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    report = self._run(program, url)
+                # observability while the degraded store is still live
+                store = resolve(url)
+                metrics = prometheus_text(process_obs())
+        assert report.to_csv() == reference_csv
+        hits = [w for w in caught
+                if issubclass(w.category, StoreDegradedWarning)]
+        assert len(hits) == 1, [str(w.message) for w in caught]
+        assert proxy.faulted >= 1
+        remote = store.primary.remote_stats.snapshot()
+        assert remote["retries"] >= 1
+        assert remote["breaker_opened"] >= 1
+        assert "circuit breaker" in store.degraded_reason
+        assert metric_value(metrics, "repro_store_remote_retries") >= 1
+        assert metric_value(
+            metrics, "repro_store_remote_breaker_opened") >= 1
+        assert metric_value(
+            metrics, "repro_store_remote_breaker_state") == 2
+
+    def test_trickle_trips_server_read_deadline(self, program,
+                                                reference_csv,
+                                                tmp_path):
+        # The proxy slow-lorises the *server*; its whole-request read
+        # deadline answers 408, which the client treats as one more
+        # retryable server failure -- degrade, stay bit-identical.
+        with LiveServer(store=str(tmp_path / "store"),
+                        read_timeout=0.3) as live:
+            with ChaosProxy("127.0.0.1", live.port, mode="trickle",
+                            trickle_delay=0.01) as proxy:
+                url = self._sweep_url(proxy)
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    report = self._run(program, url)
+                store = resolve(url)
+        assert report.to_csv() == reference_csv
+        hits = [w for w in caught
+                if issubclass(w.category, StoreDegradedWarning)]
+        assert len(hits) == 1
+        remote = store.primary.remote_stats.snapshot()
+        assert remote["server_errors"] >= 1  # the 408s
+
+    def test_transient_faults_absorbed_by_retry(self, program,
+                                                reference_csv,
+                                                tmp_path):
+        # Only the first two connections fault: the retry budget
+        # absorbs them, nothing degrades, and the store still works.
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            with ChaosProxy("127.0.0.1", live.port, mode="error5xx",
+                            fail_first=2) as proxy:
+                url = self._sweep_url(proxy)
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    report = self._run(program, url)
+                store = resolve(url)
+        assert report.to_csv() == reference_csv
+        assert not [w for w in caught
+                    if issubclass(w.category, StoreDegradedWarning)]
+        assert store.degraded_reason is None
+        remote = store.primary.remote_stats.snapshot()
+        assert remote["retries"] >= 2
+        assert remote["server_errors"] == 2
+        assert store.primary.breaker.state == "closed"
+        assert proxy.faulted == 2

@@ -73,6 +73,12 @@ class LiveServer:
 
     def request(self, path, body=None, method=None, timeout=300):
         """``(status, parsed-or-text)`` for one HTTP exchange."""
+        status, doc, _headers = self.request_full(path, body, method,
+                                                  timeout)
+        return status, doc
+
+    def request_full(self, path, body=None, method=None, timeout=300):
+        """``(status, parsed-or-text, headers)``."""
         url = f"http://127.0.0.1:{self.port}{path}"
         data = None
         if body is not None:
@@ -83,13 +89,15 @@ class LiveServer:
             with urllib.request.urlopen(req, timeout=timeout) as resp:
                 raw = resp.read().decode("utf-8")
                 status = resp.status
+                headers = dict(resp.headers)
         except urllib.error.HTTPError as err:
             raw = err.read().decode("utf-8")
             status = err.code
+            headers = dict(err.headers)
         try:
-            return status, json.loads(raw)
+            return status, json.loads(raw), headers
         except ValueError:
-            return status, raw
+            return status, raw, headers
 
     def wait_for(self, job_id, predicate, timeout=300):
         deadline = time.monotonic() + timeout
@@ -107,6 +115,15 @@ def fresh_stores():
     reset_instances()
     yield
     reset_instances()
+
+
+def metric_value(metrics_text, name):
+    """The value of one (possibly labelled) Prometheus sample."""
+    for line in metrics_text.splitlines():
+        sample = line.split("{")[0].split(" ")[0]
+        if sample == name and not line.startswith("#"):
+            return float(line.rpartition(" ")[2])
+    return None
 
 
 class TestEndpoints:
@@ -304,6 +321,133 @@ class TestBackpressure:
                           lambda d: d["state"] == "done")
 
 
+class TestDeadlines:
+    """End-to-end deadline_ms: queued jobs expire into the structured
+    504 state, and admission control bounces requests whose estimated
+    queue wait already exceeds their budget (429 + Retry-After)."""
+
+    def test_queued_job_expires_to_504(self):
+        with LiveServer(job_threads=1) as live:
+            # occupy the single job thread with a multi-second sweep
+            status, running = live.request(
+                "/v1/sweep", dict(SWEEP_BODY, wait=False))
+            assert status == 202
+            live.wait_for(running["id"],
+                          lambda d: d["state"] != "queued")
+            # the queue is empty (the sweep is *running*), so this run
+            # is admitted -- and then expires waiting for the thread
+            status, doc = live.request(
+                "/v1/run", dict(RUN_BODY, deadline_ms=50, wait=True))
+            assert status == 504
+            assert doc["state"] == "expired"
+            assert doc["error"]["kind"] == "deadline"
+            assert "deadline_ms=50" in doc["error"]["message"]
+            assert doc["deadline_ms"] == 50
+            # the expired job stays inspectable
+            status, again = live.request(f"/v1/jobs/{doc['id']}")
+            assert status == 200 and again["state"] == "expired"
+            status, metrics = live.request("/metrics")
+        assert metric_value(metrics, "repro_serve_deadline_expired") == 1
+
+    def test_admission_control_rejects_429_with_retry_after(self):
+        with LiveServer(job_threads=1) as live:
+            status, running = live.request(
+                "/v1/sweep", dict(SWEEP_BODY, wait=False))
+            assert status == 202
+            live.wait_for(running["id"],
+                          lambda d: d["state"] != "queued")
+            # a second distinct sweep actually *queues* (depth 1)
+            status, _ = live.request(
+                "/v1/sweep",
+                {"schema_version": 1, "workload": "swim",
+                 "scale": SCALE, "axes": {"num_mcs": [4]},
+                 "wait": False})
+            assert status == 202
+            # 1 queued job x >=50ms estimate >= 1ms budget: rejected
+            # deterministically, with a Retry-After hint
+            status, doc, headers = live.request_full(
+                "/v1/run", dict(RUN_BODY, deadline_ms=1, wait=False))
+            assert status == 429
+            assert doc["error"]["kind"] == "backpressure"
+            assert "deadline_ms=1" in doc["error"]["message"]
+            assert int(headers["Retry-After"]) >= 1
+            status, metrics = live.request("/metrics")
+        assert metric_value(metrics,
+                            "repro_serve_deadline_rejected") == 1
+
+    def test_generous_deadline_completes_normally(self):
+        with LiveServer() as live:
+            status, doc = live.request(
+                "/v1/run", dict(RUN_BODY, deadline_ms=600_000))
+        assert status == 200 and doc["state"] == "done"
+
+
+class TestReadTimeout:
+    def test_slow_loris_answers_408(self):
+        import socket
+        with LiveServer(read_timeout=0.3) as live:
+            with socket.create_connection(("127.0.0.1", live.port),
+                                          timeout=10) as sock:
+                # a stalled client: request line never finishes
+                sock.sendall(b"POST /v1/run HT")
+                sock.settimeout(10)
+                chunks = []
+                while True:
+                    data = sock.recv(4096)
+                    if not data:
+                        break
+                    chunks.append(data)
+            response = b"".join(chunks).decode("latin-1")
+            assert response.startswith("HTTP/1.1 408")
+            assert "not received within" in response
+            # the server survived and says so
+            status, doc = live.request("/healthz")
+            assert status == 200 and doc["status"] == "ok"
+            status, metrics = live.request("/metrics")
+        assert metric_value(metrics, "repro_serve_read_timeouts") == 1
+
+
+class TestStoreApi:
+    """The server-side shared-store endpoints RemoteStore talks to."""
+
+    def test_put_get_list_roundtrip(self, tmp_path):
+        payload = {"format": 1, "metrics": {"exec_time": 12.5}}
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            status, doc = live.request("/v1/store/result/k1", payload,
+                                       method="PUT")
+            assert status == 201 and doc["stored"] is True
+            # second put of the same key: already present
+            status, doc = live.request("/v1/store/result/k1", payload,
+                                       method="PUT")
+            assert status == 200 and doc["stored"] is False
+            status, doc = live.request("/v1/store/result/k1")
+            assert status == 200
+            assert doc["payload"] == payload
+            from repro.store.remote import payload_sha256
+            assert doc["sha256"] == payload_sha256(payload)
+            status, doc = live.request("/v1/store/result/missing")
+            assert status == 404
+            status, doc = live.request("/v1/store/result")
+            assert status == 200 and doc["keys"] == ["k1"]
+
+    def test_unknown_kind_is_404(self, tmp_path):
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            status, doc = live.request("/v1/store/warp/k1")
+            assert status == 404
+
+    def test_no_store_configured_is_503(self):
+        with LiveServer() as live:
+            status, doc = live.request("/v1/store/result/k1")
+            assert status == 503
+            assert doc["error"]["kind"] == "store"
+
+    def test_put_rejects_non_object(self, tmp_path):
+        with LiveServer(store=str(tmp_path / "store")) as live:
+            status, doc = live.request("/v1/store/result/k1",
+                                       b"[1,2,3]", method="PUT")
+            assert status == 400
+
+
 class TestMetricsEndpoint:
     def test_exposes_serve_store_and_supervision(self, tmp_path):
         with LiveServer(store=str(tmp_path / "store")) as live:
@@ -346,5 +490,21 @@ class TestFuzzWire:
                 if isinstance(doc, dict) and "error" in doc:
                     assert "kind" in doc["error"]
             # the server is still alive and coherent afterwards
+            status, doc = live.request("/healthz")
+            assert status == 200 and doc["status"] == "ok"
+
+    def test_deadline_ms_mutations_strictly_rejected(self):
+        """Hostile deadline_ms values: strict 400s naming the field,
+        never a crash, and huge-but-valid budgets accepted."""
+        cases = [(-5, 400), (0, 400), (True, 400), ("5s", 400),
+                 (1.5, 400), (10 ** 15, 202)]
+        with LiveServer(job_threads=1) as live:
+            for value, expected in cases:
+                body = dict(RUN_BODY, deadline_ms=value, wait=False)
+                status, doc = live.request("/v1/run", body)
+                assert status == expected, (value, status, doc)
+                if expected == 400:
+                    assert doc["error"]["kind"] == "request"
+                    assert "deadline_ms" in doc["error"]["message"]
             status, doc = live.request("/healthz")
             assert status == 200 and doc["status"] == "ok"
