@@ -1,0 +1,139 @@
+"""Search headline: analytic screen vs simulate-everything.
+
+Standalone script (not a pytest benchmark): records the search
+subsystem's reason to exist to ``BENCH_search.json`` at the repo root.
+The design-space search (:mod:`repro.search`) screens candidates with
+the ``engine="analytic"`` cost model and re-simulates only the
+frontier; this benchmark measures what that screen buys on the
+canonical 4x4-mesh candidate sweep (named placements x mapping presets
+x interleavings):
+
+* ``analytic_seconds`` -- cost every candidate with
+  ``engine="analytic"`` (what the search's screen phase does).
+* ``simulate_seconds`` -- cost every candidate with ``engine="fast"``
+  (what a search without the analytic tier would have to do).
+* ``speedup`` -- the ratio; the ISSUE acceptance bound is >= 20x
+  (``SPEEDUP_BOUND``).
+
+Both pools are median-of-repeats with one warmup pass per engine
+(which also warms the shared compile/trace memo), interleaved so clock
+drift hits both equally.  Because each candidate is costed by both
+engines, the per-candidate analytic error rides along for free and is
+reported (median/max percent) -- the enforced bound lives in
+``tests/test_search_analytic.py``.  A seeded two-run determinism check
+(same seed -> byte-identical frontier CSV) is included as a tripwire;
+the CI ``search-smoke`` job pins the same property.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_search.py
+    REPRO_BENCH_SCALE=0.5 REPRO_BENCH_REPEATS=2 PYTHONPATH=src \
+        python benchmarks/bench_search.py
+"""
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import MachineConfig, RunSpec, run_simulation
+from repro.search import CandidateSpace, run_search
+from repro.workloads import build_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+APP = os.environ.get("REPRO_BENCH_APP", "swim")
+MESH = int(os.environ.get("REPRO_BENCH_MESH", "4"))
+OUT = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+#: ISSUE acceptance bound on the screen speedup.
+SPEEDUP_BOUND = 20.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def cost_all(program, config, candidates, engine):
+    """One full pass: cost every candidate with ``engine``; returns
+    the per-candidate exec_time estimates, in candidate order."""
+    cycles = []
+    for candidate in candidates:
+        spec = RunSpec(program=program, config=candidate.config(config),
+                       mapping=candidate.resolve_mapping(config),
+                       engine=engine)
+        cycles.append(run_simulation(spec).metrics.exec_time)
+    return cycles
+
+
+def bench_screen(program, config, candidates):
+    for engine in ("fast", "analytic"):
+        cost_all(program, config, candidates, engine)  # warmup + memo
+    pools = {"fast": [], "analytic": []}
+    cycles = {}
+    for _ in range(REPEATS):
+        for engine in ("fast", "analytic"):
+            seconds, result = _timed(
+                lambda e=engine: cost_all(program, config,
+                                          candidates, e))
+            pools[engine].append(seconds)
+            cycles[engine] = result
+    errors = [abs(a - s) / max(s, 1.0) * 100.0
+              for a, s in zip(cycles["analytic"], cycles["fast"])]
+    return (statistics.median(pools["fast"]),
+            statistics.median(pools["analytic"]), errors)
+
+
+def check_determinism(program, config):
+    """Same seed -> byte-identical frontier CSV, twice."""
+    csvs = [run_search(program, config, mode="exhaustive", top_k=3,
+                       seed=0).to_csv() for _ in range(2)]
+    if csvs[0] != csvs[1]:
+        raise SystemExit("seeded search is not deterministic: frontier "
+                         "CSVs differ between identical runs")
+    return csvs[0]
+
+
+def main():
+    config = MachineConfig.scaled_default().with_(
+        mesh_width=MESH, mesh_height=MESH, interleaving="cache_line")
+    program = build_workload(APP, SCALE)
+    candidates = list(CandidateSpace(config, "named").enumerate())
+
+    sim_s, analytic_s, errors = bench_screen(program, config,
+                                             candidates)
+    frontier_csv = check_determinism(program, config)
+
+    payload = {
+        "benchmark": "search",
+        "app": APP,
+        "scale": SCALE,
+        "mesh": f"{MESH}x{MESH}",
+        "repeats": REPEATS,
+        "candidates": len(candidates),
+        "simulate_seconds": round(sim_s, 4),
+        "analytic_seconds": round(analytic_s, 4),
+        "speedup": round(sim_s / analytic_s, 2),
+        "speedup_bound": SPEEDUP_BOUND,
+        "error_pct": {
+            "median": round(statistics.median(errors), 2),
+            "max": round(max(errors), 2),
+        },
+        "frontier_deterministic": True,
+        "frontier_rows": frontier_csv.count("\n") - 1,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if payload["speedup"] < SPEEDUP_BOUND:
+        print(f"FAIL: analytic-screen speedup {payload['speedup']}x "
+              f"(< {SPEEDUP_BOUND}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

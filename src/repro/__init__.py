@@ -47,7 +47,8 @@ from repro.sim.run import (RunResult, RunSpec, run_optimal_pair, run_pair,
                            run_simulation)
 from repro.sim.sweep import Sweep
 from repro.api import (CompareRequest, Experiment, Result, RunRequest,
-                       SweepRequest, SweepResult, compare, run, sweep)
+                       SearchRequest, SweepRequest, SweepResult,
+                       compare, run, search, sweep)
 from repro import api
 from repro import validate
 
@@ -62,6 +63,7 @@ __all__ = [
     "LoopNest", "MCFault", "MachineConfig", "Mesh", "PAGE_INTERLEAVING",
     "PagePressure", "Program", "ReproError", "RequestError", "Result",
     "RunMetrics", "RunOutcome", "RunRequest", "RunResult", "RunSpec",
+    "SearchRequest",
     "SimulationError", "SimulationTimeout", "SolverError", "StoreError",
     "Sweep", "SweepReport", "SweepRequest", "SweepResult",
     "TransformationResult", "ValidationError", "WeightedSpeedupResult",
@@ -69,6 +71,6 @@ __all__ = [
     "compare", "compile_kernel", "grid_mapping",
     "identity_ref", "mapping_m1", "mapping_m2", "original_layouts",
     "partial_grid_mapping", "run", "run_hardened", "run_multiprogram",
-    "run_optimal_pair", "run_pair", "run_simulation", "shifted_ref",
-    "sweep", "validate",
+    "run_optimal_pair", "run_pair", "run_simulation", "search",
+    "shifted_ref", "sweep", "validate",
 ]

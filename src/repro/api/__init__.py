@@ -52,7 +52,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from repro.api.requests import (CompareRequest, RunRequest,
-                                SweepRequest, request_from_wire)
+                                SearchRequest, SweepRequest,
+                                request_from_wire)
 from repro.arch.clustering import L2ToMCMapping
 from repro.arch.config import MachineConfig
 from repro.faults.plan import FaultPlan
@@ -62,8 +63,8 @@ from repro.sim.metrics import Comparison
 from repro.sim.run import RunResult, RunSpec, run_simulation
 
 __all__ = ["CompareRequest", "Experiment", "Result", "RunRequest",
-           "SweepRequest", "SweepResult", "compare", "request_from_wire",
-           "run", "sweep"]
+           "SearchRequest", "SweepRequest", "SweepResult", "compare",
+           "request_from_wire", "run", "search", "sweep"]
 
 #: The documented names for the spec/result pair.
 Experiment = RunSpec
@@ -188,3 +189,29 @@ def sweep(program: Program, *,
         validate=validate, obs=obs, engine=engine, store=store)
     return request.execute(progress=progress, checkpoint=checkpoint,
                            harness=harness, max_points=max_points)
+
+
+def search(program: Program,
+           config: Optional[MachineConfig] = None,
+           **search_kw):
+    """Search the MC-placement / mapping / interleaving space for
+    ``program`` and return a :class:`repro.search.SearchResult`.
+
+    A thin shim over :class:`~repro.api.requests.SearchRequest` (the
+    same typed request the CLI ``search`` verb and the experiment
+    service build): candidates are screened with the analytic cost
+    engine (``engine="analytic"``, see docs/search.md), the best
+    ``top_k`` survive, and the frontier is re-simulated bit-exactly
+    with ``engine="fast"``.  Keywords mirror
+    :func:`repro.search.run_search` (``mode``, ``placements``,
+    ``mappings``, ``interleavings``, ``top_k``, ``steps``, ``seed``,
+    ``resimulate``, ``obs``)::
+
+        result = repro.search(program, top_k=4, placements="perimeter",
+                              mode="anneal", seed=7)
+        print(result.to_csv())
+
+    Fully seeded: equal arguments yield byte-identical frontier CSV.
+    """
+    return SearchRequest.from_objects(program=program, config=config,
+                                      **search_kw).execute()

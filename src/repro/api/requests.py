@@ -7,6 +7,8 @@ protocol (:mod:`repro.serve`) -- constructs the same three dataclasses:
 * :class:`RunRequest` -- one simulated execution.
 * :class:`SweepRequest` -- a cartesian configuration sweep.
 * :class:`CompareRequest` -- the baseline-vs-optimized pair.
+* :class:`SearchRequest` -- a design-space placement search
+  (analytic screen + bit-exact frontier re-simulation).
 
 Each request has a canonical JSON codec (``to_wire``/``from_wire``,
 ``to_json``/``from_json``) versioned by ``schema_version``
@@ -43,6 +45,8 @@ from repro.errors import RequestError
 from repro.faults.plan import FaultPlan
 from repro.obs.data import OBS_LEVELS
 from repro.program.ir import Program
+from repro.search import (INTERLEAVINGS, PLACEMENT_POOLS,
+                          SEARCH_MODES)
 from repro.sim.executor import (MAPPING_PRESETS, grid_settings,
                                 point_specs, resolve_mapping,
                                 validate_axes)
@@ -55,7 +59,8 @@ from repro.sim.sweep import Sweep
 from repro.validate import VALIDATE_LEVELS
 
 __all__ = ["CompareRequest", "REQUEST_KINDS", "RunRequest",
-           "SCHEMA_VERSION", "SweepRequest", "request_from_wire"]
+           "SCHEMA_VERSION", "SearchRequest", "SweepRequest",
+           "request_from_wire"]
 
 #: Wire-format version.  Bump on incompatible schema changes; decoders
 #: reject every version they do not speak, precisely.
@@ -633,11 +638,151 @@ class CompareRequest(_Request):
                           run_simulation(opt).metrics)
 
 
+@dataclass
+class SearchRequest(_Request):
+    """A design-space placement search, addressable by value.
+
+    The wire twin of :func:`repro.search.run_search`: screen the
+    placement/mapping/interleaving space analytically, keep the
+    ``top_k`` frontier, re-simulate it bit-exactly.  ``placements``
+    is a pool name (:data:`repro.search.PLACEMENT_POOLS`) or an
+    explicit list of placement strings; ``mappings`` defaults to
+    every preset valid for the machine.  The search is fully seeded:
+    equal requests produce byte-identical frontier CSV.
+    """
+
+    KIND = "search"
+
+    workload: str = ""
+    kernel_source: str = ""
+    kernel_name: str = ""
+    scale: float = 1.0
+    config: Dict[str, object] = field(default_factory=dict)
+    mode: str = "auto"
+    placements: Union[str, List[str]] = "named"
+    mappings: Optional[List[str]] = None
+    interleavings: List[str] = field(
+        default_factory=lambda: list(INTERLEAVINGS))
+    top_k: int = 4
+    steps: int = 128
+    seed: int = 0
+    resimulate: bool = True
+    obs: str = "off"
+    deadline_ms: Optional[int] = None
+
+    program: Optional[Program] = _attached()
+    config_obj: Optional[MachineConfig] = _attached()
+
+    _WIRE_TYPES = {
+        "workload": ((str,), False),
+        "kernel_source": ((str,), False),
+        "kernel_name": ((str,), False),
+        "scale": ((int, float), False),
+        "config": ((dict,), False),
+        "mode": ((str,), False),
+        "placements": ((str, list), False),
+        "mappings": ((list,), True),
+        "interleavings": ((list,), False),
+        "top_k": ((int,), False),
+        "steps": ((int,), False),
+        "seed": ((int,), False),
+        "resimulate": ((bool,), False),
+        "obs": ((str,), False),
+        "deadline_ms": ((int,), True),
+    }
+
+    def __post_init__(self) -> None:
+        self._check_workload()
+        self._check_deadline()
+        _check_enum("search mode", self.mode, SEARCH_MODES)
+        _check_enum("observability level", self.obs, OBS_LEVELS)
+        _check_config_overrides(self.config)
+        if isinstance(self.placements, str) and \
+                self.placements not in PLACEMENT_POOLS:
+            raise RequestError(
+                f"unknown placement pool {self.placements!r}; pools: "
+                f"{', '.join(PLACEMENT_POOLS)} (or pass an explicit "
+                f"list of placement strings)")
+        if self.mappings is not None:
+            for name in self.mappings:
+                _check_enum("mapping preset", name, MAPPING_PRESETS)
+        for mode in self.interleavings:
+            _check_enum("interleaving", mode, INTERLEAVINGS)
+        if not isinstance(self.top_k, int) or \
+                isinstance(self.top_k, bool) or self.top_k < 1:
+            raise RequestError(f"top_k must be an integer >= 1, got "
+                               f"{self.top_k!r}")
+        if not isinstance(self.steps, int) or \
+                isinstance(self.steps, bool) or self.steps < 1:
+            raise RequestError(f"steps must be an integer >= 1, got "
+                               f"{self.steps!r}")
+
+    @classmethod
+    def from_objects(cls, program: Optional[Program] = None,
+                     config: Optional[MachineConfig] = None,
+                     **kw) -> "SearchRequest":
+        """In-memory construction path (the ``repro.search`` facade)."""
+        kwargs: Dict[str, object] = {"program": program,
+                                     "config_obj": config}
+        wire_names = {f.name for f in cls.wire_fields()}
+        for key, value in kw.items():
+            if key not in wire_names:
+                raise TypeError(f"search() got an unexpected keyword "
+                                f"argument {key!r}")
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def key(self) -> str:
+        """Identity of the whole search: a digest over the canonical
+        wire form minus transport policy (``deadline_ms``), prefixed
+        with the program name for humans."""
+        resolved = getattr(self, "_resolved", None)
+        if resolved is None:
+            resolved = self._build_program()
+            self._resolved = resolved
+        doc = self.to_wire()
+        doc.pop("deadline_ms", None)
+        doc["program"] = resolved.name
+        digest = hashlib.sha1(
+            canonical_json(doc).encode("utf-8")).hexdigest()
+        safe = "".join(c if c.isalnum() or c in "._" else "_"
+                       for c in resolved.name)
+        return f"{safe}-search-{digest[:20]}"
+
+    def execute(self):
+        """Run the search (a :class:`repro.search.SearchResult`)."""
+        from repro.search import run_search
+        program = self._build_program()
+        config = self.config_obj
+        if config is None:
+            overrides = {k: v for k, v in self.config.items()}
+            try:
+                config = MachineConfig.scaled_default().with_(
+                    **overrides)
+            except (TypeError, ValueError) as err:
+                raise RequestError(
+                    f"bad machine configuration: {err}") from err
+        placements = self.placements if isinstance(
+            self.placements, str) else list(self.placements)
+        try:
+            return run_search(program, config, mode=self.mode,
+                              placements=placements,
+                              mappings=self.mappings,
+                              interleavings=tuple(self.interleavings),
+                              top_k=self.top_k, steps=self.steps,
+                              seed=self.seed,
+                              resimulate=self.resimulate,
+                              obs=self.obs)
+        except ValueError as err:
+            raise RequestError(str(err)) from err
+
+
 #: Wire ``kind`` -> request class, for endpoint-agnostic decoding.
 REQUEST_KINDS: Dict[str, Type[_Request]] = {
     RunRequest.KIND: RunRequest,
     SweepRequest.KIND: SweepRequest,
     CompareRequest.KIND: CompareRequest,
+    SearchRequest.KIND: SearchRequest,
 }
 
 

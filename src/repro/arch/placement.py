@@ -79,14 +79,52 @@ PLACEMENTS = {
     "P3": diagonal,
 }
 
+#: Prefix of the explicit-placement encoding, ``"custom:n0,n1,..."``:
+#: MC node ids listed in hardware-index order.  A plain string so it
+#: travels anywhere a placement name does (``MachineConfig`` fields,
+#: sweep axes, wire requests, ``RunSpec.key()``) -- the design-space
+#: search (:mod:`repro.search`) emits candidates in this form.
+CUSTOM_PREFIX = "custom:"
+
+
+def custom_placement(nodes: List[int]) -> str:
+    """Encode explicit MC node ids as a placement string."""
+    return CUSTOM_PREFIX + ",".join(str(n) for n in nodes)
+
+
+def parse_custom(mesh: Mesh, placement: str, count: int) -> List[int]:
+    """Decode and validate a ``"custom:..."`` placement string."""
+    body = placement[len(CUSTOM_PREFIX):]
+    try:
+        nodes = [int(part) for part in body.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"bad custom placement {placement!r}: node "
+                         f"ids must be integers")
+    if len(nodes) != count:
+        raise ValueError(f"custom placement {placement!r} names "
+                         f"{len(nodes)} nodes but the machine has "
+                         f"{count} MCs")
+    if len(set(nodes)) != len(nodes):
+        raise ValueError(f"custom placement {placement!r} repeats a "
+                         f"node")
+    for node in nodes:
+        if not 0 <= node < mesh.num_nodes:
+            raise ValueError(f"custom placement {placement!r}: node "
+                             f"{node} outside the "
+                             f"{mesh.width}x{mesh.height} mesh")
+    return nodes
+
 
 def place_mcs(mesh: Mesh, placement: str = "P1", count: int = 4
               ) -> List[int]:
     """Resolve a placement name to MC node ids.
 
-    ``placement`` is one of P1/P2/P3 for 4 MCs; for other counts the
-    perimeter spread is used regardless of the name.
+    ``placement`` is one of P1/P2/P3 for 4 MCs, or an explicit
+    ``"custom:n0,n1,..."`` node list for any count; for other counts
+    the perimeter spread is used regardless of the name.
     """
+    if placement.startswith(CUSTOM_PREFIX):
+        return parse_custom(mesh, placement, count)
     if count == 4 and placement in PLACEMENTS:
         return PLACEMENTS[placement](mesh)
     if placement == "P3":

@@ -9,6 +9,9 @@ Subcommands::
     repro-cli suite                       # the 13-application table
     repro-cli sweep --app swim --axis mapping=M1,M2 --workers 4
                                           # parallel CSV design sweep
+    repro-cli search --app swim --mesh 4x4 --top-k 4
+                                          # analytic placement search
+                                          # (see docs/search.md)
     repro-cli trace --app swim --output t.npz         # save traces
     repro-cli trace matmul --out trace.json
                                           # observed run -> Chrome trace
@@ -493,7 +496,13 @@ def cmd_store(args: argparse.Namespace, out) -> int:
         for kind, count in sorted(summary["records"].items()):
             print(f"  {kind + ' records:':<20} {count}", file=out)
         print(f"  {'bytes:':<20} {summary['bytes']:,}", file=out)
+        # Quarantined corrupt records are their own line item, never
+        # folded into misses: a miss is a record that was never there.
         print(f"  {'quarantined:':<20} {summary['quarantined']}",
+              file=out)
+        print(f"  {'misses (session):':<20} {summary['misses']}",
+              file=out)
+        print(f"  {'corrupt (session):':<20} {summary['corrupt']}",
               file=out)
         return 0
     if args.action == "verify":
@@ -504,6 +513,44 @@ def cmd_store(args: argparse.Namespace, out) -> int:
     report = backend.gc()
     print(f"removed {report['removed']} quarantined/orphaned files "
           f"({report['bytes']:,} bytes)", file=out)
+    return 0
+
+
+def cmd_search(args: argparse.Namespace, out) -> int:
+    import json as json_mod
+
+    from repro.api.requests import SearchRequest
+    from repro.search import PLACEMENT_POOLS
+
+    program = _load_program(args)
+    width, _, height = args.mesh.partition("x")
+    config = MachineConfig.scaled_default().with_(
+        num_mcs=args.mcs, mesh_width=int(width),
+        mesh_height=int(height or width))
+    placements = (args.placements
+                  if args.placements in PLACEMENT_POOLS
+                  else [p for p in args.placements.split(",") if p])
+    mappings = ([m for m in args.mappings.split(",") if m]
+                if args.mappings else None)
+    interleavings = [i for i in args.interleavings.split(",") if i]
+    request = SearchRequest.from_objects(
+        program=program, config=config, mode=args.mode,
+        placements=placements, mappings=mappings,
+        interleavings=interleavings, top_k=args.top_k,
+        steps=args.steps, seed=args.seed,
+        resimulate=not args.no_resim)
+    result = request.execute()
+    if not args.quiet:
+        accept = ("" if result.acceptance_rate is None else
+                  f", acceptance {result.acceptance_rate:.0%}")
+        print(f"[search] {result.mode}: "
+              f"{result.candidates_evaluated}/{result.space_size} "
+              f"candidates screened, top {len(result.rows)} "
+              f"re-simulated{accept}", file=sys.stderr)
+    if args.json:
+        print(json_mod.dumps(result.to_doc(), indent=2), file=out)
+    else:
+        print(result.to_csv(), end="", file=out)
     return 0
 
 
@@ -521,7 +568,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         return asyncio.run(serve_forever(
             host=args.host, port=args.port, store=args.store or None,
             job_threads=args.job_threads, max_queued=args.max_queued,
-            read_timeout=read_timeout, out=out))
+            read_timeout=read_timeout,
+            analytic_admission=args.analytic_admission, out=out))
     except KeyboardInterrupt:
         return 0
 
@@ -624,6 +672,48 @@ def build_parser() -> argparse.ArgumentParser:
                            help="suppress the final summary line")
     _machine_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("search", help="design-space placement search: "
+                                      "analytic screen + bit-exact "
+                                      "frontier re-simulation (CSV to "
+                                      "stdout; see docs/search.md)")
+    target = p.add_mutually_exclusive_group(required=True)
+    target.add_argument("--app", choices=list(SUITE_ORDER))
+    target.add_argument("--kernel")
+    p.add_argument("--mode", default="auto",
+                   choices=["auto", "exhaustive", "anneal"],
+                   help="auto enumerates small spaces and anneals "
+                        "large ones")
+    p.add_argument("--placements", default="named",
+                   help="candidate pool: named (P1/P2/P3), perimeter, "
+                        "all, or explicit comma-separated placements "
+                        "(e.g. P1,custom:0,...)")
+    p.add_argument("--mappings", default="",
+                   help="comma-separated mapping presets to consider "
+                        "(default: every preset valid for the "
+                        "machine)")
+    p.add_argument("--interleavings", default="cache_line,page",
+                   help="comma-separated interleavings to consider")
+    p.add_argument("--top-k", type=int, default=4,
+                   help="frontier size kept and re-simulated")
+    p.add_argument("--steps", type=int, default=128,
+                   help="annealing proposals (anneal mode)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search seed; same seed, same frontier, "
+                        "byte-identical CSV")
+    p.add_argument("--no-resim", action="store_true",
+                   help="skip the bit-exact frontier re-simulation "
+                        "(analytic estimates only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON summary instead of CSV")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the stderr summary line")
+    p.add_argument("--mcs", type=int, default=4)
+    p.add_argument("--mesh", default="8x8",
+                   help="mesh dimensions, e.g. 8x8")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("trace", help="save access traces (--output "
                                      ".npz) and/or record an observed "
@@ -735,6 +825,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to receive one whole HTTP request "
                         "before answering 408 (default 30; slow-loris "
                         "guard)")
+    p.add_argument("--analytic-admission", action="store_true",
+                   help="cost run/compare submissions with the "
+                        "analytic engine so admission control "
+                        "predicts queue wait per job size instead of "
+                        "one flat average (see docs/search.md)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("list", help="list workload models")

@@ -1,0 +1,34 @@
+"""Design-space exploration: analytic screening + placement search.
+
+The subsystem has four layers, bottom up:
+
+* :mod:`repro.search.analytic` -- the ``engine="analytic"`` cost
+  model: :class:`~repro.sim.run.RunMetrics`-shaped estimates without
+  event simulation (documented error bound, see ``docs/search.md``).
+* :mod:`repro.search.space` -- :class:`Candidate` /
+  :class:`CandidateSpace`: deterministic enumeration and seeded
+  sampling over MC placements, L2-to-MC mappings and interleavings.
+* :mod:`repro.search.frontier` / :mod:`repro.search.anneal` -- the
+  keep-top-K frontier and the seeded simulated-annealing walk.
+* :mod:`repro.search.driver` -- :func:`run_search`: screen
+  analytically, keep the frontier, re-simulate it bit-exactly.
+
+Public surface: :func:`repro.api.search` and the ``repro-cli search``
+verb wrap :func:`run_search`; ``SearchRequest``
+(:mod:`repro.api.requests`) is its wire twin.
+
+The analytic module is *not* imported here: ``sim.run`` imports it
+lazily on the first ``engine="analytic"`` dispatch, and importing it
+from this package init would cycle back through ``sim``.
+"""
+
+from repro.search.anneal import AnnealResult, anneal
+from repro.search.driver import (SEARCH_MODES, SearchResult,
+                                 run_search)
+from repro.search.frontier import Frontier, FrontierEntry
+from repro.search.space import (Candidate, CandidateSpace,
+                                INTERLEAVINGS, PLACEMENT_POOLS)
+
+__all__ = ["AnnealResult", "Candidate", "CandidateSpace", "Frontier",
+           "FrontierEntry", "INTERLEAVINGS", "PLACEMENT_POOLS",
+           "SEARCH_MODES", "SearchResult", "anneal", "run_search"]

@@ -1,0 +1,81 @@
+"""Keep-top-K frontier of screened candidates.
+
+The analytic screen evaluates thousands of candidates; only the best
+few are worth re-simulating bit-exactly.  :class:`Frontier` keeps the
+``k`` cheapest seen so far, with a fully deterministic order: entries
+sort by ``(cost, score, candidate)`` where ``score`` is the
+compile-time mapping score (:mod:`repro.core.mapping_selection`) and
+the candidate's own total order breaks exact ties -- so the same
+candidate stream always yields the same frontier, regardless of float
+coincidences.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.search.space import Candidate
+
+__all__ = ["Frontier", "FrontierEntry"]
+
+
+@dataclass(frozen=True, order=True)
+class FrontierEntry:
+    """One screened candidate: analytic cost first, mapping score as
+    the documented tie-break, the candidate itself as the last word."""
+
+    cost: float
+    score: float
+    candidate: Candidate = field(compare=True)
+
+
+class Frontier:
+    """The ``k`` best entries offered so far (ascending cost)."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"frontier size must be >= 1, got {k}")
+        self.k = k
+        self._entries: List[FrontierEntry] = []
+
+    def offer(self, candidate: Candidate, cost: float,
+              score: float = 0.0) -> bool:
+        """Consider a candidate; returns whether it made the cut.
+        Re-offering an already-held candidate is a no-op."""
+        entry = FrontierEntry(cost=cost, score=score,
+                              candidate=candidate)
+        if any(e.candidate == candidate for e in self._entries):
+            return False
+        if len(self._entries) >= self.k and \
+                entry >= self._entries[-1]:
+            return False
+        bisect.insort(self._entries, entry)
+        del self._entries[self.k:]
+        return True
+
+    def entries(self) -> List[FrontierEntry]:
+        """Current frontier, best (lowest cost) first."""
+        return list(self._entries)
+
+    @property
+    def best(self) -> Optional[FrontierEntry]:
+        return self._entries[0] if self._entries else None
+
+    @property
+    def threshold(self) -> float:
+        """Cost beyond which an offer cannot enter (``inf`` while the
+        frontier is not yet full)."""
+        if len(self._entries) < self.k:
+            return float("inf")
+        return self._entries[-1].cost
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FrontierEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, candidate: Candidate) -> bool:
+        return any(e.candidate == candidate for e in self._entries)

@@ -26,6 +26,7 @@ into the server loop.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
 import time
@@ -55,6 +56,9 @@ QUEUED, RUNNING, DONE, FAILED, EXPIRED = (
 MIN_JOB_ESTIMATE = 0.05
 #: EWMA weight for the newest completed job's duration.
 JOB_ESTIMATE_ALPHA = 0.2
+#: EWMA weight for the newest observed seconds-per-analytic-cycle
+#: calibration sample (``analytic_admission=True`` registries).
+CYCLE_RATE_ALPHA = 0.3
 
 
 class QueueFullError(Exception):
@@ -107,6 +111,9 @@ class Job:
         self.result: Optional[Dict[str, object]] = None
         self.error: Optional[BaseException] = None
         self.future = None  # concurrent.futures.Future, set on submit
+        #: Analytic cycle estimate of this job's work (admission
+        #: control predictor; None = not estimated).
+        self.est_cycles: Optional[float] = None
 
     def snapshot(self, include_rows: bool = True) -> Dict[str, object]:
         """The job as a JSON-ready document."""
@@ -118,7 +125,7 @@ class Job:
         }
         if self.deadline_ms is not None:
             doc["deadline_ms"] = self.deadline_ms
-        if include_rows and self.kind == "sweep":
+        if include_rows and self.kind in ("sweep", "search"):
             doc["rows"] = list(self.rows)
         if self.result is not None:
             doc["result"] = self.result
@@ -133,10 +140,17 @@ class JobRegistry:
     """Submits, coalesces, runs and remembers jobs."""
 
     def __init__(self, store: Optional[str] = None,
-                 job_threads: int = 2, max_queued: int = 32):
+                 job_threads: int = 2, max_queued: int = 32,
+                 analytic_admission: bool = False):
         self.store = store
         self.max_queued = max_queued
         self.job_threads = max(1, job_threads)
+        #: When True, run/compare submissions are costed with the
+        #: analytic engine (:mod:`repro.search.analytic`) and the
+        #: admission-control wait estimate becomes cycle-proportional
+        #: (calibrated by completed jobs) instead of one flat EWMA for
+        #: every job regardless of size.  See docs/search.md.
+        self.analytic_admission = analytic_admission
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         #: (kind, key) -> the queued/running job for that identity.
@@ -144,6 +158,13 @@ class JobRegistry:
         self._queued = 0
         #: EWMA of completed-job durations, for admission control.
         self._avg_job_seconds = 0.0
+        #: Calibration: EWMA of observed wall seconds per analytic
+        #: cycle, from completed jobs that carried an estimate.
+        self._seconds_per_cycle: Optional[float] = None
+        #: Analytic cycles queued (jobs with estimates) and the count
+        #: of queued jobs without one (fall back to the EWMA).
+        self._queued_cycles = 0.0
+        self._queued_unknown = 0
         self._pool = ThreadPoolExecutor(
             max_workers=job_threads, thread_name_prefix="repro-serve")
         #: Service counters (``serve.*``), merged into ``GET /metrics``.
@@ -160,15 +181,52 @@ class JobRegistry:
 
     def _estimated_wait_locked(self) -> float:
         """Estimated seconds a newly queued job waits before starting.
-        Caller holds the lock."""
+        Caller holds the lock.
+
+        Default predictor: queue depth times the duration EWMA -- every
+        job assumed equally expensive.  With ``analytic_admission`` on
+        and at least one calibrated completion, jobs that carried an
+        analytic cycle estimate are costed proportionally
+        (``cycles * seconds_per_cycle``); only estimate-less jobs
+        (sweeps, unsupported configs) still pay the flat EWMA."""
         if self._queued <= 0:
             return 0.0
         per_job = max(self._avg_job_seconds, MIN_JOB_ESTIMATE)
-        return self._queued * per_job / self.job_threads
+        if not self.analytic_admission or self._seconds_per_cycle is None:
+            return self._queued * per_job / self.job_threads
+        known = self._queued_cycles * self._seconds_per_cycle
+        unknown = self._queued_unknown * per_job
+        floor = self._queued * MIN_JOB_ESTIMATE
+        return max(known + unknown, floor) / self.job_threads
 
     def estimated_wait(self) -> float:
         with self._lock:
             return self._estimated_wait_locked()
+
+    def _analytic_cycles(self, request) -> Optional[float]:
+        """Analytic cycle estimate for a run/compare request, or None
+        when the request kind or its configuration is out of the
+        analytic engine's envelope.  Costs milliseconds, paid outside
+        the lock; never raises (admission control must not)."""
+        try:
+            if request.KIND == "run":
+                specs = [request.to_spec()]
+            elif request.KIND == "compare":
+                specs = list(request.specs())
+            else:
+                return None
+            from repro.search.analytic import analytic_run, supported
+            total = 0.0
+            for spec in specs:
+                probe = dataclasses.replace(
+                    spec, engine="analytic", obs="off", validate="off",
+                    store=None)
+                if supported(probe) is not None:
+                    return None
+                total += analytic_run(probe).metrics.exec_time
+            return total
+        except Exception:
+            return None
 
     # -- submission ---------------------------------------------------------
 
@@ -187,6 +245,8 @@ class JobRegistry:
             request.store = self.store
         key = request.key()
         kind = request.KIND
+        est_cycles = (self._analytic_cycles(request)
+                      if self.analytic_admission else None)
         self.inc("serve.requests")
         with self._lock:
             if self._closed:
@@ -212,9 +272,14 @@ class JobRegistry:
                         f"{retry_after}s or raise the deadline",
                         retry_after=retry_after)
             job = Job(kind, key, request)
+            job.est_cycles = est_cycles
             self._jobs[job.id] = job
             self._inflight[(kind, key)] = job
             self._queued += 1
+            if est_cycles is not None:
+                self._queued_cycles += est_cycles
+            else:
+                self._queued_unknown += 1
             self.telemetry.inc("serve.jobs")
             job.future = self._pool.submit(self._run_job, job)
         return job, True
@@ -237,6 +302,11 @@ class JobRegistry:
     def _run_job(self, job: Job) -> None:
         with self._lock:
             self._queued -= 1
+            if job.est_cycles is not None:
+                self._queued_cycles = max(
+                    0.0, self._queued_cycles - job.est_cycles)
+            else:
+                self._queued_unknown = max(0, self._queued_unknown - 1)
             job.state = RUNNING
             job.started = time.time()
         try:
@@ -266,6 +336,14 @@ class JobRegistry:
                 else:
                     self._avg_job_seconds += JOB_ESTIMATE_ALPHA * (
                         duration - self._avg_job_seconds)
+                if job.est_cycles is not None and job.est_cycles > 0 \
+                        and job.state == DONE:
+                    rate = duration / job.est_cycles
+                    if self._seconds_per_cycle is None:
+                        self._seconds_per_cycle = rate
+                    else:
+                        self._seconds_per_cycle += CYCLE_RATE_ALPHA * (
+                            rate - self._seconds_per_cycle)
 
     @staticmethod
     def _remaining(job: Job) -> Optional[float]:
@@ -329,6 +407,23 @@ class JobRegistry:
                     "base": metrics_to_doc(sides[0].metrics),
                     "opt": metrics_to_doc(sides[1].metrics),
                     "store_hits": hits}
+        if job.kind == "search":
+            # The deadline cannot bound individual analytic
+            # evaluations (they are not simulations), so it is checked
+            # once up front; the search itself is CPU-bounded by
+            # construction (screen is analytic, re-sim is top_k runs).
+            self._remaining(job)
+            job.progress_total = 1
+            result = request.execute()
+            job.progress_done = 1
+            job.rows = list(result.rows)
+            return {"kind": "search", "key": job.key,
+                    "mode": result.mode,
+                    "space_size": result.space_size,
+                    "candidates_evaluated": result.candidates_evaluated,
+                    "acceptance_rate": result.acceptance_rate,
+                    "rows": list(result.rows),
+                    "csv": result.to_csv()}
         # sweep
         job.progress_total = len(request.grid())
 

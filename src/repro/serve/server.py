@@ -2,12 +2,13 @@
 
 Endpoints (all JSON unless noted):
 
-* ``POST /v1/run`` / ``POST /v1/sweep`` / ``POST /v1/compare`` --
-  submit a typed request (:mod:`repro.api.requests`, schema v1).  The
-  transport envelope accepts one extra key, ``wait``: ``true`` blocks
-  until the job finishes and returns its result (the default for run
-  and compare); ``false`` returns ``202`` with the job id immediately
-  (the default for sweep).
+* ``POST /v1/run`` / ``POST /v1/sweep`` / ``POST /v1/compare`` /
+  ``POST /v1/search`` -- submit a typed request
+  (:mod:`repro.api.requests`, schema v1).  The transport envelope
+  accepts one extra key, ``wait``: ``true`` blocks until the job
+  finishes and returns its result (the default for run and compare);
+  ``false`` returns ``202`` with the job id immediately (the default
+  for sweep and search).
 * ``GET /v1/jobs/<id>`` -- job state, progress, streamed sweep rows,
   and the result once finished (``?rows=0`` omits the row stream).
 * ``GET /v1/store/<kind>/<key>`` / ``PUT /v1/store/<kind>/<key>`` --
@@ -55,10 +56,12 @@ __all__ = ["ExperimentServer", "serve_forever"]
 
 #: Endpoint path -> request kind.
 POST_ROUTES = {"/v1/run": "run", "/v1/sweep": "sweep",
-               "/v1/compare": "compare"}
+               "/v1/compare": "compare", "/v1/search": "search"}
 #: Blocking default per kind: runs and compares are interactive-fast
-#: (seconds, O(1) on a warm store); sweeps are jobs you poll.
-WAIT_DEFAULTS = {"run": True, "compare": True, "sweep": False}
+#: (seconds, O(1) on a warm store); sweeps and searches are jobs you
+#: poll.
+WAIT_DEFAULTS = {"run": True, "compare": True, "sweep": False,
+                 "search": False}
 #: Record namespaces the store API serves.
 STORE_KINDS = (RESULT_KIND, ROW_KIND)
 
@@ -69,12 +72,14 @@ class ExperimentServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  store: Optional[str] = None, job_threads: int = 2,
                  max_queued: int = 32,
-                 read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT):
+                 read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+                 analytic_admission: bool = False):
         self.host = host
         self.port = port
         self.read_timeout = read_timeout
         self.jobs = JobRegistry(store=store, job_threads=job_threads,
-                                max_queued=max_queued)
+                                max_queued=max_queued,
+                                analytic_admission=analytic_admission)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -308,6 +313,7 @@ async def serve_forever(host: str = "127.0.0.1", port: int = 0,
                         job_threads: int = 2, max_queued: int = 32,
                         read_timeout: Optional[float] =
                         DEFAULT_READ_TIMEOUT,
+                        analytic_admission: bool = False,
                         out=None, ready=None) -> int:
     """Run the server until SIGTERM/SIGINT; returns 0 on clean exit.
 
@@ -319,7 +325,8 @@ async def serve_forever(host: str = "127.0.0.1", port: int = 0,
     server = ExperimentServer(host=host, port=port, store=store,
                               job_threads=job_threads,
                               max_queued=max_queued,
-                              read_timeout=read_timeout)
+                              read_timeout=read_timeout,
+                              analytic_admission=analytic_admission)
     await server.start()
     print(f"repro-serve listening on http://{server.host}:"
           f"{server.port}", file=out, flush=True)

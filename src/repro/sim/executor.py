@@ -246,7 +246,12 @@ def run_point(task: PointTask) -> PointOutcome:
     if stats_before is not None:
         after = store.stats.snapshot()
         outcome.store_hits = after["hits"] - stats_before["hits"]
-        outcome.store_misses = after["misses"] - stats_before["misses"]
+        # A point re-simulated because its record was absent *or*
+        # quarantined as corrupt: either way the store did not serve
+        # it.  The store's own books keep the two distinct.
+        outcome.store_misses = (
+            (after["misses"] - stats_before["misses"])
+            + (after["corrupt"] - stats_before["corrupt"]))
     return outcome
 
 
@@ -324,7 +329,8 @@ def _kill_pool_workers(pool) -> None:
             pass
 
 
-def execute_points(tasks: Sequence[PointTask], workers: int = 1,
+def execute_points(tasks: Sequence[PointTask],
+                   workers: Optional[int] = None,
                    chunksize: Optional[int] = None,
                    progress: Optional[Callable[[PointOutcome], None]]
                    = None,
@@ -332,10 +338,11 @@ def execute_points(tasks: Sequence[PointTask], workers: int = 1,
                    ) -> List[PointOutcome]:
     """Run grid points, preserving submission order.
 
-    ``workers=None`` means :func:`default_workers`.  With one worker
-    (or one task) everything runs in-process -- no pool, no pickling,
-    no subprocesses -- which is both the graceful fallback and the
-    debuggable path.  Worker processes inherit nothing stochastic: all
+    ``workers`` defaults to :func:`default_workers` (one per CPU) --
+    omitting it fans out.  With ``workers=1`` (or one task) everything
+    runs in-process -- no pool, no pickling, no subprocesses -- which
+    is both the graceful fallback and the debuggable path, and the
+    results are bit-identical either way.  Worker processes inherit nothing stochastic: all
     seeding travels inside each task, so the fan-out is bit-identical
     to the serial loop.
 

@@ -51,7 +51,13 @@ from repro.validate import (NetworkAudit, RunAudit, VALIDATE_LEVELS,
                             validate_run)
 
 PAGE_POLICIES = ("auto", "default", "mc_aware", "first_touch")
-ENGINES = ("fast", "reference")
+#: The two bit-identical event-loop engines; everything in
+#: tests/test_fastpath_equivalence.py quantifies over exactly these.
+EXACT_ENGINES = ("fast", "reference")
+#: Full ``engine=`` vocabulary.  ``analytic`` is the closed-form
+#: estimator (repro.search.analytic): deliberately NOT bit-exact,
+#: distinct key, store bypassed -- see docs/search.md.
+ENGINES = EXACT_ENGINES + ("analytic",)
 
 
 def _program_token(program: Program) -> Dict[str, object]:
@@ -127,6 +133,10 @@ class RunSpec:
     # the original per-access loop.  The two are bit-identical -- the
     # equivalence suite proves it -- so like ``validate``/``obs`` the
     # engine is excluded from key(): both engines share cache identity.
+    # "analytic" (repro.search.analytic) *estimates* the metrics from
+    # miss profiles + a queue model instead of simulating; estimates
+    # are not bit-identical, so analytic runs get a distinct key()
+    # marker and never touch the persistent result store.
     engine: str = "fast"
     # Persistent result store (repro.store): a directory path makes the
     # run consult the crash-safe content-addressed store before
@@ -185,6 +195,12 @@ class RunSpec:
                            if self.fault_plan is not None else None),
             "seed": self.seed,
         }
+        if self.engine == "analytic":
+            # Estimates are not interchangeable with simulated results:
+            # give them a distinct identity so an analytic screen can
+            # never be replayed where a bit-exact run is expected.
+            # fast/reference keys stay byte-identical to each other.
+            payload["engine"] = "analytic"
         digest = hashlib.sha1(
             json.dumps(payload, sort_keys=True, default=str)
             .encode("utf-8")).hexdigest()
@@ -302,7 +318,14 @@ def run_simulation(spec: RunSpec) -> RunResult:
     the bundle is attached as ``result.obs``, and -- when a tracer was
     already active in this context (e.g. the CLI profiling a whole
     sweep) -- the finished spans are also absorbed into it.
+
+    ``engine="analytic"`` short-circuits to the estimator
+    (:func:`repro.search.analytic.analytic_run`) before the store is
+    even resolved: estimates are never persisted or replayed.
     """
+    if spec.engine == "analytic":
+        from repro.search.analytic import analytic_run
+        return analytic_run(spec)
     store = store_backends.resolve(spec.store)
     if spec.obs == "off":
         result = _store_fetch(spec, store, None)

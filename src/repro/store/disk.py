@@ -17,7 +17,9 @@ every read, and anything that fails -- unparsable header, wrong magic,
 short payload, checksum mismatch -- is *quarantined* (moved into
 ``quarantine/``, counted, reported via :func:`~repro.obs.tracer.
 obs_instant`) and returned as a miss.  Corruption is a data-loss event,
-never a crash.
+never a crash -- and it is booked as ``corrupt``, distinct from
+``misses`` (a record that was never there), so ``gets`` partitions
+exactly into hits + misses + corrupt.
 
 Writers additionally take an advisory ``flock`` on ``store.lock`` so
 concurrent sweep processes sharing one store serialize their commits;
@@ -195,8 +197,12 @@ class DiskStore(ResultStore):
         try:
             payload = self._decode(data)
         except (ValueError, UnicodeDecodeError) as err:
+            # The caller sees a miss (None) either way, but the books
+            # keep the two apart: ``misses`` means the record was
+            # absent, ``corrupt`` means it existed and failed its
+            # checksum (and was quarantined).  ``gets`` therefore
+            # partitions exactly into hits + misses + corrupt.
             self._quarantine_record(path, str(err))
-            self.stats.inc("misses")
             return None
         self.stats.inc("hits")
         return payload
@@ -274,9 +280,11 @@ class DiskStore(ResultStore):
         return {"removed": removed, "bytes": freed}
 
     def stats_summary(self) -> Dict[str, object]:
-        """Static inventory (record/quarantine counts, bytes) for the
-        CLI -- unlike :attr:`stats`, this reads the directory, so it
-        reflects every process that ever used the store."""
+        """Inventory (record/quarantine counts, bytes) for the CLI --
+        the counts read the directory, so they reflect every process
+        that ever used the store.  ``misses``/``corrupt`` are this
+        process's read counters, reported separately: a quarantined
+        corrupt record is *not* a miss (see :meth:`get`)."""
         records = {kind: len(self.keys(kind)) for kind in _KINDS}
         size = 0
         for path in self.root.glob("objects/*/*/*.rec"):
@@ -286,6 +294,8 @@ class DiskStore(ResultStore):
                 continue
         quarantined = len(list(self._quarantine.iterdir())) if \
             self._quarantine.is_dir() else 0
+        snap = self.stats.snapshot()
         return {"root": str(self.root), "records": records,
                 "bytes": size, "quarantined": quarantined,
+                "misses": snap["misses"], "corrupt": snap["corrupt"],
                 "version": STORE_VERSION}

@@ -20,7 +20,7 @@ from repro.faults.plan import (BankFault, FaultPlan, LinkDegradation,
                                LinkFault, MCFault)
 from repro.sim.executor import point_specs, resolve_mapping, run_point, \
     PointTask
-from repro.sim.run import ENGINES, RunSpec, run_simulation
+from repro.sim.run import EXACT_ENGINES, RunSpec, run_simulation
 from repro.sim.serialize import comparison_row
 from repro.sim.metrics import Comparison
 from repro.workloads import build_workload
@@ -36,7 +36,7 @@ def _config(**kw):
 
 def _metrics_pair(program, config, **spec_kw):
     results = []
-    for engine in ENGINES:
+    for engine in EXACT_ENGINES:
         spec = RunSpec(program=program, config=config, engine=engine,
                        **spec_kw)
         results.append(run_simulation(spec).metrics)
@@ -156,7 +156,7 @@ def test_csv_rows_bit_identical():
     config = _config()
     settings = {"mapping": "M2", "num_mcs": 4}
     rows = []
-    for engine in ENGINES:
+    for engine in EXACT_ENGINES:
         base_spec, opt_spec = point_specs(program, config, settings,
                                           engine=engine)
         base = run_simulation(base_spec)
@@ -172,7 +172,7 @@ def test_point_task_threads_engine():
     outcomes = [run_point(PointTask(program=program, base_config=config,
                                     settings=(("mapping", "M1"),),
                                     engine=engine))
-                for engine in ENGINES]
+                for engine in EXACT_ENGINES]
     assert outcomes[0].row == outcomes[1].row
 
 
@@ -182,7 +182,7 @@ def test_engine_excluded_from_key():
     program = build_workload("swim", SCALE)
     config = _config()
     keys = {RunSpec(program=program, config=config, optimized=True,
-                    engine=engine).key() for engine in ENGINES}
+                    engine=engine).key() for engine in EXACT_ENGINES}
     assert len(keys) == 1
 
 

@@ -57,3 +57,48 @@ class TestPaperClaim:
         ranked = rank_mappings([m1, m2],
                                build_workload("fma3d", scale=0.2), config)
         assert [s.mapping.name for s in ranked] == ["M2", "M1"]
+
+
+class TestTieBreakDeterminism:
+    """Documented ordering under exactly equal scores: the search
+    subsystem leans on this seam (``run_search`` ranks candidates with
+    these scores), so ties must break the same way every time.
+
+    * :func:`select_mapping` compares with strict ``<`` -- the
+      *earliest* candidate wins a tie.
+    * :func:`rank_mappings` uses a stable sort -- equal-score
+      candidates keep their input order.
+    """
+
+    @pytest.fixture()
+    def twins(self, setup):
+        """Two distinct mapping objects with identical scores."""
+        config, *_ = setup
+        mesh = config.mesh()
+        mc_nodes = config.mc_nodes(mesh)
+        return (config, mapping_m1(mesh, mc_nodes),
+                mapping_m1(mesh, mc_nodes))
+
+    def test_select_prefers_earlier_candidate(self, twins):
+        config, a, b = twins
+        program = build_workload("swim", scale=0.2)
+        assert select_mapping([a, b], program, config).mapping is a
+        assert select_mapping([b, a], program, config).mapping is b
+
+    def test_rank_keeps_input_order_on_ties(self, twins):
+        config, a, b = twins
+        program = build_workload("swim", scale=0.2)
+        ranked = rank_mappings([a, b], program, config)
+        assert ranked[0].mapping is a and ranked[1].mapping is b
+        reranked = rank_mappings([b, a], program, config)
+        assert reranked[0].mapping is b and reranked[1].mapping is a
+
+    def test_rank_is_repeatable(self, twins):
+        config, a, b = twins
+        program = build_workload("fma3d", scale=0.2)
+        first = [id(s.mapping) for s in
+                 rank_mappings([a, b], program, config)]
+        for _ in range(3):
+            again = [id(s.mapping) for s in
+                     rank_mappings([a, b], program, config)]
+            assert again == first

@@ -1,0 +1,297 @@
+"""The design-space search subsystem (repro.search) end to end.
+
+Covers the candidate space, the keep-top-K frontier, the seeded
+annealer, :func:`run_search` determinism (same seed -> byte-identical
+frontier CSV, bit-identical re-simulation), the ``SearchRequest`` wire
+codec, the ``repro.api.search`` facade, the service's ``search`` job
+kind, and the analytic admission-control predictor behind
+``JobRegistry(analytic_admission=True)``.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.api.requests import SearchRequest, request_from_wire
+from repro.arch.config import MachineConfig
+from repro.errors import RequestError
+from repro.search import (Candidate, CandidateSpace, Frontier,
+                          anneal, run_search)
+from repro.serve.jobs import DONE, JobRegistry
+from repro.workloads import build_workload
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(
+        mesh_width=4, mesh_height=4, interleaving="cache_line")
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", SCALE)
+
+
+class TestCandidateSpace:
+    def test_named_pool_enumeration(self, config):
+        space = CandidateSpace(config, "named")
+        candidates = list(space.enumerate())
+        assert len(candidates) == space.size()
+        assert len(candidates) == len(set(candidates))
+        assert all(c in space for c in candidates)
+
+    def test_perimeter_pool_is_larger(self, config):
+        named = CandidateSpace(config, "named")
+        perimeter = CandidateSpace(config, "perimeter")
+        assert perimeter.size() > named.size()
+
+    def test_explicit_placements(self, config):
+        space = CandidateSpace(config, ["P1", "P3"])
+        assert {c.placement for c in space.enumerate()} == {"P1", "P3"}
+
+    def test_unknown_names_are_rejected(self, config):
+        with pytest.raises(ValueError):
+            CandidateSpace(config, "nope")
+        with pytest.raises(ValueError):
+            CandidateSpace(config, "named", mappings=["M9"])
+        with pytest.raises(ValueError):
+            CandidateSpace(config, "named", interleavings=["bad"])
+
+    def test_neighbor_stays_in_space_and_differs(self, config):
+        space = CandidateSpace(config, "perimeter")
+        rng = random.Random(7)
+        current = space.random(rng)
+        for _ in range(32):
+            proposal = space.neighbor(current, rng)
+            assert proposal in space
+            assert proposal != current
+            current = proposal
+
+    def test_seeded_sampling_is_deterministic(self, config):
+        space = CandidateSpace(config, "perimeter")
+        a = space.random(random.Random(3))
+        b = space.random(random.Random(3))
+        assert a == b
+
+
+class TestFrontier:
+    def c(self, tag):
+        return Candidate(placement=tag, mapping="M1",
+                         interleaving="cache_line")
+
+    def test_keeps_top_k(self):
+        frontier = Frontier(2)
+        assert frontier.offer(self.c("P1"), 30.0)
+        assert frontier.offer(self.c("P2"), 10.0)
+        assert frontier.offer(self.c("P3"), 20.0)  # evicts P1
+        costs = [e.cost for e in frontier.entries()]
+        assert costs == [10.0, 20.0]
+        assert frontier.best.candidate.placement == "P2"
+        assert self.c("P1") not in frontier
+
+    def test_rejects_when_full_and_worse(self):
+        frontier = Frontier(1)
+        frontier.offer(self.c("P1"), 5.0)
+        assert not frontier.offer(self.c("P2"), 9.0)
+        assert frontier.threshold == 5.0
+
+    def test_reoffer_is_noop(self):
+        frontier = Frontier(4)
+        assert frontier.offer(self.c("P1"), 5.0)
+        assert not frontier.offer(self.c("P1"), 1.0)
+        assert len(frontier) == 1
+
+    def test_tie_breaks_by_score_then_candidate(self):
+        frontier = Frontier(3)
+        frontier.offer(self.c("P2"), 5.0, score=1.0)
+        frontier.offer(self.c("P3"), 5.0, score=0.5)
+        frontier.offer(self.c("P1"), 5.0, score=1.0)
+        ordered = [(e.score, e.candidate.placement)
+                   for e in frontier.entries()]
+        assert ordered == [(0.5, "P3"), (1.0, "P1"), (1.0, "P2")]
+
+
+class TestAnneal:
+    def test_same_seed_same_walk(self, config):
+        space = CandidateSpace(config, "perimeter")
+        cost = lambda c: float(hash(c) % 997)  # noqa: E731
+        a = anneal(space, cost, seed=11, steps=64)
+        b = anneal(space, cost, seed=11, steps=64)
+        assert a == b
+        assert 0.0 <= a.acceptance_rate <= 1.0
+
+    def test_finds_planted_optimum(self, config):
+        space = CandidateSpace(config, "named")
+        best = min(space.enumerate())
+        cost = lambda c: 0.0 if c == best else 1.0  # noqa: E731
+        result = anneal(space, cost, seed=0, steps=256)
+        assert result.best == best and result.best_cost == 0.0
+
+
+class TestRunSearch:
+    def test_seeded_search_is_byte_identical(self, program, config):
+        first = run_search(program, config, mode="exhaustive", top_k=3,
+                           seed=0)
+        again = run_search(program, config, mode="exhaustive", top_k=3,
+                           seed=0)
+        assert first.to_csv() == again.to_csv()
+        # Frontier re-simulation is the bit-exact engine: simulated
+        # cycles agree exactly between the two runs.
+        sims = [row["simulated_cycles"] for row in first.rows]
+        assert sims == [row["simulated_cycles"] for row in again.rows]
+        assert all(isinstance(s, float) for s in sims)
+
+    def test_ranking_uses_simulated_cycles(self, program, config):
+        result = run_search(program, config, mode="exhaustive",
+                            top_k=4, seed=0)
+        sims = [row["simulated_cycles"] for row in result.rows]
+        assert sims == sorted(sims)
+        assert [row["rank"] for row in result.rows] == \
+            list(range(1, len(result.rows) + 1))
+
+    def test_anneal_mode_reports_acceptance(self, program, config):
+        result = run_search(program, config, mode="anneal",
+                            placements="perimeter", top_k=2, steps=16,
+                            seed=3)
+        assert result.mode == "anneal"
+        assert 0.0 <= result.acceptance_rate <= 1.0
+        assert result.candidates_evaluated <= 17 + 1
+
+    def test_auto_anneals_large_spaces(self, program, config):
+        result = run_search(program, config, placements="perimeter",
+                            top_k=1, steps=4, seed=0,
+                            exhaustive_limit=8, resimulate=False)
+        assert result.mode == "anneal"
+
+    def test_telemetry(self, program, config):
+        result = run_search(program, config, mode="exhaustive",
+                            top_k=2, seed=0, obs="full")
+        telemetry = result.obs.telemetry
+        assert telemetry.value("search.candidates") == \
+            result.candidates_evaluated
+        assert telemetry.value("search.resimulated") == 2
+        assert telemetry.value("search.error_pct") >= 0.0
+        assert result.obs.meta["mode"] == "exhaustive"
+
+
+class TestSearchRequest:
+    def test_wire_roundtrip_preserves_key(self):
+        req = SearchRequest(workload="swim", scale=SCALE, top_k=2,
+                            config={"mesh_width": 4, "mesh_height": 4})
+        other = request_from_wire(req.to_wire())
+        assert isinstance(other, SearchRequest)
+        assert other.key() == req.key()
+
+    def test_deadline_is_not_identity(self):
+        a = SearchRequest(workload="swim", scale=SCALE)
+        b = SearchRequest(workload="swim", scale=SCALE,
+                          deadline_ms=5000)
+        assert a.key() == b.key()
+
+    def test_unknown_field_rejected(self):
+        req = SearchRequest(workload="swim", scale=SCALE)
+        doc = req.to_wire()
+        doc["surprise"] = 1
+        with pytest.raises(RequestError, match="surprise"):
+            request_from_wire(doc)
+
+    def test_vocabulary_is_validated(self):
+        with pytest.raises(RequestError, match="mode"):
+            SearchRequest(workload="swim", mode="bogus")
+        with pytest.raises(RequestError, match="placement pool"):
+            SearchRequest(workload="swim", placements="bogus")
+        with pytest.raises(RequestError, match="top_k"):
+            SearchRequest(workload="swim", top_k=0)
+
+    def test_facade(self, program, config):
+        result = repro.search(program, config, mode="exhaustive",
+                              top_k=2, seed=0)
+        assert len(result.rows) == 2
+        assert result.best["rank"] == 1
+
+
+class TestServeIntegration:
+    def _wait(self, job):
+        job.future.result(timeout=120)
+
+    def test_search_job_kind(self, program):
+        registry = JobRegistry(job_threads=1)
+        try:
+            request = SearchRequest.from_objects(
+                program=program,
+                config=MachineConfig.scaled_default().with_(
+                    mesh_width=4, mesh_height=4),
+                mode="exhaustive", top_k=2, seed=0)
+            job, fresh = registry.submit(request)
+            assert fresh
+            self._wait(job)
+            assert job.state == DONE
+            assert job.result["kind"] == "search"
+            assert job.result["csv"].startswith("rank,")
+            assert len(job.result["rows"]) == 2
+            assert job.snapshot()["rows"] == job.result["rows"]
+        finally:
+            registry.shutdown()
+
+    def test_analytic_admission_calibrates_and_predicts(self):
+        registry = JobRegistry(job_threads=1, analytic_admission=True)
+        try:
+            request = repro.RunRequest.from_objects(
+                program=build_workload("swim", SCALE),
+                config=MachineConfig.scaled_default().with_(
+                    mesh_width=4, mesh_height=4,
+                    interleaving="cache_line"))
+            cycles = registry._analytic_cycles(request)
+            assert cycles is not None and cycles > 0
+            job, _ = registry.submit(request)
+            assert job.est_cycles == cycles
+            self._wait(job)
+            assert job.state == DONE
+            # One completed estimated job calibrates the rate...
+            rate = registry._seconds_per_cycle
+            assert rate is not None and rate > 0
+            # ...and the wait estimate becomes cycle-proportional:
+            # a queue holding 2x the cycles predicts 2x the wait
+            # (the flat EWMA would predict the same for any mix).
+            with registry._lock:
+                registry._queued = 2
+                registry._queued_unknown = 0
+                registry._queued_cycles = 2e9
+                wide = registry._estimated_wait_locked()
+                registry._queued_cycles = 4e9
+                wider = registry._estimated_wait_locked()
+                registry._queued = 0
+                registry._queued_cycles = 0.0
+            assert wider == pytest.approx(2 * wide)
+            assert wide == pytest.approx(2e9 * rate)
+        finally:
+            registry.shutdown()
+
+    def test_flat_ewma_without_flag(self):
+        registry = JobRegistry(job_threads=1)
+        try:
+            request = repro.RunRequest.from_objects(
+                program=build_workload("swim", SCALE),
+                config=MachineConfig.scaled_default().with_(
+                    mesh_width=4, mesh_height=4,
+                    interleaving="cache_line"))
+            assert registry._analytic_cycles(request) is not None
+            job, _ = registry.submit(request)
+            assert job.est_cycles is None  # flag off: not estimated
+            self._wait(job)
+            assert registry._seconds_per_cycle is None
+        finally:
+            registry.shutdown()
+
+    def test_sweep_requests_fall_back_to_ewma(self):
+        registry = JobRegistry(job_threads=1, analytic_admission=True)
+        try:
+            request = repro.SweepRequest.from_objects(
+                program=build_workload("swim", SCALE),
+                axes={"mapping": ["M1"]})
+            assert registry._analytic_cycles(request) is None
+        finally:
+            registry.shutdown()
