@@ -145,6 +145,8 @@ def sweep(program: Program, *,
           store: Optional[str] = None,
           progress: Optional[Callable] = None,
           max_points: Optional[int] = None,
+          batch: Optional[int] = None,
+          shm: Optional[bool] = None,
           **axes: Iterable) -> SweepResult:
     """Run a cartesian configuration sweep and return its
     :class:`SweepResult`.
@@ -182,13 +184,20 @@ def sweep(program: Program, *,
     processes.  Results are bit-identical with the store on or off;
     ``result.store_hits`` / ``result.store_misses`` report the
     traffic.
+
+    ``batch`` overrides the work-stealing batch size and ``shm``
+    forces the shared artifact plane on/off (``None`` = auto); both
+    are operational knobs of :mod:`repro.sim.executor` -- they shape
+    scheduling, never results -- so like ``progress`` they stay out of
+    the wire request.
     """
     request = SweepRequest.from_objects(
         program=program, config=config, axes=axes, workers=workers,
         hardened=hardened, fault_plan=fault_plan, seed=seed,
         validate=validate, obs=obs, engine=engine, store=store)
     return request.execute(progress=progress, checkpoint=checkpoint,
-                           harness=harness, max_points=max_points)
+                           harness=harness, max_points=max_points,
+                           batch=batch, shm=shm)
 
 
 def search(program: Program,
@@ -212,6 +221,11 @@ def search(program: Program,
         print(result.to_csv())
 
     Fully seeded: equal arguments yield byte-identical frontier CSV.
+    ``workers=N`` fans the frontier re-simulation out to a process
+    pool (an operational knob, not part of the request identity); the
+    CSV stays byte-identical.
     """
+    workers = search_kw.pop("workers", 1)
     return SearchRequest.from_objects(program=program, config=config,
-                                      **search_kw).execute()
+                                      **search_kw).execute(
+                                          workers=workers)

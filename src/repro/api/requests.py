@@ -516,9 +516,15 @@ class SweepRequest(_Request):
     def execute(self, progress: Optional[Callable] = None,
                 checkpoint: Optional[str] = None,
                 harness: Optional[HarnessConfig] = None,
-                max_points: Optional[int] = None) -> SweepReport:
+                max_points: Optional[int] = None,
+                batch: Optional[int] = None,
+                shm: Optional[bool] = None) -> SweepReport:
         """Run the sweep.  ``checkpoint``/``harness``/``max_points``
-        imply the hardened engine, exactly as the facade documents."""
+        imply the hardened engine, exactly as the facade documents.
+        ``batch``/``shm`` are operational executor knobs (work-stealing
+        batch size, shared-artifact plane) -- like ``progress`` they
+        shape *how* the sweep runs, never what it computes, so they are
+        execute-time parameters rather than wire fields."""
         program, config, plan = self._resolve()
         hardened = (self.hardened or checkpoint is not None
                     or harness is not None or max_points is not None)
@@ -527,13 +533,15 @@ class SweepRequest(_Request):
                                  checkpoint=checkpoint, fault_plan=plan,
                                  seed=self.seed, workers=self.workers,
                                  validate=self.validate, obs=self.obs,
-                                 engine=self.engine, store=self.store
+                                 engine=self.engine, store=self.store,
+                                 batch=batch, shm=shm
                                  ).run(max_points=max_points,
                                        progress=progress, **self.axes)
         runner = Sweep(program, config, workers=self.workers,
                        fault_plan=plan, seed=self.seed,
                        validate=self.validate, obs=self.obs,
-                       engine=self.engine, store=self.store)
+                       engine=self.engine, store=self.store,
+                       batch=batch, shm=shm)
         points = runner.run(progress=progress, **self.axes)
         return SweepReport(rows=[point.row() for point in points],
                            points=list(points),
@@ -749,8 +757,13 @@ class SearchRequest(_Request):
                        for c in resolved.name)
         return f"{safe}-search-{digest[:20]}"
 
-    def execute(self):
-        """Run the search (a :class:`repro.search.SearchResult`)."""
+    def execute(self, workers: int = 1):
+        """Run the search (a :class:`repro.search.SearchResult`).
+
+        ``workers`` fans the frontier re-simulation out through the
+        parallel executor; an operational knob (it never changes the
+        result), so like the sweep's ``progress`` it is an
+        execute-time parameter, not a wire field."""
         from repro.search import run_search
         program = self._build_program()
         config = self.config_obj
@@ -772,6 +785,7 @@ class SearchRequest(_Request):
                               top_k=self.top_k, steps=self.steps,
                               seed=self.seed,
                               resimulate=self.resimulate,
+                              workers=workers,
                               obs=self.obs)
         except ValueError as err:
             raise RequestError(str(err)) from err

@@ -337,12 +337,18 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
             print(f"[sweep] wave {wave}: {state['done']}/{total} "
                   f"points done, {state['failed']} failed",
                   file=sys.stderr)
+    from repro.sim.executor import steal_stats
+    from repro.sim.shm import shm_stats
+    shm_before = shm_stats()
+    steal_before = steal_stats()
     try:
         request = SweepRequest.from_objects(
             program=program, config=_config(args), axes=axes,
             workers=workers, validate=args.validate,
             engine=args.engine, store=args.store or None)
-        report = request.execute(progress=progress)
+        report = request.execute(progress=progress,
+                                 batch=args.batch or None,
+                                 shm=False if args.no_shm else None)
     except ValidationError:
         raise  # main() maps it to the validation exit code
     except ValueError as err:  # e.g. unknown mapping preset value
@@ -356,6 +362,25 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
             # actually served records across processes.
             print(f"[store] hits={report.store_hits} "
                   f"misses={report.store_misses} dir={args.store}",
+                  file=sys.stderr)
+        if workers > 1:
+            # The CI scaling job greps these two lines to prove workers
+            # attached the shared artifact plane and stole batches.
+            shm_now = shm_stats()
+            steal_now = steal_stats()
+            print(f"[shm] published="
+                  f"{shm_now['published'] - shm_before['published']} "
+                  f"attached="
+                  f"{shm_now['attached'] - shm_before['attached']} "
+                  f"bytes={shm_now['bytes'] - shm_before['bytes']} "
+                  f"corrupt="
+                  f"{shm_now['corrupt'] - shm_before['corrupt']}",
+                  file=sys.stderr)
+            print(f"[steal] batches="
+                  f"{steal_now['batches'] - steal_before['batches']} "
+                  f"tasks={steal_now['tasks'] - steal_before['tasks']} "
+                  f"requeued="
+                  f"{steal_now['requeued'] - steal_before['requeued']}",
                   file=sys.stderr)
     print(report.to_csv(), end="", file=out)
     return 0
@@ -539,7 +564,10 @@ def cmd_search(args: argparse.Namespace, out) -> int:
         interleavings=interleavings, top_k=args.top_k,
         steps=args.steps, seed=args.seed,
         resimulate=not args.no_resim)
-    result = request.execute()
+    if args.workers < 1:
+        raise SystemExit(f"repro-cli search: --workers must be >= 1, "
+                         f"got {args.workers}")
+    result = request.execute(workers=args.workers)
     if not args.quiet:
         accept = ("" if result.acceptance_rate is None else
                   f", acceptance {result.acceptance_rate:.0%}")
@@ -651,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="parallel worker processes for grid points "
                         "(default: one per CPU; 1 = in-process)")
+    p.add_argument("--batch", type=int, default=0,
+                   help="points per stolen batch (default: sized "
+                        "automatically from grid and pool)")
+    p.add_argument("--no-shm", action="store_true",
+                   help="disable the shared-memory artifact plane "
+                        "(workers recompile/regenerate per point; "
+                        "bit-identical, just slower)")
     p.add_argument("--validate", default="off",
                    choices=["off", "metrics", "strict"],
                    help="invariant-sanitizer level for every run")
@@ -704,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-resim", action="store_true",
                    help="skip the bit-exact frontier re-simulation "
                         "(analytic estimates only)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel worker processes for the frontier "
+                        "re-simulation (byte-identical CSV)")
     p.add_argument("--json", action="store_true",
                    help="emit the JSON summary instead of CSV")
     p.add_argument("--quiet", action="store_true",

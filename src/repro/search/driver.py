@@ -108,6 +108,7 @@ def run_search(program: Program,
                seed: int = 0,
                exhaustive_limit: int = 512,
                resimulate: bool = True,
+               workers: int = 1,
                obs: str = "off") -> SearchResult:
     """Search the placement/mapping/interleaving space for ``program``.
 
@@ -115,7 +116,14 @@ def run_search(program: Program,
     (mesh shape, cache geometry, MC count...); by default the scaled
     paper machine.  See the module docstring for the loop; all
     randomness is seeded, so equal arguments give equal results.
+
+    ``workers`` > 1 fans the frontier re-simulation out through the
+    supervised work-stealing executor
+    (:func:`repro.sim.executor.execute_runs`, sharing one artifact
+    plane across the survivors); results -- and the CSV bytes -- are
+    bit-identical to the serial loop.
     """
+    from repro.sim.executor import execute_runs
     from repro.sim.run import RunSpec, run_simulation
 
     if mode not in SEARCH_MODES:
@@ -171,8 +179,20 @@ def run_search(program: Program,
         return result.acceptance_rate
 
     def resim() -> List[Dict[str, object]]:
+        entries = frontier.entries()
+        metrics_by_entry: List[object] = []
+        if resimulate and entries:
+            specs = []
+            for entry in entries:
+                cand_config = entry.candidate.config(config)
+                mapping = entry.candidate.resolve_mapping(config)
+                specs.append(RunSpec(program=program,
+                                     config=cand_config,
+                                     mapping=mapping, engine="fast",
+                                     seed=seed))
+            metrics_by_entry = execute_runs(specs, workers=workers)
         rows: List[Dict[str, object]] = []
-        for entry in frontier.entries():
+        for position, entry in enumerate(entries):
             row: Dict[str, object] = {
                 "placement": entry.candidate.placement,
                 "mapping": entry.candidate.mapping,
@@ -183,12 +203,7 @@ def run_search(program: Program,
                 "score": entry.score,
             }
             if resimulate:
-                cand_config = entry.candidate.config(config)
-                mapping = entry.candidate.resolve_mapping(config)
-                spec = RunSpec(program=program, config=cand_config,
-                               mapping=mapping, engine="fast",
-                               seed=seed)
-                simulated = run_simulation(spec).metrics.exec_time
+                simulated = metrics_by_entry[position].exec_time
                 error = (abs(entry.cost - simulated)
                          / max(simulated, 1.0) * 100.0)
                 row["simulated_cycles"] = simulated

@@ -34,6 +34,8 @@ import os
 import random
 import signal
 import time
+import warnings
+from collections import deque
 from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
                                 wait)
 from concurrent.futures.process import BrokenProcessPool
@@ -48,6 +50,8 @@ from repro.errors import WorkerLostError
 from repro.faults.plan import FaultPlan
 from repro.obs.tracer import obs_instant
 from repro.program.ir import Program
+from repro.sim import memo
+from repro.sim import shm as shm_plane
 from repro.sim.metrics import Comparison
 from repro.sim.run import RunSpec, run_simulation
 from repro.sim.serialize import comparison_row, point_key
@@ -260,13 +264,15 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def default_chunksize(num_tasks: int, workers: int) -> int:
-    """Chunked scheduling: large enough to amortize pickling, small
-    enough that a slow chunk cannot starve the pool (about four chunks
-    per worker)."""
-    if num_tasks <= 0 or workers <= 1:
+def default_batch_size(num_tasks: int, workers: int) -> int:
+    """Points per :class:`PointBatch`: 1 while the grid is small
+    relative to the pool (maximum steal granularity -- a long-tail
+    point never drags neighbours along), growing on large grids to
+    amortize pickle/IPC overhead.  Capped at 8 so a lost batch keeps a
+    small blast radius and the tail stays balanced."""
+    if num_tasks <= 0 or workers <= 1 or num_tasks <= workers * 4:
         return 1
-    return max(1, num_tasks // (workers * 4))
+    return min(8, max(1, num_tasks // (workers * 8)))
 
 
 @dataclass(frozen=True)
@@ -329,12 +335,234 @@ def _kill_pool_workers(pool) -> None:
             pass
 
 
+#: Process-wide work-stealing counters: batches/points handed to pool
+#: workers and points re-enqueued after a worker loss (reset with
+#: :func:`reset_steal_stats`).
+_STEAL = {"batches": 0, "tasks": 0, "requeued": 0}
+
+
+def steal_stats() -> Dict[str, int]:
+    return dict(_STEAL)
+
+
+def reset_steal_stats() -> None:
+    for key in _STEAL:
+        _STEAL[key] = 0
+
+
+@dataclass(frozen=True)
+class PointBatch:
+    """A stolen unit of work: a few submission-order-indexed items.
+
+    Batching amortizes pickle/IPC overhead on large grids of tiny
+    points; ``indices`` let the parent slot results (and charge retry
+    budgets) back to the right submission positions.
+    """
+
+    indices: Tuple[int, ...]
+    items: Tuple[object, ...]
+
+
+@dataclass
+class _BatchResult:
+    """What a worker sends back: per-item results in batch order, plus
+    the worker's drained shared-memory attach counters (the parent
+    cannot observe worker-side stats any other way)."""
+
+    results: List[object]
+    shm: Dict[str, int]
+
+
+def _pool_init(manifest=None) -> None:
+    """Pool-worker initializer: attach the shared artifact plane (when
+    one was published) into this worker's memo cache.  Attachment is an
+    optimization -- any failure leaves the worker recomputing, which is
+    bit-identical, so errors are swallowed."""
+    if manifest is not None:
+        try:
+            shm_plane.attach_into_memo(manifest)
+        except Exception:
+            pass
+
+
+def _run_point_batch(batch: PointBatch) -> _BatchResult:
+    """Execute one batch of :class:`PointTask` in a pool worker.
+
+    ``run_point`` is resolved through the module global at call time so
+    test doubles that monkeypatch ``executor.run_point`` (inherited via
+    fork) stay effective under batching.
+    """
+    results = [run_point(task) for task in batch.items]
+    return _BatchResult(results, shm_plane.drain_worker_stats())
+
+
+def _run_spec_batch(batch: PointBatch) -> _BatchResult:
+    """Execute one batch of bare :class:`RunSpec` (the search frontier
+    re-simulation path); returns each run's metrics."""
+    results = [run_simulation(spec).metrics for spec in batch.items]
+    return _BatchResult(results, shm_plane.drain_worker_stats())
+
+
+def _execute_scheduled(items: Sequence[object],
+                       runner: Callable[[PointBatch], _BatchResult],
+                       workers: int,
+                       policy: SupervisionPolicy,
+                       batch_size: int,
+                       manifest,
+                       on_result: Optional[Callable] = None,
+                       describe: Callable[[object], str] = repr
+                       ) -> List[object]:
+    """The supervised work-stealing scheduler.
+
+    Items are cut into :class:`PointBatch` units and fed to a
+    :class:`ProcessPoolExecutor` with *bounded* in-flight submission
+    (two batches per worker): workers steal the next batch as they
+    finish, so a long-tail item never idles the rest of the pool, and a
+    crash's blast radius is capped at the in-flight window.  Results
+    land by submission index, so the output order -- and therefore CSV
+    bytes -- is identical to the serial loop.
+
+    Supervision semantics match the former wave loop: a dead or hung
+    worker re-enqueues the in-flight items on a fresh pool (each
+    charged one attempt), batches still queued re-enqueue for free, and
+    only an item exceeding ``policy.retry_budget`` attempts raises
+    :class:`WorkerLostError`.
+    """
+    results: List[Optional[object]] = [None] * len(items)
+    attempts = [0] * len(items)
+    pending = list(range(len(items)))
+    reported = 0
+    restarts = 0
+    rng = random.Random()  # jitter shapes wall-clock only, never results
+
+    def flush() -> None:
+        nonlocal reported
+        if on_result is None:
+            return
+        while reported < len(results) and results[reported] is not None:
+            on_result(results[reported])
+            reported += 1
+
+    while pending:
+        queue = deque(
+            PointBatch(indices=tuple(pending[lo:lo + batch_size]),
+                       items=tuple(items[j]
+                                   for j in pending[lo:lo + batch_size]))
+            for lo in range(0, len(pending), batch_size))
+        round_workers = max(1, min(workers, len(pending)))
+        cap = round_workers * 2  # bounded steal window
+        pool = ProcessPoolExecutor(max_workers=round_workers,
+                                   initializer=_pool_init,
+                                   initargs=(manifest,))
+        in_flight: Dict[object, Tuple[int, ...]] = {}
+        lost: List[int] = []
+        hung = False
+        broken = False
+        try:
+            def submit_ready() -> None:
+                nonlocal broken
+                while queue and len(in_flight) < cap and not broken:
+                    batch = queue.popleft()
+                    for j in batch.indices:
+                        attempts[j] += 1
+                    try:
+                        future = pool.submit(runner, batch)
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool died while we were submitting; this
+                        # batch was charged and is lost, the rest of
+                        # the queue re-enqueues for free.
+                        lost.extend(batch.indices)
+                        broken = True
+                        return
+                    in_flight[future] = batch.indices
+                    _STEAL["batches"] += 1
+                    _STEAL["tasks"] += len(batch.indices)
+
+            submit_ready()
+            while in_flight:
+                done, _ = wait(set(in_flight),
+                               timeout=policy.task_timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    hung = True  # nothing finished within the window
+                    break
+                for future in done:
+                    indices = in_flight.pop(future)
+                    try:
+                        batch_result = future.result()
+                    except BrokenProcessPool:
+                        lost.extend(indices)
+                        broken = True
+                        continue
+                    shm_plane.absorb_worker_stats(batch_result.shm)
+                    for j, value in zip(indices, batch_result.results):
+                        results[j] = value
+                flush()
+                submit_ready()
+            if hung:
+                lost.extend(j for indices in in_flight.values()
+                            for j in indices)
+        finally:
+            if hung:
+                _kill_pool_workers(pool)
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+        leftover = [j for batch in queue for j in batch.indices]
+        pending = []
+        if not lost and not leftover:
+            break
+        if lost:
+            exhausted = [j for j in lost
+                         if attempts[j] > policy.retry_budget]
+            if exhausted:
+                raise WorkerLostError(
+                    f"{len(exhausted)} grid point(s) lost to "
+                    f"{'hung' if hung else 'dead'} workers after "
+                    f"{policy.retry_budget} re-enqueue(s) each; first "
+                    f"lost {describe(items[exhausted[0]])}")
+            restarts += 1
+            _SUPERVISION["worker_restarts"] += 1
+            _SUPERVISION["points_reenqueued"] += len(lost)
+            _STEAL["requeued"] += len(lost)
+            if hung:
+                _SUPERVISION["hangs_detected"] += 1
+            obs_instant("executor.worker_lost", cat="executor",
+                        points=len(lost), restart=restarts, hung=hung)
+            policy.sleep(policy.backoff(restarts - 1, rng))
+        pending = sorted(set(lost) | set(leftover))
+
+    flush()
+    return results  # type: ignore[return-value]
+
+
+def _publish_plane(specs: Sequence[RunSpec],
+                   shm: Optional[bool]):
+    """Publish the shared artifact plane for ``specs`` when profitable.
+
+    ``shm=None`` means *auto*: publish iff the memo is enabled (a
+    disabled memo means workers would not adopt anyway) and at least
+    one spec actually reaches the compile/trace pipeline (analytic
+    runs never do).  Returns the plane or ``None``.
+    """
+    if shm is None:
+        shm = memo.enabled()
+    if not shm:
+        return None
+    eligible = [spec for spec in specs if spec.engine != "analytic"]
+    if not eligible:
+        return None
+    return shm_plane.ArtifactPlane.publish(eligible)
+
+
 def execute_points(tasks: Sequence[PointTask],
                    workers: Optional[int] = None,
                    chunksize: Optional[int] = None,
                    progress: Optional[Callable[[PointOutcome], None]]
                    = None,
-                   supervision: Optional[SupervisionPolicy] = None
+                   supervision: Optional[SupervisionPolicy] = None,
+                   batch: Optional[int] = None,
+                   shm: Optional[bool] = None,
+                   plane: Optional[object] = None
                    ) -> List[PointOutcome]:
     """Run grid points, preserving submission order.
 
@@ -342,23 +570,39 @@ def execute_points(tasks: Sequence[PointTask],
     omitting it fans out.  With ``workers=1`` (or one task) everything
     runs in-process -- no pool, no pickling, no subprocesses -- which
     is both the graceful fallback and the debuggable path, and the
-    results are bit-identical either way.  Worker processes inherit nothing stochastic: all
-    seeding travels inside each task, so the fan-out is bit-identical
-    to the serial loop.
+    results are bit-identical either way.  Worker processes inherit
+    nothing stochastic: all seeding travels inside each task, so the
+    fan-out is bit-identical to the serial loop.
 
-    The parallel path is *supervised* (see :class:`SupervisionPolicy`):
-    a worker death or hang re-enqueues the lost points on a fresh pool
-    instead of aborting the sweep, and only an exhausted retry budget
-    raises.  ``chunksize`` is accepted for backward compatibility but
-    unused -- supervised scheduling is per-task, so a crash's blast
-    radius is exactly the points that were in flight.
+    The parallel path publishes the grid's shared compile/trace
+    artifacts into shared memory once (:mod:`repro.sim.shm`) and
+    schedules :class:`PointBatch` units onto the pool with work
+    stealing (:func:`_execute_scheduled`), supervised per
+    :class:`SupervisionPolicy`: a worker death or hang re-enqueues the
+    lost points on a fresh pool instead of aborting the sweep, and only
+    an exhausted retry budget raises.
+
+    ``batch`` overrides :func:`default_batch_size`; ``shm`` forces the
+    artifact plane on/off (``None`` = auto: on iff the memo is
+    enabled); ``plane`` injects a pre-published
+    :class:`~repro.sim.shm.ArtifactPlane` (the caller keeps ownership
+    -- the chaos tests use this to hand workers a corrupted plane).
+    ``chunksize`` is deprecated and ignored: batching supersedes it.
 
     ``progress`` (optional) is called in the *parent* process with each
     outcome as it is collected, in submission order -- the hook behind
     ``repro-cli sweep --progress``.  It never rides into workers, so it
     need not be picklable.
     """
+    global _CHUNKSIZE_WARNED
     tasks = list(tasks)
+    if chunksize is not None and not _CHUNKSIZE_WARNED:
+        warnings.warn(
+            "execute_points(chunksize=...) is deprecated and ignored; "
+            "scheduling is work-stealing with batches sized by "
+            "default_batch_size (override with batch=)",
+            DeprecationWarning, stacklevel=2)
+        _CHUNKSIZE_WARNED = True
     if workers is None:
         workers = default_workers()
     workers = max(1, min(int(workers), len(tasks) or 1))
@@ -372,78 +616,57 @@ def execute_points(tasks: Sequence[PointTask],
         return outcomes_serial
 
     policy = supervision or SupervisionPolicy()
-    outcomes: List[Optional[PointOutcome]] = [None] * len(tasks)
-    attempts = [0] * len(tasks)
-    pending = list(range(len(tasks)))
-    reported = 0
-    restarts = 0
-    rng = random.Random()  # jitter shapes wall-clock only, never results
+    batch_size = max(1, int(batch)) if batch else \
+        default_batch_size(len(tasks), workers)
+    own_plane = None
+    if plane is None:
+        specs: List[RunSpec] = []
+        for task in tasks:
+            base_spec, opt_spec = point_specs(
+                task.program, task.base_config, dict(task.settings),
+                task.fault_plan, task.seed, task.validate, task.obs,
+                task.engine, task.store)
+            specs.extend((base_spec, opt_spec))
+        own_plane = _publish_plane(specs, shm)
+        plane = own_plane
+    manifest = plane.manifest() if plane is not None else None
+    try:
+        return _execute_scheduled(
+            tasks, _run_point_batch, workers, policy, batch_size,
+            manifest, on_result=progress,
+            describe=lambda t: f"settings: {dict(t.settings)}")
+    finally:
+        if own_plane is not None:
+            own_plane.close()
 
-    def flush_progress() -> None:
-        nonlocal reported
-        if progress is None:
-            return
-        while reported < len(outcomes) and \
-                outcomes[reported] is not None:
-            progress(outcomes[reported])
-            reported += 1
 
-    while pending:
-        pool = ProcessPoolExecutor(
-            max_workers=max(1, min(workers, len(pending))))
-        lost: List[int] = []
-        hung = False
-        try:
-            index_of = {}
-            for i in pending:
-                attempts[i] += 1
-                try:
-                    index_of[pool.submit(run_point, tasks[i])] = i
-                except BrokenProcessPool:
-                    # A worker died while we were still submitting;
-                    # everything not yet in flight re-enqueues.
-                    lost.append(i)
-            waiting = set(index_of)
-            while waiting:
-                done, waiting = wait(waiting,
-                                     timeout=policy.task_timeout,
-                                     return_when=FIRST_COMPLETED)
-                if not done:
-                    hung = True  # nothing finished within the window
-                    break
-                for future in done:
-                    try:
-                        outcomes[index_of[future]] = future.result()
-                    except BrokenProcessPool:
-                        lost.append(index_of[future])
-                flush_progress()
-            if hung:
-                lost.extend(index_of[future] for future in waiting)
-        finally:
-            if hung:
-                _kill_pool_workers(pool)
-            pool.shutdown(wait=not hung, cancel_futures=True)
+_CHUNKSIZE_WARNED = False
 
-        pending = []
-        if not lost:
-            break
-        exhausted = [i for i in lost
-                     if attempts[i] > policy.retry_budget]
-        if exhausted:
-            raise WorkerLostError(
-                f"{len(exhausted)} grid point(s) lost to "
-                f"{'hung' if hung else 'dead'} workers after "
-                f"{policy.retry_budget} re-enqueue(s) each; first "
-                f"lost settings: {dict(tasks[exhausted[0]].settings)}")
-        restarts += 1
-        _SUPERVISION["worker_restarts"] += 1
-        _SUPERVISION["points_reenqueued"] += len(lost)
-        if hung:
-            _SUPERVISION["hangs_detected"] += 1
-        obs_instant("executor.worker_lost", cat="executor",
-                    points=len(lost), restart=restarts, hung=hung)
-        policy.sleep(policy.backoff(restarts - 1, rng))
-        pending = sorted(lost)
 
-    flush_progress()
-    return outcomes  # type: ignore[return-value]
+def execute_runs(specs: Sequence[RunSpec],
+                 workers: Optional[int] = None,
+                 shm: Optional[bool] = None,
+                 batch: Optional[int] = None) -> List[object]:
+    """Run bare :class:`RunSpec` items, returning each run's metrics in
+    submission order -- the engine under the search frontier
+    re-simulation.  ``workers=None``/1 runs serially in-process;
+    otherwise the same shared-artifact plane, work stealing and
+    supervision as :func:`execute_points` apply, and results are
+    bit-identical either way."""
+    specs = list(specs)
+    workers = max(1, min(int(workers or 1), len(specs) or 1))
+    if workers == 1:
+        return [run_simulation(spec).metrics for spec in specs]
+    policy = SupervisionPolicy()
+    batch_size = max(1, int(batch)) if batch else \
+        default_batch_size(len(specs), workers)
+    own_plane = _publish_plane(specs, shm)
+    manifest = own_plane.manifest() if own_plane is not None else None
+    try:
+        return _execute_scheduled(
+            specs, _run_spec_batch, workers, policy, batch_size,
+            manifest,
+            describe=lambda s: f"spec: {s.key()}")
+    finally:
+        if own_plane is not None:
+            own_plane.close()

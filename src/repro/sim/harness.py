@@ -291,13 +291,17 @@ class HardenedSweep:
     unchanged.  A failed point is recorded under ``failures`` and the
     sweep moves on -- partial results beat no results.
 
-    ``workers`` > 1 fans grid points out to a process pool (see
-    :mod:`repro.sim.executor`) in checkpoint-sized waves: the
-    checkpoint is written after every completed wave, so a kill loses
-    at most one wave of in-flight points (serially: at most the one
+    ``workers`` > 1 fans grid points out to a work-stealing process
+    pool (see :mod:`repro.sim.executor`): workers pull points as they
+    finish, and the checkpoint is rewritten every few completions (two
+    per worker -- the same cadence the former wave loop had), so a kill
+    loses at most that many in-flight points (serially: at most the one
     in-flight point, exactly as before).  Results are bit-identical to
     a serial run.  In parallel mode the harness's ``sleep`` callback
     must be picklable (the default, :func:`time.sleep`, is).
+    ``batch``/``shm`` forward to
+    :func:`~repro.sim.executor.execute_points` (batch size override and
+    shared-artifact-plane switch).
     """
 
     def __init__(self, program: Program,
@@ -310,7 +314,9 @@ class HardenedSweep:
                  validate: str = "off",
                  obs: str = "off",
                  engine: str = "fast",
-                 store: Optional[str] = None):
+                 store: Optional[str] = None,
+                 batch: Optional[int] = None,
+                 shm: Optional[bool] = None):
         self.program = program
         self.base_config = base_config or \
             MachineConfig.scaled_default().with_(interleaving="cache_line")
@@ -319,6 +325,8 @@ class HardenedSweep:
         self.fault_plan = fault_plan
         self.seed = seed
         self.workers = workers
+        self.batch = batch
+        self.shm = shm
         self.validate = validate
         self.obs = obs
         # Not part of the point key or the checkpoint: engines are
@@ -446,8 +454,8 @@ class HardenedSweep:
         a killed sweep) -- remaining points are simply left for the
         next invocation.
 
-        ``progress`` (optional) is called after every completed wave
-        with ``(wave_index, points_done, points_failed, total_fresh)``
+        ``progress`` (optional) is called at every checkpoint flush
+        with ``(flush_index, points_done, points_failed, total_fresh)``
         -- the hook behind ``repro-cli sweep --progress``.
         """
         validate_axes(axes)
@@ -476,33 +484,30 @@ class HardenedSweep:
             report.rows.append(settings)
             pending.append((key, settings))
 
-        # Chunked scheduling: the checkpoint is rewritten after every
-        # wave, bounding both checkpoint-write frequency and the work a
-        # kill can lose.
-        done = set(self._done)
+        # Work-stealing execution with streaming checkpoints: one
+        # execute_points call covers the whole grid (so the pool and
+        # the shared artifact plane are built once), and the parent
+        # records each outcome as it arrives, rewriting the
+        # checkpoint every ``checkpoint_every`` completions (the
+        # former wave size), which bounds both checkpoint-write
+        # frequency and the work a kill can lose.
         obs_parts: List[object] = []
         completed = 0
-        wave = max(1, self.workers) * 2
-        for start in range(0, len(pending), wave):
-            batch = pending[start:start + wave]
-            outcomes = execute_points(
-                [PointTask(program=self.program,
-                           base_config=self.base_config,
-                           settings=tuple(sorted(settings.items())),
-                           fault_plan=self.fault_plan, seed=self.seed,
-                           validate=self.validate, obs=self.obs,
-                           engine=self.engine, store=self.store,
-                           hardened=True, harness=self.harness)
-                 for _, settings in batch],
-                workers=self.workers)
-            for (key, settings), outcome in zip(batch, outcomes):
-                obs_parts.extend(outcome.obs)
-                report.store_hits += outcome.store_hits
-                report.store_misses += outcome.store_misses
-                if not outcome.ok:
-                    report.failures.append(
-                        {**settings, "error": outcome.error})
-                    continue
+        processed = 0
+        flushes = 0
+        checkpoint_every = max(1, self.workers) * 2
+
+        def record(outcome) -> None:
+            nonlocal completed, processed, flushes
+            key, settings = pending[processed]
+            processed += 1
+            obs_parts.extend(outcome.obs)
+            report.store_hits += outcome.store_hits
+            report.store_misses += outcome.store_misses
+            if not outcome.ok:
+                report.failures.append(
+                    {**settings, "error": outcome.error})
+            else:
                 completed += 1
                 self._done[key] = outcome.row
                 self._store_put_row(key, outcome.row)
@@ -511,9 +516,38 @@ class HardenedSweep:
                     # come from the one shared simulation.
                     report.rows[slot] = comparison_row(
                         report.rows[slot], outcome.comparison)
-            self._save()
-            if progress is not None:
-                progress(start // wave, completed,
+            if processed % checkpoint_every == 0:
+                self._save()
+                if progress is not None:
+                    progress(flushes, completed,
+                             len(report.failures), len(pending))
+                flushes += 1
+
+        if pending:
+            extra: Dict[str, object] = {}
+            if self.batch is not None:
+                extra["batch"] = self.batch
+            if self.shm is not None:
+                extra["shm"] = self.shm
+            try:
+                execute_points(
+                    [PointTask(program=self.program,
+                               base_config=self.base_config,
+                               settings=tuple(sorted(settings.items())),
+                               fault_plan=self.fault_plan,
+                               seed=self.seed,
+                               validate=self.validate, obs=self.obs,
+                               engine=self.engine, store=self.store,
+                               hardened=True, harness=self.harness)
+                     for _, settings in pending],
+                    workers=self.workers, progress=record, **extra)
+            finally:
+                # Even a sweep aborted by an exhausted retry budget
+                # keeps every point that streamed in before the loss.
+                if processed % checkpoint_every != 0:
+                    self._save()
+            if processed % checkpoint_every != 0 and progress is not None:
+                progress(flushes, completed,
                          len(report.failures), len(pending))
         if obs_parts:
             report.obs = ObsData.merged(

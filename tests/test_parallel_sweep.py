@@ -6,7 +6,7 @@ import pytest
 import repro.sim.executor as executor_mod
 from repro import MachineConfig
 from repro.faults import FaultPlan, LinkFault, MCFault
-from repro.sim.executor import (PointTask, default_chunksize,
+from repro.sim.executor import (PointTask, default_batch_size,
                                 default_workers, execute_points,
                                 grid_settings, point_specs, run_point)
 from repro.sim.harness import HardenedSweep
@@ -176,11 +176,27 @@ class TestExecutorPrimitives:
         grid = grid_settings(dict(b=[1, 2], a=["x"]))
         assert grid == [{"a": "x", "b": 1}, {"a": "x", "b": 2}]
 
-    def test_default_chunksize(self):
-        assert default_chunksize(0, 4) == 1
-        assert default_chunksize(100, 1) == 1
-        assert default_chunksize(100, 4) == 6
-        assert default_chunksize(3, 8) == 1
+    def test_default_batch_size(self):
+        assert default_batch_size(0, 4) == 1
+        assert default_batch_size(100, 1) == 1
+        # small grids stay at maximum steal granularity
+        assert default_batch_size(16, 4) == 1
+        # large grids batch, bounded so the tail stays balanced
+        assert default_batch_size(100, 4) == 3
+        assert default_batch_size(10_000, 4) == 8
+
+    def test_chunksize_is_deprecated_noop(self, program, config):
+        executor_mod._CHUNKSIZE_WARNED = False
+        task = PointTask(program=program, base_config=config,
+                         settings=(("mapping", "M1"),))
+        with pytest.warns(DeprecationWarning, match="chunksize"):
+            outcomes = execute_points([task], workers=1, chunksize=7)
+        assert outcomes[0].ok
+        # the warning fires once per process, not once per sweep
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            execute_points([task], workers=1, chunksize=7)
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1

@@ -1,0 +1,256 @@
+"""The shared read-only artifact plane (:mod:`repro.sim.shm`).
+
+Publish/attach round-trips must be value-identical and zero-copy,
+lifecycle must be leak-free through refcounts and the crash-safe
+janitor, and a disabled or corrupt plane must degrade to local
+recomputation -- never to different results.
+"""
+
+import glob
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.sim import memo
+from repro.sim import shm as shm_mod
+from repro.sim.executor import execute_runs, point_specs
+from repro.sim.run import run_simulation
+from repro.sim.shm import (ArtifactPlane, attach_into_memo,
+                           attach_segment, reap_stale, reset_shm_stats,
+                           shm_stats)
+from repro.workloads import build_workload
+
+SCALE = 0.12
+AXES = dict(mapping=["M1", "M2"], num_mcs=[4, 8])
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("swim", SCALE)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.scaled_default().with_(interleaving="cache_line")
+
+
+def _grid_specs(program, config):
+    from repro.sim.executor import grid_settings
+    specs = []
+    for settings in grid_settings(AXES):
+        base, opt = point_specs(program, config, settings)
+        specs.extend((base, opt))
+    return specs
+
+
+def _leaked():
+    return glob.glob("/dev/shm/repro_shm_*")
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    memo.cache.clear()
+    reset_shm_stats()
+    shm_mod.drain_worker_stats()  # in-parent attaches count here too
+    yield
+    memo.cache.clear()
+    assert _leaked() == []
+
+
+class TestPublish:
+    def test_publishes_only_shared_keys(self, program, config):
+        specs = _grid_specs(program, config)
+        plane = ArtifactPlane.publish(specs)
+        assert plane is not None
+        try:
+            kinds = [e.kind for e in plane.manifest().entries]
+            # the baseline compile (shared by every point) and the
+            # baseline trace sets (shared per num_mcs value); optimized
+            # artifacts are unique per point and must NOT be published
+            assert kinds.count("compile") == 1
+            assert kinds.count("trace") == 2
+            assert plane.total_bytes > 0
+            assert shm_stats()["published"] == len(plane)
+        finally:
+            plane.close()
+
+    def test_nothing_shared_returns_none(self, program, config):
+        base, opt = point_specs(program, config, {"mapping": "M1"})
+        assert ArtifactPlane.publish([base, opt]) is None
+        assert shm_stats()["published"] == 0
+
+    def test_payload_checksums_verify(self, program, config):
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        try:
+            import hashlib
+            for entry in plane.manifest().entries:
+                seg = attach_segment(entry.segment)
+                digest = hashlib.sha256(
+                    bytes(seg.buf[:entry.size])).hexdigest()
+                seg.close()
+                assert digest == entry.digest
+        finally:
+            plane.close()
+
+
+class TestAttach:
+    def test_attach_adopts_values_into_memo(self, program, config):
+        specs = _grid_specs(program, config)
+        plane = ArtifactPlane.publish(specs)
+        try:
+            memo.cache.clear()
+            adopted = attach_into_memo(plane.manifest())
+            assert adopted == len(plane)
+            for entry in plane.manifest().entries:
+                assert entry.key in memo.cache
+            # adopted trace arrays are zero-copy read-only views
+            for entry in plane.manifest().entries:
+                if entry.kind != "trace":
+                    continue
+                _space, _bases, traces = memo.cache.get(entry.key)
+                for trace in traces:
+                    assert not trace.vaddrs.flags.writeable
+                    assert not trace.vaddrs.flags.owndata
+            drained = shm_mod.drain_worker_stats()
+            assert drained["attached"] == len(plane)
+            assert drained["attached_bytes"] == plane.total_bytes
+        finally:
+            plane.close()
+
+    def test_attached_values_equal_recomputed(self, program, config):
+        specs = _grid_specs(program, config)
+        plane = ArtifactPlane.publish(specs)
+        try:
+            baseline = specs[0]
+            key = "trace:" + memo.trace_key(baseline)
+            memo.cache.clear()
+            attach_into_memo(plane.manifest())
+            _, shared_bases, shared_traces = memo.cache.get(key)
+            memo.cache.clear()
+            _, layouts, _ = memo.compiled(baseline)
+            _, fresh_bases, fresh_traces = memo.placed_traces(
+                baseline, layouts)
+            assert shared_bases == fresh_bases
+            assert len(shared_traces) == len(fresh_traces)
+            for a, b in zip(shared_traces, fresh_traces):
+                assert np.array_equal(a.vaddrs, b.vaddrs)
+                assert np.array_equal(a.gaps, b.gaps)
+                assert np.array_equal(a.writes, b.writes)
+                assert a.segments == b.segments
+        finally:
+            plane.close()
+
+    def test_missing_segment_counts_corrupt_not_fatal(self, program,
+                                                      config):
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        manifest = plane.manifest()
+        plane.close()  # segments gone before "workers" attach
+        memo.cache.clear()
+        adopted = attach_into_memo(manifest)
+        assert adopted == 0
+        drained = shm_mod.drain_worker_stats()
+        assert drained["corrupt"] == len(manifest.entries)
+
+    def test_disabled_memo_adopts_nothing(self, program, config):
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        try:
+            memo.configure(enabled=False)
+            try:
+                assert attach_into_memo(plane.manifest()) == 0
+                assert len(memo.cache) == 0
+                assert "attached" not in shm_mod.drain_worker_stats()
+            finally:
+                memo.configure(enabled=True)
+        finally:
+            plane.close()
+
+
+class TestLifecycle:
+    def test_refcount_close_unlinks_once(self, program, config):
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        names = plane.segment_names
+        plane.acquire()
+        plane.close()          # one reference left: still attachable
+        assert not plane.closed
+        attach_segment(names[0]).close()
+        plane.close()          # last reference: unlinked
+        assert plane.closed
+        with pytest.raises(FileNotFoundError):
+            attach_segment(names[0])
+        assert shm_stats()["unlinked"] == len(names)
+
+    def test_janitor_reaps_dead_owner(self, program, config, tmp_path,
+                                      monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_JANITOR_DIR", str(tmp_path))
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        names = plane.segment_names
+        assert list(tmp_path.glob("*.json"))  # sidecar written
+        # forge a dead owner: a child that has already exited
+        child = multiprocessing.Process(target=lambda: None)
+        child.start()
+        child.join()
+        sidecar = next(iter(tmp_path.glob("*.json")))
+        payload = json.loads(sidecar.read_text())
+        payload["pid"] = child.pid
+        sidecar.write_text(json.dumps(payload))
+        assert reap_stale() == len(names)
+        assert shm_stats()["reaped"] == len(names)
+        assert not list(tmp_path.glob("*.json"))
+        # the plane's own close is now a no-op on the segments
+        plane.close()
+        assert _leaked() == []
+
+    def test_janitor_skips_live_owner(self, program, config, tmp_path,
+                                      monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_JANITOR_DIR", str(tmp_path))
+        plane = ArtifactPlane.publish(_grid_specs(program, config))
+        try:
+            assert reap_stale() == 0  # owner (this process) is alive
+            attach_segment(plane.segment_names[0]).close()
+        finally:
+            plane.close()
+
+
+class TestExecuteRuns:
+    def test_parallel_metrics_identical_to_serial(self, program,
+                                                  config):
+        specs = _grid_specs(program, config)
+        serial = execute_runs(specs, workers=1)
+        memo.cache.clear()
+        parallel = execute_runs(specs, workers=2)
+        assert [m.exec_time for m in serial] == \
+            [m.exec_time for m in parallel]
+        assert [m.offchip_fraction for m in serial] == \
+            [m.offchip_fraction for m in parallel]
+
+    def test_shm_off_still_identical(self, program, config):
+        specs = _grid_specs(program, config)[:4]
+        serial = [run_simulation(s).metrics.exec_time for s in specs]
+        memo.cache.clear()
+        parallel = execute_runs(specs, workers=2, shm=False)
+        assert shm_stats()["published"] == 0
+        assert serial == [m.exec_time for m in parallel]
+
+
+class TestAdopt:
+    def test_adopt_grows_capacity(self):
+        original = memo.cache.capacity
+        try:
+            entries = {f"compile:{i:040x}": ("v", {}, False)
+                       for i in range(original + 4)}
+            assert memo.adopt(entries) == len(entries)
+            for key in entries:
+                assert key in memo.cache
+        finally:
+            memo.configure(capacity=original)
+
+    def test_adopt_noop_when_disabled(self):
+        memo.configure(enabled=False)
+        try:
+            assert memo.adopt({"compile:dead": ("v", {}, False)}) == 0
+            assert len(memo.cache) == 0
+        finally:
+            memo.configure(enabled=True)
